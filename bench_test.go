@@ -1,0 +1,368 @@
+package transcoding
+
+// One benchmark per table and figure of the paper, plus codec-throughput
+// microbenchmarks. Each BenchmarkTableN/BenchmarkFigN target runs a reduced
+// version of the corresponding experiment; cmd/paper regenerates the full
+// outputs (see EXPERIMENTS.md for the recorded results).
+
+import (
+	"testing"
+)
+
+func benchWorkload() Workload { return Workload{Video: "cricket", Frames: 6, Scale: 8} }
+
+// BenchmarkTable1Catalog measures catalog synthesis: one frame of every
+// Table I video.
+func BenchmarkTable1Catalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, v := range Videos() {
+			frames, err := Synthesize(v.ShortName, 1, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = frames
+		}
+	}
+}
+
+// BenchmarkTable2Presets measures one tiny encode under each Table II
+// preset.
+func BenchmarkTable2Presets(b *testing.B) {
+	frames, err := Synthesize("cricket", 4, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range Presets {
+			opt := DefaultOptions()
+			if err := ApplyPreset(&opt, p); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := Encode(frames, 30, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable3Tasks measures building and validating the scheduler
+// tasks' encode options via one tiny encode per task.
+func BenchmarkTable3Tasks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, task := range SchedulerTasks() {
+			frames, err := Synthesize(task.Video, 2, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt := DefaultOptions()
+			if err := ApplyPreset(&opt, task.Preset); err != nil {
+				b.Fatal(err)
+			}
+			opt.CRF = task.CRF
+			opt.Refs = task.Refs
+			if _, _, err := Encode(frames, 30, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable4Configs measures one simulated run per Table IV
+// configuration.
+func BenchmarkTable4Configs(b *testing.B) {
+	w := benchWorkload()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range Configs() {
+			if _, _, err := Profile(Job{Workload: w, Options: DefaultOptions(), Config: cfg}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig2Triangle measures the three-metric measurement at one
+// (crf, refs) corner of the Figure 2 triangle.
+func BenchmarkFig2Triangle(b *testing.B) {
+	w := benchWorkload()
+	for i := 0; i < b.N; i++ {
+		opt := DefaultOptions()
+		opt.CRF = 28
+		opt.Refs = 4
+		if _, _, err := Profile(Job{Workload: w, Options: opt, Config: BaselineConfig()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Heatmaps measures one 2x2 corner of the Figure 3 crf x refs
+// top-down heatmaps.
+func BenchmarkFig3Heatmaps(b *testing.B) {
+	w := benchWorkload()
+	for i := 0; i < b.N; i++ {
+		pts := SweepCRFRefs(w, DefaultOptions(), BaselineConfig(), []int{15, 40}, []int{1, 4})
+		for _, p := range pts {
+			if p.Err != nil {
+				b.Fatal(p.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig4Projections measures the refs axis at one crf (projection B).
+func BenchmarkFig4Projections(b *testing.B) {
+	w := benchWorkload()
+	for i := 0; i < b.N; i++ {
+		pts := SweepCRFRefs(w, DefaultOptions(), BaselineConfig(), []int{23}, []int{1, 4, 8})
+		for _, p := range pts {
+			if p.Err != nil {
+				b.Fatal(p.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig5Counters measures the full counter extraction at one sweep
+// point (all eight Figure 5 quantities come from one profile).
+func BenchmarkFig5Counters(b *testing.B) {
+	w := benchWorkload()
+	for i := 0; i < b.N; i++ {
+		rep, _, err := Profile(Job{Workload: w, Options: DefaultOptions(), Config: BaselineConfig()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = rep.BranchMPKI + rep.L1DMPKI + rep.L2MPKI + rep.L3MPKI +
+			rep.StallAnyPKI + rep.StallROBPKI + rep.StallRSPKI + rep.StallSBPKI
+	}
+}
+
+// BenchmarkFig6Presets measures the preset-profiling sweep at its two
+// extremes.
+func BenchmarkFig6Presets(b *testing.B) {
+	w := benchWorkload()
+	for i := 0; i < b.N; i++ {
+		pts := SweepPresets(w, BaselineConfig(), []Preset{"ultrafast", "medium"}, 23, 3)
+		for _, p := range pts {
+			if p.Err != nil {
+				b.Fatal(p.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig7Videos measures per-video profiling at the entropy extremes.
+func BenchmarkFig7Videos(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := SweepVideos([]string{"desktop", "hall"}, 6, 8, DefaultOptions(), BaselineConfig())
+		for _, p := range pts {
+			if p.Err != nil {
+				b.Fatal(p.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig8Compiler measures one AutoFDO train+apply+profile cycle.
+func BenchmarkFig8Compiler(b *testing.B) {
+	w := benchWorkload()
+	opt := DefaultOptions()
+	for i := 0; i < b.N; i++ {
+		img, err := TrainAutoFDO(w, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := Profile(Job{Workload: w, Options: opt, Config: BaselineConfig(), Image: img}); err != nil {
+			b.Fatal(err)
+		}
+		gopt := opt
+		gopt.Tune = GraphiteTuning(AllGraphiteFlags())
+		if _, _, err := Profile(Job{Workload: w, Options: gopt, Config: BaselineConfig()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Scheduler measures a reduced scheduling study: two tasks on
+// baseline + two optimized configurations, evaluated with all three
+// schedulers.
+func BenchmarkFig9Scheduler(b *testing.B) {
+	tasks := SchedulerTasks()[:2]
+	configs := []Config{Configs()[0], Configs()[2], Configs()[3]}
+	for i := 0; i < b.N; i++ {
+		m, err := MeasureScheduling(tasks, configs, Workload{Frames: 4, Scale: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := EvaluateSchedulers(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- codec throughput microbenchmarks -------------------------------------------
+
+// BenchmarkEncodeMedium measures raw (unsimulated) encoder throughput.
+func BenchmarkEncodeMedium(b *testing.B) {
+	frames, err := Synthesize("cricket", 6, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pixels := int64(len(frames) * frames[0].Width * frames[0].Height)
+	b.SetBytes(pixels)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Encode(frames, 30, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecode measures raw decoder throughput.
+func BenchmarkDecode(b *testing.B) {
+	frames, err := Synthesize("cricket", 6, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream, _, err := Encode(frames, 30, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(stream)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulationOverhead compares a traced encode against the
+// untraced encode to expose the simulator's cost.
+func BenchmarkSimulationOverhead(b *testing.B) {
+	w := benchWorkload()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Profile(Job{Workload: w, Options: DefaultOptions(), Config: BaselineConfig(), SkipDecode: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benchmarks ----------------------------------------------------------
+//
+// Each ablation isolates one design choice DESIGN.md calls out, so its cost
+// can be tracked over time.
+
+// BenchmarkAblationTrellis compares trellis levels 0 and 2: the dominant
+// quality-vs-speed lever inside the residual path.
+func BenchmarkAblationTrellis(b *testing.B) {
+	frames, err := Synthesize("cricket", 6, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, level := range []int{0, 2} {
+		level := level
+		b.Run(map[int]string{0: "off", 2: "full"}[level], func(b *testing.B) {
+			opt := DefaultOptions()
+			opt.Trellis = level
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Encode(frames, 30, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTraceSampling compares full tracing against 1/8
+// macroblock sampling: the knob that makes 816-point sweeps tractable.
+func BenchmarkAblationTraceSampling(b *testing.B) {
+	w := benchWorkload()
+	for _, log2 := range []int{0, 3} {
+		log2 := log2
+		b.Run(map[int]string{0: "full", 3: "sample8"}[log2], func(b *testing.B) {
+			opt := DefaultOptions()
+			opt.TraceSampleLog2 = log2
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Profile(Job{Workload: w, Options: opt, Config: BaselineConfig()}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFusedDeblock compares the separate whole-frame deblock
+// pass against the Graphite-fused per-row schedule.
+func BenchmarkAblationFusedDeblock(b *testing.B) {
+	w := benchWorkload()
+	for _, fused := range []bool{false, true} {
+		fused := fused
+		b.Run(map[bool]string{false: "separate", true: "fused"}[fused], func(b *testing.B) {
+			opt := DefaultOptions()
+			opt.Tune = Tuning{FuseDeblock: fused}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Profile(Job{Workload: w, Options: opt, Config: BaselineConfig()}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRefs measures how the reference-list depth scales
+// encoder cost (the Figure 4B time axis).
+func BenchmarkAblationRefs(b *testing.B) {
+	frames, err := Synthesize("cricket", 8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, refs := range []int{1, 4, 16} {
+		refs := refs
+		b.Run(map[int]string{1: "refs1", 4: "refs4", 16: "refs16"}[refs], func(b *testing.B) {
+			opt := DefaultOptions()
+			opt.Refs = refs
+			opt.BFrames = 0
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Encode(frames, 30, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPredictor compares the two branch predictors end to end.
+func BenchmarkAblationPredictor(b *testing.B) {
+	w := benchWorkload()
+	for _, name := range []string{"baseline", "bs_op"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			cfg, _ := ConfigByName(name)
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Profile(Job{Workload: w, Options: DefaultOptions(), Config: cfg}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDCT8x8 compares the 4x4 and 8x8 luma transforms.
+func BenchmarkAblationDCT8x8(b *testing.B) {
+	frames, err := Synthesize("presentation", 6, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, dct8 := range []bool{false, true} {
+		dct8 := dct8
+		b.Run(map[bool]string{false: "dct4x4", true: "dct8x8"}[dct8], func(b *testing.B) {
+			opt := DefaultOptions()
+			opt.DCT8x8 = dct8
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Encode(frames, 30, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,103 @@
+// Command optbench runs the compiler-optimization study (Figure 8): the
+// AutoFDO and Graphite speedups over the unoptimized build, per video.
+//
+//	optbench -videos desktop,cricket,hall -frames 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/opt/autofdo"
+	"repro/internal/opt/graphite"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+	"repro/internal/vbench"
+)
+
+var (
+	flagVideos = flag.String("videos", "", "comma-separated videos (default: whole catalog)")
+	flagFrames = flag.Int("frames", 16, "frames per clip")
+	flagCRF    = flag.Int("crf", 23, "crf for the measured encode")
+	flagPreset = flag.String("preset", "medium", "preset for the measured encode")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "optbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	videos := vbench.Names()
+	if *flagVideos != "" {
+		videos = strings.Split(*flagVideos, ",")
+	}
+	opt := codec.Options{RC: codec.RCCRF, CRF: *flagCRF, QP: 26, KeyintMax: 250}
+	if err := codec.ApplyPreset(&opt, codec.Preset(*flagPreset)); err != nil {
+		return err
+	}
+
+	rows := [][]string{}
+	var sumF, sumG float64
+	for _, v := range videos {
+		w := core.Workload{Video: v, Frames: *flagFrames}
+		base, err := core.Run(core.Job{Workload: w, Options: opt, Config: uarch.Baseline()})
+		if err != nil {
+			return err
+		}
+		img, err := train(w, opt)
+		if err != nil {
+			return err
+		}
+		fdo, err := core.Run(core.Job{Workload: w, Options: opt, Config: uarch.Baseline(), Image: img})
+		if err != nil {
+			return err
+		}
+		gopt := opt
+		gopt.Tune = graphite.All().Tuning()
+		gr, err := core.Run(core.Job{Workload: w, Options: gopt, Config: uarch.Baseline()})
+		if err != nil {
+			return err
+		}
+		f := (base.Report.Seconds/fdo.Report.Seconds - 1) * 100
+		g := (base.Report.Seconds/gr.Report.Seconds - 1) * 100
+		sumF += f
+		sumG += g
+		rows = append(rows, []string{v,
+			report.F(base.Report.Seconds*1000, 2), report.F(f, 2), report.F(g, 2),
+			report.F(base.Report.L1IMPKI, 3), report.F(fdo.Report.L1IMPKI, 3),
+			report.F(base.Report.L2MPKI, 2), report.F(gr.Report.L2MPKI, 2)})
+	}
+	rows = append(rows, []string{"average", "",
+		report.F(sumF/float64(len(videos)), 2), report.F(sumG/float64(len(videos)), 2), "", "", "", ""})
+	return report.Table(os.Stdout, []string{"video", "base(ms)", "AutoFDO %", "Graphite %",
+		"L1i MPKI", "L1i(FDO)", "L2 MPKI", "L2(Graphite)"}, rows)
+}
+
+func train(w core.Workload, opt codec.Options) (*trace.Image, error) {
+	col := autofdo.NewCollector()
+	stream, err := core.Mezzanine(w)
+	if err != nil {
+		return nil, err
+	}
+	frames, info, err := codec.NewDecoder(codec.DecoderOptions{}, col).Decode(stream)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := codec.NewEncoder(frames[0].Width, frames[0].Height, info.FPS, opt, col)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := enc.EncodeAll(frames); err != nil {
+		return nil, err
+	}
+	return col.Profile().Apply(trace.NewImage(nil), autofdo.Options{}), nil
+}

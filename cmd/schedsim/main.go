@@ -1,0 +1,70 @@
+// Command schedsim runs the scheduling case study (Tables III/IV, Figure
+// 9): the Table III tasks are simulated on every Table IV configuration and
+// the random, smart and best schedulers are compared.
+//
+//	schedsim -frames 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/uarch"
+)
+
+var flagFrames = flag.Int("frames", 16, "frames per clip")
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "schedsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	tasks := sched.TableIII()
+	configs := uarch.TableIV()
+	fmt.Println("measuring", len(tasks), "tasks on", len(configs), "configurations...")
+	m, err := sched.Measure(tasks, configs, core.Workload{Frames: *flagFrames})
+	if err != nil {
+		return err
+	}
+	headers := []string{"task", "video"}
+	for _, c := range configs {
+		headers = append(headers, c.Name+"(ms)")
+	}
+	rows := [][]string{}
+	for ti, t := range tasks {
+		row := []string{t.Name, t.Video}
+		for ci := range configs {
+			row = append(row, report.F(m.Seconds[ti][ci]*1000, 3))
+		}
+		rows = append(rows, row)
+	}
+	if err := report.Table(os.Stdout, headers, rows); err != nil {
+		return err
+	}
+	o, err := m.Evaluate()
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	for ti, t := range tasks {
+		fmt.Printf("%s: smart -> %-7s best -> %-7s (baseline profile: fe %.1f%% bs %.1f%% mem %.1f%% core %.1f%%)\n",
+			t.Name, configs[o.SmartAssign[ti]].Name, configs[o.BestAssign[ti]].Name,
+			m.Reports[ti][0].Topdown.FrontEnd, m.Reports[ti][0].Topdown.BadSpec,
+			m.Reports[ti][0].Topdown.MemBound, m.Reports[ti][0].Topdown.CoreBound)
+	}
+	fmt.Printf("\nspeedup over baseline: random %+.2f%%  smart %+.2f%%  best %+.2f%%\n",
+		sched.Speedup(o.BaselineSeconds, o.RandomSeconds),
+		sched.Speedup(o.BaselineSeconds, o.SmartSeconds),
+		sched.Speedup(o.BaselineSeconds, o.BestSeconds))
+	fmt.Printf("smart over random: %+.2f%%; matches best on %d/%d tasks\n",
+		sched.Speedup(o.RandomSeconds, o.SmartSeconds), o.SmartMatchesBest, len(tasks))
+	return nil
+}

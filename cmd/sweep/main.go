@@ -1,0 +1,121 @@
+// Command sweep runs the paper's three profiling sweeps and emits the raw
+// results as CSV for plotting or further analysis.
+//
+//	sweep -mode crf-refs -video cricket
+//	sweep -mode presets  -video cricket
+//	sweep -mode videos
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/uarch"
+	"repro/internal/vbench"
+)
+
+var (
+	flagMode   = flag.String("mode", "crf-refs", "sweep: crf-refs|presets|videos")
+	flagVideo  = flag.String("video", "cricket", "video for crf-refs and presets")
+	flagFrames = flag.Int("frames", 16, "frames per clip")
+	flagCRFs   = flag.String("crfs", "1,6,11,16,21,26,31,36,41,46,51", "comma-separated crf values")
+	flagRefs   = flag.String("refs", "1,2,3,4,6,8,12,16", "comma-separated refs values")
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, tok := range splitComma(s) {
+		var v int
+		if _, err := fmt.Sscanf(tok, "%d", &v); err != nil {
+			return nil, fmt.Errorf("bad integer %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func row(p *core.Point) []string {
+	r := p.Report
+	return []string{
+		p.Video, fmt.Sprint(p.CRF), fmt.Sprint(p.Refs), string(p.Preset),
+		fmt.Sprintf("%.6f", r.Seconds),
+		fmt.Sprintf("%.1f", p.Stats.BitrateKbps()),
+		fmt.Sprintf("%.2f", p.Stats.AveragePSNR),
+		fmt.Sprintf("%.2f", r.Topdown.Retiring),
+		fmt.Sprintf("%.2f", r.Topdown.FrontEnd),
+		fmt.Sprintf("%.2f", r.Topdown.BadSpec),
+		fmt.Sprintf("%.2f", r.Topdown.BackEnd),
+		fmt.Sprintf("%.2f", r.Topdown.MemBound),
+		fmt.Sprintf("%.2f", r.Topdown.CoreBound),
+		fmt.Sprintf("%.3f", r.BranchMPKI),
+		fmt.Sprintf("%.3f", r.L1DMPKI),
+		fmt.Sprintf("%.3f", r.L2MPKI),
+		fmt.Sprintf("%.3f", r.L3MPKI),
+		fmt.Sprintf("%.2f", r.StallAnyPKI),
+		fmt.Sprintf("%.2f", r.StallROBPKI),
+		fmt.Sprintf("%.2f", r.StallRSPKI),
+		fmt.Sprintf("%.2f", r.StallSBPKI),
+	}
+}
+
+var headers = []string{"video", "crf", "refs", "preset", "seconds", "kbps", "psnr",
+	"retiring", "fe", "bs", "be", "mem", "core",
+	"br_mpki", "l1d_mpki", "l2_mpki", "l3_mpki",
+	"stall_any", "stall_rob", "stall_rs", "stall_sb"}
+
+func run() error {
+	w := core.Workload{Video: *flagVideo, Frames: *flagFrames}
+	var pts []core.Point
+	switch *flagMode {
+	case "crf-refs":
+		crfs, err := parseInts(*flagCRFs)
+		if err != nil {
+			return err
+		}
+		refs, err := parseInts(*flagRefs)
+		if err != nil {
+			return err
+		}
+		pts = core.SweepCRFRefs(w, codec.Defaults(), uarch.Baseline(), crfs, refs)
+	case "presets":
+		pts = core.SweepPresets(w, uarch.Baseline(), codec.Presets, 23, 3)
+	case "videos":
+		pts = core.SweepVideos(vbench.Names(), *flagFrames, 0, codec.Defaults(), uarch.Baseline())
+	default:
+		return fmt.Errorf("unknown mode %q", *flagMode)
+	}
+	rows := make([][]string, 0, len(pts))
+	for i := range pts {
+		if pts[i].Err != nil {
+			return pts[i].Err
+		}
+		rows = append(rows, row(&pts[i]))
+	}
+	return report.CSV(os.Stdout, headers, rows)
+}

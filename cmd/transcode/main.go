@@ -1,0 +1,198 @@
+// Command transcode is the ffmpeg-like front end of the codec: it
+// synthesizes (or reads) a clip, encodes it with the requested parameters,
+// optionally decodes it back, and reports speed/quality/size.
+//
+//	transcode -video cricket -frames 24 -crf 23 -refs 3 -preset medium -o out.rvc
+//	transcode -i out.rvc -crf 35 -preset veryfast -o smaller.rvc   # true transcode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/codec"
+	"repro/internal/frame"
+	"repro/internal/vbench"
+)
+
+var (
+	flagVideo   = flag.String("video", "cricket", "vbench video to synthesize as input")
+	flagFrames  = flag.Int("frames", 24, "frames to synthesize")
+	flagScale   = flag.Int("scale", 4, "downscale factor for synthesis")
+	flagInput   = flag.String("i", "", "input bitstream to transcode (overrides -video)")
+	flagOutput  = flag.String("o", "", "output bitstream path (optional)")
+	flagCRF     = flag.Int("crf", 23, "constant rate factor (0-51)")
+	flagQP      = flag.Int("qp", 26, "quantizer for -rc cqp")
+	flagRefs    = flag.Int("refs", 0, "reference frames (0: preset default)")
+	flagPreset  = flag.String("preset", "medium", "x264 preset")
+	flagRC      = flag.String("rc", "crf", "rate control: crf|cqp|abr|2pass|cbr|vbv")
+	flagBitrate = flag.Int("bitrate", 1000, "target bitrate (kbps) for abr/2pass/cbr")
+	flagVerify  = flag.Bool("verify", false, "decode the output and report PSNR/SSIM vs input")
+	flagY4MIn   = flag.String("y4m-in", "", "read raw input frames from a y4m file")
+	flagY4MOut  = flag.String("y4m-out", "", "write decoded output frames to a y4m file")
+	flagAnalyze = flag.Bool("analyze", false, "with -i: print per-frame coding structure and exit")
+	flagDCT8    = flag.Bool("8x8dct", false, "code luma residuals with the 8x8 transform")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "transcode:", err)
+		os.Exit(1)
+	}
+}
+
+func buildOptions() (codec.Options, error) {
+	opt := codec.Options{CRF: *flagCRF, QP: *flagQP, KeyintMax: 250}
+	if err := codec.ApplyPreset(&opt, codec.Preset(*flagPreset)); err != nil {
+		return opt, err
+	}
+	if *flagRefs > 0 {
+		opt.Refs = *flagRefs
+	}
+	opt.DCT8x8 = *flagDCT8
+	switch *flagRC {
+	case "crf":
+		opt.RC = codec.RCCRF
+	case "cqp":
+		opt.RC = codec.RCCQP
+	case "abr":
+		opt.RC = codec.RCABR
+		opt.BitrateKbps = *flagBitrate
+	case "2pass":
+		opt.RC = codec.RCABR2
+		opt.BitrateKbps = *flagBitrate
+	case "cbr":
+		opt.RC = codec.RCCBR
+		opt.BitrateKbps = *flagBitrate
+	case "vbv":
+		opt.RC = codec.RCVBV
+		opt.VBVMaxKbps = *flagBitrate
+		opt.VBVBufKbits = *flagBitrate * 2
+	default:
+		return opt, fmt.Errorf("unknown rate control %q", *flagRC)
+	}
+	return opt, nil
+}
+
+func run() error {
+	opt, err := buildOptions()
+	if err != nil {
+		return err
+	}
+	if *flagAnalyze {
+		if *flagInput == "" {
+			return fmt.Errorf("-analyze requires -i")
+		}
+		return analyze(*flagInput)
+	}
+
+	var input []*frame.Frame
+	fps := 30
+	if *flagY4MIn != "" {
+		f, err := os.Open(*flagY4MIn)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		input, fps, err = frame.ReadY4M(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("input: %s (y4m) %dx%d @%d fps, %d frames\n",
+			*flagY4MIn, input[0].Width, input[0].Height, fps, len(input))
+	} else if *flagInput != "" {
+		data, err := os.ReadFile(*flagInput)
+		if err != nil {
+			return err
+		}
+		dec := codec.NewDecoder(codec.DecoderOptions{}, nil)
+		frames, info, err := dec.Decode(data)
+		if err != nil {
+			return err
+		}
+		input, fps = frames, info.FPS
+		fmt.Printf("input: %s %dx%d @%d fps, %d frames\n",
+			*flagInput, info.Width, info.Height, info.FPS, info.Frames)
+	} else {
+		info, err := vbench.ByName(*flagVideo)
+		if err != nil {
+			return err
+		}
+		src := vbench.NewSource(info, vbench.SourceOptions{Scale: *flagScale})
+		fps = info.FPS
+		for i := 0; i < *flagFrames; i++ {
+			input = append(input, src.Frame(i))
+		}
+		fmt.Printf("input: synthetic %s %dx%d @%d fps, %d frames (entropy %.1f)\n",
+			info.ShortName, src.W, src.H, fps, len(input), info.Entropy)
+	}
+
+	enc, err := codec.NewEncoder(input[0].Width, input[0].Height, fps, opt, nil)
+	if err != nil {
+		return err
+	}
+	stream, stats, err := enc.EncodeAll(input)
+	if err != nil {
+		return err
+	}
+	i, p, b := stats.CountTypes()
+	fmt.Printf("encoded: %d bytes, %.0f kbps, PSNR %.2f dB, frames I/P/B = %d/%d/%d\n",
+		len(stream), stats.BitrateKbps(), stats.AveragePSNR, i, p, b)
+
+	if *flagOutput != "" {
+		if err := os.WriteFile(*flagOutput, stream, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *flagOutput)
+	}
+	if *flagVerify || *flagY4MOut != "" {
+		dec := codec.NewDecoder(codec.DecoderOptions{}, nil)
+		out, _, err := dec.Decode(stream)
+		if err != nil {
+			return fmt.Errorf("verify decode: %w", err)
+		}
+		if *flagVerify {
+			var psnr, ssim float64
+			for k := range out {
+				psnr += frame.PSNR(input[k], out[k])
+				ssim += frame.SSIM(input[k], out[k])
+			}
+			n := float64(len(out))
+			fmt.Printf("verified: decoded %d frames, mean PSNR %.2f dB, mean SSIM %.4f\n",
+				len(out), psnr/n, ssim/n)
+		}
+		if *flagY4MOut != "" {
+			f, err := os.Create(*flagY4MOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := frame.WriteY4M(f, out, fps); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *flagY4MOut)
+		}
+	}
+	return nil
+}
+
+// analyze prints the coding structure of a bitstream: one row per coded
+// frame in coding order.
+func analyze(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	_, info, err := codec.NewDecoder(codec.DecoderOptions{}, nil).Decode(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%dx%d @%d fps, %d frames\n", info.Width, info.Height, info.FPS, info.Frames)
+	fmt.Printf("%5s  %4s  %3s  %10s\n", "coded", "pts", "typ", "bits")
+	for i, m := range info.Coded {
+		fmt.Printf("%5d  %4d  %3s  %10d  qp=%d\n", i, m.PTS, m.Type, m.Bits, m.QP)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+// abrladder builds a per-title adaptive-bitrate ladder, the workload that
+// motivates the paper's introduction: a streaming service transcodes every
+// upload into several renditions, picking encoder parameters per rung.
+//
+// For each rung's bitrate cap, the example searches the CRF scale for the
+// highest quality that fits, using the real encoder — the same convex
+// quality/size tradeoff Figure 2 describes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	transcoding "repro"
+)
+
+// rung is one ladder entry: a bitrate ceiling for a class of clients.
+type rung struct {
+	name    string
+	maxKbps float64
+}
+
+var ladder = []rung{
+	{"high", 2000},
+	{"medium", 900},
+	{"low", 400},
+	{"minimal", 150},
+}
+
+func main() {
+	const video = "house"
+	frames, err := transcoding.Synthesize(video, 24, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, _ := transcoding.VideoByName(video)
+	fmt.Printf("building ladder for %s (%d frames, entropy %.1f)\n\n",
+		video, len(frames), info.Entropy)
+
+	fmt.Printf("%-8s  %9s  %4s  %9s  %8s\n", "rung", "cap(kbps)", "crf", "got(kbps)", "PSNR(dB)")
+	for _, r := range ladder {
+		crf, stats := fitCRF(frames, info.FPS, r.maxKbps)
+		if stats == nil {
+			fmt.Printf("%-8s  %9.0f  cannot fit under cap\n", r.name, r.maxKbps)
+			continue
+		}
+		fmt.Printf("%-8s  %9.0f  %4d  %9.0f  %8.2f\n",
+			r.name, r.maxKbps, crf, stats.BitrateKbps(), stats.AveragePSNR)
+	}
+}
+
+// fitCRF binary-searches the CRF scale for the smallest CRF (best quality)
+// whose bitrate fits under the cap. Bitrate decreases monotonically in CRF,
+// which makes the search sound.
+func fitCRF(frames []*transcoding.Frame, fps int, maxKbps float64) (int, *transcoding.Stats) {
+	lo, hi := 1, 51
+	bestCRF := -1
+	var bestStats *transcoding.Stats
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		opt := transcoding.DefaultOptions()
+		if err := transcoding.ApplyPreset(&opt, "fast"); err != nil {
+			log.Fatal(err)
+		}
+		opt.CRF = mid
+		_, stats, err := transcoding.Encode(frames, fps, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if stats.BitrateKbps() <= maxKbps {
+			bestCRF, bestStats = mid, stats
+			hi = mid - 1 // try better quality
+		} else {
+			lo = mid + 1
+		}
+	}
+	if bestCRF < 0 {
+		return 0, nil
+	}
+	return bestCRF, bestStats
+}

@@ -1,0 +1,55 @@
+// datacenter demonstrates the paper's scheduling result on a small fleet:
+// transcoding tasks are first characterized on the baseline server, then
+// placed one-to-one onto heterogeneous servers (the Table IV
+// configurations) by the smart scheduler, and the outcome is compared with
+// random and oracle placement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	transcoding "repro"
+)
+
+func main() {
+	tasks := transcoding.SchedulerTasks() // Table III
+	configs := transcoding.Configs()      // Table IV
+
+	fmt.Println("characterizing", len(tasks), "tasks on", len(configs), "server types (simulated)...")
+	matrix, err := transcoding.MeasureScheduling(tasks, configs,
+		transcoding.Workload{Frames: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	outcome, err := transcoding.EvaluateSchedulers(matrix)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-6s %-13s %-22s %-9s %-9s\n", "task", "video", "baseline bottleneck", "smart", "best")
+	for ti, t := range tasks {
+		td := matrix.Reports[ti][0].Topdown
+		bottleneck := "memory"
+		switch {
+		case td.BadSpec > td.MemBound && td.BadSpec > td.FrontEnd && td.BadSpec > td.CoreBound:
+			bottleneck = "bad speculation"
+		case td.FrontEnd > td.MemBound && td.FrontEnd > td.CoreBound:
+			bottleneck = "front end"
+		case td.CoreBound > td.MemBound:
+			bottleneck = "core resources"
+		}
+		fmt.Printf("%-6s %-13s %-22s %-9s %-9s\n", t.Name, t.Video, bottleneck,
+			configs[outcome.SmartAssign[ti]].Name, configs[outcome.BestAssign[ti]].Name)
+	}
+
+	fmt.Printf("\nspeedup over all-baseline fleet:\n")
+	fmt.Printf("  random placement: %+6.2f %%\n",
+		transcoding.SchedulerSpeedup(outcome.BaselineSeconds, outcome.RandomSeconds))
+	fmt.Printf("  smart placement:  %+6.2f %%\n",
+		transcoding.SchedulerSpeedup(outcome.BaselineSeconds, outcome.SmartSeconds))
+	fmt.Printf("  oracle placement: %+6.2f %%\n",
+		transcoding.SchedulerSpeedup(outcome.BaselineSeconds, outcome.BestSeconds))
+	fmt.Printf("smart matches the oracle on %d of %d tasks\n",
+		outcome.SmartMatchesBest, len(tasks))
+}

@@ -1,0 +1,62 @@
+// metrics compares objective quality metrics (PSNR, SSIM) against bitrate
+// across presets and CRF values — the measurement methodology behind the
+// paper's quality axis, and a template for building rate-distortion curves
+// with this library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	transcoding "repro"
+)
+
+func main() {
+	const video = "landscape"
+	frames, err := transcoding.Synthesize(video, 16, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, _ := transcoding.VideoByName(video)
+	fmt.Printf("rate-distortion sweep on %s (entropy %.1f, %d frames)\n\n",
+		video, info.Entropy, len(frames))
+
+	fmt.Printf("%-10s %4s  %9s  %8s  %7s  %8s\n",
+		"preset", "crf", "kbps", "PSNR(dB)", "SSIM", "SSIM(dB)")
+	for _, preset := range []transcoding.Preset{"veryfast", "medium", "slower"} {
+		for _, crf := range []int{18, 26, 34, 42} {
+			opt := transcoding.DefaultOptions()
+			if err := transcoding.ApplyPreset(&opt, preset); err != nil {
+				log.Fatal(err)
+			}
+			opt.CRF = crf
+			stream, stats, err := transcoding.Encode(frames, info.FPS, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			decoded, _, err := transcoding.Decode(stream)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var ssim float64
+			for k := range decoded {
+				ssim += transcoding.SSIM(frames[k], decoded[k])
+			}
+			ssim /= float64(len(decoded))
+			fmt.Printf("%-10s %4d  %9.0f  %8.2f  %7.4f  %8.2f\n",
+				preset, crf, stats.BitrateKbps(), stats.AveragePSNR, ssim, ssimDB(ssim))
+		}
+		fmt.Println()
+	}
+	fmt.Println("higher presets buy bitrate at equal quality; higher crf buys")
+	fmt.Println("bitrate at lower quality — the Figure 2 triangle in numbers.")
+}
+
+// ssimDB is the conventional decibel form of SSIM.
+func ssimDB(s float64) float64 {
+	if s >= 1 {
+		return math.Inf(1)
+	}
+	return -10 * math.Log10(1-s)
+}

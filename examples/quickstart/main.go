@@ -1,0 +1,59 @@
+// Quickstart: synthesize a vbench clip, encode it, decode it back, and
+// check quality — the whole public API in under forty lines of logic.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	transcoding "repro"
+)
+
+func main() {
+	// 1. Synthesize 24 frames of the "cricket" catalog entry at quarter
+	//    resolution (deterministic: same call, same pixels).
+	frames, err := transcoding.Synthesize("cricket", 24, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, _ := transcoding.VideoByName("cricket")
+	fmt.Printf("synthesized %d frames of %s (%dx%d, entropy %.1f)\n",
+		len(frames), info.ShortName, frames[0].Width, frames[0].Height, info.Entropy)
+
+	// 2. Encode with the paper's defaults: medium preset, CRF 23.
+	opt := transcoding.DefaultOptions()
+	stream, stats, err := transcoding.Encode(frames, info.FPS, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	i, p, b := stats.CountTypes()
+	fmt.Printf("encoded: %d bytes (%.0f kbps), PSNR %.2f dB, I/P/B = %d/%d/%d\n",
+		len(stream), stats.BitrateKbps(), stats.AveragePSNR, i, p, b)
+
+	// 3. Decode and verify round-trip quality.
+	decoded, _, err := transcoding.Decode(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var psnr float64
+	for k := range decoded {
+		psnr += transcoding.PSNR(frames[k], decoded[k])
+	}
+	fmt.Printf("decoded %d frames, mean PSNR vs source %.2f dB\n",
+		len(decoded), psnr/float64(len(decoded)))
+
+	// 4. Transcode the stream to a smaller rendition, as a streaming
+	//    service would for a lower-bandwidth client.
+	small := transcoding.DefaultOptions()
+	small.CRF = 33
+	if err := transcoding.ApplyPreset(&small, "veryfast"); err != nil {
+		log.Fatal(err)
+	}
+	small.CRF = 33
+	stream2, stats2, err := transcoding.Transcode(stream, small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transcoded to veryfast/crf33: %d bytes (%.0f kbps), PSNR %.2f dB\n",
+		len(stream2), stats2.BitrateKbps(), stats2.AveragePSNR)
+}

@@ -1,0 +1,66 @@
+// tuning explores the transcoding speed / quality / file-size triangle of
+// Figure 2: how crf, refs and the preset trade the three metrics against
+// each other, measured with the simulator so "speed" is microarchitectural
+// time rather than host time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	transcoding "repro"
+)
+
+func main() {
+	const video = "game2"
+	w := transcoding.Workload{Video: video, Frames: 12}
+	cfg := transcoding.BaselineConfig()
+
+	fmt.Printf("speed/quality/size triangle on %q (simulated on %s)\n\n", video, cfg.Name)
+
+	// Axis 1: crf. Raising it actively lowers quality, passively shrinks
+	// files and speeds up transcoding.
+	fmt.Println("varying crf (refs=3, medium):")
+	fmt.Printf("  %4s  %9s  %9s  %8s\n", "crf", "time(ms)", "kbps", "PSNR")
+	for _, crf := range []int{14, 20, 26, 32, 38, 44} {
+		opt := transcoding.DefaultOptions()
+		opt.CRF = crf
+		rep, stats := profile(w, opt, cfg)
+		fmt.Printf("  %4d  %9.2f  %9.0f  %8.2f\n",
+			crf, rep.Seconds*1000, stats.BitrateKbps(), stats.AveragePSNR)
+	}
+
+	// Axis 2: refs. Raising it actively shrinks files, passively slows
+	// transcoding; quality is unchanged (CRF holds it).
+	fmt.Println("\nvarying refs (crf=23, medium):")
+	fmt.Printf("  %4s  %9s  %9s  %8s\n", "refs", "time(ms)", "kbps", "PSNR")
+	for _, refs := range []int{1, 2, 4, 8, 16} {
+		opt := transcoding.DefaultOptions()
+		opt.Refs = refs
+		rep, stats := profile(w, opt, cfg)
+		fmt.Printf("  %4d  %9.2f  %9.0f  %8.2f\n",
+			refs, rep.Seconds*1000, stats.BitrateKbps(), stats.AveragePSNR)
+	}
+
+	// Axis 3: preset. The bundled deal across all options.
+	fmt.Println("\nvarying preset (crf=23, refs=3):")
+	fmt.Printf("  %-10s  %9s  %9s  %8s\n", "preset", "time(ms)", "kbps", "PSNR")
+	for _, p := range []transcoding.Preset{"ultrafast", "veryfast", "medium", "slower"} {
+		opt := transcoding.DefaultOptions()
+		if err := transcoding.ApplyPreset(&opt, p); err != nil {
+			log.Fatal(err)
+		}
+		opt.Refs = 3
+		rep, stats := profile(w, opt, cfg)
+		fmt.Printf("  %-10s  %9.2f  %9.0f  %8.2f\n",
+			p, rep.Seconds*1000, stats.BitrateKbps(), stats.AveragePSNR)
+	}
+}
+
+func profile(w transcoding.Workload, opt transcoding.Options, cfg transcoding.Config) (*transcoding.Report, *transcoding.Stats) {
+	rep, stats, err := transcoding.Profile(transcoding.Job{Workload: w, Options: opt, Config: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep, stats
+}

@@ -1,0 +1,168 @@
+// Package bits implements the bit-level bitstream layer of the codec: an
+// MSB-first bit writer and reader with unsigned and signed exponential-
+// Golomb codes, the variable-length entropy primitives used by the
+// coefficient coder.
+package bits
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// Writer accumulates a bitstream MSB-first.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // pending bits, left-aligned within nbits
+	ncur uint   // number of pending bits (< 8 after flushes)
+	n    int64  // total bits written
+}
+
+// NewWriter returns an empty bitstream writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// BitsWritten returns the total number of bits written so far.
+func (w *Writer) BitsWritten() int64 { return w.n }
+
+// WriteBits writes the low `n` bits of v, MSB first. n must be <= 32.
+func (w *Writer) WriteBits(v uint32, n uint) {
+	if n == 0 {
+		return
+	}
+	w.n += int64(n)
+	w.cur = w.cur<<n | uint64(v&((1<<n)-1))
+	w.ncur += n
+	for w.ncur >= 8 {
+		w.ncur -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.ncur))
+	}
+}
+
+// WriteBit writes a single bit.
+func (w *Writer) WriteBit(b bool) {
+	if b {
+		w.WriteBits(1, 1)
+	} else {
+		w.WriteBits(0, 1)
+	}
+}
+
+// WriteUE writes v as an unsigned exponential-Golomb code.
+func (w *Writer) WriteUE(v uint32) {
+	x := v + 1
+	n := uint(bits.Len32(x))
+	w.WriteBits(0, n-1)
+	w.WriteBits(x, n)
+}
+
+// WriteSE writes v as a signed exponential-Golomb code using the H.264
+// mapping (positive values first).
+func (w *Writer) WriteSE(v int32) {
+	w.WriteUE(seToUE(v))
+}
+
+// seToUE maps a signed value onto the unsigned exp-Golomb alphabet.
+func seToUE(v int32) uint32 {
+	if v > 0 {
+		return uint32(v)*2 - 1
+	}
+	return uint32(-v) * 2
+}
+
+// UEBits returns the length in bits of the unsigned exp-Golomb code for v.
+func UEBits(v uint32) int {
+	return 2*bits.Len32(v+1) - 1
+}
+
+// SEBits returns the length in bits of the signed exp-Golomb code for v.
+func SEBits(v int32) int { return UEBits(seToUE(v)) }
+
+// AlignByte pads the stream with zero bits to the next byte boundary.
+func (w *Writer) AlignByte() {
+	if w.ncur != 0 {
+		pad := 8 - w.ncur
+		w.WriteBits(0, pad)
+	}
+}
+
+// Bytes flushes any partial byte (zero-padded) and returns the stream. The
+// writer remains usable; subsequent writes start byte-aligned.
+func (w *Writer) Bytes() []byte {
+	w.AlignByte()
+	return w.buf
+}
+
+// ErrUnderflow is returned when a Reader runs out of bits.
+var ErrUnderflow = errors.New("bits: read past end of stream")
+
+// Reader consumes a bitstream produced by Writer.
+type Reader struct {
+	buf []byte
+	pos int64 // bit position
+}
+
+// NewReader returns a reader over buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// BitsRead returns the number of bits consumed so far.
+func (r *Reader) BitsRead() int64 { return r.pos }
+
+// ReadBits reads n bits MSB-first. n must be <= 32.
+func (r *Reader) ReadBits(n uint) (uint32, error) {
+	if r.pos+int64(n) > int64(len(r.buf))*8 {
+		return 0, ErrUnderflow
+	}
+	var v uint32
+	for i := uint(0); i < n; i++ {
+		byteIdx := r.pos >> 3
+		bitIdx := uint(7 - r.pos&7)
+		v = v<<1 | uint32(r.buf[byteIdx]>>bitIdx)&1
+		r.pos++
+	}
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (bool, error) {
+	v, err := r.ReadBits(1)
+	return v == 1, err
+}
+
+// ReadUE reads an unsigned exponential-Golomb code.
+func (r *Reader) ReadUE() (uint32, error) {
+	zeros := uint(0)
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b {
+			break
+		}
+		zeros++
+		if zeros > 31 {
+			return 0, errors.New("bits: malformed exp-Golomb code")
+		}
+	}
+	rest, err := r.ReadBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	return 1<<zeros | rest - 1, nil
+}
+
+// ReadSE reads a signed exponential-Golomb code.
+func (r *Reader) ReadSE() (int32, error) {
+	u, err := r.ReadUE()
+	if err != nil {
+		return 0, err
+	}
+	if u%2 == 1 {
+		return int32(u/2 + 1), nil
+	}
+	return -int32(u / 2), nil
+}
+
+// AlignByte skips to the next byte boundary.
+func (r *Reader) AlignByte() {
+	r.pos = (r.pos + 7) &^ 7
+}

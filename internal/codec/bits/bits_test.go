@@ -1,0 +1,167 @@
+package bits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBitsRoundtrip(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xABCD, 16)
+	w.WriteBit(true)
+	w.WriteBits(0, 5)
+	data := w.Bytes()
+	r := NewReader(data)
+	if v, _ := r.ReadBits(3); v != 0b101 {
+		t.Fatalf("3 bits: %b", v)
+	}
+	if v, _ := r.ReadBits(16); v != 0xABCD {
+		t.Fatalf("16 bits: %x", v)
+	}
+	if b, _ := r.ReadBit(); !b {
+		t.Fatal("bit")
+	}
+	if v, _ := r.ReadBits(5); v != 0 {
+		t.Fatalf("5 bits: %d", v)
+	}
+}
+
+func TestUERoundtripQuick(t *testing.T) {
+	f := func(vals []uint32) bool {
+		w := NewWriter()
+		for _, v := range vals {
+			w.WriteUE(v % (1 << 24))
+		}
+		r := NewReader(w.Bytes())
+		for _, v := range vals {
+			got, err := r.ReadUE()
+			if err != nil || got != v%(1<<24) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSERoundtripQuick(t *testing.T) {
+	f := func(vals []int32) bool {
+		w := NewWriter()
+		for _, v := range vals {
+			w.WriteSE(v % (1 << 20))
+		}
+		r := NewReader(w.Bytes())
+		for _, v := range vals {
+			got, err := r.ReadSE()
+			if err != nil || got != v%(1<<20) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUEBitsMatchesWriter(t *testing.T) {
+	for _, v := range []uint32{0, 1, 2, 3, 7, 8, 100, 1 << 15, 1<<20 - 1} {
+		w := NewWriter()
+		w.WriteUE(v)
+		if int(w.BitsWritten()) != UEBits(v) {
+			t.Errorf("UEBits(%d) = %d, writer used %d", v, UEBits(v), w.BitsWritten())
+		}
+	}
+}
+
+func TestSEBitsMatchesWriter(t *testing.T) {
+	for _, v := range []int32{0, 1, -1, 2, -2, 17, -300, 1 << 15} {
+		w := NewWriter()
+		w.WriteSE(v)
+		if int(w.BitsWritten()) != SEBits(v) {
+			t.Errorf("SEBits(%d) = %d, writer used %d", v, SEBits(v), w.BitsWritten())
+		}
+	}
+}
+
+func TestKnownExpGolombCodes(t *testing.T) {
+	// ue(0) = "1", ue(1) = "010", ue(2) = "011", ue(3) = "00100".
+	w := NewWriter()
+	w.WriteUE(0)
+	w.WriteUE(1)
+	w.WriteUE(2)
+	w.WriteUE(3)
+	// Bit string: 1 010 011 00100 -> 1010 0110 0100 0000
+	data := w.Bytes()
+	if len(data) != 2 || data[0] != 0xA6 || data[1] != 0x40 {
+		t.Fatalf("exp-Golomb encoding wrong: % x", data)
+	}
+}
+
+func TestAlignByte(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(1, 3)
+	w.AlignByte()
+	if w.BitsWritten() != 8 {
+		t.Fatalf("bits after align: %d", w.BitsWritten())
+	}
+	w.WriteBits(0xFF, 8)
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	r.AlignByte()
+	if v, _ := r.ReadBits(8); v != 0xFF {
+		t.Fatalf("post-align byte %x", v)
+	}
+}
+
+func TestReaderUnderflow(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal("first byte should read")
+	}
+	if _, err := r.ReadBits(1); err != ErrUnderflow {
+		t.Fatalf("want underflow, got %v", err)
+	}
+	// ReadUE on a stream of zeros reports malformed/underflow, not a hang.
+	r2 := NewReader([]byte{0, 0, 0, 0})
+	if _, err := r2.ReadUE(); err == nil {
+		t.Fatal("all-zero UE should error")
+	}
+}
+
+func TestWriterReusableAfterBytes(t *testing.T) {
+	w := NewWriter()
+	w.WriteUE(5)
+	first := len(w.Bytes())
+	w.WriteUE(7)
+	if len(w.Bytes()) <= first {
+		t.Fatal("writer should keep appending after Bytes()")
+	}
+}
+
+func BenchmarkWriteUE(b *testing.B) {
+	w := NewWriter()
+	for i := 0; i < b.N; i++ {
+		w.WriteUE(uint32(i) & 0xFFF)
+	}
+}
+
+func BenchmarkReadUE(b *testing.B) {
+	w := NewWriter()
+	for i := 0; i < 4096; i++ {
+		w.WriteUE(uint32(i) & 0xFF)
+	}
+	data := w.Bytes()
+	b.ResetTimer()
+	r := NewReader(data)
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ReadUE(); err != nil {
+			r = NewReader(data)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package codec
+
+import (
+	"repro/internal/codec/transform"
+	"repro/internal/frame"
+	"repro/internal/trace"
+)
+
+// Deblocking thresholds derived from the quantizer: alpha bounds the edge
+// step that still counts as a blocking artifact (larger steps are assumed
+// to be real edges), beta bounds the inner-pixel gradients. Both grow with
+// QP like the quantization step itself.
+func deblockAlphaBeta(qp, aOff, bOff int) (alpha, beta, tc int32) {
+	qs := transform.QStep(clampInt(qp+2*aOff, 0, transform.MaxQP))
+	alpha = qs * 2
+	qs = transform.QStep(clampInt(qp+2*bOff, 0, transform.MaxQP))
+	beta = qs
+	tc = beta/4 + 1
+	return
+}
+
+// deblockState is the per-frame context shared by encoder and decoder: the
+// per-macroblock QP and kind maps that determine boundary strength.
+type deblockState struct {
+	mbw, mbh int
+	qp       []int
+	kind     []mbKind
+}
+
+func newDeblockState(mbw, mbh int) *deblockState {
+	return &deblockState{mbw: mbw, mbh: mbh, qp: make([]int, mbw*mbh), kind: make([]mbKind, mbw*mbh)}
+}
+
+func (d *deblockState) set(mx, my, qp int, kind mbKind) {
+	d.qp[my*d.mbw+mx] = qp
+	d.kind[my*d.mbw+mx] = kind
+}
+
+// deblockMBRow filters the macroblock row `my` of the reconstruction (luma
+// and both chroma planes): each macroblock's left vertical edge, top
+// horizontal edge and internal transform-block edges, in raster order. This
+// exact order is shared by the fused (per-row, lagged) and unfused
+// (whole-frame) schedules, so both produce identical pixels; only the
+// memory-access timing differs, which is the Graphite locality effect.
+func deblockMBRow(t *tracer, fn trace.FuncID, rec *frame.Frame, st *deblockState, my, aOff, bOff int) {
+	for mx := 0; mx < st.mbw; mx++ {
+		t.nextMB()
+		idx := my*st.mbw + mx
+		qp := st.qp[idx]
+		strong := st.kind[idx] == kindIntra
+		// Vertical edge with the left neighbour.
+		if mx > 0 {
+			lqp := (qp + st.qp[idx-1] + 1) / 2
+			s := strong || st.kind[idx-1] == kindIntra
+			filterEdge(t, fn, &rec.Y, mx*16, my*16, 16, false, lqp, aOff, bOff, s)
+			filterEdge(t, fn, &rec.Cb, mx*8, my*8, 8, false, chromaQP(lqp), aOff, bOff, s)
+			filterEdge(t, fn, &rec.Cr, mx*8, my*8, 8, false, chromaQP(lqp), aOff, bOff, s)
+		}
+		// Horizontal edge with the top neighbour.
+		if my > 0 {
+			tqp := (qp + st.qp[idx-st.mbw] + 1) / 2
+			s := strong || st.kind[idx-st.mbw] == kindIntra
+			filterEdge(t, fn, &rec.Y, mx*16, my*16, 16, true, tqp, aOff, bOff, s)
+			filterEdge(t, fn, &rec.Cb, mx*8, my*8, 8, true, chromaQP(tqp), aOff, bOff, s)
+			filterEdge(t, fn, &rec.Cr, mx*8, my*8, 8, true, chromaQP(tqp), aOff, bOff, s)
+		}
+		// Internal 8x8 luma edges (transform-block boundaries), as in H.264.
+		filterEdge(t, fn, &rec.Y, mx*16+8, my*16, 16, false, qp, aOff, bOff, false)
+		filterEdge(t, fn, &rec.Y, mx*16, my*16+8, 16, true, qp, aOff, bOff, false)
+	}
+}
+
+// filterEdge smooths one `length`-pixel block edge. For a vertical edge
+// the boundary is the column x (pixels x-1 | x); for a horizontal edge the
+// row y. Strong (intra) edges use a doubled clip range.
+func filterEdge(t *tracer, fn trace.FuncID, rec *frame.Plane, x, y, length int, horizontal bool, qp, aOff, bOff int, strong bool) {
+	alpha, beta, tc := deblockAlphaBeta(qp, aOff, bOff)
+	if strong {
+		tc *= 2
+	}
+	t.call(fn)
+	for k := 0; k < length; k++ {
+		var p1, p0, q0, q1 int32
+		if horizontal {
+			p1 = int32(rec.At(x+k, y-2))
+			p0 = int32(rec.At(x+k, y-1))
+			q0 = int32(rec.At(x+k, y))
+			q1 = int32(rec.At(x+k, y+1))
+		} else {
+			p1 = int32(rec.At(x-2, y+k))
+			p0 = int32(rec.At(x-1, y+k))
+			q0 = int32(rec.At(x, y+k))
+			q1 = int32(rec.At(x+1, y+k))
+		}
+		filter := abs32(p0-q0) < alpha && abs32(p1-p0) < beta && abs32(q1-q0) < beta
+		if k%4 == 0 {
+			t.branch(fn, siteDeblockBS, filter)
+		}
+		if !filter {
+			continue
+		}
+		delta := clip32(((q0-p0)*4+(p1-q1)+4)>>3, -tc, tc)
+		np0 := clampU8(p0 + delta)
+		nq0 := clampU8(q0 - delta)
+		if horizontal {
+			rec.Set(x+k, y-1, np0)
+			rec.Set(x+k, y, nq0)
+		} else {
+			rec.Set(x-1, y+k, np0)
+			rec.Set(x, y+k, nq0)
+		}
+	}
+	// Memory traffic: the filter examines a 3+3 pixel band around the edge
+	// (the H.264 strong filter reaches p2/q2) and rewrites the inner pair.
+	if horizontal {
+		t.load2D(fn, rec, x, y-3, length, 6)
+		t.store2D(fn, rec, x, y-1, length, 2)
+	} else {
+		t.load2D(fn, rec, x-3, y, 6, length)
+		t.store2D(fn, rec, x-1, y, 2, length)
+	}
+	t.ops(fn, 24+2*length) // branchy but partially vectorized
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func clip32(v, lo, hi int32) int32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,141 @@
+package codec
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/trace"
+)
+
+// blockEdgePlane builds a plane with a sharp vertical step at x=16 (a
+// classic blocking artifact).
+func blockEdgePlane() frame.Plane {
+	p := frame.NewPlane(64, 64)
+	for y := 0; y < 64; y++ {
+		row := p.Row(y)
+		for x := range row {
+			if x < 16 {
+				row[x] = 90
+			} else {
+				row[x] = 110
+			}
+		}
+	}
+	p.ExtendEdges()
+	return p
+}
+
+func edgeStep(p *frame.Plane) int {
+	d := int(p.At(16, 8)) - int(p.At(15, 8))
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+func TestFilterEdgeSmoothsBlockingArtifact(t *testing.T) {
+	p := blockEdgePlane()
+	before := edgeStep(&p)
+	tr := newTracer(nil, 0)
+	filterEdge(&tr, trace.FnDeblock, &p, 16, 0, 16, false, 32, 0, 0, false)
+	after := edgeStep(&p)
+	if after >= before {
+		t.Fatalf("edge step %d -> %d; filter did nothing", before, after)
+	}
+}
+
+func TestFilterEdgePreservesRealEdges(t *testing.T) {
+	// A step far larger than alpha is detail, not blocking: untouched.
+	p := frame.NewPlane(64, 64)
+	for y := 0; y < 64; y++ {
+		row := p.Row(y)
+		for x := range row {
+			if x < 16 {
+				row[x] = 20
+			} else {
+				row[x] = 235
+			}
+		}
+	}
+	p.ExtendEdges()
+	before := edgeStep(&p)
+	tr := newTracer(nil, 0)
+	filterEdge(&tr, trace.FnDeblock, &p, 16, 0, 16, false, 20, 0, 0, false)
+	if edgeStep(&p) != before {
+		t.Fatal("strong real edge was smoothed away")
+	}
+}
+
+func TestDeblockStrengthGrowsWithQP(t *testing.T) {
+	aLo, bLo, _ := deblockAlphaBeta(10, 0, 0)
+	aHi, bHi, _ := deblockAlphaBeta(40, 0, 0)
+	if aHi <= aLo || bHi <= bLo {
+		t.Fatalf("thresholds must grow with QP: a %d->%d b %d->%d", aLo, aHi, bLo, bHi)
+	}
+	// Offsets shift the thresholds.
+	aOff, _, _ := deblockAlphaBeta(26, 2, 0)
+	aBase, _, _ := deblockAlphaBeta(26, 0, 0)
+	if aOff <= aBase {
+		t.Fatal("alpha offset ignored")
+	}
+}
+
+func TestDeblockHorizontalEdge(t *testing.T) {
+	p := frame.NewPlane(64, 64)
+	for y := 0; y < 64; y++ {
+		row := p.Row(y)
+		v := uint8(90)
+		if y >= 16 {
+			v = 108
+		}
+		for x := range row {
+			row[x] = v
+		}
+	}
+	p.ExtendEdges()
+	before := int(p.At(8, 16)) - int(p.At(8, 15))
+	tr := newTracer(nil, 0)
+	filterEdge(&tr, trace.FnDeblock, &p, 0, 16, 16, true, 32, 0, 0, false)
+	after := int(p.At(8, 16)) - int(p.At(8, 15))
+	if abs32(int32(after)) >= abs32(int32(before)) {
+		t.Fatalf("horizontal edge %d -> %d", before, after)
+	}
+}
+
+func TestUltrafastDisablesDeblock(t *testing.T) {
+	o := Options{RC: RCCRF, CRF: 23, KeyintMax: 250}
+	if err := ApplyPreset(&o, PresetUltrafast); err != nil {
+		t.Fatal(err)
+	}
+	if o.Deblock {
+		t.Fatal("ultrafast must disable the loop filter")
+	}
+	if err := ApplyPreset(&o, PresetSuperfast); err != nil {
+		t.Fatal(err)
+	}
+	if !o.Deblock {
+		t.Fatal("superfast must enable the loop filter")
+	}
+}
+
+func TestDeblockImprovesQualityAtHighQP(t *testing.T) {
+	// At coarse quantization the loop filter should not hurt (and usually
+	// helps) reconstruction quality.
+	frames := makeClip(t, "funny", 6, 8)
+	opt := Defaults()
+	opt.CRF = 38
+	_, with := encodeClip(t, frames, opt)
+	opt.Deblock = false
+	_, without := encodeClip(t, frames, opt)
+	if with.AveragePSNR < without.AveragePSNR-0.3 {
+		t.Fatalf("deblocking hurt quality: %.2f vs %.2f dB", with.AveragePSNR, without.AveragePSNR)
+	}
+}
+
+func TestDeblockStateTracksMBs(t *testing.T) {
+	st := newDeblockState(4, 3)
+	st.set(2, 1, 30, kindIntra)
+	if st.qp[1*4+2] != 30 || st.kind[1*4+2] != kindIntra {
+		t.Fatal("deblock state not stored")
+	}
+}

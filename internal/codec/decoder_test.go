@@ -1,0 +1,139 @@
+package codec
+
+import (
+	"testing"
+)
+
+func TestDecoderRejectsGarbage(t *testing.T) {
+	dec := NewDecoder(DecoderOptions{}, nil)
+	for _, stream := range [][]byte{
+		nil,
+		{},
+		{0x00},
+		{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02},
+	} {
+		if _, _, err := dec.Decode(stream); err == nil {
+			t.Fatalf("garbage stream %v accepted", stream)
+		}
+	}
+}
+
+func TestDecoderRejectsTruncation(t *testing.T) {
+	frames := makeClip(t, "cricket", 6, 8)
+	stream, _ := encodeClip(t, frames, Defaults())
+	for _, cut := range []int{len(stream) / 4, len(stream) / 2, len(stream) - 3} {
+		dec := NewDecoder(DecoderOptions{}, nil)
+		if _, _, err := dec.Decode(stream[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecoderSurvivesCorruption(t *testing.T) {
+	// Flipping bytes must never panic: either a clean error or a decode of
+	// (wrong) pixels.
+	frames := makeClip(t, "cricket", 6, 8)
+	stream, _ := encodeClip(t, frames, Defaults())
+	for pos := 8; pos < len(stream); pos += 37 {
+		mutated := make([]byte, len(stream))
+		copy(mutated, stream)
+		mutated[pos] ^= 0xA5
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("decoder panicked on corruption at byte %d: %v", pos, r)
+				}
+			}()
+			dec := NewDecoder(DecoderOptions{}, nil)
+			_, _, _ = dec.Decode(mutated)
+		}()
+	}
+}
+
+func TestDecoderHeaderSanity(t *testing.T) {
+	// A header claiming absurd dimensions must be rejected before any
+	// allocation.
+	frames := makeClip(t, "cricket", 2, 8)
+	stream, _ := encodeClip(t, frames, Defaults())
+	// Rewrite the magic-adjacent mbw field with an enormous exp-Golomb
+	// value by zeroing the first header byte after the magic.
+	mutated := make([]byte, len(stream))
+	copy(mutated, stream)
+	mutated[4] = 0x00
+	mutated[5] = 0x00
+	dec := NewDecoder(DecoderOptions{}, nil)
+	if _, _, err := dec.Decode(mutated); err == nil {
+		t.Fatal("implausible header accepted")
+	}
+}
+
+func TestDecodeDisplayOrderWithBFrames(t *testing.T) {
+	frames := makeClip(t, "desktop", 12, 8)
+	opt := Defaults()
+	opt.BAdapt = 0 // force B usage
+	stream, stats := encodeClip(t, frames, opt)
+	if _, _, b := stats.CountTypes(); b == 0 {
+		t.Skip("content produced no B frames")
+	}
+	out, info, err := NewDecoder(DecoderOptions{}, nil).Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Frames != len(frames) {
+		t.Fatalf("header frames %d", info.Frames)
+	}
+	for i, f := range out {
+		if f.PTS != i {
+			t.Fatalf("display order broken: position %d has pts %d", i, f.PTS)
+		}
+	}
+}
+
+func TestDecoderInfoFields(t *testing.T) {
+	frames := makeClip(t, "cat", 4, 4)
+	stream, _ := encodeClip(t, frames, Defaults())
+	_, info, err := NewDecoder(DecoderOptions{}, nil).Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Width != frames[0].Width || info.Height != frames[0].Height {
+		t.Fatalf("info %dx%d vs %dx%d", info.Width, info.Height, frames[0].Width, frames[0].Height)
+	}
+	if info.FPS != 30 {
+		t.Fatalf("fps %d", info.FPS)
+	}
+}
+
+func TestDecoderCodedMetadata(t *testing.T) {
+	frames := makeClip(t, "desktop", 8, 8)
+	opt := Defaults()
+	opt.BAdapt = 0
+	stream, stats := encodeClip(t, frames, opt)
+	_, info, err := NewDecoder(DecoderOptions{}, nil).Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Coded) != len(frames) {
+		t.Fatalf("%d coded entries", len(info.Coded))
+	}
+	// Coding-order metadata matches the encoder's per-frame stats.
+	if info.Coded[0].Type != FrameI || info.Coded[0].PTS != 0 {
+		t.Fatalf("first coded frame %+v", info.Coded[0])
+	}
+	var total int64
+	byPTS := map[int]FrameStats{}
+	for _, fs := range stats.Frames {
+		byPTS[fs.PTS] = fs
+	}
+	for _, m := range info.Coded {
+		total += m.Bits
+		want := byPTS[m.PTS]
+		if m.Type != want.Type || m.QP != want.QP {
+			t.Fatalf("coded meta %+v disagrees with encoder stats %+v", m, want)
+		}
+	}
+	// Per-frame bits cover the stream except the sequence header.
+	if total > stats.TotalBits || total < stats.TotalBits-256 {
+		t.Fatalf("coded bits %d vs encoder total %d", total, stats.TotalBits)
+	}
+}

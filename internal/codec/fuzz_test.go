@@ -1,0 +1,71 @@
+package codec
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/vbench"
+)
+
+// FuzzDecode feeds arbitrary bytes to the decoder. The invariant is simple:
+// never panic, never allocate absurdly — either return an error or a valid
+// set of frames. `go test` runs the seed corpus; `go test -fuzz=FuzzDecode`
+// explores further.
+func FuzzDecode(f *testing.F) {
+	// Seed with real bitstreams of assorted shapes plus junk.
+	info, err := vbench.ByName("cat")
+	if err != nil {
+		f.Fatal(err)
+	}
+	src := vbench.NewSource(info, vbench.SourceOptions{Scale: 8})
+	var frames []*frame.Frame
+	for i := 0; i < 4; i++ {
+		frames = append(frames, src.Frame(i))
+	}
+	for _, opt := range []Options{
+		Defaults(),
+		func() Options {
+			o := Options{RC: RCCRF, CRF: 40, QP: 26, KeyintMax: 250}
+			if err := ApplyPreset(&o, PresetUltrafast); err != nil {
+				f.Fatal(err)
+			}
+			return o
+		}(),
+	} {
+		enc, err := NewEncoder(frames[0].Width, frames[0].Height, info.FPS, opt, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		stream, _, err := enc.EncodeAll(frames)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(stream)
+		// Truncated and bit-flipped variants.
+		f.Add(stream[:len(stream)/2])
+		flipped := make([]byte, len(stream))
+		copy(flipped, stream)
+		for i := 16; i < len(flipped); i += 31 {
+			flipped[i] ^= 0x55
+		}
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x52, 0x56, 0x43, 0x31})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(DecoderOptions{}, nil)
+		out, info, err := dec.Decode(data)
+		if err != nil {
+			return
+		}
+		if info.Width <= 0 || info.Height <= 0 || len(out) == 0 {
+			t.Fatalf("successful decode with degenerate result: %+v, %d frames", info, len(out))
+		}
+		for _, fr := range out {
+			if fr.Width != info.Width || fr.Height != info.Height {
+				t.Fatal("frame dimensions disagree with header")
+			}
+		}
+	})
+}

@@ -1,0 +1,352 @@
+package codec
+
+import (
+	"repro/internal/codec/bits"
+	"repro/internal/codec/transform"
+	"repro/internal/frame"
+	"repro/internal/trace"
+)
+
+// interChoice is the result of inter analysis for one macroblock.
+type interChoice struct {
+	cost     int
+	skip     bool
+	partMode int
+	sub4x4   [4]bool
+	refIdx   int
+	dir      int
+	mvs      [16]MV
+	mvsL1    [16]MV
+}
+
+// skipThreshold is the SATD level below which a predictor-vector prediction
+// is considered good enough to code the macroblock as a skip. It scales
+// with the quantization step: coarser quantizers would discard the residual
+// anyway.
+func skipThreshold(qp int) int {
+	return int(transform.QStep(qp)) * 24
+}
+
+// refEarlyThreshold stops the reference-frame loop once a search result is
+// essentially a perfect match; unlike the skip check this is almost
+// quality-independent — x264 walks the full reference list unless the match
+// is already exact.
+func refEarlyThreshold(qp int) int {
+	return 160 + int(transform.QStep(qp))
+}
+
+// setAll fills a 16-cell vector field with one vector.
+func setAll(mvs *[16]MV, mv MV) {
+	for i := range mvs {
+		mvs[i] = mv
+	}
+}
+
+// setMV mirrors macroblock.setMV for the analysis result.
+func (c *interChoice) setMV(list int, px, py, pw, ph int, mv MV) {
+	for j := py / 4; j < (py+ph)/4; j++ {
+		for i := px / 4; i < (px+pw)/4; i++ {
+			if list == 0 {
+				c.mvs[j*4+i] = mv
+			} else {
+				c.mvsL1[j*4+i] = mv
+			}
+		}
+	}
+}
+
+// analyseInter performs motion analysis for the macroblock at (mx, my) of a
+// P or B frame and returns the best inter choice. list0 holds past
+// reconstructed anchors (most recent first); list1 is the future anchor for
+// B frames (nil for P).
+func (e *Encoder) analyseInter(src *frame.Plane, mx, my int, list0 []*frame.Frame, list1 *frame.Frame, qp int) interChoice {
+	e.tr.call(trace.FnAnalyse)
+	e.tr.ops(trace.FnAnalyse, 120)
+	x, y := mx*16, my*16
+	lambda := lambdaFor(qp)
+	mvp := e.mvf0.predict(mx, my)
+	isB := list1 != nil
+
+	// Skip check first: predict with the neighbourhood vector and measure.
+	var pred, predB, scratch block
+	var skipMV1 MV
+	if isB {
+		mvp1 := e.mvf1.predict(mx, my)
+		skipMV1 = mvp1
+		e.tr.interpLuma(trace.FnInterp, &list0[0].Y, x, y, mvp, &pred, 16, 16)
+		e.tr.interpLuma(trace.FnInterp, &list1.Y, x, y, mvp1, &predB, 16, 16)
+		avgBlocks(&pred, &predB, &scratch)
+		pred = scratch
+	} else {
+		e.tr.interpLuma(trace.FnInterp, &list0[0].Y, x, y, mvp, &pred, 16, 16)
+	}
+	skipSATD := e.tr.satdBlock(trace.FnAnalyse, src, x, y, &pred)
+	doSkip := skipSATD < skipThreshold(qp)
+	e.tr.branch(trace.FnAnalyse, siteSkipCheck, doSkip)
+	if doSkip {
+		ch := interChoice{cost: skipSATD, skip: true, dir: dirBI}
+		setAll(&ch.mvs, mvp)
+		setAll(&ch.mvsL1, skipMV1)
+		if !isB {
+			ch.dir = dirL0
+		}
+		return ch
+	}
+
+	// 16x16 search over the reference list.
+	nRefs := e.opt.Refs
+	if nRefs > len(list0) {
+		nRefs = len(list0)
+	}
+	best := interChoice{cost: 1 << 30, refIdx: 0, dir: dirL0}
+	var bestQ meQuery
+	var bestRes meResult
+	refsTried := 0
+	for r := 0; r < nRefs; r++ {
+		q := meQuery{
+			src: src, ref: &list0[r].Y, sx: x, sy: y, w: 16, h: 16,
+			mvp: mvp, rangePx: e.opt.MERange, method: e.opt.ME,
+			useSATD: e.opt.ME == METesa, lambda: lambda,
+			earlyPx: int(transform.QStep(qp)) * 2,
+		}
+		res := e.motionSearch(&q)
+		res = e.subpelRefine(&q, res, e.opt.Subme)
+		cost := res.cost + lambda*bits.UEBits(uint32(r))
+		better := cost < best.cost
+		e.tr.branch(trace.FnAnalyse, siteRefCmp, better)
+		if better {
+			best.cost = cost
+			best.refIdx = r
+			setAll(&best.mvs, res.mv)
+			bestQ, bestRes = q, res
+		}
+		refsTried++
+		early := best.cost < refEarlyThreshold(qp)
+		e.tr.branch(trace.FnAnalyse, siteMEEarly, early)
+		if early {
+			break
+		}
+	}
+	e.tr.loop(trace.FnAnalyse, siteSearchLoop, refsTried)
+
+	if isB {
+		// B: evaluate L1 and BI against the L0 result; 16x16 only.
+		mvp1 := e.mvf1.predict(mx, my)
+		q1 := meQuery{
+			src: src, ref: &list1.Y, sx: x, sy: y, w: 16, h: 16,
+			mvp: mvp1, rangePx: e.opt.MERange, method: e.opt.ME,
+			useSATD: e.opt.ME == METesa, lambda: lambda,
+			earlyPx: int(transform.QStep(qp)) * 2,
+		}
+		res1 := e.motionSearch(&q1)
+		res1 = e.subpelRefine(&q1, res1, e.opt.Subme)
+		if res1.cost < best.cost {
+			e.tr.branch(trace.FnAnalyse, siteModeCmp, true)
+			best.cost = res1.cost
+			best.dir = dirL1
+			setAll(&best.mvsL1, res1.mv)
+		} else {
+			e.tr.branch(trace.FnAnalyse, siteModeCmp, false)
+		}
+		// BI: average the best prediction of each list.
+		e.tr.interpLuma(trace.FnInterp, &list0[best.refIdx].Y, x, y, bestRes.mv, &pred, 16, 16)
+		e.tr.interpLuma(trace.FnInterp, &list1.Y, x, y, res1.mv, &predB, 16, 16)
+		avgBlocks(&pred, &predB, &scratch)
+		biSATD := e.tr.satdBlock(trace.FnAnalyse, src, x, y, &scratch)
+		biCost := biSATD + lambda*(mvBits(MV{bestRes.mv.X - mvp.X, bestRes.mv.Y - mvp.Y})+
+			mvBits(MV{res1.mv.X - mvp1.X, res1.mv.Y - mvp1.Y})+4)
+		if biCost < best.cost {
+			e.tr.branch(trace.FnAnalyse, siteModeCmp, true)
+			best.cost = biCost
+			best.dir = dirBI
+			setAll(&best.mvs, bestRes.mv)
+			setAll(&best.mvsL1, res1.mv)
+		} else {
+			e.tr.branch(trace.FnAnalyse, siteModeCmp, false)
+		}
+		return best
+	}
+
+	// P partitions.
+	if e.opt.Partitions.P8x8 && e.opt.Subme >= 2 {
+		e.analysePartitions(src, x, y, &bestQ, bestRes, lambda, &best)
+	}
+	return best
+}
+
+// partition geometry tables: offsets and sizes per partition mode.
+var partGeom = [4][][4]int{
+	part16x16: {{0, 0, 16, 16}},
+	part16x8:  {{0, 0, 16, 8}, {0, 8, 16, 8}},
+	part8x16:  {{0, 0, 8, 16}, {8, 0, 8, 16}},
+	part8x8:   {{0, 0, 8, 8}, {8, 0, 8, 8}, {0, 8, 8, 8}, {8, 8, 8, 8}},
+}
+
+// analysePartitions refines the 16x16 winner with 16x8/8x16/8x8 (and
+// optionally 4x4) splits, searching a small diamond around the parent
+// vector for each part.
+func (e *Encoder) analysePartitions(src *frame.Plane, x, y int, parentQ *meQuery, parent meResult, lambda int, best *interChoice) {
+	subme := e.opt.Subme
+	searchPart := func(px, py, pw, ph int, mvp MV, rangePx int) meResult {
+		q := meQuery{
+			src: src, ref: parentQ.ref, sx: x + px, sy: y + py, w: pw, h: ph,
+			mvp: mvp, rangePx: rangePx, method: MEDia, lambda: lambda,
+		}
+		res := e.motionSearch(&q)
+		if subme >= 3 {
+			res = e.subpelRefine(&q, res, clampInt(subme-2, 1, 5))
+		}
+		return res
+	}
+
+	type partResult struct {
+		cost int
+		mvs  []meResult
+	}
+	tryMode := func(mode int, overhead int) partResult {
+		geo := partGeom[mode]
+		pr := partResult{mvs: make([]meResult, len(geo))}
+		mvpred := parent.mv
+		for i, g := range geo {
+			r := searchPart(g[0], g[1], g[2], g[3], mvpred, 4)
+			pr.mvs[i] = r
+			pr.cost += r.cost
+			mvpred = r.mv
+		}
+		pr.cost += lambda * overhead
+		return pr
+	}
+
+	modes := []int{part16x8, part8x16, part8x8}
+	overheads := map[int]int{part16x8: 6, part8x16: 6, part8x8: 12}
+	bestMode := part16x16
+	var bestPR partResult
+	for _, m := range modes {
+		pr := tryMode(m, overheads[m])
+		better := pr.cost < best.cost
+		e.tr.branch(trace.FnAnalyse, siteModeCmp, better)
+		if better {
+			best.cost = pr.cost
+			bestMode = m
+			bestPR = pr
+		}
+	}
+	if bestMode == part16x16 {
+		return
+	}
+	best.partMode = bestMode
+	for i, g := range partGeom[bestMode] {
+		best.setMV(0, g[0], g[1], g[2], g[3], bestPR.mvs[i].mv)
+	}
+	// Optional 4x4 refinement of each 8x8 block (placebo-class work).
+	if bestMode == part8x8 && e.opt.Partitions.P4x4 && subme >= 5 {
+		for i, g := range partGeom[part8x8] {
+			var sum int
+			var sub [4]meResult
+			mvpred := bestPR.mvs[i].mv
+			for k := 0; k < 4; k++ {
+				sx := g[0] + (k%2)*4
+				sy := g[1] + (k/2)*4
+				r := searchPart(sx, sy, 4, 4, mvpred, 2)
+				sub[k] = r
+				sum += r.cost
+				mvpred = r.mv
+			}
+			sum += lambda * 8
+			split := sum < bestPR.mvs[i].cost
+			e.tr.branch(trace.FnAnalyse, siteModeCmp, split)
+			if split {
+				best.sub4x4[i] = true
+				best.cost += sum - bestPR.mvs[i].cost
+				for k := 0; k < 4; k++ {
+					sx := g[0] + (k%2)*4
+					sy := g[1] + (k/2)*4
+					best.setMV(0, sx, sy, 4, 4, sub[k].mv)
+				}
+			}
+		}
+	}
+}
+
+// predictInterLuma stages the final luma prediction of an inter macroblock.
+func (e *Encoder) predictInterLuma(mb *macroblock, list0 []*frame.Frame, list1 *frame.Frame, pred *block) {
+	predictInterLumaInto(&e.tr, trace.FnInterp, mb, list0, list1, pred)
+}
+
+// predictInterLumaInto is shared with the decoder (which charges the work
+// to its own trace functions).
+func predictInterLumaInto(t *tracer, fn trace.FuncID, mb *macroblock, list0 []*frame.Frame, list1 *frame.Frame, pred *block) {
+	pred.w, pred.h = 16, 16
+	var part, part1, avg block
+	stage := func(g [4]int) {
+		cell := (g[1]/4)*4 + g[0]/4
+		switch mb.dir {
+		case dirL0:
+			t.interpLuma(fn, &list0[mb.refIdx].Y, mb.x+g[0], mb.y+g[1], mb.mvs[cell], &part, g[2], g[3])
+		case dirL1:
+			t.interpLuma(fn, &list1.Y, mb.x+g[0], mb.y+g[1], mb.mvsL1[cell], &part, g[2], g[3])
+		default: // BI
+			t.interpLuma(fn, &list0[mb.refIdx].Y, mb.x+g[0], mb.y+g[1], mb.mvs[cell], &part, g[2], g[3])
+			t.interpLuma(fn, &list1.Y, mb.x+g[0], mb.y+g[1], mb.mvsL1[cell], &part1, g[2], g[3])
+			avgBlocks(&part, &part1, &avg)
+			part = avg
+		}
+		blit(pred, &part, g[0], g[1])
+	}
+	if mb.partMode == part8x8 {
+		for i, g := range partGeom[part8x8] {
+			if mb.sub4x4[i] {
+				for k := 0; k < 4; k++ {
+					sg := [4]int{g[0] + (k%2)*4, g[1] + (k/2)*4, 4, 4}
+					stage(sg)
+				}
+			} else {
+				stage(g)
+			}
+		}
+		return
+	}
+	for _, g := range partGeom[mb.partMode] {
+		stage(g)
+	}
+}
+
+// predictInterChroma stages one chroma plane's prediction (8x8) for an
+// inter macroblock. plane selects Cb (0) or Cr (1).
+func predictInterChromaInto(t *tracer, fn trace.FuncID, mb *macroblock, list0 []*frame.Frame, list1 *frame.Frame, plane int, pred *block) {
+	pred.w, pred.h = 8, 8
+	sel := func(f *frame.Frame) *frame.Plane {
+		if plane == 0 {
+			return &f.Cb
+		}
+		return &f.Cr
+	}
+	cx, cy := mb.x/2, mb.y/2
+	var part, part1, avg block
+	// Chroma is predicted in 4x4 blocks, each taking the vector of the
+	// corresponding luma 8x8 region.
+	for by := 0; by < 2; by++ {
+		for bx := 0; bx < 2; bx++ {
+			cell := (by*2)*4 + bx*2
+			switch mb.dir {
+			case dirL0:
+				t.interpChroma(fn, sel(list0[mb.refIdx]), cx+bx*4, cy+by*4, mb.mvs[cell], &part, 4, 4)
+			case dirL1:
+				t.interpChroma(fn, sel(list1), cx+bx*4, cy+by*4, mb.mvsL1[cell], &part, 4, 4)
+			default:
+				t.interpChroma(fn, sel(list0[mb.refIdx]), cx+bx*4, cy+by*4, mb.mvs[cell], &part, 4, 4)
+				t.interpChroma(fn, sel(list1), cx+bx*4, cy+by*4, mb.mvsL1[cell], &part1, 4, 4)
+				avgBlocks(&part, &part1, &avg)
+				part = avg
+			}
+			blit(pred, &part, bx*4, by*4)
+		}
+	}
+}
+
+// blit copies a staged block into a larger staged block at (ox, oy).
+func blit(dst, src *block, ox, oy int) {
+	for j := 0; j < src.h; j++ {
+		copy(dst.row(oy + j)[ox:ox+src.w], src.row(j))
+	}
+}

@@ -1,0 +1,148 @@
+package codec
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/trace"
+)
+
+// reconPlane builds a plane with known values to predict from.
+func reconPlane(w, h int, fill func(x, y int) uint8) frame.Plane {
+	p := frame.NewPlane(w, h)
+	for y := 0; y < h; y++ {
+		row := p.Row(y)
+		for x := range row {
+			row[x] = fill(x, y)
+		}
+	}
+	p.ExtendEdges()
+	return p
+}
+
+func TestIntraDCAveragesNeighbours(t *testing.T) {
+	rec := reconPlane(64, 64, func(x, y int) uint8 { return 100 })
+	tr := newTracer(nil, 0)
+	var pred block
+	tr.predIntra(trace.FnIntraPred, &rec, 16, 16, 16, 16, intraDC, &pred)
+	for i := 0; i < 256; i++ {
+		if pred.pix[i] != 100 {
+			t.Fatalf("DC of flat-100 neighbours: %d", pred.pix[i])
+		}
+	}
+}
+
+func TestIntraDCNoNeighboursIsMidGrey(t *testing.T) {
+	rec := reconPlane(64, 64, func(x, y int) uint8 { return 10 })
+	tr := newTracer(nil, 0)
+	var pred block
+	tr.predIntra(trace.FnIntraPred, &rec, 0, 0, 16, 16, intraDC, &pred)
+	if pred.pix[0] != 128 {
+		t.Fatalf("cornerless DC = %d, want 128", pred.pix[0])
+	}
+}
+
+func TestIntraVerticalCopiesTopRow(t *testing.T) {
+	rec := reconPlane(64, 64, func(x, y int) uint8 { return uint8(x * 3) })
+	tr := newTracer(nil, 0)
+	var pred block
+	tr.predIntra(trace.FnIntraPred, &rec, 16, 16, 16, 16, intraV, &pred)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			if pred.at(x, y) != rec.At(16+x, 15) {
+				t.Fatalf("V prediction (%d,%d) != top row", x, y)
+			}
+		}
+	}
+}
+
+func TestIntraHorizontalCopiesLeftColumn(t *testing.T) {
+	rec := reconPlane(64, 64, func(x, y int) uint8 { return uint8(y * 5) })
+	tr := newTracer(nil, 0)
+	var pred block
+	tr.predIntra(trace.FnIntraPred, &rec, 16, 16, 16, 16, intraH, &pred)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			if pred.at(x, y) != rec.At(15, 16+y) {
+				t.Fatalf("H prediction (%d,%d) != left column", x, y)
+			}
+		}
+	}
+}
+
+func TestDirectionalModesFallBackToDC(t *testing.T) {
+	rec := reconPlane(64, 64, func(x, y int) uint8 { return 77 })
+	tr := newTracer(nil, 0)
+	var v, h block
+	// Top row unavailable at y=0: V must degrade to DC (left-only average).
+	tr.predIntra(trace.FnIntraPred, &rec, 16, 0, 16, 16, intraV, &v)
+	if v.pix[0] != 77 {
+		t.Fatalf("V at top edge should fall back to DC: %d", v.pix[0])
+	}
+	// Left column unavailable at x=0.
+	tr.predIntra(trace.FnIntraPred, &rec, 0, 16, 16, 16, intraH, &h)
+	if h.pix[0] != 77 {
+		t.Fatalf("H at left edge should fall back to DC: %d", h.pix[0])
+	}
+}
+
+func TestAnalyseIntraPicksMatchingMode(t *testing.T) {
+	// Vertical stripes: the V predictor from the row above is exact, so
+	// analysis must choose mode V (or tie with an equally-exact mode).
+	stripes := reconPlane(64, 64, func(x, y int) uint8 { return uint8((x % 8) * 30) })
+	enc, err := NewEncoder(64, 64, 30, Defaults(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.recon = frame.New(64, 64)
+	enc.recon.Y.CopyFrom(&stripes)
+	choice := enc.analyseIntra(&stripes, &stripes, 16, 16, 4)
+	if choice.use4x4 {
+		// Acceptable only if the total cost is near zero anyway.
+		if choice.cost > 16*4*4 {
+			t.Fatalf("4x4 split with nonzero cost chosen over exact V16: %+v", choice)
+		}
+	} else if choice.mode16 != intraV {
+		t.Fatalf("vertical stripes chose mode %d", choice.mode16)
+	}
+
+	// Horizontal stripes: H must win.
+	hstripes := reconPlane(64, 64, func(x, y int) uint8 { return uint8((y % 8) * 30) })
+	choice = enc.analyseIntra(&hstripes, &hstripes, 16, 16, 4)
+	if !choice.use4x4 && choice.mode16 != intraH {
+		t.Fatalf("horizontal stripes chose mode %d", choice.mode16)
+	}
+}
+
+func TestAnalyseIntra4x4EnabledByPartitions(t *testing.T) {
+	// Complex texture favours per-block modes when allowed.
+	textured := reconPlane(64, 64, func(x, y int) uint8 {
+		return uint8((x*x + y*y*3 + x*y) % 251)
+	})
+	opt := Defaults()
+	opt.Partitions = Partitions{} // no i4x4
+	enc, _ := NewEncoder(64, 64, 30, opt, nil)
+	enc.recon = frame.New(64, 64)
+	choice := enc.analyseIntra(&textured, &textured, 16, 16, 4)
+	if choice.use4x4 {
+		t.Fatal("i4x4 chosen while disabled")
+	}
+	opt.Partitions = Partitions{I4x4: true}
+	enc2, _ := NewEncoder(64, 64, 30, opt, nil)
+	enc2.recon = frame.New(64, 64)
+	choice2 := enc2.analyseIntra(&textured, &textured, 16, 16, 4)
+	if choice2.cost > choice.cost {
+		t.Fatalf("allowing i4x4 must not worsen the best cost: %d > %d", choice2.cost, choice.cost)
+	}
+}
+
+func TestMode4SetWellFormed(t *testing.T) {
+	if len(mode4Set) != numIntra4 {
+		t.Fatal("mode4Set size")
+	}
+	for _, m := range mode4Set {
+		if m == intraPlanar {
+			t.Fatal("planar is not a 4x4 mode")
+		}
+	}
+}

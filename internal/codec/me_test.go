@@ -1,0 +1,203 @@
+package codec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/trace"
+)
+
+// shiftedPlanes builds a reference plane and a source plane whose content
+// is the reference translated by (dx, dy) pixels.
+func shiftedPlanes(w, h, dx, dy int) (src, ref frame.Plane) {
+	ref = frame.NewPlane(w, h)
+	// A smooth, non-repeating texture: SAD forms a single well around the
+	// true displacement, so gradient-following searches are well-posed.
+	for y := 0; y < h; y++ {
+		row := ref.Row(y)
+		for x := range row {
+			v := 128 + 52*math.Sin(float64(x)/9) + 40*math.Sin(float64(y)/7) +
+				26*math.Sin(float64(x+y)/23) + 8*math.Sin(float64(x*3-y)/5)
+			row[x] = uint8(v)
+		}
+	}
+	ref.ExtendEdges()
+	src = frame.NewPlane(w, h)
+	for y := 0; y < h; y++ {
+		row := src.Row(y)
+		for x := range row {
+			row[x] = ref.At(x+dx, y+dy)
+		}
+	}
+	src.ExtendEdges()
+	return
+}
+
+// searchWith runs one integer search with the given method and returns the
+// winning vector in integer pixels.
+func searchWith(t *testing.T, method MEMethod, dx, dy, rangePx int) (int, int) {
+	t.Helper()
+	src, ref := shiftedPlanes(128, 96, dx, dy)
+	enc, err := NewEncoder(128, 96, 30, Defaults(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := meQuery{
+		src: &src, ref: &ref, sx: 48, sy: 32, w: 16, h: 16,
+		mvp: MV{}, rangePx: rangePx, method: method, lambda: 1,
+	}
+	res := enc.motionSearch(&q)
+	return int(res.mv.X >> 2), int(res.mv.Y >> 2)
+}
+
+func TestESAFindsExactTranslation(t *testing.T) {
+	// Exhaustive search must find the exact displacement within range.
+	for _, d := range [][2]int{{0, 0}, {3, 2}, {-5, 4}, {7, -7}} {
+		mx, my := searchWith(t, MEESA, d[0], d[1], 8)
+		if mx != d[0] || my != d[1] {
+			t.Errorf("esa: shift (%d,%d) found (%d,%d)", d[0], d[1], mx, my)
+		}
+	}
+}
+
+func TestPatternSearchesFindSmallTranslation(t *testing.T) {
+	// Gradient-following patterns find small displacements exactly.
+	for _, m := range []MEMethod{MEDia, MEHex, MEUMH} {
+		mx, my := searchWith(t, m, 2, 1, 16)
+		if mx != 2 || my != 1 {
+			t.Errorf("%v: shift (2,1) found (%d,%d)", m, mx, my)
+		}
+	}
+}
+
+func TestUMHFindsLargeTranslation(t *testing.T) {
+	// The multi-hexagon pattern escapes local minima a small diamond could
+	// stall in.
+	mx, my := searchWith(t, MEUMH, 12, -6, 16)
+	if mx != 12 || my != -6 {
+		t.Errorf("umh: shift (12,-6) found (%d,%d)", mx, my)
+	}
+}
+
+func TestSearchRespectsLambdaBias(t *testing.T) {
+	// With an enormous lambda, the predictor vector wins even when a
+	// better pixel match exists elsewhere: rate dominates distortion.
+	src, ref := shiftedPlanes(128, 96, 6, 0)
+	enc, _ := NewEncoder(128, 96, 30, Defaults(), nil)
+	q := meQuery{
+		src: &src, ref: &ref, sx: 48, sy: 32, w: 16, h: 16,
+		mvp: MV{}, rangePx: 16, method: MEESA, lambda: 1 << 20,
+	}
+	res := enc.motionSearch(&q)
+	if res.mv != (MV{}) {
+		t.Fatalf("infinite lambda should pin the predictor, got %+v", res.mv)
+	}
+}
+
+func TestSubpelRefineImprovesCost(t *testing.T) {
+	src, ref := shiftedPlanes(128, 96, 1, 0)
+	enc, _ := NewEncoder(128, 96, 30, Defaults(), nil)
+	q := meQuery{
+		src: &src, ref: &ref, sx: 48, sy: 32, w: 16, h: 16,
+		mvp: MV{}, rangePx: 8, method: MEHex, lambda: 4,
+	}
+	res := enc.motionSearch(&q)
+	refined := enc.subpelRefine(&q, res, 7)
+	if refined.cost > res.cost*2 {
+		t.Fatalf("refinement made cost much worse: %d -> %d", res.cost, refined.cost)
+	}
+	// The refined vector stays within a quarter-pel neighbourhood of the
+	// integer winner.
+	if abs32(refined.mv.X-res.mv.X) > 8 || abs32(refined.mv.Y-res.mv.Y) > 8 {
+		t.Fatalf("refinement wandered: %+v -> %+v", res.mv, refined.mv)
+	}
+}
+
+func TestSubpelItersEscalate(t *testing.T) {
+	prev := 0
+	for subme := 0; subme <= 11; subme++ {
+		h, q := subpelIters(subme)
+		if h+q < prev {
+			t.Fatalf("subpel effort not monotone at subme %d", subme)
+		}
+		prev = h + q
+	}
+	if h, q := subpelIters(0); h != 0 || q != 0 {
+		t.Fatal("subme 0 must skip refinement")
+	}
+}
+
+func TestMethodEffortOrdering(t *testing.T) {
+	// Candidate evaluation counts must grow dia <= hex <= umh <= esa, the
+	// Table II escalation that drives the preset time axis.
+	count := func(m MEMethod) float64 {
+		src, ref := shiftedPlanes(128, 96, 4, 3)
+		enc, _ := NewEncoder(128, 96, 30, Defaults(), nil)
+		sink := &countingSink{}
+		enc.tr = newTracer(sink, 0)
+		enc.tr.nextMB()
+		q := meQuery{
+			src: &src, ref: &ref, sx: 48, sy: 32, w: 16, h: 16,
+			mvp: MV{}, rangePx: 16, method: m, lambda: 4,
+		}
+		enc.motionSearch(&q)
+		return sink.ops
+	}
+	dia, hex, umh, esa := count(MEDia), count(MEHex), count(MEUMH), count(MEESA)
+	// dia and hex trade step size against step count, so they land close;
+	// umh and esa must clearly escalate (the Table II time axis).
+	if dia > 2*hex {
+		t.Fatalf("diamond (%f) should not dwarf hexagon (%f)", dia, hex)
+	}
+	if !(hex <= umh && umh <= esa) {
+		t.Fatalf("effort ordering violated: hex %f umh %f esa %f", hex, umh, esa)
+	}
+	if esa < 4*dia {
+		t.Fatalf("exhaustive search suspiciously cheap: %f vs dia %f", esa, dia)
+	}
+}
+
+func TestMvBits(t *testing.T) {
+	if mvBits(MV{0, 0}) != 2 {
+		t.Fatalf("zero mvd costs %d bits, want 2", mvBits(MV{0, 0}))
+	}
+	if mvBits(MV{100, -100}) <= mvBits(MV{1, -1}) {
+		t.Fatal("long vectors must cost more bits")
+	}
+}
+
+func TestMVFieldPrediction(t *testing.T) {
+	f := newMVField(4, 4)
+	f.set(0, 1, MV{4, 0}, true)  // left of (1,1)
+	f.set(1, 0, MV{8, 4}, true)  // top
+	f.set(2, 0, MV{12, 8}, true) // top-right
+	got := f.predict(1, 1)
+	if got != (MV{8, 4}) {
+		t.Fatalf("median predictor %+v", got)
+	}
+	// Out-of-picture neighbours contribute zero vectors.
+	if f.predict(0, 0) != (MV{}) {
+		t.Fatal("corner MB should predict zero")
+	}
+	f.reset()
+	if mv, coded := f.get(1, 0); coded || mv != (MV{}) {
+		t.Fatal("reset did not clear the field")
+	}
+}
+
+// countingSink tallies ops for effort comparisons.
+type countingSink struct {
+	ops float64
+}
+
+func (c *countingSink) Ops(_ trace.FuncID, n int) { c.ops += float64(n) }
+
+// The remaining Sink methods only count lightly or are ignored.
+func (c *countingSink) Load(_ trace.FuncID, _ uint64, n int)             { c.ops += float64(n) / 64 }
+func (c *countingSink) Store(_ trace.FuncID, _ uint64, n int)            { c.ops += float64(n) / 64 }
+func (c *countingSink) Load2D(_ trace.FuncID, _ uint64, w, h, _ int)     { c.ops += float64(w*h) / 64 }
+func (c *countingSink) Store2D(_ trace.FuncID, _ uint64, w, h, _ int)    { c.ops += float64(w*h) / 64 }
+func (c *countingSink) Branch(_ trace.FuncID, _ trace.BranchID, _ bool)  { c.ops++ }
+func (c *countingSink) Loop(_ trace.FuncID, _ trace.BranchID, iters int) { c.ops += float64(iters) }
+func (c *countingSink) Call(_ trace.FuncID)                              { c.ops++ }

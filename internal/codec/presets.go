@@ -1,0 +1,114 @@
+package codec
+
+import "fmt"
+
+// Preset names the ten x264 speed/quality presets (Table II of the paper).
+type Preset string
+
+// The presets, fastest first.
+const (
+	PresetUltrafast Preset = "ultrafast"
+	PresetSuperfast Preset = "superfast"
+	PresetVeryfast  Preset = "veryfast"
+	PresetFaster    Preset = "faster"
+	PresetFast      Preset = "fast"
+	PresetMedium    Preset = "medium"
+	PresetSlow      Preset = "slow"
+	PresetSlower    Preset = "slower"
+	PresetVeryslow  Preset = "veryslow"
+	PresetPlacebo   Preset = "placebo"
+)
+
+// Presets lists all presets in speed order (fastest first), the order used
+// by Figure 6.
+var Presets = []Preset{
+	PresetUltrafast, PresetSuperfast, PresetVeryfast, PresetFaster,
+	PresetFast, PresetMedium, PresetSlow, PresetSlower, PresetVeryslow,
+	PresetPlacebo,
+}
+
+// presetDef holds the Table II option values for one preset.
+type presetDef struct {
+	aqMode     int
+	bAdapt     int
+	bframes    int
+	deblockA   int
+	deblockB   int
+	me         MEMethod
+	merange    int
+	partitions Partitions
+	refs       int
+	scenecut   int
+	subme      int
+	trellis    int
+}
+
+var (
+	partsNone   = Partitions{}
+	partsIntra  = Partitions{I8x8: true, I4x4: true}
+	partsNoP4x4 = Partitions{P8x8: true, I8x8: true, I4x4: true}
+	partsAll    = Partitions{P8x8: true, P4x4: true, I8x8: true, I4x4: true}
+)
+
+// presetTable reproduces Table II exactly.
+var presetTable = map[Preset]presetDef{
+	PresetUltrafast: {0, 0, 0, 0, 0, MEDia, 16, partsNone, 1, 0, 0, 0},
+	PresetSuperfast: {1, 1, 3, 1, 0, MEDia, 16, partsIntra, 1, 40, 1, 0},
+	PresetVeryfast:  {1, 1, 3, 1, 0, MEHex, 16, partsNoP4x4, 1, 40, 2, 0},
+	PresetFaster:    {1, 1, 3, 1, 0, MEHex, 16, partsNoP4x4, 2, 40, 4, 1},
+	PresetFast:      {1, 1, 3, 1, 0, MEHex, 16, partsNoP4x4, 2, 40, 6, 1},
+	PresetMedium:    {1, 1, 3, 1, 0, MEHex, 16, partsNoP4x4, 3, 40, 7, 1},
+	PresetSlow:      {1, 1, 3, 1, 0, MEHex, 16, partsNoP4x4, 5, 40, 8, 2},
+	PresetSlower:    {1, 2, 3, 1, 0, MEUMH, 16, partsAll, 8, 40, 9, 2},
+	PresetVeryslow:  {1, 2, 8, 1, 0, MEUMH, 24, partsAll, 16, 40, 10, 2},
+	PresetPlacebo:   {1, 2, 16, 1, 0, METesa, 24, partsAll, 16, 40, 11, 2},
+}
+
+// ApplyPreset overwrites the preset-controlled fields of o with the Table II
+// values for p. Rate-control fields (RC, CRF, QP, bitrate) are untouched, as
+// are Refs if the caller pins them afterwards. Returns an error for an
+// unknown preset.
+func ApplyPreset(o *Options, p Preset) error {
+	def, ok := presetTable[p]
+	if !ok {
+		return fmt.Errorf("codec: unknown preset %q", p)
+	}
+	o.AQMode = def.aqMode
+	o.BAdapt = def.bAdapt
+	o.BFrames = def.bframes
+	o.DeblockA = def.deblockA
+	o.DeblockB = def.deblockB
+	o.Deblock = p != PresetUltrafast
+	o.ME = def.me
+	o.MERange = def.merange
+	o.Partitions = def.partitions
+	o.Refs = def.refs
+	o.Scenecut = def.scenecut
+	o.Subme = def.subme
+	o.Trellis = def.trellis
+	if o.KeyintMax == 0 {
+		o.KeyintMax = 250
+	}
+	return nil
+}
+
+// PresetInfo exposes the Table II row for preset p, for reporting.
+func PresetInfo(p Preset) (map[string]string, error) {
+	def, ok := presetTable[p]
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown preset %q", p)
+	}
+	return map[string]string{
+		"aq-mode":    fmt.Sprint(def.aqMode),
+		"b-adapt":    fmt.Sprint(def.bAdapt),
+		"bframes":    fmt.Sprint(def.bframes),
+		"deblock":    fmt.Sprintf("[%d:%d]", def.deblockA, def.deblockB),
+		"me":         def.me.String(),
+		"merange":    fmt.Sprint(def.merange),
+		"partitions": def.partitions.String(),
+		"refs":       fmt.Sprint(def.refs),
+		"scenecut":   fmt.Sprint(def.scenecut),
+		"subme":      fmt.Sprint(def.subme),
+		"trellis":    fmt.Sprint(def.trellis),
+	}, nil
+}

@@ -1,0 +1,225 @@
+package codec
+
+import (
+	"math"
+
+	"repro/internal/codec/transform"
+	"repro/internal/trace"
+)
+
+// lambdaTab maps QP to the Lagrange multiplier used in SAD/SATD mode costs,
+// following x264's lambda = 2^((qp-12)/6) scaling.
+var lambdaTab [transform.MaxQP + 1]int
+
+func init() {
+	for qp := range lambdaTab {
+		l := math.Exp2(float64(qp-12) / 6)
+		lambdaTab[qp] = int(math.Max(1, math.Round(l)))
+	}
+}
+
+func lambdaFor(qp int) int { return lambdaTab[clampInt(qp, 0, transform.MaxQP)] }
+
+// Frame-type QP offsets relative to the P-frame quantizer, as in x264's
+// ip_ratio / pb_ratio defaults.
+func typeQPOffset(t FrameType) int {
+	switch t {
+	case FrameI:
+		return -3
+	case FrameB:
+		return +2
+	default:
+		return 0
+	}
+}
+
+// rateControl implements the six x264 rate-control modes at frame and
+// macroblock granularity (§II-B1). CBR is the only mode that adjusts inside
+// a frame (macroblock granularity); the others pick a frame QP and let AQ
+// redistribute it spatially.
+type rateControl struct {
+	opt         *Options
+	fps         int
+	pixels      int     // per frame
+	frameTarget float64 // bits per frame for bitrate-driven modes
+
+	// Cross-frame state.
+	totalBits  int64
+	framesDone int
+	abrQP      float64 // ABR's running frame QP
+
+	// VBV state.
+	vbvFill  float64
+	vbvBoost int
+
+	// Two-pass state: per-display-frame bits from pass 1 and its QP.
+	pass1Bits []int64
+	pass1QP   int
+
+	// AQ state: running mean of log2(variance).
+	aqAvg float64
+	aqN   int
+
+	// CBR in-frame state.
+	frameBitsStart int64
+	rowAdj         int
+}
+
+func newRateControl(opt *Options, w, h, fps int) *rateControl {
+	rc := &rateControl{opt: opt, fps: fps, pixels: w * h, aqAvg: 8}
+	if opt.BitrateKbps > 0 && fps > 0 {
+		rc.frameTarget = float64(opt.BitrateKbps) * 1000 / float64(fps)
+	}
+	switch opt.RC {
+	case RCABR, RCCBR, RCABR2:
+		rc.abrQP = float64(rc.qpFromBpp())
+	case RCVBV:
+		rc.vbvFill = float64(opt.VBVBufKbits) * 1000 / 2
+	}
+	rc.pass1QP = 28
+	return rc
+}
+
+// qpFromBpp estimates a starting quantizer from the target bits-per-pixel,
+// the classic rate-model seed.
+func (rc *rateControl) qpFromBpp() int {
+	bpp := rc.frameTarget / float64(rc.pixels)
+	if bpp <= 0 {
+		return 26
+	}
+	qp := 20 - 6*math.Log2(bpp/0.08)
+	return clampInt(int(math.Round(qp)), 4, transform.MaxQP)
+}
+
+// frameQP returns the base quantizer for the next frame of the given type.
+// displayIdx indexes pass-1 statistics in two-pass mode.
+func (rc *rateControl) frameQP(t FrameType, displayIdx int) int {
+	var qp int
+	switch rc.opt.RC {
+	case RCCQP:
+		qp = rc.opt.QP + typeQPOffset(t)
+	case RCCRF:
+		qp = rc.opt.CRF + typeQPOffset(t)
+	case RCABR, RCCBR:
+		qp = int(math.Round(rc.abrQP)) + typeQPOffset(t)
+	case RCABR2:
+		qp = rc.twoPassQP(t, displayIdx)
+	case RCVBV:
+		qp = rc.opt.CRF + typeQPOffset(t) + rc.vbvBoost
+	}
+	return clampInt(qp, 0, transform.MaxQP)
+}
+
+// twoPassQP allocates bits proportionally to pass-1 complexity^0.6 (the
+// qcomp curve) and converts the per-frame allocation into a QP correction.
+func (rc *rateControl) twoPassQP(t FrameType, displayIdx int) int {
+	if len(rc.pass1Bits) == 0 || displayIdx >= len(rc.pass1Bits) {
+		return clampInt(int(rc.abrQP)+typeQPOffset(t), 0, transform.MaxQP)
+	}
+	const qcomp = 0.6
+	var sum float64
+	for _, b := range rc.pass1Bits {
+		sum += math.Pow(float64(b), qcomp)
+	}
+	total := rc.frameTarget * float64(len(rc.pass1Bits))
+	alloc := total * math.Pow(float64(rc.pass1Bits[displayIdx]), qcomp) / sum
+	// QP moves 6 per doubling of the pass1-bits / allocation ratio.
+	d := 6 * math.Log2(float64(rc.pass1Bits[displayIdx])/math.Max(1, alloc))
+	return clampInt(rc.pass1QP+int(math.Round(d))+typeQPOffset(t), 0, transform.MaxQP)
+}
+
+// beginFrame resets in-frame state; bitsSoFar is the writer position.
+func (rc *rateControl) beginFrame(bitsSoFar int64) {
+	rc.frameBitsStart = bitsSoFar
+	rc.rowAdj = 0
+}
+
+// mbQP returns the quantizer for one macroblock given the frame base QP and
+// the block's luma variance (used when AQ is enabled).
+func (rc *rateControl) mbQP(frameQP int, variance float64, aq bool) int {
+	qp := frameQP
+	if aq && rc.opt.AQMode > 0 {
+		lv := math.Log2(variance + 1)
+		// Exponential moving average keeps the offset centred.
+		rc.aqN++
+		w := 1.0 / math.Min(float64(rc.aqN), 512)
+		rc.aqAvg += (lv - rc.aqAvg) * w
+		off := int(math.Round(1.0 * (lv - rc.aqAvg) / 2))
+		qp += clampInt(off, -4, 4)
+	}
+	if rc.opt.RC == RCCBR {
+		qp += rc.rowAdj
+	}
+	return clampInt(qp, 0, transform.MaxQP)
+}
+
+// endRow updates CBR's macroblock-level feedback after each macroblock row.
+// rowsDone/rowsTotal prorate the frame budget; bitsSoFar is the writer
+// position.
+func (rc *rateControl) endRow(rowsDone, rowsTotal int, bitsSoFar int64) {
+	if rc.opt.RC != RCCBR || rc.frameTarget <= 0 {
+		return
+	}
+	used := float64(bitsSoFar - rc.frameBitsStart)
+	expected := rc.frameTarget * float64(rowsDone) / float64(rowsTotal)
+	switch {
+	case used > 1.4*expected:
+		rc.rowAdj = clampInt(rc.rowAdj+2, -3, 6)
+	case used > 1.15*expected:
+		rc.rowAdj = clampInt(rc.rowAdj+1, -3, 6)
+	case used < 0.6*expected:
+		rc.rowAdj = clampInt(rc.rowAdj-1, -3, 6)
+	}
+}
+
+// postFrame feeds back the coded size of the frame just finished.
+func (rc *rateControl) postFrame(bitsThisFrame int64) {
+	rc.totalBits += bitsThisFrame
+	rc.framesDone++
+	switch rc.opt.RC {
+	case RCABR, RCCBR:
+		if rc.frameTarget > 0 {
+			want := rc.frameTarget * float64(rc.framesDone)
+			ratio := float64(rc.totalBits) / math.Max(1, want)
+			adj := 6 * math.Log2(ratio)
+			// CBR reacts faster than ABR, which is allowed long-term drift.
+			gain := 0.5
+			if rc.opt.RC == RCCBR {
+				gain = 1.0
+			}
+			rc.abrQP = clampFloat(rc.abrQP+gain*clampFloat(adj, -3, 3), 1, transform.MaxQP)
+		}
+	case RCVBV:
+		fill := float64(rc.opt.VBVMaxKbps) * 1000 / float64(rc.fps)
+		bufSize := float64(rc.opt.VBVBufKbits) * 1000
+		rc.vbvFill += fill - float64(bitsThisFrame)
+		if rc.vbvFill < 0 {
+			rc.vbvFill = 0
+		}
+		if rc.vbvFill > bufSize {
+			rc.vbvFill = bufSize
+		}
+		switch {
+		case rc.vbvFill < 0.25*bufSize:
+			rc.vbvBoost = clampInt(rc.vbvBoost+2, 0, 10)
+		case rc.vbvFill > 0.6*bufSize && rc.vbvBoost > 0:
+			rc.vbvBoost--
+		}
+	}
+}
+
+func clampFloat(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// traceRC charges rate-control bookkeeping to the simulator.
+func (e *Encoder) traceRC() {
+	e.tr.call(trace.FnRC)
+	e.tr.ops(trace.FnRC, 40)
+}

@@ -1,0 +1,145 @@
+package codec
+
+import (
+	"math"
+	"testing"
+)
+
+// encodeWithRC encodes a clip under the given rate-control settings.
+func encodeWithRC(t *testing.T, video string, frames int, rc RateControlMode, kbps int) *Stats {
+	t.Helper()
+	clip := makeClip(t, video, frames, 6)
+	opt := Defaults()
+	opt.RC = rc
+	switch rc {
+	case RCABR, RCABR2, RCCBR:
+		opt.BitrateKbps = kbps
+	case RCVBV:
+		opt.VBVMaxKbps = kbps
+		opt.VBVBufKbits = kbps
+	}
+	_, stats := encodeClip(t, clip, opt)
+	return stats
+}
+
+func TestABRConvergesToTarget(t *testing.T) {
+	const target = 800
+	stats := encodeWithRC(t, "cricket", 30, RCABR, target)
+	got := stats.BitrateKbps()
+	if got < target*0.55 || got > target*1.6 {
+		t.Fatalf("ABR produced %.0f kbps for a %d kbps target", got, target)
+	}
+}
+
+func TestCBRTracksTargetTighterLongRun(t *testing.T) {
+	const target = 800
+	stats := encodeWithRC(t, "cricket", 30, RCCBR, target)
+	got := stats.BitrateKbps()
+	if got < target*0.55 || got > target*1.6 {
+		t.Fatalf("CBR produced %.0f kbps for a %d kbps target", got, target)
+	}
+	// CBR regulates inside frames: the max/mean frame-size ratio of the
+	// non-I frames stays moderate.
+	var sum, maxBits float64
+	n := 0
+	for _, f := range stats.Frames {
+		if f.Type == FrameI {
+			continue
+		}
+		sum += float64(f.Bits)
+		if float64(f.Bits) > maxBits {
+			maxBits = float64(f.Bits)
+		}
+		n++
+	}
+	if n > 0 && maxBits > 8*sum/float64(n) {
+		t.Fatalf("CBR frame sizes too bursty: max %.0f vs mean %.0f", maxBits, sum/float64(n))
+	}
+}
+
+func TestTwoPassHitsTargetBetterThanOneSeesInPass1(t *testing.T) {
+	const target = 700
+	stats := encodeWithRC(t, "holi", 24, RCABR2, target)
+	got := stats.BitrateKbps()
+	if got < target*0.5 || got > target*1.7 {
+		t.Fatalf("2-pass produced %.0f kbps for a %d kbps target", got, target)
+	}
+}
+
+func TestVBVCapsRate(t *testing.T) {
+	// A tight VBV on complex content must push QP up and reduce the rate
+	// versus unconstrained CRF.
+	clip := makeClip(t, "hall", 24, 6)
+	opt := Defaults()
+	opt.CRF = 18 // generous quality target
+	_, free := encodeClip(t, clip, opt)
+
+	opt.RC = RCVBV
+	opt.VBVMaxKbps = int(free.BitrateKbps() / 3)
+	opt.VBVBufKbits = opt.VBVMaxKbps / 2
+	_, capped := encodeClip(t, clip, opt)
+	if capped.TotalBits >= free.TotalBits {
+		t.Fatalf("VBV did not constrain: %d vs %d bits", capped.TotalBits, free.TotalBits)
+	}
+}
+
+func TestCQPMonotoneInQP(t *testing.T) {
+	clip := makeClip(t, "game2", 8, 8)
+	var prev int64 = math.MaxInt64
+	for _, qp := range []int{15, 25, 35, 45} {
+		opt := Defaults()
+		opt.RC = RCCQP
+		opt.QP = qp
+		_, stats := encodeClip(t, clip, opt)
+		if stats.TotalBits >= prev {
+			t.Fatalf("qp %d bits %d not below previous %d", qp, stats.TotalBits, prev)
+		}
+		prev = stats.TotalBits
+	}
+}
+
+func TestFrameTypeQPOffsets(t *testing.T) {
+	if typeQPOffset(FrameI) >= typeQPOffset(FrameP) {
+		t.Fatal("I frames must use a lower QP than P")
+	}
+	if typeQPOffset(FrameB) <= typeQPOffset(FrameP) {
+		t.Fatal("B frames must use a higher QP than P")
+	}
+}
+
+func TestLambdaMonotone(t *testing.T) {
+	for qp := 1; qp <= 51; qp++ {
+		if lambdaFor(qp) < lambdaFor(qp-1) {
+			t.Fatalf("lambda not monotone at qp %d", qp)
+		}
+	}
+	if lambdaFor(0) < 1 {
+		t.Fatal("lambda floor")
+	}
+}
+
+func TestAQRedistributesQP(t *testing.T) {
+	rc := newRateControl(&Options{AQMode: 1, RC: RCCRF, CRF: 23}, 320, 192, 30)
+	// Feed alternating flat/busy blocks: offsets must differ.
+	var flatQP, busyQP int
+	for i := 0; i < 400; i++ {
+		flatQP = rc.mbQP(23, 2, true)
+		busyQP = rc.mbQP(23, 4000, true)
+	}
+	if busyQP <= flatQP {
+		t.Fatalf("AQ should raise QP on busy blocks: flat %d busy %d", flatQP, busyQP)
+	}
+	// AQ off: no change.
+	rcOff := newRateControl(&Options{AQMode: 0, RC: RCCRF, CRF: 23}, 320, 192, 30)
+	if rcOff.mbQP(23, 4000, false) != 23 {
+		t.Fatal("AQ off must not adjust QP")
+	}
+}
+
+func TestQPFromBppSane(t *testing.T) {
+	lo := newRateControl(&Options{RC: RCABR, BitrateKbps: 100}, 1920, 1080, 30)
+	hi := newRateControl(&Options{RC: RCABR, BitrateKbps: 20000}, 1920, 1080, 30)
+	if lo.qpFromBpp() <= hi.qpFromBpp() {
+		t.Fatalf("starving bitrate must start at higher QP: %d vs %d", lo.qpFromBpp(), hi.qpFromBpp())
+	}
+}

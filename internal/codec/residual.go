@@ -1,0 +1,364 @@
+package codec
+
+import (
+	"repro/internal/codec/transform"
+	"repro/internal/frame"
+	"repro/internal/trace"
+)
+
+// mbKind classifies a coded macroblock.
+type mbKind uint8
+
+const (
+	kindSkip mbKind = iota
+	kindInter
+	kindIntra
+)
+
+// Inter partition modes.
+const (
+	part16x16 = iota
+	part16x8
+	part8x16
+	part8x8
+)
+
+// B-prediction directions.
+const (
+	dirL0 = iota
+	dirL1
+	dirBI
+)
+
+// macroblock carries the full coded state of one 16x16 region: the mode
+// decision, motion, quantized coefficients and reconstruction bookkeeping.
+type macroblock struct {
+	x, y int // luma pixel coordinates
+	qp   int
+	kind mbKind
+
+	// Inter state.
+	partMode int
+	sub4x4   [4]bool // per-8x8: split to 4x4 (partMode == part8x8)
+	refIdx   int
+	dir      int    // B frames: dirL0/dirL1/dirBI
+	mvs      [16]MV // list-0 vector per 4x4 cell
+	mvsL1    [16]MV // list-1 vector per 4x4 cell (B only)
+
+	// Intra state.
+	intra intraChoice
+
+	// Residual: quantized levels. Luma blocks 0..15 in raster order, Cb
+	// 16..19, Cr 20..23. With the 8x8 transform, luma lives in coefs8
+	// (one block per 8x8 quadrant) instead.
+	coefs  [24]transform.Block
+	nzc    [24]uint8
+	coefs8 [4]transform.Block8
+	nzc8   [4]uint8
+	dct8   bool   // luma coded with the 8x8 transform
+	cbp    uint32 // bit per block group: 4 luma 8x8 + 2 chroma
+}
+
+// setMV stores mv into the 4x4 cells covered by the partition rectangle
+// (px, py, pw, ph) in luma pixels relative to the MB origin.
+func (mb *macroblock) setMV(list int, px, py, pw, ph int, mv MV) {
+	for j := py / 4; j < (py+ph)/4; j++ {
+		for i := px / 4; i < (px+pw)/4; i++ {
+			if list == 0 {
+				mb.mvs[j*4+i] = mv
+			} else {
+				mb.mvsL1[j*4+i] = mv
+			}
+		}
+	}
+}
+
+// residualOrder yields the (bx, by) iteration order of 4x4 luma blocks.
+// The naive loop nest is column-major; -floop-interchange (Graphite) turns
+// it row-major so consecutive blocks share cache lines.
+func residualOrder(interchange bool) [16][2]int {
+	var order [16][2]int
+	k := 0
+	if interchange {
+		for by := 0; by < 4; by++ {
+			for bx := 0; bx < 4; bx++ {
+				order[k] = [2]int{bx, by}
+				k++
+			}
+		}
+	} else {
+		for bx := 0; bx < 4; bx++ {
+			for by := 0; by < 4; by++ {
+				order[k] = [2]int{bx, by}
+				k++
+			}
+		}
+	}
+	return order
+}
+
+// codeResidual4x4 transforms, quantizes and reconstructs one 4x4 block.
+// src is the source plane, rec the reconstruction plane, pred the staged
+// prediction for the whole parent block (predOx/predOy locate this 4x4
+// inside pred). Quantized levels are left in *coef. Returns the nonzero
+// count.
+func (t *tracer) codeResidual4x4(src, rec *frame.Plane, x, y int, pred *block, predOx, predOy int,
+	qp int, deadzone int32, trellis bool, lambda int32, coef *transform.Block) int {
+
+	var res transform.Block
+	for j := 0; j < 4; j++ {
+		srow := src.RowFrom(x, y+j, 4)
+		prow := pred.row(predOy + j)[predOx : predOx+4]
+		for i := 0; i < 4; i++ {
+			res[j*4+i] = int32(srow[i]) - int32(prow[i])
+		}
+	}
+	t.load2D(trace.FnFDCT, src, x, y, 4, 4)
+	t.ops(trace.FnFDCT, 28)
+
+	var freq transform.Block
+	transform.FDCT(&res, &freq)
+
+	var nz int
+	if trellis {
+		t.call(trace.FnTrellis)
+		nz = transform.TrellisQuant(&freq, qp, deadzone, lambda)
+		// Trellis is scalar in x264 and its cost follows the number of
+		// surviving coefficients.
+		t.ops(trace.FnTrellis, 24+nz*10)
+	} else {
+		t.ops(trace.FnQuant, 12)
+		nz = transform.Quant(&freq, qp, deadzone)
+	}
+	*coef = freq
+
+	// Reconstruct: dequant + inverse transform + add prediction.
+	if nz > 0 {
+		deq := freq
+		transform.Dequant(&deq, qp)
+		var spatial transform.Block
+		transform.IDCT(&deq, &spatial)
+		t.ops(trace.FnIDCT, 28)
+		for j := 0; j < 4; j++ {
+			prow := pred.row(predOy + j)[predOx : predOx+4]
+			for i := 0; i < 4; i++ {
+				rec.Set(x+i, y+j, clampU8(int32(prow[i])+spatial[j*4+i]))
+			}
+		}
+	} else {
+		for j := 0; j < 4; j++ {
+			prow := pred.row(predOy + j)[predOx : predOx+4]
+			for i := 0; i < 4; i++ {
+				rec.Set(x+i, y+j, prow[i])
+			}
+		}
+	}
+	t.store2D(trace.FnIDCT, rec, x, y, 4, 4)
+	return nz
+}
+
+// codeResidual8x8 transforms, quantizes and reconstructs one 8x8 luma
+// block (the --8x8dct path). Mirrors codeResidual4x4.
+func (t *tracer) codeResidual8x8(src, rec *frame.Plane, x, y int, pred *block, predOx, predOy int,
+	qp int, deadzone int32, coef *transform.Block8) int {
+
+	var res transform.Block8
+	for j := 0; j < 8; j++ {
+		srow := src.RowFrom(x, y+j, 8)
+		prow := pred.row(predOy + j)[predOx : predOx+8]
+		for i := 0; i < 8; i++ {
+			res[j*8+i] = int32(srow[i]) - int32(prow[i])
+		}
+	}
+	t.load2D(trace.FnFDCT, src, x, y, 8, 8)
+	t.ops(trace.FnFDCT, 72) // the 8x8 butterfly costs ~2.5x four 4x4s
+
+	var freq transform.Block8
+	transform.FDCT8(&res, &freq)
+	t.ops(trace.FnQuant, 40)
+	nz := transform.Quant8(&freq, qp, deadzone)
+	*coef = freq
+
+	if nz > 0 {
+		deq := freq
+		transform.Dequant8(&deq, qp)
+		var spatial transform.Block8
+		transform.IDCT8(&deq, &spatial)
+		t.ops(trace.FnIDCT, 72)
+		for j := 0; j < 8; j++ {
+			prow := pred.row(predOy + j)[predOx : predOx+8]
+			for i := 0; i < 8; i++ {
+				rec.Set(x+i, y+j, clampU8(int32(prow[i])+spatial[j*8+i]))
+			}
+		}
+	} else {
+		for j := 0; j < 8; j++ {
+			prow := pred.row(predOy + j)[predOx : predOx+8]
+			for i := 0; i < 8; i++ {
+				rec.Set(x+i, y+j, prow[i])
+			}
+		}
+	}
+	t.store2D(trace.FnIDCT, rec, x, y, 8, 8)
+	return nz
+}
+
+// copyPredToRec writes a staged prediction straight into the recon plane
+// (used by skip macroblocks).
+func (t *tracer) copyPredToRec(rec *frame.Plane, x, y int, pred *block) {
+	for j := 0; j < pred.h; j++ {
+		copy(rec.RowFrom(x, y+j, pred.w), pred.row(j))
+	}
+	t.ops(trace.FnMC, pred.w*pred.h/16+8)
+	t.store2D(trace.FnMC, rec, x, y, pred.w, pred.h)
+}
+
+// --- coefficient entropy coding ----------------------------------------------
+
+// writeResidualBlock codes one quantized 4x4 block as nCoef followed by
+// (zero-run, level) pairs in zigzag order.
+func (e *Encoder) writeResidualBlock(blk *transform.Block, nz int) {
+	bw := e.bw
+	bw.WriteUE(uint32(nz))
+	e.tr.ops(trace.FnCAVLC, 24)
+	if nz == 0 {
+		return
+	}
+	run := uint32(0)
+	coded := 0
+	for zi, pos := range transform.Zigzag {
+		l := blk[pos]
+		sig := l != 0
+		// One static branch site per scan position: the coefficient loop is
+		// unrolled in real entropy coders, and significance bias is strongly
+		// position-dependent.
+		e.tr.branch(trace.FnCAVLC, siteCoefNZ+trace.BranchID(zi)*16, sig)
+		if !sig {
+			run++
+			continue
+		}
+		bw.WriteUE(run)
+		bw.WriteSE(l)
+		e.tr.ops(trace.FnCAVLC, 12)
+		run = 0
+		coded++
+		if coded == nz {
+			break
+		}
+	}
+	e.tr.loop(trace.FnCAVLC, siteZigzagLoop, 16)
+}
+
+// writeResidualBlock8 codes one quantized 8x8 block in zigzag order.
+func (e *Encoder) writeResidualBlock8(blk *transform.Block8, nz int) {
+	bw := e.bw
+	bw.WriteUE(uint32(nz))
+	e.tr.ops(trace.FnCAVLC, 36)
+	if nz == 0 {
+		return
+	}
+	run := uint32(0)
+	coded := 0
+	for zi, pos := range transform.Zigzag8 {
+		l := blk[pos]
+		sig := l != 0
+		e.tr.branch(trace.FnCAVLC, siteCoefNZ+trace.BranchID(zi&15)*16, sig)
+		if !sig {
+			run++
+			continue
+		}
+		bw.WriteUE(run)
+		bw.WriteSE(l)
+		e.tr.ops(trace.FnCAVLC, 12)
+		run = 0
+		coded++
+		if coded == nz {
+			break
+		}
+	}
+	e.tr.loop(trace.FnCAVLC, siteZigzagLoop, 64)
+}
+
+// readResidualBlock8 is the decoder counterpart of writeResidualBlock8.
+func (d *Decoder) readResidualBlock8(blk *transform.Block8) (int, error) {
+	br := d.br
+	nz32, err := br.ReadUE()
+	if err != nil {
+		return 0, err
+	}
+	nz := int(nz32)
+	*blk = transform.Block8{}
+	pos := 0
+	for k := 0; k < nz; k++ {
+		run, err := br.ReadUE()
+		if err != nil {
+			return 0, err
+		}
+		level, err := br.ReadSE()
+		if err != nil {
+			return 0, err
+		}
+		pos += int(run)
+		if pos >= 64 {
+			return 0, errBitstream("8x8 coefficient run overflows block")
+		}
+		blk[transform.Zigzag8[pos]] = level
+		pos++
+		d.tr.ops(trace.FnDecParse, 16)
+	}
+	d.tr.loop(trace.FnDecParse, siteZigzagLoop, nz+1)
+	return nz, nil
+}
+
+// readResidualBlock is the decoder counterpart of writeResidualBlock.
+func (d *Decoder) readResidualBlock(blk *transform.Block) (int, error) {
+	br := d.br
+	nz32, err := br.ReadUE()
+	if err != nil {
+		return 0, err
+	}
+	nz := int(nz32)
+	*blk = transform.Block{}
+	pos := 0
+	for k := 0; k < nz; k++ {
+		run, err := br.ReadUE()
+		if err != nil {
+			return 0, err
+		}
+		level, err := br.ReadSE()
+		if err != nil {
+			return 0, err
+		}
+		pos += int(run)
+		if pos >= 16 {
+			return 0, errBitstream("coefficient run overflows block")
+		}
+		blk[transform.Zigzag[pos]] = level
+		pos++
+		d.tr.branch(trace.FnDecParse, siteDecCoef, true)
+		d.tr.ops(trace.FnDecParse, 16)
+	}
+	d.tr.loop(trace.FnDecParse, siteZigzagLoop, nz+1)
+	return nz, nil
+}
+
+// bitWriterTrace charges bitstream output work: ops proportional to bits
+// plus a store stream at the write cursor.
+func (e *Encoder) bitWriterTrace(startBits int64) {
+	wrote := e.bw.BitsWritten() - startBits
+	if wrote <= 0 || !e.tr.on {
+		return
+	}
+	e.tr.ops(trace.FnBitWriter, int(wrote/4)+4)
+	e.tr.store(trace.FnBitWriter, bitstreamBase+uint64(startBits/8), int(wrote/8)+1)
+}
+
+// bitstreamBase is the virtual address of the output buffer for tracing.
+const bitstreamBase = 0x2000000000
+
+// errBitstream builds a decode error.
+type bitstreamError string
+
+func errBitstream(msg string) error { return bitstreamError(msg) }
+
+func (e bitstreamError) Error() string { return "codec: corrupt bitstream: " + string(e) }

@@ -1,0 +1,218 @@
+// Package transform implements the residual coding math of the encoder: an
+// orthonormal fixed-point 4x4 DCT, scalar dead-zone quantization with the
+// H.264-style QP-to-step mapping (step doubles every 6 QP), zigzag scanning,
+// and trellis (rate-distortion optimal) coefficient refinement.
+package transform
+
+// Block is a 4x4 residual block in raster order.
+type Block [16]int32
+
+// Fixed-point DCT-II basis, scaled by 64. Rows are the four DCT basis
+// vectors; the matrix is orthogonal to within rounding.
+//
+//	c0 = 0.5*64 = 32,  c1..c3 from cos((2x+1)*u*pi/8) * 0.5 * 64
+var dctC = [4][4]int32{
+	{32, 32, 32, 32},
+	{42, 17, -17, -42},
+	{32, -32, -32, 32},
+	{17, -42, 42, -17},
+}
+
+// FDCT performs the forward 4x4 transform of src into dst. The output is in
+// source scale (orthonormal): a flat block of value v yields DC = 4*v.
+func FDCT(src *Block, dst *Block) {
+	var tmp [16]int32
+	// Rows: tmp = src * C^T
+	for y := 0; y < 4; y++ {
+		r := src[y*4 : y*4+4]
+		for u := 0; u < 4; u++ {
+			c := &dctC[u]
+			tmp[y*4+u] = r[0]*c[0] + r[1]*c[1] + r[2]*c[2] + r[3]*c[3]
+		}
+	}
+	// Columns: dst = C * tmp, with rounding back to source scale (>> 12).
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			c := &dctC[u]
+			s := c[0]*tmp[v] + c[1]*tmp[4+v] + c[2]*tmp[8+v] + c[3]*tmp[12+v]
+			if s >= 0 {
+				s += 1 << 11
+			} else {
+				s -= 1 << 11
+			}
+			dst[u*4+v] = s >> 12
+		}
+	}
+}
+
+// IDCT performs the inverse 4x4 transform of src into dst, the exact adjoint
+// of FDCT to within rounding.
+func IDCT(src *Block, dst *Block) {
+	var tmp [16]int32
+	// Columns: tmp = C^T * src
+	for v := 0; v < 4; v++ {
+		for x := 0; x < 4; x++ {
+			s := dctC[0][x]*src[v] + dctC[1][x]*src[4+v] + dctC[2][x]*src[8+v] + dctC[3][x]*src[12+v]
+			tmp[x*4+v] = s
+		}
+	}
+	// Rows: dst = tmp * C, rounding (>> 12).
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			r := tmp[x*4 : x*4+4]
+			s := r[0]*dctC[0][y] + r[1]*dctC[1][y] + r[2]*dctC[2][y] + r[3]*dctC[3][y]
+			if s >= 0 {
+				s += 1 << 11
+			} else {
+				s -= 1 << 11
+			}
+			dst[x*4+y] = s >> 12
+		}
+	}
+}
+
+// MaxQP is the largest legal quantizer (as in H.264/x264).
+const MaxQP = 51
+
+// qstep maps QP to the quantization step in coefficient units. Step doubles
+// every 6 QP, anchored so that QP 0 is effectively lossless for 8-bit
+// residuals and QP 51 retains only gross structure.
+var qstep [MaxQP + 1]int32
+
+func init() {
+	// qstep[qp] = round(0.675 * 2^((qp-4)/6) * 2), computed in integer form
+	// by repeated doubling from a fixed-point seed table for one octave.
+	seed := [6]int32{86, 97, 109, 122, 137, 153} // 0.675*2^((i)/6)*128
+	for qp := 0; qp <= MaxQP; qp++ {
+		oct := qp / 6
+		s := seed[qp%6] << uint(oct) // 128 * step
+		v := (s + 32) >> 6           // step * 2, rounded
+		if v < 1 {
+			v = 1
+		}
+		qstep[qp] = v
+	}
+}
+
+// QStep returns the quantization step (x2 fixed point) for qp.
+func QStep(qp int) int32 {
+	if qp < 0 {
+		qp = 0
+	}
+	if qp > MaxQP {
+		qp = MaxQP
+	}
+	return qstep[qp]
+}
+
+// Dead-zone numerators out of 64, as in x264: intra blocks use a larger
+// rounding offset because intra residual statistics are flatter.
+const (
+	DeadzoneIntra = 21
+	DeadzoneInter = 11
+)
+
+// Quant quantizes the transformed block in place with the given QP and
+// dead-zone, returning the number of nonzero coefficients. Coefficients are
+// divided by QStep/2 with dead-zone rounding.
+func Quant(b *Block, qp int, deadzone int32) int {
+	step := qstep[clampQP(qp)]
+	nz := 0
+	off := step * deadzone / 64
+	for i, c := range b {
+		neg := c < 0
+		if neg {
+			c = -c
+		}
+		// level = (2*c + dead zone) / step, where step is 2*qstep.
+		l := (2*c + off) / step
+		if l != 0 {
+			nz++
+		}
+		if neg {
+			l = -l
+		}
+		b[i] = l
+	}
+	return nz
+}
+
+// Dequant reconstructs coefficient magnitudes from levels in place.
+func Dequant(b *Block, qp int) {
+	step := qstep[clampQP(qp)]
+	for i, l := range b {
+		b[i] = l * step / 2
+	}
+}
+
+func clampQP(qp int) int {
+	if qp < 0 {
+		return 0
+	}
+	if qp > MaxQP {
+		return MaxQP
+	}
+	return qp
+}
+
+// Zigzag is the coefficient scan order for 4x4 blocks.
+var Zigzag = [16]int{0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15}
+
+// TrellisQuant performs rate-distortion-aware quantization: it first applies
+// the dead-zone quantizer, then for every nonzero coefficient considers the
+// level below (including zero) and keeps the choice minimizing
+// distortion + lambda*rate, where rate is the exp-Golomb level cost plus a
+// run bonus for created zeros. Level 1 trellis in x264 applies this to the
+// final encode; level 2 applies it during mode decision as well — that
+// policy choice lives in the caller. Returns the nonzero count.
+func TrellisQuant(b *Block, qp int, deadzone int32, lambda int32) int {
+	orig := *b // keep pre-quant coefficients for distortion
+	Quant(b, qp, deadzone)
+	step := qstep[clampQP(qp)]
+	nz := 0
+	for i, l := range b {
+		if l == 0 {
+			continue
+		}
+		// Candidate A: current level. Candidate B: one step toward zero.
+		cand := [2]int32{l, l - sign32(l)}
+		best, bestCost := l, int64(0)
+		for k, c := range cand {
+			recon := c * step / 2
+			d := int64(orig[i] - recon)
+			cost := d*d + int64(lambda)*int64(levelBits(c))
+			if k == 0 || cost < bestCost {
+				best, bestCost = c, cost
+			}
+		}
+		b[i] = best
+		if best != 0 {
+			nz++
+		}
+	}
+	return nz
+}
+
+func sign32(v int32) int32 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// levelBits returns the signed exp-Golomb bit cost of coding level l.
+func levelBits(l int32) int32 {
+	if l == 0 {
+		return 1
+	}
+	v := uint32(2 * l)
+	if l < 0 {
+		v = uint32(-2*l) | 1
+	}
+	bits := int32(1)
+	for v > 0 {
+		bits += 2
+		v >>= 1
+	}
+	return bits - 2 + 1
+}

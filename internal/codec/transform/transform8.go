@@ -1,0 +1,160 @@
+package transform
+
+// 8x8 transform support (x264's --8x8dct): a fixed-point orthonormal 8x8
+// DCT-II with matching quantization and scan. Larger basis functions code
+// smooth areas more compactly than four 4x4 transforms; the codec exposes
+// it behind Options.DCT8x8.
+
+// Block8 is an 8x8 residual block in raster order.
+type Block8 [64]int32
+
+// cos16Tab holds cos(k*pi/16) for k = 0..8 to full double precision; the
+// whole 8-point DCT basis reduces to these nine constants by symmetry.
+var cos16Tab = [9]float64{
+	1,
+	0.9807852804032304,
+	0.9238795325112867,
+	0.8314696123025452,
+	0.7071067811865476,
+	0.5555702330196022,
+	0.3826834323650898,
+	0.19509032201612825,
+	0,
+}
+
+// cos16 returns cos(m*pi/16) for any integer m.
+func cos16(m int) float64 {
+	m %= 32
+	if m < 0 {
+		m += 32
+	}
+	if m > 16 {
+		m = 32 - m // cos(2pi - t) = cos(t)
+	}
+	if m > 8 {
+		return -cos16Tab[16-m] // cos(pi - t) = -cos(t)
+	}
+	return cos16Tab[m]
+}
+
+// dct8C is the 8-point DCT-II basis scaled by 256 (rows are basis vectors).
+var dct8C [8][8]int32
+
+func init() {
+	for u := 0; u < 8; u++ {
+		cu := 0.5 // sqrt(2/8)
+		if u == 0 {
+			cu = 0.35355339059327373 // sqrt(1/8)
+		}
+		for x := 0; x < 8; x++ {
+			v := cos16((2*x+1)*u) * cu * 256
+			if v >= 0 {
+				dct8C[u][x] = int32(v + 0.5)
+			} else {
+				dct8C[u][x] = int32(v - 0.5)
+			}
+		}
+	}
+}
+
+// FDCT8 performs the forward 8x8 transform of src into dst (orthonormal
+// scaling: a flat block of value v yields DC = 8*v).
+func FDCT8(src, dst *Block8) {
+	var tmp [64]int32
+	for y := 0; y < 8; y++ {
+		r := src[y*8 : y*8+8]
+		for u := 0; u < 8; u++ {
+			c := &dct8C[u]
+			var s int32
+			for x := 0; x < 8; x++ {
+				s += r[x] * c[x]
+			}
+			tmp[y*8+u] = roundShift8(s)
+		}
+	}
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var s int32
+			c := &dct8C[u]
+			for y := 0; y < 8; y++ {
+				s += c[y] * tmp[y*8+v]
+			}
+			dst[u*8+v] = roundShift8(s)
+		}
+	}
+}
+
+// roundShift8 divides by 256 with round-to-nearest.
+func roundShift8(s int32) int32 {
+	if s >= 0 {
+		return (s + 128) >> 8
+	}
+	return -((-s + 128) >> 8)
+}
+
+// IDCT8 performs the inverse 8x8 transform.
+func IDCT8(src, dst *Block8) {
+	var tmp [64]int32
+	for v := 0; v < 8; v++ {
+		for x := 0; x < 8; x++ {
+			var s int32
+			for u := 0; u < 8; u++ {
+				s += dct8C[u][x] * src[u*8+v]
+			}
+			tmp[x*8+v] = roundShift8(s)
+		}
+	}
+	for x := 0; x < 8; x++ {
+		r := tmp[x*8 : x*8+8]
+		for y := 0; y < 8; y++ {
+			var s int32
+			for v := 0; v < 8; v++ {
+				s += r[v] * dct8C[v][y]
+			}
+			dst[x*8+y] = roundShift8(s)
+		}
+	}
+}
+
+// Quant8 quantizes an 8x8 coefficient block in place, returning the
+// nonzero count. Same step scale as the 4x4 quantizer.
+func Quant8(b *Block8, qp int, deadzone int32) int {
+	step := qstep[clampQP(qp)]
+	off := step * deadzone / 64
+	nz := 0
+	for i, c := range b {
+		neg := c < 0
+		if neg {
+			c = -c
+		}
+		l := (2*c + off) / step
+		if l != 0 {
+			nz++
+		}
+		if neg {
+			l = -l
+		}
+		b[i] = l
+	}
+	return nz
+}
+
+// Dequant8 reconstructs coefficient magnitudes in place.
+func Dequant8(b *Block8, qp int) {
+	step := qstep[clampQP(qp)]
+	for i, l := range b {
+		b[i] = l * step / 2
+	}
+}
+
+// Zigzag8 is the 8x8 coefficient scan order (standard JPEG/H.264 zigzag).
+var Zigzag8 = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}

@@ -1,0 +1,102 @@
+package transform
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFDCT8IDCT8Roundtrip(t *testing.T) {
+	f := func(raw [64]int16) bool {
+		var in, freq, out Block8
+		for i, v := range raw {
+			in[i] = int32(v % 256)
+		}
+		FDCT8(&in, &freq)
+		IDCT8(&freq, &out)
+		for i := range in {
+			d := in[i] - out[i]
+			if d < -6 || d > 6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFDCT8DCValue(t *testing.T) {
+	var in, freq Block8
+	for i := range in {
+		in[i] = 50
+	}
+	FDCT8(&in, &freq)
+	// Orthonormal: DC = 8 * 50 = 400.
+	if freq[0] < 392 || freq[0] > 408 {
+		t.Fatalf("DC of flat 50-block: %d, want ~400", freq[0])
+	}
+	for i := 1; i < 64; i++ {
+		if freq[i] < -3 || freq[i] > 3 {
+			t.Fatalf("AC[%d] of flat block: %d", i, freq[i])
+		}
+	}
+}
+
+func TestQuant8DequantBounded(t *testing.T) {
+	f := func(raw [64]int16, qpRaw uint8) bool {
+		qp := int(qpRaw) % (MaxQP + 1)
+		var b Block8
+		for i, v := range raw {
+			b[i] = int32(v % 512)
+		}
+		orig := b
+		Quant8(&b, qp, DeadzoneInter)
+		Dequant8(&b, qp)
+		step := QStep(qp)
+		for i := range b {
+			d := orig[i] - b[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > step+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZigzag8IsPermutation(t *testing.T) {
+	seen := [64]bool{}
+	for _, p := range Zigzag8 {
+		if p < 0 || p > 63 || seen[p] {
+			t.Fatalf("zigzag8 invalid at %d", p)
+		}
+		seen[p] = true
+	}
+	if Zigzag8[0] != 0 || Zigzag8[1] != 1 || Zigzag8[2] != 8 {
+		t.Fatal("zigzag8 scan start wrong")
+	}
+}
+
+func TestCos16Symmetries(t *testing.T) {
+	cases := []struct {
+		m    int
+		want float64
+	}{
+		{0, 1}, {8, 0}, {16, -1}, {4, 0.7071067811865476},
+		{24, 0}, {28, 0.7071067811865476}, {-4, 0.7071067811865476},
+		{12, -0.7071067811865476}, {32, 1},
+	}
+	for _, c := range cases {
+		got := cos16(c.m)
+		d := got - c.want
+		if d < -1e-12 || d > 1e-12 {
+			t.Fatalf("cos16(%d) = %v, want %v", c.m, got, c.want)
+		}
+	}
+}

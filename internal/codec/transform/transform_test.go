@@ -1,0 +1,245 @@
+package transform
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFDCTIDCTRoundtrip(t *testing.T) {
+	// The fixed-point transform must reconstruct within +-6 of the input
+	// for 9-bit residuals (the 6-bit basis plus two rounding shifts bound
+	// the error at ~1.2% of full scale, far below quantization error at
+	// any practical QP).
+	f := func(raw [16]int16) bool {
+		var in, freq, out Block
+		for i, v := range raw {
+			in[i] = int32(v % 256)
+		}
+		FDCT(&in, &freq)
+		IDCT(&freq, &out)
+		for i := range in {
+			d := in[i] - out[i]
+			if d < -6 || d > 6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFDCTDCValue(t *testing.T) {
+	// A flat block of value v has DC = 4*v (orthonormal scaling) and zero AC.
+	var in, freq Block
+	for i := range in {
+		in[i] = 50
+	}
+	FDCT(&in, &freq)
+	if freq[0] < 196 || freq[0] > 204 {
+		t.Fatalf("DC of flat 50-block: %d, want ~200", freq[0])
+	}
+	for i := 1; i < 16; i++ {
+		if freq[i] < -2 || freq[i] > 2 {
+			t.Fatalf("AC[%d] of flat block: %d", i, freq[i])
+		}
+	}
+}
+
+func TestFDCTEnergyConservation(t *testing.T) {
+	// Orthonormal transforms preserve energy to within rounding.
+	f := func(raw [16]int8) bool {
+		var in, freq Block
+		var ein, efreq int64
+		for i, v := range raw {
+			in[i] = int32(v)
+			ein += int64(v) * int64(v)
+		}
+		FDCT(&in, &freq)
+		for _, c := range freq {
+			efreq += int64(c) * int64(c)
+		}
+		// Allow 15% + constant slack for fixed-point rounding.
+		diff := ein - efreq
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= ein*15/100+64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQStepDoublesEverySix(t *testing.T) {
+	for qp := 0; qp+6 <= MaxQP; qp++ {
+		a, b := QStep(qp), QStep(qp+6)
+		if a < 1 {
+			t.Fatalf("QStep(%d) = %d < 1", qp, a)
+		}
+		// Doubling within rounding slack.
+		if b < 2*a-2 || b > 2*a+2 {
+			t.Errorf("QStep(%d)=%d -> QStep(%d)=%d, want ~2x", qp, a, qp+6, b)
+		}
+	}
+}
+
+func TestQStepClamps(t *testing.T) {
+	if QStep(-5) != QStep(0) || QStep(99) != QStep(MaxQP) {
+		t.Fatal("QStep must clamp out-of-range qp")
+	}
+}
+
+func TestQuantDequantErrorBounded(t *testing.T) {
+	f := func(raw [16]int16, qpRaw uint8) bool {
+		qp := int(qpRaw) % (MaxQP + 1)
+		var b Block
+		for i, v := range raw {
+			b[i] = int32(v % 512)
+		}
+		orig := b
+		Quant(&b, qp, DeadzoneInter)
+		Dequant(&b, qp)
+		step := QStep(qp)
+		for i := range b {
+			d := orig[i] - b[i]
+			if d < 0 {
+				d = -d
+			}
+			// Reconstruction error is bounded by one quantization step.
+			if d > step+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantZeroQPNearLossless(t *testing.T) {
+	var b Block
+	for i := range b {
+		b[i] = int32(i*3 - 20)
+	}
+	orig := b
+	Quant(&b, 0, DeadzoneInter)
+	Dequant(&b, 0)
+	for i := range b {
+		d := orig[i] - b[i]
+		if d < -1 || d > 1 {
+			t.Fatalf("qp0 coefficient %d: %d -> %d", i, orig[i], b[i])
+		}
+	}
+}
+
+func TestQuantNonzeroCount(t *testing.T) {
+	var b Block
+	b[0], b[5], b[15] = 1000, -1000, 500
+	nz := Quant(&b, 23, DeadzoneInter)
+	if nz != 3 {
+		t.Fatalf("nz = %d, want 3", nz)
+	}
+	var zero Block
+	if nz := Quant(&zero, 23, DeadzoneInter); nz != 0 {
+		t.Fatalf("zero block nz = %d", nz)
+	}
+}
+
+func TestHighQPKillsSmallCoefficients(t *testing.T) {
+	var b Block
+	for i := range b {
+		b[i] = int32(i % 7) // small texture
+	}
+	if nz := Quant(&b, 51, DeadzoneInter); nz != 0 {
+		t.Fatalf("qp51 kept %d small coefficients", nz)
+	}
+}
+
+func TestZigzagIsPermutation(t *testing.T) {
+	seen := [16]bool{}
+	for _, p := range Zigzag {
+		if p < 0 || p > 15 || seen[p] {
+			t.Fatalf("zigzag invalid at %d", p)
+		}
+		seen[p] = true
+	}
+	// Standard start: DC first, then (0,1), (1,0).
+	if Zigzag[0] != 0 || Zigzag[1] != 1 || Zigzag[2] != 4 {
+		t.Fatal("zigzag does not follow the standard scan start")
+	}
+}
+
+func TestTrellisNeverIncreasesMagnitude(t *testing.T) {
+	f := func(raw [16]int16, qpRaw uint8) bool {
+		qp := int(qpRaw) % (MaxQP + 1)
+		var plain, trell Block
+		for i, v := range raw {
+			plain[i] = int32(v % 512)
+			trell[i] = plain[i]
+		}
+		Quant(&plain, qp, DeadzoneInter)
+		TrellisQuant(&trell, qp, DeadzoneInter, 4)
+		for i := range plain {
+			p, q := plain[i], trell[i]
+			if p < 0 {
+				p = -p
+			}
+			if q < 0 {
+				q = -q
+			}
+			if q > p {
+				return false // trellis only moves levels toward zero
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrellisHighLambdaZeroesMore(t *testing.T) {
+	mk := func() Block {
+		var b Block
+		for i := range b {
+			b[i] = int32(8 + i)
+		}
+		return b
+	}
+	low, high := mk(), mk()
+	nzLow := TrellisQuant(&low, 30, DeadzoneInter, 1)
+	nzHigh := TrellisQuant(&high, 30, DeadzoneInter, 1<<14)
+	if nzHigh > nzLow {
+		t.Fatalf("higher lambda kept more coefficients (%d > %d)", nzHigh, nzLow)
+	}
+}
+
+func TestIntraDeadzoneLargerThanInter(t *testing.T) {
+	if DeadzoneIntra <= DeadzoneInter {
+		t.Fatal("intra dead-zone must exceed inter (x264 convention)")
+	}
+}
+
+func BenchmarkFDCT(b *testing.B) {
+	var in, out Block
+	for i := range in {
+		in[i] = int32(i*5 - 40)
+	}
+	for i := 0; i < b.N; i++ {
+		FDCT(&in, &out)
+	}
+}
+
+func BenchmarkTrellisQuant(b *testing.B) {
+	var in Block
+	for i := range in {
+		in[i] = int32(i*9 - 70)
+	}
+	for i := 0; i < b.N; i++ {
+		blk := in
+		TrellisQuant(&blk, 26, DeadzoneInter, 8)
+	}
+}

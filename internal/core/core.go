@@ -1,0 +1,300 @@
+// Package core is the paper's experimental pipeline: it wires the workload
+// generator, the instrumented codec and the microarchitecture simulator
+// together and exposes the three profiling sweeps of §III-C — across
+// crf x refs, across presets, and across videos — plus single-run
+// characterization used by the optimization and scheduling studies.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/frame"
+	"repro/internal/perf"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+	"repro/internal/vbench"
+)
+
+// Workload selects the video content of one experiment.
+type Workload struct {
+	Video  string // vbench short name
+	Frames int    // clip length in frames (0: 16-frame default)
+	Scale  int    // proxy downscale factor (0: auto, see DESIGN.md §6)
+	Seed   uint64 // content seed override (0: per-video default)
+}
+
+// proxyLines is the target proxy height when Scale is auto: every catalog
+// video is reduced to roughly this many lines so that one simulated second
+// costs about the same regardless of source resolution.
+const proxyLines = 256
+
+// normalized resolves defaulted fields so that equal workloads share one
+// mezzanine cache entry.
+func (w Workload) normalized() (Workload, error) {
+	if w.Frames <= 0 {
+		w.Frames = 16
+	}
+	if w.Scale <= 0 {
+		info, err := vbench.ByName(w.Video)
+		if err != nil {
+			return w, err
+		}
+		w.Scale = info.Height / proxyLines
+		if w.Scale < 1 {
+			w.Scale = 1
+		}
+	}
+	return w, nil
+}
+
+// DefaultWorkload returns the proxy settings used by the experiment
+// harness: a 16-frame clip auto-scaled to roughly 192 lines.
+func DefaultWorkload(video string) Workload {
+	return Workload{Video: video}
+}
+
+// Job is one transcoding run to simulate.
+type Job struct {
+	Workload Workload
+	Options  codec.Options
+	Config   uarch.Config
+	// Image overrides the default code layout (used by the AutoFDO study);
+	// nil selects the compiler-default layout.
+	Image *trace.Image
+	// SkipDecode omits the decode half of the transcode (encode-only
+	// microbenchmarks); full transcodes decode a cached mezzanine stream
+	// first, exactly as a production transcode does.
+	SkipDecode bool
+}
+
+// Result bundles the profile and the codec-side outcome of a run.
+type Result struct {
+	Report *perf.Report
+	Stats  *codec.Stats
+}
+
+// --- mezzanine cache ----------------------------------------------------------
+
+// mezzanine is the "uploaded" form of each workload: a high-quality encode
+// produced once per (video, frames, scale, seed) and then decoded at the
+// start of every transcode job, mirroring how a streaming service stores
+// one pristine copy and transcodes it many times.
+var mezzCache struct {
+	sync.Mutex
+	streams map[Workload][]byte
+}
+
+// mezzanineOptions returns the settings of the pristine copy.
+func mezzanineOptions() codec.Options {
+	o := codec.Options{RC: codec.RCCQP, QP: 12, CRF: 23, KeyintMax: 250}
+	if err := codec.ApplyPreset(&o, codec.PresetVeryfast); err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// sourceFrames synthesizes the raw clip for a workload.
+func sourceFrames(w Workload) ([]*frame.Frame, vbench.VideoInfo, error) {
+	info, err := vbench.ByName(w.Video)
+	if err != nil {
+		return nil, info, err
+	}
+	src := vbench.NewSource(info, vbench.SourceOptions{Scale: w.Scale, Seed: w.Seed})
+	n := w.Frames
+	if n <= 0 {
+		n = src.FrameCount(5)
+	}
+	frames := make([]*frame.Frame, n)
+	for i := range frames {
+		frames[i] = src.Frame(i)
+	}
+	return frames, info, nil
+}
+
+// Mezzanine returns (building and caching on first use) the pristine
+// bitstream for a workload.
+func Mezzanine(w Workload) ([]byte, error) {
+	w, err := w.normalized()
+	if err != nil {
+		return nil, err
+	}
+	mezzCache.Lock()
+	if mezzCache.streams == nil {
+		mezzCache.streams = make(map[Workload][]byte)
+	}
+	if s, ok := mezzCache.streams[w]; ok {
+		mezzCache.Unlock()
+		return s, nil
+	}
+	mezzCache.Unlock()
+
+	frames, info, err := sourceFrames(w)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := codec.NewEncoder(frames[0].Width, frames[0].Height, info.FPS, mezzanineOptions(), nil)
+	if err != nil {
+		return nil, err
+	}
+	stream, _, err := enc.EncodeAll(frames)
+	if err != nil {
+		return nil, fmt.Errorf("core: mezzanine encode of %s: %w", w.Video, err)
+	}
+	mezzCache.Lock()
+	mezzCache.streams[w] = stream
+	mezzCache.Unlock()
+	return stream, nil
+}
+
+// Run simulates one transcoding job end to end: decode the mezzanine (unless
+// skipped), re-encode with the job's options, all under the configured
+// microarchitecture. Returns the profile and codec statistics.
+func Run(job Job) (*Result, error) {
+	nw, err := job.Workload.normalized()
+	if err != nil {
+		return nil, err
+	}
+	job.Workload = nw
+	img := job.Image
+	if img == nil {
+		img = trace.NewImage(nil)
+	}
+	machine := uarch.NewMachine(job.Config, img)
+
+	var input []*frame.Frame
+	info, err := vbench.ByName(job.Workload.Video)
+	if err != nil {
+		return nil, err
+	}
+	if job.SkipDecode {
+		input, _, err = sourceFrames(job.Workload)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		stream, err := Mezzanine(job.Workload)
+		if err != nil {
+			return nil, err
+		}
+		dec := codec.NewDecoder(codec.DecoderOptions{
+			TraceSampleLog2: job.Options.TraceSampleLog2,
+			Tune:            job.Options.Tune,
+		}, machine)
+		input, _, err = dec.Decode(stream)
+		if err != nil {
+			return nil, fmt.Errorf("core: mezzanine decode of %s: %w", job.Workload.Video, err)
+		}
+	}
+
+	enc, err := codec.NewEncoder(input[0].Width, input[0].Height, info.FPS, job.Options, machine)
+	if err != nil {
+		return nil, err
+	}
+	_, stats, err := enc.EncodeAll(input)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode of %s: %w", job.Workload.Video, err)
+	}
+	rep := perf.FromResult(machine.Result(), enc.SampleFactor())
+	return &Result{Report: rep, Stats: stats}, nil
+}
+
+// --- sweeps ---------------------------------------------------------------------
+
+// Point is one sweep sample: the parameter coordinates plus profile and
+// codec outcomes.
+type Point struct {
+	Video  string
+	CRF    int
+	Refs   int
+	Preset codec.Preset
+
+	Report *perf.Report
+	Stats  *codec.Stats
+	Err    error
+}
+
+// runParallel evaluates jobs across all CPUs, preserving order.
+func runParallel(n int, build func(i int) (Job, Point)) []Point {
+	points := make([]Point, n)
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		jobs[i], points[i] = build(i)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := Run(jobs[i])
+			if err != nil {
+				points[i].Err = err
+				return
+			}
+			points[i].Report = res.Report
+			points[i].Stats = res.Stats
+		}(i)
+	}
+	wg.Wait()
+	return points
+}
+
+// SweepCRFRefs profiles every (crf, refs) combination on one video — the
+// §III-C1 experiment behind Figures 3, 4 and 5.
+func SweepCRFRefs(w Workload, base codec.Options, cfg uarch.Config, crfs, refs []int) []Point {
+	// Warm the mezzanine before fanning out.
+	if _, err := Mezzanine(w); err != nil {
+		return []Point{{Video: w.Video, Err: err}}
+	}
+	n := len(crfs) * len(refs)
+	return runParallel(n, func(i int) (Job, Point) {
+		crf := crfs[i/len(refs)]
+		rf := refs[i%len(refs)]
+		opt := base
+		opt.RC = codec.RCCRF
+		opt.CRF = crf
+		opt.Refs = rf
+		return Job{Workload: w, Options: opt, Config: cfg},
+			Point{Video: w.Video, CRF: crf, Refs: rf}
+	})
+}
+
+// SweepPresets profiles all presets at fixed crf/refs on one video — the
+// §III-C2 experiment behind Figure 6. Following the paper, crf and refs are
+// pinned to the defaults (23/3) regardless of the preset's own values.
+func SweepPresets(w Workload, cfg uarch.Config, presets []codec.Preset, crf, refs int) []Point {
+	if _, err := Mezzanine(w); err != nil {
+		return []Point{{Video: w.Video, Err: err}}
+	}
+	return runParallel(len(presets), func(i int) (Job, Point) {
+		opt := codec.Options{RC: codec.RCCRF, CRF: crf, QP: 26, KeyintMax: 250}
+		if err := codec.ApplyPreset(&opt, presets[i]); err != nil {
+			return Job{}, Point{Err: err}
+		}
+		opt.Refs = refs
+		opt.TraceSampleLog2 = 0
+		return Job{Workload: w, Options: opt, Config: cfg},
+			Point{Video: w.Video, CRF: crf, Refs: refs, Preset: presets[i]}
+	})
+}
+
+// SweepVideos profiles a fixed configuration (medium, crf 23, refs 3 unless
+// overridden) across videos — the §III-C3 experiment behind Figure 7.
+func SweepVideos(videos []string, frames, scale int, base codec.Options, cfg uarch.Config) []Point {
+	for _, v := range videos {
+		w := Workload{Video: v, Frames: frames, Scale: scale}
+		if _, err := Mezzanine(w); err != nil {
+			return []Point{{Video: v, Err: err}}
+		}
+	}
+	return runParallel(len(videos), func(i int) (Job, Point) {
+		w := Workload{Video: videos[i], Frames: frames, Scale: scale}
+		return Job{Workload: w, Options: base, Config: cfg},
+			Point{Video: videos[i], CRF: base.CRF, Refs: base.Refs}
+	})
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/uarch"
+)
+
+// tinyWorkload keeps integration tests fast on one CPU.
+func tinyWorkload(video string) Workload {
+	return Workload{Video: video, Frames: 10, Scale: 8}
+}
+
+func runPoint(t *testing.T, w Workload, crf, refs int, cfg uarch.Config) *Result {
+	t.Helper()
+	opt := codec.Defaults()
+	opt.CRF = crf
+	opt.Refs = refs
+	res, err := Run(Job{Workload: w, Options: opt, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunSmoke(t *testing.T) {
+	res := runPoint(t, tinyWorkload("cricket"), 23, 3, uarch.Baseline())
+	r := res.Report
+	if r.Seconds <= 0 || r.Insts <= 0 {
+		t.Fatalf("degenerate report: %+v", r)
+	}
+	sum := r.Topdown.Retiring + r.Topdown.FrontEnd + r.Topdown.BadSpec + r.Topdown.BackEnd
+	if sum < 99.9 || sum > 100.1 {
+		t.Fatalf("top-down sums to %f", sum)
+	}
+	if res.Stats.TotalBits <= 0 || res.Stats.AveragePSNR < 20 {
+		t.Fatalf("codec stats implausible: %+v", res.Stats)
+	}
+}
+
+func TestWorkloadNormalization(t *testing.T) {
+	w, err := Workload{Video: "presentation"}.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Frames != 16 {
+		t.Fatalf("default frames %d", w.Frames)
+	}
+	// 1080 lines / 256 target -> scale 4.
+	if w.Scale != 4 {
+		t.Fatalf("auto scale %d", w.Scale)
+	}
+	if _, err := (Workload{Video: "nope"}).normalized(); err == nil {
+		t.Fatal("unknown video accepted")
+	}
+}
+
+func TestMezzanineCached(t *testing.T) {
+	w := tinyWorkload("cat")
+	a, err := Mezzanine(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mezzanine(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("mezzanine not cached")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty mezzanine")
+	}
+}
+
+func TestRunErrorsOnUnknownVideo(t *testing.T) {
+	_, err := Run(Job{Workload: Workload{Video: "void"}, Options: codec.Defaults(), Config: uarch.Baseline()})
+	if err == nil {
+		t.Fatal("unknown video accepted")
+	}
+}
+
+// --- paper trend assertions ------------------------------------------------
+
+// TestTrendTimeFallsWithCRF asserts Figure 2/3's speed edge: raising crf
+// speeds up transcoding.
+func TestTrendTimeFallsWithCRF(t *testing.T) {
+	w := tinyWorkload("cricket")
+	lo := runPoint(t, w, 10, 2, uarch.Baseline())
+	hi := runPoint(t, w, 45, 2, uarch.Baseline())
+	if hi.Report.Seconds >= lo.Report.Seconds {
+		t.Fatalf("crf 45 (%.4fs) not faster than crf 10 (%.4fs)",
+			hi.Report.Seconds, lo.Report.Seconds)
+	}
+}
+
+// TestTrendTimeRisesWithRefs asserts Figure 4B: more references slow the
+// transcode.
+func TestTrendTimeRisesWithRefs(t *testing.T) {
+	w := tinyWorkload("cricket")
+	one := runPoint(t, w, 20, 1, uarch.Baseline())
+	eight := runPoint(t, w, 20, 8, uarch.Baseline())
+	if eight.Report.Seconds <= one.Report.Seconds {
+		t.Fatalf("refs 8 (%.4fs) not slower than refs 1 (%.4fs)",
+			eight.Report.Seconds, one.Report.Seconds)
+	}
+}
+
+// TestTrendBranchMPKIFallsWithCRF asserts Figure 5a's direction.
+func TestTrendBranchMPKIFallsWithCRF(t *testing.T) {
+	w := tinyWorkload("cricket")
+	lo := runPoint(t, w, 8, 2, uarch.Baseline())
+	hi := runPoint(t, w, 35, 2, uarch.Baseline())
+	if hi.Report.BranchMPKI >= lo.Report.BranchMPKI {
+		t.Fatalf("branch MPKI rose with crf: %.2f -> %.2f",
+			lo.Report.BranchMPKI, hi.Report.BranchMPKI)
+	}
+}
+
+// TestTrendBadSpecFallsWithCRF asserts Figure 3c's direction.
+func TestTrendBadSpecFallsWithCRF(t *testing.T) {
+	w := tinyWorkload("cricket")
+	lo := runPoint(t, w, 8, 2, uarch.Baseline())
+	hi := runPoint(t, w, 35, 2, uarch.Baseline())
+	if hi.Report.Topdown.BadSpec >= lo.Report.Topdown.BadSpec {
+		t.Fatalf("bad speculation rose with crf: %.1f -> %.1f",
+			lo.Report.Topdown.BadSpec, hi.Report.Topdown.BadSpec)
+	}
+}
+
+// TestTrendSBStallsFallWithRefs asserts Figure 5h's noted exception: store
+// buffer stalls drop as refs improve compression.
+func TestTrendSBStallsFallWithRefs(t *testing.T) {
+	w := tinyWorkload("cricket")
+	one := runPoint(t, w, 23, 1, uarch.Baseline())
+	eight := runPoint(t, w, 23, 8, uarch.Baseline())
+	if eight.Report.StallSBPKI >= one.Report.StallSBPKI {
+		t.Fatalf("SB stalls rose with refs: %.2f -> %.2f",
+			one.Report.StallSBPKI, eight.Report.StallSBPKI)
+	}
+}
+
+// TestTrendEntropyRaisesBranchMPKI asserts Figure 7b: complex videos
+// mispredict more.
+func TestTrendEntropyRaisesBranchMPKI(t *testing.T) {
+	low := runPoint(t, tinyWorkload("desktop"), 23, 3, uarch.Baseline()) // entropy 0.2
+	high := runPoint(t, tinyWorkload("hall"), 23, 3, uarch.Baseline())   // entropy 7.7
+	if high.Report.BranchMPKI <= low.Report.BranchMPKI {
+		t.Fatalf("entropy 7.7 branch MPKI %.2f not above entropy 0.2's %.2f",
+			high.Report.BranchMPKI, low.Report.BranchMPKI)
+	}
+	if high.Report.Topdown.BadSpec <= low.Report.Topdown.BadSpec {
+		t.Fatalf("entropy 7.7 bad-spec %.1f%% not above entropy 0.2's %.1f%%",
+			high.Report.Topdown.BadSpec, low.Report.Topdown.BadSpec)
+	}
+}
+
+// TestTrendSlowerPresetsLowerDataMPKI asserts Figure 6c: slow presets do
+// more compute per byte, diluting data-cache misses.
+func TestTrendSlowerPresetsLowerDataMPKI(t *testing.T) {
+	w := tinyWorkload("cricket")
+	pts := SweepPresets(w, uarch.Baseline(), []codec.Preset{codec.PresetVeryfast, codec.PresetSlower}, 23, 3)
+	for _, p := range pts {
+		if p.Err != nil {
+			t.Fatal(p.Err)
+		}
+	}
+	fast, slow := pts[0].Report, pts[1].Report
+	if slow.L1DMPKI >= fast.L1DMPKI {
+		t.Fatalf("slower preset L1d MPKI %.2f not below veryfast's %.2f",
+			slow.L1DMPKI, fast.L1DMPKI)
+	}
+	if slow.Seconds <= fast.Seconds {
+		t.Fatalf("slower preset (%.4fs) not slower than veryfast (%.4fs)",
+			slow.Seconds, fast.Seconds)
+	}
+}
+
+// TestSweepShapes runs a minimal grid and checks structural integrity.
+func TestSweepCRFRefsGrid(t *testing.T) {
+	w := tinyWorkload("cat")
+	pts := SweepCRFRefs(w, codec.Defaults(), uarch.Baseline(), []int{15, 35}, []int{1, 4})
+	if len(pts) != 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Err != nil {
+			t.Fatal(p.Err)
+		}
+		if p.Report == nil || p.Stats == nil {
+			t.Fatal("missing results")
+		}
+	}
+	// Row-major order: crf varies slowest.
+	if pts[0].CRF != 15 || pts[1].CRF != 15 || pts[2].CRF != 35 {
+		t.Fatalf("grid order broken: %+v", pts)
+	}
+	if pts[0].Refs != 1 || pts[1].Refs != 4 {
+		t.Fatal("refs order broken")
+	}
+}
+
+func TestSweepVideosShape(t *testing.T) {
+	pts := SweepVideos([]string{"desktop", "holi"}, 8, 8, codec.Defaults(), uarch.Baseline())
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Err != nil {
+			t.Fatal(p.Err)
+		}
+	}
+	if pts[0].Video != "desktop" || pts[1].Video != "holi" {
+		t.Fatal("video order broken")
+	}
+}
+
+// TestConfigOrdering sanity-checks that every optimized configuration beats
+// the baseline on the workload class it targets (the premise of Figure 9).
+func TestOptimizedConfigsBeatBaseline(t *testing.T) {
+	w := tinyWorkload("holi")
+	base := runPoint(t, w, 15, 2, uarch.Baseline())
+	for _, cfg := range uarch.TableIV()[1:] {
+		opt := runPoint(t, w, 15, 2, cfg)
+		if opt.Report.Seconds > base.Report.Seconds*1.02 {
+			t.Errorf("%s (%.4fs) slower than baseline (%.4fs)",
+				cfg.Name, opt.Report.Seconds, base.Report.Seconds)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/opt/autofdo"
+	"repro/internal/opt/graphite"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+	"repro/internal/vbench"
+)
+
+func TestProbeOpt(t *testing.T) {
+	for _, video := range []string{"desktop", "cricket", "hall"} {
+		w := Workload{Video: video, Frames: 16}
+		opt := codec.Defaults()
+
+		base, err := Run(Job{Workload: w, Options: opt, Config: uarch.Baseline()})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// AutoFDO: train on the same workload, apply layout.
+		nw, _ := w.normalized()
+		frames, info, _ := sourceFrames(nw)
+		col := autofdo.NewCollector()
+		enc, _ := codec.NewEncoder(frames[0].Width, frames[0].Height, info.FPS, opt, col)
+		enc.EncodeAll(frames)
+		img := col.Profile().Apply(trace.NewImage(nil), autofdo.Options{})
+		fdo, err := Run(Job{Workload: w, Options: opt, Config: uarch.Baseline(), Image: img})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		gopt := opt
+		gopt.Tune = graphite.All().Tuning()
+		gr, err := Run(Job{Workload: w, Options: gopt, Config: uarch.Baseline()})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		su := func(a, b float64) float64 { return (a/b - 1) * 100 }
+		fmt.Printf("%-10s base=%.4fs fdo=%+.2f%% graphite=%+.2f%% | fe %.1f->%.1f | l1d %.2f->%.2f | br %.2f->%.2f\n",
+			video, base.Report.Seconds, su(base.Report.Seconds, fdo.Report.Seconds), su(base.Report.Seconds, gr.Report.Seconds),
+			base.Report.Topdown.FrontEnd, fdo.Report.Topdown.FrontEnd,
+			base.Report.L1DMPKI, gr.Report.L1DMPKI,
+			base.Report.BranchMPKI, fdo.Report.BranchMPKI)
+	}
+}
+
+func TestProbeSched(t *testing.T) {
+	_ = vbench.Catalog
+}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/uarch"
+)
+
+func TestProbeFlags(t *testing.T) {
+	w := Workload{Video: "desktop", Frames: 16}
+	run := func(name string, tune codec.Tuning) {
+		opt := codec.Defaults()
+		opt.Tune = tune
+		res, err := Run(Job{Workload: w, Options: opt, Config: uarch.Baseline()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := res.Report
+		fmt.Printf("%-12s t=%.5f cyc=%.2fM l1d=%.2f l2=%.2f l3=%.2f mem%%=%.1f insts=%.1fM\n",
+			name, r.Seconds, r.Cycles/1e6, r.L1DMPKI, r.L2MPKI, r.L3MPKI, r.Topdown.MemBound, r.Insts/1e6)
+	}
+	run("none", codec.Tuning{})
+	run("fuse", codec.Tuning{FuseDeblock: true})
+	run("interchange", codec.Tuning{InterchangeResidual: true})
+	run("distribute", codec.Tuning{DistributeLookahead: true})
+	run("all", codec.Tuning{FuseDeblock: true, InterchangeResidual: true, DistributeLookahead: true})
+}

@@ -1,0 +1,111 @@
+package frame
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteY4M writes frames as a YUV4MPEG2 stream (4:2:0, 8-bit), the
+// interchange format every video toolchain (ffmpeg, mpv, VMAF) accepts.
+// All frames must share the dimensions of the first.
+func WriteY4M(w io.Writer, frames []*Frame, fps int) error {
+	if len(frames) == 0 {
+		return fmt.Errorf("frame: no frames to write")
+	}
+	bw := bufio.NewWriter(w)
+	f0 := frames[0]
+	if _, err := fmt.Fprintf(bw, "YUV4MPEG2 W%d H%d F%d:1 Ip A1:1 C420\n",
+		f0.Width, f0.Height, fps); err != nil {
+		return err
+	}
+	for _, f := range frames {
+		if f.Width != f0.Width || f.Height != f0.Height {
+			return fmt.Errorf("frame: mixed dimensions in y4m stream")
+		}
+		if _, err := io.WriteString(bw, "FRAME\n"); err != nil {
+			return err
+		}
+		for _, p := range []*Plane{&f.Y, &f.Cb, &f.Cr} {
+			for y := 0; y < p.H; y++ {
+				if _, err := bw.Write(p.Row(y)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadY4M parses a YUV4MPEG2 stream (4:2:0, 8-bit) into frames. Returns the
+// frames and the nominal frame rate.
+func ReadY4M(r io.Reader) ([]*Frame, int, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, 0, fmt.Errorf("frame: y4m header: %w", err)
+	}
+	fields := strings.Fields(strings.TrimSpace(header))
+	if len(fields) == 0 || fields[0] != "YUV4MPEG2" {
+		return nil, 0, fmt.Errorf("frame: not a y4m stream")
+	}
+	var width, height, fps int
+	fps = 30
+	for _, f := range fields[1:] {
+		if len(f) < 2 {
+			continue
+		}
+		switch f[0] {
+		case 'W':
+			width, _ = strconv.Atoi(f[1:])
+		case 'H':
+			height, _ = strconv.Atoi(f[1:])
+		case 'F':
+			if num, den, ok := strings.Cut(f[1:], ":"); ok {
+				n, _ := strconv.Atoi(num)
+				d, _ := strconv.Atoi(den)
+				if d > 0 {
+					fps = n / d
+				}
+			}
+		case 'C':
+			if f != "C420" && f != "C420jpeg" && f != "C420mpeg2" {
+				return nil, 0, fmt.Errorf("frame: unsupported chroma sampling %q", f)
+			}
+		}
+	}
+	if width <= 0 || height <= 0 || width%16 != 0 || height%16 != 0 {
+		return nil, 0, fmt.Errorf("frame: y4m dimensions %dx%d not multiples of 16", width, height)
+	}
+
+	var frames []*Frame
+	for {
+		line, err := br.ReadString('\n')
+		if err == io.EOF && line == "" {
+			break
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("frame: y4m frame header: %w", err)
+		}
+		if !strings.HasPrefix(line, "FRAME") {
+			return nil, 0, fmt.Errorf("frame: expected FRAME marker, got %q", strings.TrimSpace(line))
+		}
+		f := New(width, height)
+		f.PTS = len(frames)
+		for _, p := range []*Plane{&f.Y, &f.Cb, &f.Cr} {
+			for y := 0; y < p.H; y++ {
+				if _, err := io.ReadFull(br, p.Row(y)); err != nil {
+					return nil, 0, fmt.Errorf("frame: y4m pixel data: %w", err)
+				}
+			}
+		}
+		f.ExtendEdges()
+		frames = append(frames, f)
+	}
+	if len(frames) == 0 {
+		return nil, 0, fmt.Errorf("frame: y4m stream has no frames")
+	}
+	return frames, fps, nil
+}

@@ -1,0 +1,38 @@
+// Package graphite models Graphite, GCC's polyhedral loop optimizer, as
+// the paper applies it to FFmpeg (§III-D1): compilation with
+// -floop-interchange -ftree-loop-distribution -floop-block. Each flag maps
+// to a concrete restructuring of the codec's hot frame loops (see
+// codec.Tuning); the transformations change the real iteration order and
+// pass structure — and therefore the data-address stream the cache
+// simulator measures — without changing any coded output, exactly the
+// contract of a semantics-preserving loop optimization.
+package graphite
+
+import "repro/internal/codec"
+
+// Flags mirror the GCC command line used in the paper.
+type Flags struct {
+	LoopBlock        bool // -floop-block
+	LoopInterchange  bool // -floop-interchange
+	LoopDistribution bool // -ftree-loop-distribution
+}
+
+// All returns the paper's full flag set.
+func All() Flags {
+	return Flags{LoopBlock: true, LoopInterchange: true, LoopDistribution: true}
+}
+
+// Tuning converts the flag set into the codec's loop-tuning switches:
+//
+//   - -floop-block fuses deblocking into the macroblock-row loop so
+//     reconstructed pixels are filtered while still cache-resident;
+//   - -floop-interchange iterates residual sub-blocks row-major;
+//   - -ftree-loop-distribution splits the lookahead's variance pass out and
+//     memoizes it for adaptive quantization.
+func (f Flags) Tuning() codec.Tuning {
+	return codec.Tuning{
+		FuseDeblock:         f.LoopBlock,
+		InterchangeResidual: f.LoopInterchange,
+		DistributeLookahead: f.LoopDistribution,
+	}
+}

@@ -1,0 +1,31 @@
+package graphite
+
+import "testing"
+
+func TestAllEnablesEverything(t *testing.T) {
+	f := All()
+	if !f.LoopBlock || !f.LoopInterchange || !f.LoopDistribution {
+		t.Fatalf("All() = %+v", f)
+	}
+}
+
+func TestTuningMapping(t *testing.T) {
+	cases := []struct {
+		flags Flags
+		fuse  bool
+		inter bool
+		dist  bool
+	}{
+		{Flags{}, false, false, false},
+		{Flags{LoopBlock: true}, true, false, false},
+		{Flags{LoopInterchange: true}, false, true, false},
+		{Flags{LoopDistribution: true}, false, false, true},
+		{All(), true, true, true},
+	}
+	for _, c := range cases {
+		tn := c.flags.Tuning()
+		if tn.FuseDeblock != c.fuse || tn.InterchangeResidual != c.inter || tn.DistributeLookahead != c.dist {
+			t.Errorf("%+v -> %+v", c.flags, tn)
+		}
+	}
+}

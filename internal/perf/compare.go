@@ -1,0 +1,42 @@
+package perf
+
+// Delta summarizes how an optimized run compares against a baseline run of
+// the same workload — the per-video rows of Figure 8.
+type Delta struct {
+	SpeedupPct float64 // (base/opt - 1) * 100
+
+	// Absolute changes in the headline rates (optimized minus baseline;
+	// negative is an improvement).
+	BranchMPKI float64
+	L1IMPKI    float64
+	L1DMPKI    float64
+	L2MPKI     float64
+	L3MPKI     float64
+
+	// Slot-share changes in percentage points.
+	FrontEnd float64
+	BadSpec  float64
+	MemBound float64
+}
+
+// Compare measures opt against base. Both reports must come from the same
+// workload for the comparison to be meaningful.
+func Compare(base, opt *Report) Delta {
+	d := Delta{
+		BranchMPKI: opt.BranchMPKI - base.BranchMPKI,
+		L1IMPKI:    opt.L1IMPKI - base.L1IMPKI,
+		L1DMPKI:    opt.L1DMPKI - base.L1DMPKI,
+		L2MPKI:     opt.L2MPKI - base.L2MPKI,
+		L3MPKI:     opt.L3MPKI - base.L3MPKI,
+		FrontEnd:   opt.Topdown.FrontEnd - base.Topdown.FrontEnd,
+		BadSpec:    opt.Topdown.BadSpec - base.Topdown.BadSpec,
+		MemBound:   opt.Topdown.MemBound - base.Topdown.MemBound,
+	}
+	if opt.Seconds > 0 {
+		d.SpeedupPct = (base.Seconds/opt.Seconds - 1) * 100
+	}
+	return d
+}
+
+// Improved reports whether the optimized run is faster.
+func (d Delta) Improved() bool { return d.SpeedupPct > 0 }

@@ -1,0 +1,150 @@
+// Package perf is the profiling layer of the reproduction — the stand-in
+// for Intel VTune and Linux perf. It converts raw simulator counters into
+// the quantities the paper reports: Top-down pipeline-slot fractions
+// (retiring / front-end bound / bad speculation / back-end bound, with
+// memory- and core-bound sub-components) and misses-per-kilo-instruction
+// rates for the branch unit and each cache level.
+package perf
+
+import (
+	"fmt"
+
+	"repro/internal/uarch"
+)
+
+// Topdown is the four-way (plus back-end split) slot breakdown of the
+// Top-down Microarchitecture Analysis Method, in percent of pipeline slots.
+type Topdown struct {
+	Retiring float64
+	FrontEnd float64
+	BadSpec  float64
+	BackEnd  float64
+
+	MemBound  float64 // component of BackEnd
+	CoreBound float64 // component of BackEnd
+}
+
+// Report is the full profile of one transcoding run on one configuration.
+type Report struct {
+	Config       string
+	SampleFactor float64
+
+	Insts   float64
+	Cycles  float64
+	IPC     float64
+	Seconds float64 // estimated wall-clock transcoding time
+
+	Topdown Topdown
+
+	// Misses per kilo instruction.
+	BranchMPKI float64
+	L1DMPKI    float64
+	L2MPKI     float64
+	L3MPKI     float64
+	L1IMPKI    float64
+	ITLBMPKI   float64
+
+	// Resource-stall cycles per kilo instruction (Fig. 5 e-h).
+	StallAnyPKI float64
+	StallROBPKI float64
+	StallRSPKI  float64
+	StallSBPKI  float64
+
+	// Raw traffic for roofline analysis.
+	DRAMBytes float64
+	Ops       float64
+}
+
+// FromResult derives a Report from simulator counters. sampleFactor scales
+// the time estimate back to full-trace magnitude (rates are scale-free).
+func FromResult(r *uarch.Result, sampleFactor float64) *Report {
+	cyc := r.Cycles()
+	rep := &Report{
+		Config:       r.Config,
+		SampleFactor: sampleFactor,
+		Insts:        r.Insts,
+		Cycles:       cyc,
+		IPC:          r.IPC(),
+		Seconds:      r.Seconds(sampleFactor),
+		DRAMBytes:    r.DRAMBytes(),
+		Ops:          r.Uops,
+	}
+	if cyc > 0 {
+		be := r.MemCycles + r.CoreCycles
+		rep.Topdown = Topdown{
+			Retiring:  100 * r.BaseCycles / cyc,
+			FrontEnd:  100 * r.FECycles / cyc,
+			BadSpec:   100 * r.BSCycles / cyc,
+			BackEnd:   100 * be / cyc,
+			MemBound:  100 * r.MemCycles / cyc,
+			CoreBound: 100 * r.CoreCycles / cyc,
+		}
+	}
+	if r.Insts > 0 {
+		k := 1000 / r.Insts
+		rep.BranchMPKI = r.Mispredicts * k
+		rep.L1DMPKI = float64(r.L1D.Misses) * k
+		rep.L2MPKI = float64(r.L2.Misses) * k
+		rep.L3MPKI = float64(r.L3.Misses) * k
+		rep.L1IMPKI = float64(r.L1I.Misses) * k
+		rep.ITLBMPKI = float64(r.ITLB.Misses) * k
+		rep.StallROBPKI = r.ROBStall * k
+		rep.StallRSPKI = r.RSStall * k
+		rep.StallSBPKI = r.SBStall * k
+		rep.StallAnyPKI = rep.StallROBPKI + rep.StallRSPKI + rep.StallSBPKI
+	}
+	return rep
+}
+
+// OperationalIntensity returns compute ops per byte of DRAM traffic, the
+// x-axis of the roofline model used throughout §IV.
+func (r *Report) OperationalIntensity() float64 {
+	if r.DRAMBytes == 0 {
+		return 0
+	}
+	return r.Ops / r.DRAMBytes
+}
+
+// String renders a compact single-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s: %.2fs ipc=%.2f ret=%.1f%% fe=%.1f%% bs=%.1f%% be=%.1f%% (mem %.1f%% core %.1f%%) brMPKI=%.2f l1d=%.2f l2=%.2f l3=%.2f",
+		r.Config, r.Seconds, r.IPC,
+		r.Topdown.Retiring, r.Topdown.FrontEnd, r.Topdown.BadSpec, r.Topdown.BackEnd,
+		r.Topdown.MemBound, r.Topdown.CoreBound,
+		r.BranchMPKI, r.L1DMPKI, r.L2MPKI, r.L3MPKI)
+}
+
+// Bottleneck names the dominant pipeline problem of a profile, the label
+// the smart scheduler keys its placement on.
+type Bottleneck string
+
+// Bottleneck classes in Top-down terminology.
+const (
+	BottleneckMemory   Bottleneck = "memory-bound"
+	BottleneckCore     Bottleneck = "core-bound"
+	BottleneckFrontEnd Bottleneck = "front-end-bound"
+	BottleneckBadSpec  Bottleneck = "bad-speculation"
+	BottleneckNone     Bottleneck = "retiring-limited"
+)
+
+// DominantBottleneck classifies the profile by its largest wasted-slot
+// component; profiles wasting less than 10% of slots anywhere are
+// retiring-limited.
+func (r *Report) DominantBottleneck() Bottleneck {
+	td := r.Topdown
+	best, share := BottleneckNone, 10.0
+	for _, c := range []struct {
+		b Bottleneck
+		v float64
+	}{
+		{BottleneckMemory, td.MemBound},
+		{BottleneckCore, td.CoreBound},
+		{BottleneckFrontEnd, td.FrontEnd},
+		{BottleneckBadSpec, td.BadSpec},
+	} {
+		if c.v > share {
+			best, share = c.b, c.v
+		}
+	}
+	return best
+}

@@ -1,0 +1,131 @@
+// Package report renders experiment results as aligned ASCII tables,
+// textual heatmaps and CSV, the formats cmd/paper uses to regenerate every
+// table and figure of the paper.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table writes an aligned text table.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(headers)); err != nil {
+		return err
+	}
+	total := len(widths)*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, line(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes rows as comma-separated values (no quoting; callers pass
+// simple numeric/identifier cells).
+func CSV(w io.Writer, headers []string, rows [][]string) error {
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, strings.Join(r, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// heatChars maps normalized intensity to glyphs, light to dark.
+var heatChars = []rune(" .:-=+*#%@")
+
+// Heatmap renders a 2-D field as a character raster with row/column labels
+// and a scale legend. vals(i, j) supplies the cell for row i, column j.
+func Heatmap(w io.Writer, title string, rowLabels, colLabels []string, vals func(i, j int) float64) error {
+	lo, hi := vals(0, 0), vals(0, 0)
+	for i := range rowLabels {
+		for j := range colLabels {
+			v := vals(i, j)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s  [min=%.3g max=%.3g]\n", title, lo, hi); err != nil {
+		return err
+	}
+	labW := 0
+	for _, l := range rowLabels {
+		if len(l) > labW {
+			labW = len(l)
+		}
+	}
+	// Column header (first character of each label, plus a legend line).
+	if _, err := fmt.Fprintf(w, "%*s  %s\n", labW, "", strings.Join(colLabels, " ")); err != nil {
+		return err
+	}
+	span := hi - lo
+	for i, rl := range rowLabels {
+		var b strings.Builder
+		for j, cl := range colLabels {
+			v := vals(i, j)
+			t := 0.0
+			if span > 0 {
+				t = (v - lo) / span
+			}
+			idx := int(t * float64(len(heatChars)-1))
+			ch := heatChars[idx]
+			cell := strings.Repeat(string(ch), len(cl))
+			b.WriteString(cell)
+			if j < len(colLabels)-1 {
+				b.WriteString(" ")
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%*s  %s\n", labW, rl, b.String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "scale: '%s' = %.3g ... '%s' = %.3g\n",
+		string(heatChars[0]), lo, string(heatChars[len(heatChars)-1]), hi)
+	return err
+}
+
+// F formats a float compactly for table cells.
+func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// I formats an int.
+func I(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,81 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var b strings.Builder
+	err := Table(&b, []string{"name", "value"}, [][]string{
+		{"short", "1"},
+		{"much-longer-cell", "22"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines: %q", out)
+	}
+	// The value column starts at the same offset in every row.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx-len("short")+len("short"):], "") {
+		t.Fatal("unreachable")
+	}
+	if strings.Index(lines[3], "22") != strings.Index(lines[0], "value") {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	if err := CSV(&b, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}}); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,4\n"
+	if b.String() != want {
+		t.Fatalf("csv %q", b.String())
+	}
+}
+
+func TestHeatmapRendersScale(t *testing.T) {
+	var b strings.Builder
+	vals := [][]float64{{0, 1, 2}, {3, 4, 5}}
+	err := Heatmap(&b, "test map", []string{"r0", "r1"}, []string{"c0", "c1", "c2"},
+		func(i, j int) float64 { return vals[i][j] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, needle := range []string{"test map", "min=0", "max=5", "r0", "r1", "scale:"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("heatmap missing %q:\n%s", needle, out)
+		}
+	}
+	// Highest cell uses the darkest glyph, lowest the lightest.
+	if !strings.Contains(out, "@") {
+		t.Fatalf("no dark glyph for max:\n%s", out)
+	}
+}
+
+func TestHeatmapFlatField(t *testing.T) {
+	var b strings.Builder
+	err := Heatmap(&b, "flat", []string{"r"}, []string{"c"}, func(i, j int) float64 { return 7 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "min=7 max=7") {
+		t.Fatalf("flat field mishandled:\n%s", b.String())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Fatal(F(3.14159, 2))
+	}
+	if I(42) != "42" {
+		t.Fatal(I(42))
+	}
+}

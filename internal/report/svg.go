@@ -1,0 +1,233 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVG rendering for the paper's figures: heatmaps (Figures 3 and 5) and
+// multi-series line charts (Figures 4, 6-9). Pure stdlib, deterministic
+// output, no fonts beyond generic sans-serif.
+
+// svgEscape sanitizes text nodes.
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// heatColor maps t in [0,1] onto a white->blue->red ramp.
+func heatColor(t float64) string {
+	t = math.Max(0, math.Min(1, t))
+	// Piecewise: white (1,1,1) -> steel blue (0.25,0.45,0.8) -> firebrick (0.8,0.15,0.15).
+	var r, g, b float64
+	if t < 0.5 {
+		u := t * 2
+		r = 1 + (0.25-1)*u
+		g = 1 + (0.45-1)*u
+		b = 1 + (0.80-1)*u
+	} else {
+		u := (t - 0.5) * 2
+		r = 0.25 + (0.80-0.25)*u
+		g = 0.45 + (0.15-0.45)*u
+		b = 0.80 + (0.15-0.80)*u
+	}
+	return fmt.Sprintf("#%02x%02x%02x", int(r*255), int(g*255), int(b*255))
+}
+
+// SVGHeatmap renders a labelled heatmap. vals(i, j) supplies the cell for
+// row i, column j.
+func SVGHeatmap(w io.Writer, title string, rowLabels, colLabels []string, vals func(i, j int) float64) error {
+	const cell, labW, labH, pad = 26, 64, 40, 10
+	width := labW + cell*len(colLabels) + 110 + pad
+	height := labH + cell*len(rowLabels) + pad + 22
+
+	lo, hi := vals(0, 0), vals(0, 0)
+	for i := range rowLabels {
+		for j := range colLabels {
+			v := vals(i, j)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13" font-weight="bold">%s</text>`+"\n", pad, svgEscape(title))
+	for j, cl := range colLabels {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+			labW+j*cell+cell/2, labH-6, svgEscape(cl))
+	}
+	for i, rl := range rowLabels {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%s</text>`+"\n",
+			labW-6, labH+i*cell+cell/2+4, svgEscape(rl))
+		for j := range colLabels {
+			v := vals(i, j)
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%s/%s: %.4g</title></rect>`+"\n",
+				labW+j*cell, labH+i*cell, cell-1, cell-1,
+				heatColor((v-lo)/span), svgEscape(rl), svgEscape(colLabels[j]), v)
+		}
+	}
+	// Legend.
+	lx := labW + cell*len(colLabels) + 18
+	for k := 0; k <= 20; k++ {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="16" height="%d" fill="%s"/>`+"\n",
+			lx, labH+k*cell*len(rowLabels)/21, cell*len(rowLabels)/21+1, heatColor(1-float64(k)/20))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d">%.3g</text>`+"\n", lx+20, labH+10, hi)
+	fmt.Fprintf(&b, `<text x="%d" y="%d">%.3g</text>`+"\n", lx+20, labH+cell*len(rowLabels), lo)
+	fmt.Fprint(&b, "</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is one line of a chart.
+type Series struct {
+	Name   string
+	Points []float64 // y values, one per x label
+}
+
+var seriesColors = []string{
+	"#3b6fb3", "#c8503c", "#4f9d55", "#8a5fb4", "#c7913a",
+	"#50a8a4", "#b45f84", "#6a6a6a", "#2e4372", "#7d2e2e", "#2e5e33",
+}
+
+// SVGLines renders a multi-series line chart with x tick labels and a
+// legend. All series must have len(Points) == len(xLabels).
+func SVGLines(w io.Writer, title, yLabel string, xLabels []string, series []Series) error {
+	const plotW, plotH, left, top, pad = 460, 240, 64, 34, 10
+	width := left + plotW + 150
+	height := top + plotH + 50
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Points {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// Pad the range 5% each side.
+	span := hi - lo
+	lo -= span * 0.05
+	hi += span * 0.05
+	span = hi - lo
+
+	x := func(j int) float64 {
+		if len(xLabels) == 1 {
+			return left + plotW/2
+		}
+		return left + float64(j)*plotW/float64(len(xLabels)-1)
+	}
+	y := func(v float64) float64 { return top + plotH - (v-lo)/span*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13" font-weight="bold">%s</text>`+"\n", pad, svgEscape(title))
+	fmt.Fprintf(&b, `<text x="14" y="%d" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n",
+		top+plotH/2, top+plotH/2, svgEscape(yLabel))
+	// Frame and gridlines.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#999"/>`+"\n", left, top, plotW, plotH)
+	for k := 0; k <= 4; k++ {
+		gy := top + float64(k)*plotH/4
+		gv := hi - float64(k)*span/4
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#e5e5e5"/>`+"\n", left, gy, left+plotW, gy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%.3g</text>`+"\n", left-6, gy+4, gv)
+	}
+	for j, xl := range xLabels {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			x(j), top+plotH+16, svgEscape(xl))
+	}
+	// Series.
+	for si, s := range series {
+		color := seriesColors[si%len(seriesColors)]
+		var pts []string
+		for j, v := range s.Points {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(j), y(v)))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for j, v := range s.Points {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.4" fill="%s"><title>%s @ %s: %.4g</title></circle>`+"\n",
+				x(j), y(v), color, svgEscape(s.Name), svgEscape(xLabels[j]), v)
+		}
+		// Legend entry.
+		ly := top + 8 + si*16
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			left+plotW+12, ly, left+plotW+30, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", left+plotW+34, ly+4, svgEscape(s.Name))
+	}
+	fmt.Fprint(&b, "</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SVGBars renders a grouped bar chart (Figure 8/9 style): one group per x
+// label, one bar per series.
+func SVGBars(w io.Writer, title, yLabel string, xLabels []string, series []Series) error {
+	const plotW, plotH, left, top = 460, 240, 64, 34
+	width := left + plotW + 150
+	height := top + plotH + 60
+
+	lo, hi := 0.0, math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Points {
+			hi = math.Max(hi, v)
+			lo = math.Min(lo, v)
+		}
+	}
+	if math.IsInf(hi, -1) || hi == lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	hi += span * 0.08
+	span = hi - lo
+
+	groupW := float64(plotW) / float64(len(xLabels))
+	barW := groupW * 0.8 / float64(len(series))
+	y := func(v float64) float64 { return top + plotH - (v-lo)/span*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="10" y="16" font-size="13" font-weight="bold">%s</text>`+"\n", svgEscape(title))
+	fmt.Fprintf(&b, `<text x="14" y="%d" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n",
+		top+plotH/2, top+plotH/2, svgEscape(yLabel))
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#999"/>`+"\n", left, top, plotW, plotH)
+	for k := 0; k <= 4; k++ {
+		gy := top + float64(k)*plotH/4
+		gv := hi - float64(k)*span/4
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#e5e5e5"/>`+"\n", left, gy, left+plotW, gy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%.3g</text>`+"\n", left-6, gy+4, gv)
+	}
+	for gi, xl := range xLabels {
+		gx := float64(left) + float64(gi)*groupW
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW/2, top+plotH+16, svgEscape(xl))
+		for si, s := range series {
+			v := s.Points[gi]
+			bx := gx + groupW*0.1 + float64(si)*barW
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s: %.4g</title></rect>`+"\n",
+				bx, y(v), barW-1, float64(top+plotH)-y(v), seriesColors[si%len(seriesColors)],
+				svgEscape(s.Name), svgEscape(xl), v)
+		}
+	}
+	for si, s := range series {
+		ly := top + 8 + si*16
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="14" height="10" fill="%s"/>`+"\n",
+			left+plotW+12, ly-8, seriesColors[si%len(seriesColors)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", left+plotW+30, ly, svgEscape(s.Name))
+	}
+	fmt.Fprint(&b, "</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSVGHeatmapWellFormed(t *testing.T) {
+	var b strings.Builder
+	vals := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	err := SVGHeatmap(&b, "fig3a <FE>", []string{"crf01", "crf51"}, []string{"r1", "r2", "r3"},
+		func(i, j int) float64 { return vals[i][j] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not an svg document")
+	}
+	if strings.Count(out, "<rect") < 6 {
+		t.Fatal("missing cells")
+	}
+	if !strings.Contains(out, "fig3a &lt;FE&gt;") {
+		t.Fatal("title not escaped")
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatal("NaN leaked into svg")
+	}
+}
+
+func TestSVGLinesWellFormed(t *testing.T) {
+	var b strings.Builder
+	err := SVGLines(&b, "time vs refs", "ms", []string{"1", "2", "4", "8"},
+		[]Series{
+			{Name: "crf10", Points: []float64{10, 12, 14, 15}},
+			{Name: "crf40", Points: []float64{5, 5.5, 5.7, 5.7}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatal("series count wrong")
+	}
+	if strings.Count(out, "<circle") != 8 {
+		t.Fatal("marker count wrong")
+	}
+	if !strings.Contains(out, "crf40") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestSVGLinesSinglePoint(t *testing.T) {
+	var b strings.Builder
+	err := SVGLines(&b, "degenerate", "y", []string{"only"},
+		[]Series{{Name: "s", Points: []float64{3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<circle") {
+		t.Fatal("single point lost")
+	}
+}
+
+func TestSVGBarsWellFormed(t *testing.T) {
+	var b strings.Builder
+	err := SVGBars(&b, "speedups", "%", []string{"task1", "task2"},
+		[]Series{
+			{Name: "random", Points: []float64{2, 3}},
+			{Name: "smart", Points: []float64{4, 5}},
+			{Name: "best", Points: []float64{5, 6}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// 6 bars + frame + 3 legend swatches.
+	if strings.Count(out, "<rect") < 10 {
+		t.Fatalf("bar count wrong:\n%s", out)
+	}
+}
+
+func TestHeatColorEndpoints(t *testing.T) {
+	if heatColor(0) != "#ffffff" {
+		t.Fatalf("cold endpoint %s", heatColor(0))
+	}
+	if heatColor(1) == heatColor(0) {
+		t.Fatal("ramp is flat")
+	}
+	// Out-of-range inputs clamp.
+	if heatColor(-5) != heatColor(0) || heatColor(5) != heatColor(1) {
+		t.Fatal("clamping broken")
+	}
+}

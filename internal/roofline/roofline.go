@@ -1,0 +1,49 @@
+// Package roofline implements the roofline performance model (Williams,
+// Waterman, Patterson) the paper uses to explain why crf, refs, presets and
+// video entropy move the memory-bound/core-bound balance: attainable
+// performance is the minimum of peak compute and operational intensity
+// times memory bandwidth.
+package roofline
+
+// Model describes one machine's roofline.
+type Model struct {
+	PeakGopsPerSec float64 // compute ceiling
+	MemBWGBPerSec  float64 // DRAM bandwidth ceiling
+}
+
+// Default returns a roofline loosely matched to the simulated 4-wide
+// 3.5 GHz core: 14 Gops/s peak, 20 GB/s of memory bandwidth.
+func Default() Model {
+	return Model{PeakGopsPerSec: 14, MemBWGBPerSec: 20}
+}
+
+// RidgePoint returns the operational intensity (ops/byte) at which the
+// model transitions from memory bound to compute bound.
+func (m Model) RidgePoint() float64 {
+	return m.PeakGopsPerSec / m.MemBWGBPerSec
+}
+
+// Attainable returns the performance ceiling in Gops/s at the given
+// operational intensity.
+func (m Model) Attainable(intensity float64) float64 {
+	bw := intensity * m.MemBWGBPerSec
+	if bw < m.PeakGopsPerSec {
+		return bw
+	}
+	return m.PeakGopsPerSec
+}
+
+// MemoryBound reports whether a workload at the given intensity sits on the
+// bandwidth-limited side of the ridge.
+func (m Model) MemoryBound(intensity float64) bool {
+	return intensity < m.RidgePoint()
+}
+
+// Utilization returns achieved/attainable given measured Gops/s.
+func (m Model) Utilization(intensity, achievedGops float64) float64 {
+	a := m.Attainable(intensity)
+	if a == 0 {
+		return 0
+	}
+	return achievedGops / a
+}

@@ -1,0 +1,67 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRidgePoint(t *testing.T) {
+	m := Model{PeakGopsPerSec: 10, MemBWGBPerSec: 20}
+	if m.RidgePoint() != 0.5 {
+		t.Fatalf("ridge %f", m.RidgePoint())
+	}
+}
+
+func TestAttainableShape(t *testing.T) {
+	m := Default()
+	// Below the ridge: bandwidth-limited, linear in intensity.
+	lo := m.Attainable(m.RidgePoint() / 2)
+	if math.Abs(lo-m.PeakGopsPerSec/2) > 1e-9 {
+		t.Fatalf("below ridge attainable %f", lo)
+	}
+	// Above the ridge: flat at peak.
+	if m.Attainable(m.RidgePoint()*10) != m.PeakGopsPerSec {
+		t.Fatal("above ridge must hit the compute ceiling")
+	}
+}
+
+func TestAttainableMonotoneAndCapped(t *testing.T) {
+	m := Default()
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := m.Attainable(a), m.Attainable(b)
+		return pa <= pb+1e-9 && pb <= m.PeakGopsPerSec+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryBound(t *testing.T) {
+	m := Default()
+	if !m.MemoryBound(m.RidgePoint() / 2) {
+		t.Fatal("below ridge must be memory bound")
+	}
+	if m.MemoryBound(m.RidgePoint() * 2) {
+		t.Fatal("above ridge must be compute bound")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	m := Default()
+	oi := m.RidgePoint() * 4
+	if u := m.Utilization(oi, m.PeakGopsPerSec); math.Abs(u-1) > 1e-9 {
+		t.Fatalf("peak utilization %f", u)
+	}
+	if u := m.Utilization(oi, m.PeakGopsPerSec/2); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("half utilization %f", u)
+	}
+	zero := Model{}
+	if zero.Utilization(1, 1) != 0 {
+		t.Fatal("degenerate model must not divide by zero")
+	}
+}

@@ -1,0 +1,85 @@
+// Package sched implements the paper's scheduling case study (§III-D2,
+// Figure 9): transcoding tasks with different parameters are assigned to
+// servers with different microarchitecture configurations. Three policies
+// are compared — random (expected value over all placements), smart
+// (characterization-driven, under a one-to-one constraint solved exactly
+// with the Hungarian algorithm), and best (per-task optimum, no
+// constraint).
+package sched
+
+import "math"
+
+// Hungarian solves the rectangular assignment problem: cost is an n x m
+// matrix with n <= m; the result maps each row to a distinct column such
+// that the total cost is minimized. O(n^2 m) via shortest augmenting paths
+// with potentials.
+func Hungarian(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	m := len(cost[0])
+	if m < n {
+		panic("sched: Hungarian requires at least as many columns as rows")
+	}
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1)   // p[j]: row matched to column j (1-based; 0 = none)
+	way := make([]int, m+1) // predecessor columns on the augmenting path
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	out := make([]int, n)
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			out[p[j]-1] = j - 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteForce finds the optimal assignment by enumerating permutations.
+func bruteForce(cost [][]float64) float64 {
+	n, m := len(cost), len(cost[0])
+	cols := make([]int, m)
+	for i := range cols {
+		cols[i] = i
+	}
+	best := 1e308
+	var perm func(k int)
+	used := make([]bool, m)
+	cur := make([]int, n)
+	perm = func(k int) {
+		if k == n {
+			total := 0.0
+			for i, c := range cur {
+				total += cost[i][c]
+			}
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for c := 0; c < m; c++ {
+			if !used[c] {
+				used[c] = true
+				cur[k] = c
+				perm(k + 1)
+				used[c] = false
+			}
+		}
+	}
+	perm(0)
+	return best
+}
+
+func totalCost(cost [][]float64, assign []int) float64 {
+	var sum float64
+	for i, c := range assign {
+		sum += cost[i][c]
+	}
+	return sum
+}
+
+func TestHungarianKnownCases(t *testing.T) {
+	cases := []struct {
+		cost [][]float64
+		want float64
+	}{
+		{[][]float64{{1}}, 1},
+		{[][]float64{{1, 2}, {2, 1}}, 2},
+		{[][]float64{{4, 1, 3}, {2, 0, 5}, {3, 2, 2}}, 5},
+		{[][]float64{{10, 19, 8, 15}, {10, 18, 7, 17}, {13, 16, 9, 14}, {12, 19, 8, 18}}, 49},
+	}
+	for i, c := range cases {
+		got := Hungarian(c.cost)
+		if tc := totalCost(c.cost, got); tc != c.want {
+			t.Errorf("case %d: cost %f, want %f (assign %v)", i, tc, c.want, got)
+		}
+		// Assignment must be a valid injection.
+		seen := map[int]bool{}
+		for _, col := range got {
+			if col < 0 || col >= len(c.cost[0]) || seen[col] {
+				t.Errorf("case %d: invalid assignment %v", i, got)
+			}
+			seen[col] = true
+		}
+	}
+}
+
+func TestHungarianMatchesBruteForceOnRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		m := n + rng.Intn(3)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(100))
+			}
+		}
+		got := totalCost(cost, Hungarian(cost))
+		want := bruteForce(cost)
+		if got != want {
+			t.Fatalf("trial %d: hungarian %f != optimal %f for %v", trial, got, want, cost)
+		}
+	}
+}
+
+func TestHungarianNegativeCosts(t *testing.T) {
+	cost := [][]float64{{-5, -1}, {-2, -8}}
+	got := Hungarian(cost)
+	if totalCost(cost, got) != -13 {
+		t.Fatalf("negative costs mishandled: %v -> %f", got, totalCost(cost, got))
+	}
+}
+
+func TestHungarianRejectsWideRows(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n > m must panic")
+		}
+	}()
+	Hungarian([][]float64{{1}, {2}})
+}
+
+func TestHungarianEmpty(t *testing.T) {
+	if out := Hungarian(nil); out != nil {
+		t.Fatal("empty input must give empty output")
+	}
+}

@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"repro/internal/codec"
+	"repro/internal/perf"
+	"repro/internal/uarch"
+	"repro/internal/vbench"
+)
+
+// This file extends the paper's four-task case study to fleet scale: many
+// tasks, a pool of servers with repeated configurations, and the same
+// characterization-driven placement — the deployment the paper's §V
+// positions as future work for streaming providers.
+
+// GenerateTasks deterministically samples n transcoding tasks across the
+// vbench catalog and the parameter space the paper sweeps. The same (n,
+// seed) always yields the same task list.
+func GenerateTasks(n int, seed uint64) []Task {
+	videos := vbench.Names()
+	presets := []codec.Preset{
+		codec.PresetUltrafast, codec.PresetVeryfast, codec.PresetFast,
+		codec.PresetMedium, codec.PresetSlow,
+	}
+	out := make([]Task, n)
+	state := seed | 1
+	next := func(mod int) int {
+		// xorshift64*: deterministic, stdlib-free.
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		return int((state * 0x2545F4914F6CDD1D >> 33) % uint64(mod))
+	}
+	for i := range out {
+		out[i] = Task{
+			Name:   "job" + itoa(i),
+			Video:  videos[next(len(videos))],
+			CRF:    10 + next(35),
+			Refs:   1 + next(8),
+			Preset: presets[next(len(presets))],
+		}
+	}
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Pool is a heterogeneous server fleet: each entry is one physical server
+// with its configuration. Configurations may repeat.
+type Pool []uarch.Config
+
+// UniformPool builds a fleet with `each` servers of every configuration.
+func UniformPool(configs []uarch.Config, each int) Pool {
+	var p Pool
+	for i := 0; i < each; i++ {
+		p = append(p, configs...)
+	}
+	return p
+}
+
+// AssignPool places tasks one-to-one onto the pool's servers by
+// characterization affinity (the smart scheduler generalized to fleets).
+// len(pool) must be >= len(tasks). Returns, per task, the pool index of the
+// chosen server.
+func AssignPool(tasks []Task, baselineReports []*perf.Report, pool Pool) []int {
+	n := len(tasks)
+	cost := make([][]float64, n)
+	for ti := 0; ti < n; ti++ {
+		cost[ti] = make([]float64, len(pool))
+		for si, cfg := range pool {
+			cost[ti][si] = -Affinity(baselineReports[ti], cfg)
+		}
+	}
+	return Hungarian(cost)
+}
+
+// PoolSpeedup estimates the fleet-wide mean per-task speedup of an
+// assignment, given a seconds matrix indexed [task][configIndexOf(pool)].
+// secondsFor maps (task index, config) to measured seconds.
+func PoolSpeedup(tasks []Task, pool Pool, assign []int, baseline []float64, secondsFor func(ti int, cfg uarch.Config) float64) float64 {
+	assigned := make([]float64, len(tasks))
+	for ti := range tasks {
+		assigned[ti] = secondsFor(ti, pool[assign[ti]])
+	}
+	return Speedup(baseline, assigned)
+}

@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/perf"
+	"repro/internal/uarch"
+)
+
+func TestGenerateTasksDeterministic(t *testing.T) {
+	a := GenerateTasks(20, 7)
+	b := GenerateTasks(20, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("task %d differs between identical seeds", i)
+		}
+	}
+	c := GenerateTasks(20, 8)
+	same := 0
+	for i := range a {
+		if a[i].Video == c[i].Video && a[i].CRF == c[i].CRF {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical tasks")
+	}
+}
+
+func TestGenerateTasksInRange(t *testing.T) {
+	for _, task := range GenerateTasks(100, 3) {
+		if task.CRF < 10 || task.CRF > 44 {
+			t.Fatalf("crf %d out of range", task.CRF)
+		}
+		if task.Refs < 1 || task.Refs > 8 {
+			t.Fatalf("refs %d out of range", task.Refs)
+		}
+		opt, err := task.options()
+		if err != nil {
+			t.Fatalf("%+v: %v", task, err)
+		}
+		if err := opt.Validate(); err != nil {
+			t.Fatalf("%+v: %v", task, err)
+		}
+	}
+}
+
+func TestUniformPool(t *testing.T) {
+	p := UniformPool(uarch.TableIV()[1:], 3)
+	if len(p) != 12 {
+		t.Fatalf("pool size %d", len(p))
+	}
+	counts := map[string]int{}
+	for _, c := range p {
+		counts[c.Name]++
+	}
+	for name, n := range counts {
+		if n != 3 {
+			t.Fatalf("%s appears %d times", name, n)
+		}
+	}
+}
+
+func TestAssignPoolRoutesByBottleneck(t *testing.T) {
+	mk := func(fe, bs, mem, core float64) *perf.Report {
+		return &perf.Report{Topdown: perf.Topdown{
+			FrontEnd: fe, BadSpec: bs, MemBound: mem, CoreBound: core, BackEnd: mem + core,
+		}}
+	}
+	tasks := GenerateTasks(4, 1)
+	reports := []*perf.Report{
+		mk(40, 2, 5, 3), // front-end bound
+		mk(2, 40, 5, 3), // bad speculation
+		mk(2, 2, 45, 3), // memory bound
+		mk(2, 2, 5, 45), // core bound
+	}
+	// Pool with two of each relevant config.
+	pool := UniformPool(uarch.TableIV()[1:], 2)
+	assign := AssignPool(tasks, reports, pool)
+	wantName := []string{"fe_op", "bs_op", "be_op1", "be_op2"}
+	seen := map[int]bool{}
+	for ti, si := range assign {
+		if seen[si] {
+			t.Fatalf("server %d assigned twice", si)
+		}
+		seen[si] = true
+		if pool[si].Name != wantName[ti] {
+			t.Fatalf("task %d routed to %s, want %s", ti, pool[si].Name, wantName[ti])
+		}
+	}
+}
+
+func TestPoolSpeedup(t *testing.T) {
+	tasks := GenerateTasks(2, 2)
+	pool := Pool{uarch.FeOp(), uarch.BeOp1()}
+	baseline := []float64{2, 2}
+	seconds := func(ti int, cfg uarch.Config) float64 {
+		if cfg.Name == "fe_op" {
+			return 1
+		}
+		return 2
+	}
+	// task0 -> fe_op (2x), task1 -> be_op1 (1x): mean speedup 50%.
+	got := PoolSpeedup(tasks, pool, []int{0, 1}, baseline, seconds)
+	if got != 50 {
+		t.Fatalf("pool speedup %f", got)
+	}
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestImageRegionsDisjointAndOrdered(t *testing.T) {
+	img := NewImage(nil)
+	var prevEnd uint64
+	for fn := FuncID(1); fn < NumFuncs; fn++ {
+		r := img.Region(fn)
+		if r.TotalBytes == 0 {
+			t.Fatalf("%v has no footprint", fn)
+		}
+		if r.Addr < prevEnd {
+			t.Fatalf("%v at %#x overlaps previous region ending %#x", fn, r.Addr, prevEnd)
+		}
+		prevEnd = r.Addr + uint64(r.TotalBytes)
+	}
+	if img.Size == 0 {
+		t.Fatal("image size zero")
+	}
+}
+
+func TestFetchSpanSemantics(t *testing.T) {
+	r := Region{TotalBytes: 8000, HotBytes: 1000}
+	if got := r.FetchSpan(); got != 2000 {
+		t.Fatalf("unpacked span %d, want 2*hot", got)
+	}
+	r.Packed = true
+	if got := r.FetchSpan(); got != 1000 {
+		t.Fatalf("packed span %d, want hot", got)
+	}
+	// Span never exceeds the function size.
+	small := Region{TotalBytes: 1200, HotBytes: 1000}
+	if got := small.FetchSpan(); got != 1200 {
+		t.Fatalf("span %d exceeds total", got)
+	}
+}
+
+func TestRelayoutOrdersAndPacks(t *testing.T) {
+	img := NewImage(nil)
+	order := []FuncID{FnCAVLC, FnSAD, FnDeblock}
+	packed := map[FuncID]bool{FnCAVLC: true, FnSAD: true}
+	out := img.Relayout(order, packed)
+
+	// The first three functions appear in the requested order.
+	if !(out.Region(FnCAVLC).Addr < out.Region(FnSAD).Addr &&
+		out.Region(FnSAD).Addr < out.Region(FnDeblock).Addr) {
+		t.Fatal("relayout did not honour order")
+	}
+	if !out.Region(FnCAVLC).Packed || !out.Region(FnSAD).Packed {
+		t.Fatal("packing flags lost")
+	}
+	if out.Region(FnDeblock).Packed {
+		t.Fatal("unpacked function marked packed")
+	}
+	// Every function still present and disjoint.
+	seen := map[uint64]bool{}
+	for fn := FuncID(1); fn < NumFuncs; fn++ {
+		a := out.Region(fn).Addr
+		if seen[a] {
+			t.Fatalf("duplicate address %#x", a)
+		}
+		seen[a] = true
+	}
+	// Packing shrinks the hot image.
+	if out.Size >= img.Size {
+		t.Fatalf("packed image (%d) not smaller than original (%d)", out.Size, img.Size)
+	}
+	// The original image is untouched.
+	if img.Region(FnCAVLC).Packed {
+		t.Fatal("relayout mutated its input")
+	}
+}
+
+func TestBranchCanonical(t *testing.T) {
+	img := NewImage(nil)
+	if img.BranchCanonical(FnSAD, 3) {
+		t.Fatal("fresh image has canonical branches")
+	}
+	img.SetCanonical(FnSAD, 3)
+	if !img.BranchCanonical(FnSAD, 3) {
+		t.Fatal("SetCanonical lost")
+	}
+	if img.BranchCanonical(FnSAD, 4) || img.BranchCanonical(FnSATD, 3) {
+		t.Fatal("canonical leaked to other sites")
+	}
+	// Relayout preserves canonical marks.
+	out := img.Relayout([]FuncID{FnSATD}, nil)
+	if !out.BranchCanonical(FnSAD, 3) {
+		t.Fatal("relayout dropped canonical marks")
+	}
+}
+
+func TestFuncIDStrings(t *testing.T) {
+	if FnSAD.String() != "pixel_sad" {
+		t.Fatalf("FnSAD = %q", FnSAD.String())
+	}
+	if FuncID(200).String() != "invalid" {
+		t.Fatal("out-of-range FuncID should stringify as invalid")
+	}
+	seen := map[string]bool{}
+	for fn := FuncID(1); fn < NumFuncs; fn++ {
+		s := fn.String()
+		if s == "" || s == "invalid" || seen[s] {
+			t.Fatalf("bad or duplicate name %q for %d", s, fn)
+		}
+		seen[s] = true
+	}
+}
+
+func TestNopSinkAcceptsEverything(t *testing.T) {
+	var s Sink = Nop{}
+	f := func(fn uint8, addr uint64, n uint16, taken bool) bool {
+		id := FuncID(fn % uint8(NumFuncs))
+		s.Ops(id, int(n))
+		s.Load(id, addr, int(n))
+		s.Store(id, addr, int(n))
+		s.Load2D(id, addr, int(n%64), int(n%16), 512)
+		s.Store2D(id, addr, int(n%64), int(n%16), 512)
+		s.Branch(id, BranchID(n), taken)
+		s.Loop(id, BranchID(n), int(n%100))
+		s.Call(id)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,204 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// accuracy trains p on the outcome stream and returns the hit fraction.
+func accuracy(p Predictor, pcs []uint64, outcomes []bool) float64 {
+	hits := 0
+	for i, taken := range outcomes {
+		if p.PredictUpdate(pcs[i%len(pcs)], taken) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(outcomes))
+}
+
+func constStream(n int, taken bool) []bool {
+	s := make([]bool, n)
+	for i := range s {
+		s[i] = taken
+	}
+	return s
+}
+
+func TestAllPredictorsLearnBias(t *testing.T) {
+	for _, name := range []string{"bimodal", "gshare", "pentium_m", "tage"} {
+		p := New(name)
+		acc := accuracy(p, []uint64{0x400100}, constStream(2000, true))
+		if acc < 0.95 {
+			t.Errorf("%s: accuracy %.3f on constant stream", name, acc)
+		}
+	}
+}
+
+func TestGShareLearnsAlternation(t *testing.T) {
+	// T,N,T,N... is invisible to bimodal but trivial with history.
+	stream := make([]bool, 4000)
+	for i := range stream {
+		stream[i] = i%2 == 0
+	}
+	bim := accuracy(NewBimodal(12), []uint64{0x400100}, stream)
+	gsh := accuracy(NewGShare(12), []uint64{0x400100}, stream)
+	if gsh < 0.9 {
+		t.Fatalf("gshare accuracy %.3f on alternating stream", gsh)
+	}
+	if gsh <= bim {
+		t.Fatalf("gshare (%.3f) should beat bimodal (%.3f) on alternation", gsh, bim)
+	}
+}
+
+func TestTAGEBeatsPentiumMOnLongPatterns(t *testing.T) {
+	// A period-300 random pattern: 10-bit history windows collide often
+	// (the hybrid's budget) while TAGE's 32/64-bit components resolve them.
+	pattern := make([]bool, 300)
+	rng := rand.New(rand.NewSource(7))
+	for i := range pattern {
+		pattern[i] = rng.Intn(2) == 0
+	}
+	stream := make([]bool, 60000)
+	for i := range stream {
+		stream[i] = pattern[i%len(pattern)]
+	}
+	pm := accuracy(NewPentiumM(), []uint64{0x400100}, stream)
+	tg := accuracy(NewTAGE(), []uint64{0x400100}, stream)
+	if tg <= pm {
+		t.Fatalf("TAGE (%.3f) should beat Pentium M (%.3f) on long patterns", tg, pm)
+	}
+	if tg < 0.9 {
+		t.Fatalf("TAGE accuracy %.3f too low on periodic pattern", tg)
+	}
+}
+
+func TestPredictorsNearChanceOnRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	stream := make([]bool, 20000)
+	for i := range stream {
+		stream[i] = rng.Intn(2) == 0
+	}
+	for _, name := range []string{"pentium_m", "tage"} {
+		acc := accuracy(New(name), []uint64{0x400100}, stream)
+		if acc < 0.40 || acc > 0.60 {
+			t.Errorf("%s: accuracy %.3f on random stream, expected ~0.5", name, acc)
+		}
+	}
+}
+
+func TestAliasingHurtsSmallTables(t *testing.T) {
+	// Many sites with opposite biases: the small hybrid aliases, TAGE's
+	// tags disambiguate.
+	pcs := make([]uint64, 512)
+	for i := range pcs {
+		pcs[i] = 0x400000 + uint64(i)*16
+	}
+	stream := make([]bool, 51200)
+	for i := range stream {
+		stream[i] = (i % len(pcs) % 2) == 0 // site parity decides direction
+	}
+	outcomes := make([]bool, len(stream))
+	copy(outcomes, stream)
+	pm := accuracy(NewPentiumM(), pcs, outcomes)
+	tg := accuracy(NewTAGE(), pcs, outcomes)
+	if tg <= pm {
+		t.Fatalf("TAGE (%.3f) should beat the aliased hybrid (%.3f)", tg, pm)
+	}
+}
+
+func TestLoopExitStableTripCounts(t *testing.T) {
+	pm := NewPentiumM()
+	tg := NewTAGE()
+	// Stable trip count 20: both loop detectors converge after training.
+	var pmMiss, tgMiss int
+	for i := 0; i < 50; i++ {
+		pmMiss += pm.LoopExit(0x400200, 20)
+		tgMiss += tg.LoopExit(0x400200, 20)
+	}
+	if pmMiss > 2 || tgMiss > 2 {
+		t.Fatalf("stable trip count should train: pm %d, tage %d", pmMiss, tgMiss)
+	}
+}
+
+func TestLoopExitTripCountCapabilities(t *testing.T) {
+	pm := NewPentiumM()
+	tg := NewTAGE()
+	// Alternating trip counts 10/30: beyond the Pentium M detector, within
+	// TAGE's recent-trip memory.
+	var pmMiss, tgMiss int
+	for i := 0; i < 60; i++ {
+		n := 10
+		if i%2 == 1 {
+			n = 30
+		}
+		pmMiss += pm.LoopExit(0x400300, n)
+		tgMiss += tg.LoopExit(0x400300, n)
+	}
+	if tgMiss >= pmMiss {
+		t.Fatalf("TAGE (%d) should beat Pentium M (%d) on alternating trips", tgMiss, pmMiss)
+	}
+	// Very long loops defeat the Pentium M detector (64-iteration budget).
+	pm2 := NewPentiumM()
+	miss := 0
+	for i := 0; i < 20; i++ {
+		miss += pm2.LoopExit(0x400400, 100)
+	}
+	if miss < 18 {
+		t.Fatalf("Pentium M should miss exits of 100-iteration loops, missed %d/20", miss)
+	}
+}
+
+func TestShortLoopsFree(t *testing.T) {
+	for _, name := range []string{"pentium_m", "tage"} {
+		p := New(name)
+		if p.LoopExit(0x400500, 1) != 0 || p.LoopExit(0x400500, 2) != 0 {
+			t.Errorf("%s: trivial loops should not mispredict", name)
+		}
+	}
+}
+
+func TestResetRestoresColdState(t *testing.T) {
+	for _, name := range []string{"bimodal", "gshare", "pentium_m", "tage"} {
+		p := New(name)
+		// Train hard toward taken.
+		for i := 0; i < 1000; i++ {
+			p.PredictUpdate(0x400600, true)
+		}
+		p.Reset()
+		// After reset the first not-taken outcomes should behave as from
+		// cold (not as a fully-trained taken predictor): within a few
+		// updates it must adapt.
+		miss := 0
+		for i := 0; i < 10; i++ {
+			if !p.PredictUpdate(0x400600, false) {
+				miss++
+			}
+		}
+		if miss > 5 {
+			t.Errorf("%s: %d misses after reset; state not cleared", name, miss)
+		}
+	}
+}
+
+func TestNewFallsBackToPentiumM(t *testing.T) {
+	if New("whatever").Name() != "pentium_m" {
+		t.Fatal("unknown predictor name must fall back to pentium_m")
+	}
+	if New("tage").Name() != "tage" {
+		t.Fatal("tage not constructed")
+	}
+}
+
+func BenchmarkPentiumM(b *testing.B) {
+	p := NewPentiumM()
+	for i := 0; i < b.N; i++ {
+		p.PredictUpdate(uint64(0x400000+(i%64)*16), i%3 == 0)
+	}
+}
+
+func BenchmarkTAGE(b *testing.B) {
+	p := NewTAGE()
+	for i := 0; i < b.N; i++ {
+		p.PredictUpdate(uint64(0x400000+(i%64)*16), i%3 == 0)
+	}
+}

@@ -1,0 +1,160 @@
+// Package cache implements the structural memory-side models of the
+// simulator: set-associative LRU caches and TLBs. These are real structural
+// simulators — the hit/miss behaviour emerges from the address stream the
+// instrumented codec produces, not from rates or formulas.
+package cache
+
+import "fmt"
+
+// Config sizes one cache level.
+type Config struct {
+	Name     string
+	Size     int // total bytes
+	LineSize int // bytes per line (block)
+	Assoc    int // ways per set
+}
+
+// Stats aggregates accesses and misses.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses (0 when idle).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	cfg      Config
+	sets     int
+	setShift uint
+	setMask  uint64
+	tags     []uint64 // sets*assoc entries
+	valid    []bool
+	stamp    []uint64 // LRU clock per entry
+	clock    uint64
+	stats    Stats
+}
+
+// New builds a cache. Size must be a multiple of LineSize*Assoc and the set
+// count must be a power of two; New panics otherwise since configurations
+// are static data.
+func New(cfg Config) *Cache {
+	if cfg.LineSize <= 0 || cfg.Assoc <= 0 || cfg.Size <= 0 {
+		panic(fmt.Sprintf("cache %s: bad config %+v", cfg.Name, cfg))
+	}
+	sets := cfg.Size / (cfg.LineSize * cfg.Assoc)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, sets))
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineSize {
+		shift++
+	}
+	c := &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setShift: shift,
+		setMask:  uint64(sets - 1),
+		tags:     make([]uint64, sets*cfg.Assoc),
+		valid:    make([]bool, sets*cfg.Assoc),
+		stamp:    make([]uint64, sets*cfg.Assoc),
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the access counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Access looks up the line containing addr, inserting it on a miss, and
+// reports whether it hit. Writes allocate like reads (write-allocate,
+// write-back approximation).
+func (c *Cache) Access(addr uint64) bool {
+	c.clock++
+	c.stats.Accesses++
+	line := addr >> c.setShift
+	set := int(line & c.setMask)
+	tag := line >> uint(setBits(c.sets))
+	base := set * c.cfg.Assoc
+	victim := base
+	oldest := ^uint64(0)
+	for i := base; i < base+c.cfg.Assoc; i++ {
+		if c.valid[i] && c.tags[i] == tag {
+			c.stamp[i] = c.clock
+			return true
+		}
+		if !c.valid[i] {
+			victim = i
+			oldest = 0
+		} else if c.stamp[i] < oldest {
+			victim = i
+			oldest = c.stamp[i]
+		}
+	}
+	c.stats.Misses++
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.stamp[victim] = c.clock
+	return false
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.stats = Stats{}
+	c.clock = 0
+}
+
+func setBits(sets int) int {
+	b := 0
+	for 1<<b < sets {
+		b++
+	}
+	return b
+}
+
+// TLB is a fully-structural translation buffer: a set-associative cache of
+// page numbers.
+type TLB struct {
+	inner    *Cache
+	pageBits uint
+}
+
+// NewTLB builds a TLB with the given entry count, associativity and page
+// size (bytes).
+func NewTLB(name string, entries, assoc, pageSize int) *TLB {
+	pb := uint(0)
+	for 1<<pb < pageSize {
+		pb++
+	}
+	return &TLB{
+		inner: New(Config{
+			Name:     name,
+			Size:     entries, // one "byte" per entry with LineSize 1
+			LineSize: 1,
+			Assoc:    assoc,
+		}),
+		pageBits: pb,
+	}
+}
+
+// Access translates addr, reporting whether the page was resident.
+func (t *TLB) Access(addr uint64) bool {
+	return t.inner.Access(addr >> t.pageBits)
+}
+
+// Stats returns hit/miss counters.
+func (t *TLB) Stats() Stats { return t.inner.Stats() }
+
+// Reset clears the TLB.
+func (t *TLB) Reset() { t.inner.Reset() }

@@ -1,0 +1,177 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMissThenHit(t *testing.T) {
+	c := New(Config{Name: "t", Size: 1024, LineSize: 64, Assoc: 2})
+	if c.Access(0x1000) {
+		t.Fatal("cold access must miss")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access must hit")
+	}
+	if !c.Access(0x1030) {
+		t.Fatal("same line (different offset) must hit")
+	}
+	s := c.Stats()
+	if s.Accesses != 3 || s.Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, 64B lines, 2 sets -> conflict three lines into one set.
+	c := New(Config{Name: "t", Size: 256, LineSize: 64, Assoc: 2})
+	// Set index = (addr>>6) & 1. Addresses 0x000, 0x080, 0x100 share set 0.
+	c.Access(0x000)
+	c.Access(0x080)
+	c.Access(0x000) // touch to make 0x080 the LRU victim
+	c.Access(0x100) // evicts 0x080
+	if !c.Access(0x000) {
+		t.Fatal("MRU line was evicted")
+	}
+	if c.Access(0x080) {
+		t.Fatal("LRU line should have been evicted")
+	}
+}
+
+func TestAssociativityHoldsWays(t *testing.T) {
+	c := New(Config{Name: "t", Size: 64 * 8, LineSize: 64, Assoc: 8}) // one set, 8 ways
+	for i := uint64(0); i < 8; i++ {
+		c.Access(i << 6)
+	}
+	for i := uint64(0); i < 8; i++ {
+		if !c.Access(i << 6) {
+			t.Fatalf("way %d evicted within capacity", i)
+		}
+	}
+	c.Access(8 << 6) // ninth line evicts exactly one (the LRU: line 0)
+	// Probe MRU-first so the probes themselves do not cascade evictions.
+	hits := 0
+	for i := int64(7); i >= 0; i-- {
+		if c.Access(uint64(i) << 6) {
+			hits++
+		}
+	}
+	if hits != 7 {
+		t.Fatalf("expected exactly one eviction, got %d hits", hits)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	c := New(Config{Name: "t", Size: 1024, LineSize: 64, Assoc: 2})
+	c.Access(0x40)
+	c.Reset()
+	if c.Stats().Accesses != 0 {
+		t.Fatal("stats not reset")
+	}
+	if c.Access(0x40) {
+		t.Fatal("contents not reset")
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	bad := []Config{
+		{Name: "zero", Size: 0, LineSize: 64, Assoc: 2},
+		{Name: "nonpow2", Size: 3 * 64 * 2, LineSize: 64, Assoc: 2},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", cfg.Name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Fatal("idle miss rate")
+	}
+	s = Stats{Accesses: 10, Misses: 3}
+	if s.MissRate() != 0.3 {
+		t.Fatalf("miss rate %f", s.MissRate())
+	}
+}
+
+func TestStreamLargerThanCacheMissesEverySweep(t *testing.T) {
+	c := New(Config{Name: "t", Size: 4096, LineSize: 64, Assoc: 4})
+	// Stream 4x the capacity twice: with LRU, the second sweep also misses.
+	lines := 4 * 4096 / 64
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < lines; i++ {
+			c.Access(uint64(i) << 6)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != s.Accesses {
+		t.Fatalf("cyclic over-capacity stream should always miss: %+v", s)
+	}
+}
+
+func TestWorkingSetWithinCacheAlwaysHitsAfterWarmup(t *testing.T) {
+	f := func(seed uint16) bool {
+		c := New(Config{Name: "t", Size: 8192, LineSize: 64, Assoc: 8})
+		base := uint64(seed) << 12
+		lines := 8192 / 64 / 2 // half capacity
+		for i := 0; i < lines; i++ {
+			c.Access(base + uint64(i)<<6)
+		}
+		for i := 0; i < lines; i++ {
+			if !c.Access(base + uint64(i)<<6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBPageGranularity(t *testing.T) {
+	tlb := NewTLB("itlb", 16, 4, 4096)
+	if tlb.Access(0x1000) {
+		t.Fatal("cold page must miss")
+	}
+	if !tlb.Access(0x1FFF) {
+		t.Fatal("same page must hit")
+	}
+	if tlb.Access(0x2000) {
+		t.Fatal("next page must miss")
+	}
+	if tlb.Stats().Misses != 2 {
+		t.Fatalf("stats %+v", tlb.Stats())
+	}
+}
+
+func TestTLBCapacity(t *testing.T) {
+	tlb := NewTLB("itlb", 8, 4, 4096)
+	for i := uint64(0); i < 8; i++ {
+		tlb.Access(i * 4096)
+	}
+	hits := 0
+	for i := uint64(0); i < 8; i++ {
+		if tlb.Access(i * 4096) {
+			hits++
+		}
+	}
+	if hits != 8 {
+		t.Fatalf("8 pages must fit an 8-entry TLB, got %d hits", hits)
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := New(Config{Name: "l1", Size: 32 << 10, LineSize: 64, Assoc: 8})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*64) & 0xFFFFF)
+	}
+}

@@ -1,0 +1,362 @@
+package uarch
+
+import (
+	"repro/internal/trace"
+	"repro/internal/uarch/branch"
+	"repro/internal/uarch/cache"
+)
+
+// Machine simulates one core running the instrumented transcoder. It
+// implements trace.Sink: the codec drives it event by event, and the
+// machine's structural caches and predictors plus its interval-model stall
+// accounting turn the event stream into cycles and counters.
+//
+// The cycle model follows interval simulation (Carlson et al., the
+// mechanism behind Sniper): a width-limited dispatch base plus additive
+// penalty intervals for front-end misses, branch-mispredict flushes, and
+// MLP-adjusted memory stalls, with structural back-pressure terms for the
+// ROB, the reservation stations and the store buffer.
+type Machine struct {
+	cfg Config
+	img *trace.Image
+
+	l1i  *cache.Cache
+	l1d  *cache.Cache
+	l2   *cache.Cache
+	l3   *cache.Cache
+	l4   *cache.Cache // nil if not configured
+	itlb *cache.TLB
+	pred branch.Predictor
+
+	// Fetch state: per-function cyclic cursor within the hot span.
+	curFn   trace.FuncID
+	fetchAt [trace.NumFuncs]int
+
+	// Counters.
+	insts  float64
+	uops   float64
+	loads  float64
+	stores float64
+
+	branches   float64
+	mispredict float64
+	takenBr    float64
+
+	feCycles   float64 // fetch-miss + redirect bubbles
+	bsCycles   float64 // mispredict flushes
+	memCycles  float64 // data-miss stalls (MLP adjusted)
+	coreCycles float64 // RS + SB structural stalls
+
+	robStall float64 // resource-stall cycle counters (Fig. 5 f/g/h)
+	rsStall  float64
+	sbStall  float64
+
+	// MLP cluster tracking.
+	lastMissAt  float64 // insts at last L1D miss
+	missCluster int
+
+	// Store-buffer occupancy model.
+	sbOcc       float64
+	lastStoreAt float64
+
+	// Next-line prefetcher state: last miss line and run length of the
+	// ascending stream.
+	pfLastLine uint64
+	pfRun      int
+	pfHits     float64
+}
+
+// NewMachine builds a machine for the given configuration and code image.
+func NewMachine(cfg Config, img *trace.Image) *Machine {
+	m := &Machine{cfg: cfg, img: img}
+	m.l1i = cache.New(cfg.L1I.cacheConfig("l1i"))
+	m.l1d = cache.New(cfg.L1D.cacheConfig("l1d"))
+	m.l2 = cache.New(cfg.L2.cacheConfig("l2"))
+	m.l3 = cache.New(cfg.L3.cacheConfig("l3"))
+	if cfg.L4 != nil {
+		m.l4 = cache.New(cfg.L4.cacheConfig("l4"))
+	}
+	m.itlb = cache.NewTLB("itlb", cfg.ITLBEntries, 4, 4096)
+	m.pred = branch.New(cfg.Predictor)
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+var _ trace.Sink = (*Machine)(nil)
+
+// --- instruction side ---------------------------------------------------------
+
+// Ops models n ALU micro-ops executing in fn: dispatch bandwidth plus the
+// instruction-fetch stream walking the function's hot span.
+func (m *Machine) Ops(fn trace.FuncID, n int) {
+	m.insts += float64(n)
+	m.uops += float64(n)
+	m.fetch(fn, n)
+}
+
+// Call models a fetch redirect into fn.
+func (m *Machine) Call(fn trace.FuncID) {
+	m.curFn = fn
+	m.insts += 2
+	m.uops += 2
+	r := m.img.Region(fn)
+	m.icacheAccess(r.Addr + uint64(m.fetchAt[fn]))
+}
+
+// fetch walks the fetch cursor of fn across its span, touching each new
+// 64-byte line in the L1i/iTLB. In an unpacked (pre-FDO) layout the hot
+// instructions are diluted across the whole function body, inflating the
+// touched footprint by Total/Hot.
+func (m *Machine) fetch(fn trace.FuncID, instrs int) {
+	r := m.img.Region(fn)
+	span := r.FetchSpan()
+	if span <= 0 {
+		return
+	}
+	bytes := instrs * 4
+	if r.HotBytes > 0 {
+		// Dilution: n hot instructions cover n*4*(span/hot) bytes of the
+		// layout (2x when hot/cold code interleaves, 1x after FDO packing).
+		bytes = bytes * span / r.HotBytes
+	}
+	if bytes > span {
+		bytes = span // further fetch revisits lines touched this call
+	}
+	off := m.fetchAt[fn]
+	first := off / 64
+	last := (off + bytes) / 64
+	for l := first; l <= last; l++ {
+		lineOff := (l * 64) % ((span + 63) &^ 63)
+		m.icacheAccess(r.Addr + uint64(lineOff))
+	}
+	m.fetchAt[fn] = (off + bytes) % span
+}
+
+// icacheAccess performs one instruction-line lookup: iTLB then L1i, with
+// misses escalating down the hierarchy and charging fetch-bubble cycles.
+func (m *Machine) icacheAccess(addr uint64) {
+	if !m.itlb.Access(addr) {
+		m.feCycles += 18 // page walk
+	}
+	if m.l1i.Access(addr) {
+		return
+	}
+	// Instruction lines share L2/L3 with data.
+	lat := float64(m.cfg.LatL2)
+	if !m.l2.Access(addr) {
+		lat = float64(m.cfg.LatL3)
+		if !m.l3.Access(addr) {
+			lat = float64(m.cfg.LatMem)
+			if m.l4 != nil {
+				if m.l4.Access(addr) {
+					lat = float64(m.cfg.LatL4)
+				}
+			}
+		}
+	}
+	m.feCycles += lat
+}
+
+// --- data side ------------------------------------------------------------------
+
+// Load models a contiguous read.
+func (m *Machine) Load(fn trace.FuncID, addr uint64, bytes int) {
+	m.dataRange(fn, addr, bytes, false)
+}
+
+// Store models a contiguous write.
+func (m *Machine) Store(fn trace.FuncID, addr uint64, bytes int) {
+	m.dataRange(fn, addr, bytes, true)
+}
+
+// Load2D models a 2-D block read (w x h pixels, rows `stride` apart).
+func (m *Machine) Load2D(fn trace.FuncID, addr uint64, w, h, stride int) {
+	for j := 0; j < h; j++ {
+		m.dataRange(fn, addr+uint64(j*stride), w, false)
+	}
+}
+
+// Store2D models a 2-D block write.
+func (m *Machine) Store2D(fn trace.FuncID, addr uint64, w, h, stride int) {
+	for j := 0; j < h; j++ {
+		m.dataRange(fn, addr+uint64(j*stride), w, true)
+	}
+}
+
+// dataRange touches every line of [addr, addr+bytes) as one memory uop per
+// line.
+func (m *Machine) dataRange(fn trace.FuncID, addr uint64, bytes int, write bool) {
+	if bytes <= 0 {
+		return
+	}
+	first := addr &^ 63
+	last := (addr + uint64(bytes) - 1) &^ 63
+	for line := first; line <= last; line += 64 {
+		if write {
+			m.storeAccess(line)
+		} else {
+			m.loadAccess(line)
+		}
+	}
+	// Memory uops also flow through fetch/dispatch.
+	n := int(last-first)/64 + 1
+	m.insts += float64(n)
+	m.uops += float64(n)
+	m.fetch(fn, n)
+}
+
+// loadAccess runs one load through the data hierarchy and charges MLP-
+// adjusted stall cycles for misses.
+func (m *Machine) loadAccess(line uint64) {
+	m.loads++
+	if m.l1d.Access(line) {
+		return
+	}
+	// Next-line stream prefetcher: after two consecutive ascending-line
+	// misses, the following lines of the stream are assumed in flight and
+	// their latency is covered by the prefetcher (they still allocate).
+	if m.cfg.NextLinePrefetch {
+		if line == m.pfLastLine+64 {
+			m.pfRun++
+		} else if line != m.pfLastLine {
+			m.pfRun = 0
+		}
+		m.pfLastLine = line
+		if m.pfRun >= 2 {
+			m.pfHits++
+			m.l2.Access(line)
+			m.l3.Access(line)
+			return // latency hidden by the prefetch stream
+		}
+	}
+	lat := float64(m.cfg.LatL2)
+	if !m.l2.Access(line) {
+		lat = float64(m.cfg.LatL3)
+		if !m.l3.Access(line) {
+			lat = float64(m.cfg.LatMem)
+			if m.l4 != nil {
+				if m.l4.Access(line) {
+					lat = float64(m.cfg.LatL4)
+				}
+			}
+		}
+	}
+
+	// Memory-level parallelism: misses close together in the instruction
+	// stream overlap, bounded by scheduler capacity.
+	if m.insts-m.lastMissAt < float64(m.cfg.ROBSize)/2 {
+		m.missCluster++
+	} else {
+		m.missCluster = 1
+	}
+	m.lastMissAt = m.insts
+	maxMLP := m.cfg.RSSize / 9
+	if maxMLP < 2 {
+		maxMLP = 2
+	}
+	conc := m.missCluster
+	if conc > maxMLP {
+		conc = maxMLP
+		// Cluster overflow backs up into the reservation stations.
+		rs := 2.0
+		if m.cfg.IssueAtDispatch {
+			rs = 1.0
+		}
+		m.rsStall += rs
+		m.coreCycles += rs
+	}
+	stall := lat / float64(conc)
+	m.memCycles += stall
+
+	// ROB-full portion: the out-of-order window hides ROBSize/width cycles
+	// of each miss; the remainder stalls retirement with a full ROB.
+	hidden := float64(m.cfg.ROBSize) / float64(m.cfg.WidthUops)
+	if lat > hidden {
+		m.robStall += (lat - hidden) / float64(conc)
+	}
+}
+
+// storeAccess models a write: write-allocate traffic plus store-buffer
+// occupancy. Stores stall the pipeline only when the buffer fills.
+func (m *Machine) storeAccess(line uint64) {
+	m.stores++
+	cost := 0.5 // cycles of buffer residency for an L1 hit
+	if !m.l1d.Access(line) {
+		lat := float64(m.cfg.LatL2)
+		if !m.l2.Access(line) {
+			lat = float64(m.cfg.LatL3)
+			if !m.l3.Access(line) {
+				lat = float64(m.cfg.LatMem)
+				if m.l4 != nil {
+					if m.l4.Access(line) {
+						lat = float64(m.cfg.LatL4)
+					}
+				}
+			}
+		}
+		cost = lat / 4 // write-allocate fills overlap heavily
+	}
+	// Drain: the buffer retires entries while instructions flow.
+	elapsed := m.insts - m.lastStoreAt
+	m.lastStoreAt = m.insts
+	m.sbOcc -= elapsed * 0.4
+	if m.sbOcc < 0 {
+		m.sbOcc = 0
+	}
+	m.sbOcc += cost
+	if m.sbOcc > storeBufferEntries {
+		over := m.sbOcc - storeBufferEntries
+		m.sbStall += over
+		m.coreCycles += over
+		m.sbOcc = storeBufferEntries
+	}
+}
+
+// storeBufferEntries is fixed across Table IV configurations (the paper
+// varies ROB and RS only).
+const storeBufferEntries = 42
+
+// --- control side -----------------------------------------------------------------
+
+// Branch models one dynamic data-dependent conditional branch.
+func (m *Machine) Branch(fn trace.FuncID, site trace.BranchID, taken bool) {
+	m.insts++
+	m.uops++
+	m.branches++
+	r := m.img.Region(fn)
+	pc := r.Addr + uint64(site)*16
+	// AutoFDO direction canonicalization: the optimized layout flips the
+	// polarity of strongly biased branches so the common path falls
+	// through; the fetch bubble charged for taken branches disappears.
+	effTaken := taken
+	if r.Packed && m.img.BranchCanonical(fn, site) {
+		effTaken = !taken
+	}
+	if effTaken {
+		m.takenBr++
+		m.feCycles += 0.8 // fetch redirect bubble
+	}
+	if !m.pred.PredictUpdate(pc, taken) {
+		m.mispredict++
+		m.bsCycles += float64(m.cfg.BranchPenalty)
+	}
+}
+
+// Loop models a counted loop: iters backedge branches plus the trip-count
+// exit prediction.
+func (m *Machine) Loop(fn trace.FuncID, site trace.BranchID, iters int) {
+	if iters <= 0 {
+		return
+	}
+	m.insts += float64(iters)
+	m.uops += float64(iters)
+	m.branches += float64(iters)
+	m.takenBr += float64(iters - 1)
+	r := m.img.Region(fn)
+	pc := r.Addr + uint64(site)*16 + 8
+	miss := m.pred.LoopExit(pc, iters)
+	m.mispredict += float64(miss)
+	m.bsCycles += float64(miss) * float64(m.cfg.BranchPenalty)
+}

@@ -1,0 +1,75 @@
+// Package vbench provides the video workload substrate: the published
+// vbench catalog (Table I of the paper) and a deterministic synthetic video
+// generator whose content complexity is driven by the catalog's entropy
+// metric.
+//
+// The real vbench suite ships 15 five-second clips selected by clustering a
+// corpus of millions of cloud videos; the clips themselves are not
+// redistributable here, so Source synthesizes content with the same
+// *encoder-relevant* properties: texture detail, motion magnitude, and
+// scene-cut frequency all scale with the published entropy value. Higher
+// entropy therefore costs the encoder more search effort and more residual
+// bits, exactly the causal role entropy plays in the paper.
+package vbench
+
+import "fmt"
+
+// VideoInfo describes one catalog entry (one row of Table I).
+type VideoInfo struct {
+	FullName  string  // original vbench file name
+	ShortName string  // name used throughout the paper's figures
+	Width     int     // luma width in pixels
+	Height    int     // luma height in pixels
+	FPS       int     // frames per second
+	Entropy   float64 // vbench complexity metric (bits needed for visually lossless coding)
+}
+
+// Resolution returns the conventional vertical-line label, e.g. "1080p".
+func (v VideoInfo) Resolution() string { return fmt.Sprintf("%dp", v.Height) }
+
+// Catalog lists the 15 vbench videos of Table I in ascending entropy order,
+// exactly as published.
+var Catalog = []VideoInfo{
+	{"desktop_1280x720_30.mkv", "desktop", 1280, 720, 30, 0.2},
+	{"presentation_1920x1080_25.mkv", "presentation", 1920, 1080, 25, 0.2},
+	{"bike_1280x720_29.mkv", "bike", 1280, 720, 29, 0.9},
+	{"funny_1920x1080_30.mkv", "funny", 1920, 1080, 30, 2.5},
+	{"cricket_1280x720_30.mkv", "cricket", 1280, 720, 30, 3.4},
+	{"house_1920x1080_30.mkv", "house", 1920, 1080, 30, 3.6},
+	{"game1_1920x1080_60.mkv", "game1", 1920, 1080, 60, 4.6},
+	{"game2_1280x720_30.mkv", "game2", 1280, 720, 30, 4.9},
+	{"girl_1280x720_30.mkv", "girl", 1280, 720, 30, 5.9},
+	{"chicken_3840x2160_30.mkv", "chicken", 3840, 2160, 30, 5.9},
+	{"game3_1280x720_59.mkv", "game3", 1280, 720, 59, 6.1},
+	{"cat_854x480_29.mkv", "cat", 854, 480, 29, 6.8},
+	{"holi_854x480_30.mkv", "holi", 854, 480, 30, 7.0},
+	{"landscape_1920x1080_29.mkv", "landscape", 1920, 1080, 29, 7.2},
+	{"hall_1920x1080_29.mkv", "hall", 1920, 1080, 29, 7.7},
+}
+
+// BigBuckBunny is the additional widely-studied test video the paper uses
+// alongside vbench.
+var BigBuckBunny = VideoInfo{"big_buck_bunny_1920x1080_30.mkv", "bbb", 1920, 1080, 30, 3.0}
+
+// ByName returns the catalog entry (or BigBuckBunny) with the given short
+// name.
+func ByName(short string) (VideoInfo, error) {
+	if short == BigBuckBunny.ShortName {
+		return BigBuckBunny, nil
+	}
+	for _, v := range Catalog {
+		if v.ShortName == short {
+			return v, nil
+		}
+	}
+	return VideoInfo{}, fmt.Errorf("vbench: unknown video %q", short)
+}
+
+// Names returns the short names of the catalog in Table I order.
+func Names() []string {
+	out := make([]string, len(Catalog))
+	for i, v := range Catalog {
+		out[i] = v.ShortName
+	}
+	return out
+}

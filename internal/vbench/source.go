@@ -1,0 +1,279 @@
+package vbench
+
+import (
+	"math"
+
+	"repro/internal/frame"
+)
+
+// SourceOptions control synthesis.
+type SourceOptions struct {
+	// Scale divides the catalog resolution by this factor (rounded up to a
+	// multiple of 16). Scale 1 synthesizes at full resolution. Experiments
+	// use proxy scales so that cycle-level simulation stays tractable; see
+	// DESIGN.md §6.
+	Scale int
+	// Seed perturbs the deterministic content. Zero selects a per-video
+	// default derived from the video name, so each catalog entry has stable,
+	// distinct content.
+	Seed uint64
+}
+
+// Source deterministically synthesizes the frames of one catalog video.
+// Content is a layered value-noise background with global pan, a set of
+// independently moving textured objects, per-frame sensor noise, and
+// periodic scene cuts. All four layers scale with the video's entropy, so
+// the encoder-visible complexity ordering of the synthetic catalog matches
+// the published one.
+type Source struct {
+	Info  VideoInfo
+	W, H  int // synthesis resolution (after scaling)
+	seed  uint64
+	scale int
+	// Derived complexity knobs.
+	sceneLen int     // frames per scene before a hard cut
+	panVX    float64 // background pan, luma pixels per frame
+	panVY    float64
+	objects  int // number of moving foreground objects
+	fineAmp  int // high-frequency texture amplitude
+	midAmp   int // mid-frequency texture amplitude
+	noiseAmp int // per-frame temporal (sensor) noise amplitude
+}
+
+// roundUp16 rounds n up to the next multiple of 16, with a floor of 64 so
+// even deeply scaled proxies keep a few macroblock rows.
+func roundUp16(n int) int {
+	if n < 64 {
+		n = 64
+	}
+	return (n + 15) &^ 15
+}
+
+// NewSource builds a Source for the given catalog entry.
+func NewSource(info VideoInfo, opts SourceOptions) *Source {
+	scale := opts.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = hashString(info.ShortName)
+	}
+	e := info.Entropy
+	s := &Source{
+		Info:  info,
+		W:     roundUp16(info.Width / scale),
+		H:     roundUp16(info.Height / scale),
+		seed:  seed,
+		scale: scale,
+	}
+	// Scene cuts: high-entropy content cuts every second or two; screen
+	// content essentially never within a 5 s clip.
+	s.sceneLen = int(4 * float64(info.FPS) / (0.5 + e))
+	if s.sceneLen < 8 {
+		s.sceneLen = 8
+	}
+	// Pan velocity in synthesis pixels per frame; direction from the seed.
+	// A deliberate fractional component keeps the motion off the integer
+	// grid most frames (real camera motion is never pixel-aligned).
+	v := (0.3+1.1*e)/float64(scale) + 0.21 + float64(mix(seed, 9)%40)/100
+	if mix(seed, 1)%2 == 0 {
+		v = -v
+	}
+	s.panVX = v
+	s.panVY = v * (0.25 + float64(mix(seed, 2)%50)/100)
+	s.objects = 1 + int(e/1.4)
+	s.fineAmp = 4 + int(e*6)
+	s.midAmp = 18 + int(e*4)
+	s.noiseAmp = int(e * 1.1)
+	return s
+}
+
+// FrameCount returns the number of frames in a clip of the given duration in
+// seconds (vbench clips are 5 s).
+func (s *Source) FrameCount(seconds float64) int {
+	return int(seconds * float64(s.Info.FPS))
+}
+
+// Frame synthesizes frame i. Calls are pure: the same i always yields the
+// same pixels.
+func (s *Source) Frame(i int) *frame.Frame {
+	f := frame.New(s.W, s.H)
+	f.PTS = i
+	scene := 0
+	t := i
+	if s.sceneLen > 0 {
+		scene = i / s.sceneLen
+		t = i % s.sceneLen
+	}
+	sceneSeed := mix(s.seed, uint64(scene)*0x9E3779B97F4A7C15+0xABCD)
+
+	// Pan tracked in quarter-pel units: consecutive frames shift by
+	// fractional amounts, so motion compensation from the previous frame
+	// needs interpolation (lossy), while every few frames the cumulative
+	// shift realigns to an integer and an *older* reference matches
+	// exactly — the classic reason multiple reference frames pay off.
+	panXq := int(s.panVX * 4 * float64(t))
+	panYq := int(s.panVY * 4 * float64(t))
+	panX := panXq >> 2
+	panY := panYq >> 2
+
+	// Background: three octaves of value noise sampled at quarter-pel
+	// world coordinates so that the pan is smooth sub-pel translation.
+	y := &f.Y
+	for py := 0; py < s.H; py++ {
+		row := y.Row(py)
+		wyq := py*4 + panYq
+		for px := 0; px < s.W; px++ {
+			wxq := px*4 + panXq
+			v := 110 +
+				(vnoise(sceneSeed, wxq, wyq, 64*4)-128)*90/128 +
+				(vnoise(sceneSeed+7, wxq, wyq, 16*4)-128)*s.midAmp/128 +
+				(vnoise(sceneSeed+13, wxq, wyq, 4*4)-128)*s.fineAmp/128
+			row[px] = clamp255(v)
+		}
+	}
+
+	// Moving objects: textured rectangles with their own velocities.
+	for o := 0; o < s.objects; o++ {
+		s.drawObject(f, sceneSeed, o, t)
+	}
+
+	// Temporal sensor noise: decorrelates successive frames in proportion to
+	// entropy, so even perfect motion compensation leaves residual energy.
+	if s.noiseAmp > 0 {
+		frameSeed := mix(sceneSeed, 0xF00D+uint64(t))
+		for py := 0; py < s.H; py++ {
+			row := y.Row(py)
+			for px := 0; px < s.W; px += 2 {
+				n := int(hash2(frameSeed, int32(px), int32(py))&0xFF) - 128
+				row[px] = clamp255(int(row[px]) + n*s.noiseAmp/128)
+			}
+		}
+	}
+
+	// Chroma: smooth low-amplitude noise around mid-grey, panned with luma.
+	fillChroma(&f.Cb, sceneSeed+101, panX/2, panY/2)
+	fillChroma(&f.Cr, sceneSeed+211, panX/2, panY/2)
+
+	f.ExtendEdges()
+	return f
+}
+
+// drawObject renders moving object o for scene-relative time t.
+func (s *Source) drawObject(f *frame.Frame, sceneSeed uint64, o, t int) {
+	oseed := mix(sceneSeed, 0xB0B0+uint64(o))
+	// Objects are large enough that their motion occludes and reveals
+	// meaningful background area each frame — the phenomenon that makes
+	// older reference frames (refs > 1) pay off, as in real content.
+	ow := 24 + int(mix(oseed, 1)%uint64(s.W/3+1))
+	oh := 16 + int(mix(oseed, 2)%uint64(s.H/3+1))
+	// Velocity grows with entropy; objects move against the pan direction
+	// half the time, which maximizes search effort. Motion is oscillatory
+	// (sports-like): an object returns near earlier positions, so the
+	// background it revealed there is best predicted from older frames.
+	vmax := 0.5 + 1.6*s.Info.Entropy/float64(s.scale)
+	vx := vmax * (float64(mix(oseed, 3)%200)/100 - 1)
+	vy := vmax * (float64(mix(oseed, 4)%200)/100 - 1) * 0.6
+	x0 := int(mix(oseed, 5) % uint64(s.W))
+	y0 := int(mix(oseed, 6) % uint64(s.H))
+	period := 6 + int(mix(oseed, 7)%10)
+	amp := float64(period) / 2
+	osc := amp * math.Sin(2*math.Pi*float64(t)/float64(period))
+	// Positions wrap around the picture.
+	ox := modInt(x0+int(vx*float64(t)+osc*vx), s.W)
+	oy := modInt(y0+int(vy*float64(t)+osc*vy), s.H)
+
+	y := &f.Y
+	for j := 0; j < oh; j++ {
+		py := oy + j
+		if py >= s.H {
+			break
+		}
+		row := y.Row(py)
+		for i := 0; i < ow; i++ {
+			px := ox + i
+			if px >= s.W {
+				break
+			}
+			v := 70 + (vnoise(oseed, i, j, 8)-128)*100/128
+			row[px] = clamp255(v)
+		}
+	}
+}
+
+// fillChroma writes panned smooth noise into a chroma plane.
+func fillChroma(p *frame.Plane, seed uint64, panX, panY int) {
+	for py := 0; py < p.H; py++ {
+		row := p.Row(py)
+		for px := 0; px < p.W; px++ {
+			v := 128 + (vnoise(seed, px+panX, py+panY, 32)-128)*24/128
+			row[px] = clamp255(v)
+		}
+	}
+}
+
+func clamp255(v int) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+func modInt(a, m int) int {
+	a %= m
+	if a < 0 {
+		a += m
+	}
+	return a
+}
+
+// --- deterministic hashing -------------------------------------------------
+
+func mix(seed, v uint64) uint64 {
+	h := seed + v*0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+func hashString(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+func hash2(seed uint64, x, y int32) uint32 {
+	return uint32(mix(seed, uint64(uint32(x))<<32|uint64(uint32(y))))
+}
+
+// vnoise returns smooth value noise in [0, 255] at point (x, y) with the
+// given lattice wavelength, using bilinear interpolation of hashed lattice
+// values with smoothstep easing.
+func vnoise(seed uint64, x, y, wl int) int {
+	xf := modInt(x, wl)
+	yf := modInt(y, wl)
+	xi := int32((x - xf) / wl)
+	yi := int32((y - yf) / wl)
+	v00 := int(hash2(seed, xi, yi) & 0xFF)
+	v10 := int(hash2(seed, xi+1, yi) & 0xFF)
+	v01 := int(hash2(seed, xi, yi+1) & 0xFF)
+	v11 := int(hash2(seed, xi+1, yi+1) & 0xFF)
+	// Smoothstep weights in 1/256 units.
+	tx := (xf*256 + 128) / wl
+	ty := (yf*256 + 128) / wl
+	tx = tx * tx * (3*256 - 2*tx) / (256 * 256)
+	ty = ty * ty * (3*256 - 2*ty) / (256 * 256)
+	top := v00 + (v10-v00)*tx/256
+	bot := v01 + (v11-v01)*tx/256
+	return top + (bot-top)*ty/256
+}

@@ -1,0 +1,163 @@
+package vbench
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+)
+
+func TestCatalogMatchesTableI(t *testing.T) {
+	if len(Catalog) != 15 {
+		t.Fatalf("catalog has %d entries, Table I lists 15", len(Catalog))
+	}
+	// Spot-check the published rows.
+	checks := []struct {
+		name    string
+		w, h    int
+		fps     int
+		entropy float64
+	}{
+		{"desktop", 1280, 720, 30, 0.2},
+		{"chicken", 3840, 2160, 30, 5.9},
+		{"hall", 1920, 1080, 29, 7.7},
+		{"holi", 854, 480, 30, 7.0},
+	}
+	for _, c := range checks {
+		v, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Width != c.w || v.Height != c.h || v.FPS != c.fps || v.Entropy != c.entropy {
+			t.Errorf("%s: got %+v", c.name, v)
+		}
+	}
+	// Catalog is in ascending entropy order, as in the paper.
+	for i := 1; i < len(Catalog); i++ {
+		if Catalog[i].Entropy < Catalog[i-1].Entropy {
+			t.Errorf("catalog not entropy-sorted at %s", Catalog[i].ShortName)
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+	if v, err := ByName("bbb"); err != nil || v.ShortName != "bbb" {
+		t.Fatal("big buck bunny must resolve")
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	names := Names()
+	if len(names) != 15 || names[0] != "desktop" || names[14] != "hall" {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+func TestResolutionLabel(t *testing.T) {
+	v, _ := ByName("chicken")
+	if v.Resolution() != "2160p" {
+		t.Fatalf("resolution %s", v.Resolution())
+	}
+}
+
+func TestSourceDeterministic(t *testing.T) {
+	info, _ := ByName("cricket")
+	a := NewSource(info, SourceOptions{Scale: 8})
+	b := NewSource(info, SourceOptions{Scale: 8})
+	fa, fb := a.Frame(5), b.Frame(5)
+	for i := range fa.Y.Pix {
+		if fa.Y.Pix[i] != fb.Y.Pix[i] {
+			t.Fatal("same source parameters must give identical pixels")
+		}
+	}
+}
+
+func TestSourceSeedChangesContent(t *testing.T) {
+	info, _ := ByName("cricket")
+	a := NewSource(info, SourceOptions{Scale: 8, Seed: 1})
+	b := NewSource(info, SourceOptions{Scale: 8, Seed: 2})
+	fa, fb := a.Frame(0), b.Frame(0)
+	diff := 0
+	for i := range fa.Y.Pix {
+		if fa.Y.Pix[i] != fb.Y.Pix[i] {
+			diff++
+		}
+	}
+	if diff < len(fa.Y.Pix)/4 {
+		t.Fatalf("different seeds gave nearly identical frames (%d differing)", diff)
+	}
+}
+
+func TestSourceScaleGeometry(t *testing.T) {
+	info, _ := ByName("presentation") // 1920x1080
+	s := NewSource(info, SourceOptions{Scale: 4})
+	if s.W != 480 || s.H%16 != 0 {
+		t.Fatalf("scaled dims %dx%d", s.W, s.H)
+	}
+	f := s.Frame(0)
+	if f.Width != s.W || f.Height != s.H {
+		t.Fatal("frame dims disagree with source dims")
+	}
+	// A deep scale is floored to a usable size.
+	tiny := NewSource(info, SourceOptions{Scale: 100})
+	if tiny.W < 64 || tiny.H < 64 {
+		t.Fatalf("floor violated: %dx%d", tiny.W, tiny.H)
+	}
+}
+
+// temporalEnergy sums |frame(i) - frame(i+1)| over the luma plane: the raw
+// difficulty motion estimation faces.
+func temporalEnergy(s *Source, frames int) int64 {
+	var total int64
+	prev := s.Frame(0)
+	for i := 1; i < frames; i++ {
+		cur := s.Frame(i)
+		total += frame.SSD(&cur.Y, 0, 0, &prev.Y, 0, 0, cur.Y.W, cur.Y.H)
+		prev = cur
+	}
+	return total
+}
+
+func TestEntropyDrivesTemporalComplexity(t *testing.T) {
+	// The synthetic catalog must preserve the paper's complexity ordering:
+	// high-entropy content has far more temporal energy than screen content.
+	low, _ := ByName("desktop") // entropy 0.2
+	high, _ := ByName("hall")   // entropy 7.7
+	// Compare at equal synthesis size to isolate the content effect.
+	lowSrc := NewSource(low, SourceOptions{Scale: 8})
+	highSrc := NewSource(high, SourceOptions{Scale: 12})
+	le := temporalEnergy(lowSrc, 6) / int64(lowSrc.W*lowSrc.H)
+	he := temporalEnergy(highSrc, 6) / int64(highSrc.W*highSrc.H)
+	if he < 4*le {
+		t.Fatalf("entropy 7.7 energy (%d) not >> entropy 0.2 energy (%d)", he, le)
+	}
+}
+
+func TestSceneCutsScaleWithEntropy(t *testing.T) {
+	low, _ := ByName("desktop")
+	high, _ := ByName("hall")
+	ls := NewSource(low, SourceOptions{Scale: 8})
+	hs := NewSource(high, SourceOptions{Scale: 8})
+	if ls.sceneLen <= hs.sceneLen {
+		t.Fatalf("scene length should shrink with entropy: low %d, high %d", ls.sceneLen, hs.sceneLen)
+	}
+}
+
+func TestFrameCount(t *testing.T) {
+	info, _ := ByName("game1") // 60 fps
+	s := NewSource(info, SourceOptions{Scale: 8})
+	if n := s.FrameCount(5); n != 300 {
+		t.Fatalf("5 s at 60 fps = %d frames", n)
+	}
+}
+
+func BenchmarkFrameSynthesis(b *testing.B) {
+	info, _ := ByName("cricket")
+	s := NewSource(info, SourceOptions{Scale: 4})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Frame(i % 120)
+	}
+}

@@ -1,0 +1,276 @@
+// Package transcoding is the public API of this reproduction of "CPU
+// Microarchitectural Performance Characterization of Cloud Video
+// Transcoding" (IISWC 2020). It bundles three layers behind one import:
+//
+//   - a from-scratch H.264-class video codec with the full x264 tuning
+//     surface the paper sweeps (crf, refs, the ten presets, six
+//     rate-control modes, dia/hex/umh/esa/tesa motion estimation, trellis
+//     quantization, B frames, deblocking);
+//   - a deterministic synthetic workload generator reproducing the vbench
+//     catalog (Table I) by entropy, resolution and frame rate;
+//   - a Sniper-style microarchitecture simulator (caches, iTLB, Pentium-M
+//     and TAGE branch predictors, interval pipeline model) with VTune-style
+//     Top-down profiling, the AutoFDO and Graphite optimization models, and
+//     the characterization-driven smart scheduler.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package transcoding
+
+import (
+	"io"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/opt/autofdo"
+	"repro/internal/opt/graphite"
+	"repro/internal/perf"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+	"repro/internal/vbench"
+)
+
+// Core types re-exported from the implementation packages.
+type (
+	// Frame is a YUV 4:2:0 picture.
+	Frame = frame.Frame
+	// Options is the encoder configuration (crf, refs, preset options...).
+	Options = codec.Options
+	// Preset names one of the ten x264 presets.
+	Preset = codec.Preset
+	// Stats summarizes an encode (per-frame bits, PSNR, types).
+	Stats = codec.Stats
+	// Tuning holds Graphite-style loop-structure switches.
+	Tuning = codec.Tuning
+	// Report is a VTune/perf-style profile: Top-down slots and MPKI.
+	Report = perf.Report
+	// Config is a microarchitecture configuration (a Table IV row).
+	Config = uarch.Config
+	// VideoInfo is one vbench catalog entry (a Table I row).
+	VideoInfo = vbench.VideoInfo
+	// Workload selects synthetic content for an experiment.
+	Workload = core.Workload
+	// Job is one transcoding run to simulate.
+	Job = core.Job
+	// Point is one sweep sample.
+	Point = core.Point
+	// Task is one schedulable transcoding job (a Table III row).
+	Task = sched.Task
+	// GraphiteFlags mirror the paper's GCC flag set.
+	GraphiteFlags = graphite.Flags
+)
+
+// Presets in speed order, fastest first.
+var Presets = codec.Presets
+
+// Rate-control modes.
+const (
+	RCCRF  = codec.RCCRF
+	RCCQP  = codec.RCCQP
+	RCABR  = codec.RCABR
+	RCABR2 = codec.RCABR2
+	RCCBR  = codec.RCCBR
+	RCVBV  = codec.RCVBV
+)
+
+// Videos returns the vbench catalog (Table I).
+func Videos() []VideoInfo { return vbench.Catalog }
+
+// VideoByName resolves a catalog short name (including "bbb").
+func VideoByName(name string) (VideoInfo, error) { return vbench.ByName(name) }
+
+// DefaultOptions returns medium-preset options with CRF 23, the paper's
+// profiling defaults.
+func DefaultOptions() Options { return codec.Defaults() }
+
+// ApplyPreset overwrites the preset-controlled fields of o.
+func ApplyPreset(o *Options, p Preset) error { return codec.ApplyPreset(o, p) }
+
+// Synthesize generates `frames` frames of the named catalog video, reduced
+// by the given scale factor (1 = full resolution, 0 = full resolution).
+func Synthesize(video string, frames, scale int) ([]*Frame, error) {
+	info, err := vbench.ByName(video)
+	if err != nil {
+		return nil, err
+	}
+	src := vbench.NewSource(info, vbench.SourceOptions{Scale: scale})
+	out := make([]*Frame, frames)
+	for i := range out {
+		out[i] = src.Frame(i)
+	}
+	return out, nil
+}
+
+// Encode compresses frames with the given options and returns the
+// bitstream and statistics.
+func Encode(frames []*Frame, fps int, opt Options) ([]byte, *Stats, error) {
+	if len(frames) == 0 {
+		return nil, nil, codec.ErrNoFrames
+	}
+	enc, err := codec.NewEncoder(frames[0].Width, frames[0].Height, fps, opt, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return enc.EncodeAll(frames)
+}
+
+// StreamInfo describes a parsed bitstream.
+type StreamInfo = codec.Info
+
+// Decode decompresses a bitstream into display-order frames.
+func Decode(stream []byte) ([]*Frame, *StreamInfo, error) {
+	return codec.NewDecoder(codec.DecoderOptions{}, nil).Decode(stream)
+}
+
+// Transcode decodes a bitstream and re-encodes it with new options — the
+// paper's workload, end to end.
+func Transcode(stream []byte, opt Options) ([]byte, *Stats, error) {
+	frames, info, err := Decode(stream)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Encode(frames, info.FPS, opt)
+}
+
+// PSNR returns the global peak signal-to-noise ratio between two frames.
+func PSNR(a, b *Frame) float64 { return frame.PSNR(a, b) }
+
+// SSIM returns the luma structural-similarity index between two frames.
+func SSIM(a, b *Frame) float64 { return frame.SSIM(a, b) }
+
+// WriteY4M writes frames as a YUV4MPEG2 stream for external toolchains
+// (ffmpeg, mpv, VMAF).
+func WriteY4M(w io.Writer, frames []*Frame, fps int) error {
+	return frame.WriteY4M(w, frames, fps)
+}
+
+// ReadY4M parses a YUV4MPEG2 stream (4:2:0, dimensions multiple of 16).
+func ReadY4M(r io.Reader) ([]*Frame, int, error) { return frame.ReadY4M(r) }
+
+// --- simulation / characterization -------------------------------------------
+
+// BaselineConfig returns the Table IV baseline (Gainestown-like) machine.
+func BaselineConfig() Config { return uarch.Baseline() }
+
+// Configs returns all five Table IV configurations.
+func Configs() []Config { return uarch.TableIV() }
+
+// ConfigByName resolves a Table IV configuration name.
+func ConfigByName(name string) (Config, bool) { return uarch.ByName(name) }
+
+// Profile simulates one transcoding job and returns its profile and codec
+// statistics.
+func Profile(job Job) (*Report, *Stats, error) {
+	res, err := core.Run(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Report, res.Stats, nil
+}
+
+// SweepCRFRefs profiles every (crf, refs) combination on one video
+// (Figures 3-5).
+func SweepCRFRefs(w Workload, base Options, cfg Config, crfs, refs []int) []Point {
+	return core.SweepCRFRefs(w, base, cfg, crfs, refs)
+}
+
+// SweepPresets profiles the presets at fixed crf/refs (Figure 6).
+func SweepPresets(w Workload, cfg Config, presets []Preset, crf, refs int) []Point {
+	return core.SweepPresets(w, cfg, presets, crf, refs)
+}
+
+// SweepVideos profiles one setting across videos (Figure 7).
+func SweepVideos(videos []string, frames, scale int, base Options, cfg Config) []Point {
+	return core.SweepVideos(videos, frames, scale, base, cfg)
+}
+
+// --- compiler optimization studies ---------------------------------------------
+
+// TrainAutoFDO runs a training encode of the workload and returns the
+// FDO-optimized code image for use in Job.Image.
+func TrainAutoFDO(w Workload, opt Options) (*trace.Image, error) {
+	col := autofdo.NewCollector()
+	frames, err := synthesizeWorkload(w)
+	if err != nil {
+		return nil, err
+	}
+	info, err := vbench.ByName(w.Video)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := codec.NewEncoder(frames[0].Width, frames[0].Height, info.FPS, opt, col)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := enc.EncodeAll(frames); err != nil {
+		return nil, err
+	}
+	return col.Profile().Apply(trace.NewImage(nil), autofdo.Options{}), nil
+}
+
+// GraphiteTuning returns the codec loop tuning produced by the paper's
+// Graphite flag set.
+func GraphiteTuning(f GraphiteFlags) Tuning { return f.Tuning() }
+
+// AllGraphiteFlags is the paper's -floop-interchange
+// -ftree-loop-distribution -floop-block combination.
+func AllGraphiteFlags() GraphiteFlags { return graphite.All() }
+
+func synthesizeWorkload(w Workload) ([]*Frame, error) {
+	info, err := vbench.ByName(w.Video)
+	if err != nil {
+		return nil, err
+	}
+	frames := w.Frames
+	if frames <= 0 {
+		frames = 16
+	}
+	scale := w.Scale
+	if scale <= 0 {
+		scale = info.Height / 192
+		if scale < 1 {
+			scale = 1
+		}
+	}
+	return Synthesize(w.Video, frames, scale)
+}
+
+// --- scheduling ------------------------------------------------------------------
+
+// SchedulerTasks returns the Table III tasks.
+func SchedulerTasks() []Task { return sched.TableIII() }
+
+// MeasureScheduling simulates every task on every configuration.
+func MeasureScheduling(tasks []Task, configs []Config, proto Workload) (*sched.Matrix, error) {
+	return sched.Measure(tasks, configs, proto)
+}
+
+// SchedulerOutcome is the Figure 9 comparison result.
+type SchedulerOutcome = sched.Outcome
+
+// EvaluateSchedulers runs random/smart/best over a measured matrix.
+func EvaluateSchedulers(m *sched.Matrix) (*SchedulerOutcome, error) { return m.Evaluate() }
+
+// SchedulerSpeedup returns the percentage speedup of x over base.
+func SchedulerSpeedup(base, x []float64) float64 { return sched.Speedup(base, x) }
+
+// --- fleet-scale scheduling (extension of the paper's case study) ---------------
+
+// ServerPool is a heterogeneous fleet of servers (configurations may
+// repeat).
+type ServerPool = sched.Pool
+
+// GenerateTasks deterministically samples n transcoding tasks across the
+// catalog and parameter space.
+func GenerateTasks(n int, seed uint64) []Task { return sched.GenerateTasks(n, seed) }
+
+// UniformPool builds a fleet with `each` servers of every configuration.
+func UniformPool(configs []Config, each int) ServerPool { return sched.UniformPool(configs, each) }
+
+// AssignPool places tasks one-to-one onto a fleet by characterization
+// affinity, generalizing the paper's smart scheduler.
+func AssignPool(tasks []Task, baselineReports []*Report, pool ServerPool) []int {
+	return sched.AssignPool(tasks, baselineReports, pool)
+}
