@@ -7,6 +7,8 @@ package transcoding
 
 import (
 	"testing"
+
+	"repro/internal/core"
 )
 
 func benchWorkload() Workload { return Workload{Video: "cricket", Frames: 6, Scale: 8} }
@@ -195,6 +197,82 @@ func BenchmarkFig9Scheduler(b *testing.B) {
 		}
 		if _, err := EvaluateSchedulers(m); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- decode-replay cache benchmarks ---------------------------------------------
+//
+// The sweep benchmarks measure the same reduced 4x4 crf x refs grid with
+// the decoded-mezzanine replay cache on and off; their ratio is the perf
+// claim of the replay layer and is recorded by scripts/bench.sh in
+// BENCH_core.json.
+
+// benchSweepWorkload fixes the replay-cache comparison point: a clip and an
+// encode fast enough that the mezzanine decode is a large share of each
+// sweep point, which is exactly the regime the cache exists for.
+func benchSweepWorkload() (Workload, Options) {
+	opt := DefaultOptions()
+	if err := ApplyPreset(&opt, "ultrafast"); err != nil {
+		panic(err)
+	}
+	return Workload{Video: "desktop", Frames: 6, Scale: 8}, opt
+}
+
+func benchSweepGrid() ([]int, []int) {
+	return []int{30, 36, 42, 48}, []int{1, 2, 3, 4}
+}
+
+// BenchmarkDecodeReplay measures replaying a recorded mezzanine decode
+// trace into a fresh machine — the per-point decode cost under the cache.
+func BenchmarkDecodeReplay(b *testing.B) {
+	w, _ := benchSweepWorkload()
+	_, events, err := DecodedMezzanine(w, DecoderOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(events)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplayTrace(events, BaselineConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepCRFRefsCached runs the reduced grid with the replay cache
+// (the default production path).
+func BenchmarkSweepCRFRefsCached(b *testing.B) {
+	w, opt := benchSweepWorkload()
+	if _, _, err := DecodedMezzanine(w, DecoderOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	crfs, refs := benchSweepGrid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range SweepCRFRefs(w, opt, BaselineConfig(), crfs, refs) {
+			if p.Err != nil {
+				b.Fatal(p.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepCRFRefsUncached runs the identical grid decoding every
+// point live (NoReplayCache), the pre-cache behaviour.
+func BenchmarkSweepCRFRefsUncached(b *testing.B) {
+	w, opt := benchSweepWorkload()
+	if _, err := core.Mezzanine(w); err != nil {
+		b.Fatal(err)
+	}
+	crfs, refs := benchSweepGrid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := SweepCRFRefsWith(w, opt, BaselineConfig(), crfs, refs, SweepOpts{NoReplayCache: true})
+		for _, p := range pts {
+			if p.Err != nil {
+				b.Fatal(p.Err)
+			}
 		}
 	}
 }

@@ -39,6 +39,7 @@ var (
 	flagScale  = flag.Int("scale", 0, "proxy downscale factor (0: auto)")
 	flagFine   = flag.Bool("fine", false, "use the full 816-point crf x refs grid (slow)")
 	flagSVGDir = flag.String("svgdir", "", "also write figures as SVG files into this directory")
+	flagNoRC   = flag.Bool("no-replay-cache", false, "decode the mezzanine live at every point instead of replaying the cached decode trace")
 )
 
 // svgOut opens an SVG file in -svgdir; returns nil when SVG output is off.
@@ -115,6 +116,10 @@ func workload() core.Workload {
 	return core.Workload{Video: *flagVideo, Frames: *flagFrames, Scale: *flagScale}
 }
 
+func sweepOpts() core.SweepOpts {
+	return core.SweepOpts{NoReplayCache: *flagNoRC}
+}
+
 // --- tables --------------------------------------------------------------------
 
 func table1() error {
@@ -189,7 +194,7 @@ func fig2() error {
 	w := workload()
 	crfs := []int{18, 23, 28, 33}
 	refs := []int{1, 4, 8}
-	pts := core.SweepCRFRefs(w, codec.Defaults(), uarch.Baseline(), crfs, refs)
+	pts := core.SweepCRFRefsWith(w, codec.Defaults(), uarch.Baseline(), crfs, refs, sweepOpts())
 	rows := [][]string{}
 	for _, p := range pts {
 		if p.Err != nil {
@@ -222,7 +227,7 @@ func figs345() error {
 		crfs = []int{1, 6, 11, 16, 21, 26, 31, 36, 41, 46, 51}
 		refs = []int{1, 2, 3, 4, 6, 8, 12, 16}
 	}
-	pts := core.SweepCRFRefs(w, codec.Defaults(), uarch.Baseline(), crfs, refs)
+	pts := core.SweepCRFRefsWith(w, codec.Defaults(), uarch.Baseline(), crfs, refs, sweepOpts())
 	for _, p := range pts {
 		if p.Err != nil {
 			return p.Err
@@ -453,7 +458,7 @@ func fig8() error {
 			}
 			opt.Refs = cb.refs
 
-			base, err := core.Run(core.Job{Workload: w, Options: opt, Config: uarch.Baseline()})
+			base, err := core.Run(core.Job{Workload: w, Options: opt, Config: uarch.Baseline(), NoReplayCache: *flagNoRC})
 			if err != nil {
 				return err
 			}
@@ -461,13 +466,13 @@ func fig8() error {
 			if err != nil {
 				return err
 			}
-			fdo, err := core.Run(core.Job{Workload: w, Options: opt, Config: uarch.Baseline(), Image: img})
+			fdo, err := core.Run(core.Job{Workload: w, Options: opt, Config: uarch.Baseline(), Image: img, NoReplayCache: *flagNoRC})
 			if err != nil {
 				return err
 			}
 			gopt := opt
 			gopt.Tune = graphite.All().Tuning()
-			gr, err := core.Run(core.Job{Workload: w, Options: gopt, Config: uarch.Baseline()})
+			gr, err := core.Run(core.Job{Workload: w, Options: gopt, Config: uarch.Baseline(), NoReplayCache: *flagNoRC})
 			if err != nil {
 				return err
 			}

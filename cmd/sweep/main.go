@@ -24,6 +24,7 @@ var (
 	flagFrames = flag.Int("frames", 16, "frames per clip")
 	flagCRFs   = flag.String("crfs", "1,6,11,16,21,26,31,36,41,46,51", "comma-separated crf values")
 	flagRefs   = flag.String("refs", "1,2,3,4,6,8,12,16", "comma-separated refs values")
+	flagNoRC   = flag.Bool("no-replay-cache", false, "decode the mezzanine live at every sweep point instead of replaying the cached decode trace")
 )
 
 func parseInts(s string) ([]int, error) {
@@ -102,7 +103,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		pts = core.SweepCRFRefs(w, codec.Defaults(), uarch.Baseline(), crfs, refs)
+		pts = core.SweepCRFRefsWith(w, codec.Defaults(), uarch.Baseline(), crfs, refs,
+			core.SweepOpts{NoReplayCache: *flagNoRC})
 	case "presets":
 		pts = core.SweepPresets(w, uarch.Baseline(), codec.Presets, 23, 3)
 	case "videos":

@@ -46,6 +46,20 @@ func NewDecoder(opt DecoderOptions, sink trace.Sink) *Decoder {
 	}
 }
 
+// RecordDecode decodes a stream while capturing the decoder's event stream
+// into a trace.Recorder, returning the frames, the stream info and the
+// recorded buffer. Replaying the buffer into any trace.Sink re-drives
+// exactly the events a live decode with the same options would have
+// emitted — the foundation of core's decoded-mezzanine cache.
+func RecordDecode(stream []byte, opt DecoderOptions) ([]*frame.Frame, *Info, []byte, error) {
+	rec := trace.NewRecorder()
+	frames, info, err := NewDecoder(opt, rec).Decode(stream)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return frames, info, rec.Bytes(), nil
+}
+
 // FrameMeta describes one coded picture as parsed from the stream.
 type FrameMeta struct {
 	PTS  int

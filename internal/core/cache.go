@@ -1,0 +1,39 @@
+package core
+
+import "sync"
+
+// flightCache is a keyed build-once cache with per-key singleflight: the
+// first caller of a key runs build exactly once while concurrent callers of
+// the same key block on that build instead of duplicating it (the cache
+// stampede two sweeps warming the same mezzanine used to hit). Distinct
+// keys build in parallel — only the map access is serialized.
+//
+// Build results, including errors, are cached: every build here is a pure
+// function of its key (deterministic synthesis, encode or decode), so a
+// failure would fail identically on retry.
+type flightCache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flightEntry[V]
+}
+
+type flightEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// get returns the cached value for k, building it with build on first use.
+func (c *flightCache[K, V]) get(k K, build func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*flightEntry[V])
+	}
+	e := c.m[k]
+	if e == nil {
+		e = new(flightEntry[V])
+		c.m[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = build() })
+	return e.val, e.err
+}

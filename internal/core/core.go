@@ -68,6 +68,12 @@ type Job struct {
 	// microbenchmarks); full transcodes decode a cached mezzanine stream
 	// first, exactly as a production transcode does.
 	SkipDecode bool
+	// NoReplayCache forces the decode half to run live through codec.Decoder
+	// instead of replaying the cached recorded trace. The two paths produce
+	// bit-for-bit identical profiles (asserted by TestReplayRunEquivalence);
+	// this escape hatch exists for fidelity A/B checks and for measuring the
+	// replay layer's own speedup.
+	NoReplayCache bool
 }
 
 // Result bundles the profile and the codec-side outcome of a run.
@@ -81,11 +87,10 @@ type Result struct {
 // mezzanine is the "uploaded" form of each workload: a high-quality encode
 // produced once per (video, frames, scale, seed) and then decoded at the
 // start of every transcode job, mirroring how a streaming service stores
-// one pristine copy and transcodes it many times.
-var mezzCache struct {
-	sync.Mutex
-	streams map[Workload][]byte
-}
+// one pristine copy and transcodes it many times. Per-key singleflight
+// guarantees the pristine encode runs exactly once even when concurrent
+// sweep workers miss simultaneously.
+var mezzCache flightCache[Workload, []byte]
 
 // mezzanineOptions returns the settings of the pristine copy.
 func mezzanineOptions() codec.Options {
@@ -121,32 +126,118 @@ func Mezzanine(w Workload) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	mezzCache.Lock()
-	if mezzCache.streams == nil {
-		mezzCache.streams = make(map[Workload][]byte)
-	}
-	if s, ok := mezzCache.streams[w]; ok {
-		mezzCache.Unlock()
-		return s, nil
-	}
-	mezzCache.Unlock()
+	return mezzCache.get(w, func() ([]byte, error) {
+		frames, info, err := sourceFrames(w)
+		if err != nil {
+			return nil, err
+		}
+		enc, err := codec.NewEncoder(frames[0].Width, frames[0].Height, info.FPS, mezzanineOptions(), nil)
+		if err != nil {
+			return nil, err
+		}
+		stream, _, err := enc.EncodeAll(frames)
+		if err != nil {
+			return nil, fmt.Errorf("core: mezzanine encode of %s: %w", w.Video, err)
+		}
+		return stream, nil
+	})
+}
 
-	frames, info, err := sourceFrames(w)
+// --- decoded-mezzanine cache ----------------------------------------------------
+
+// decodedMezz is one decode cache entry: the reconstructed frames plus the
+// recorded decoder event stream. Both are shared across every job that hits
+// the entry — frames are cloned before handing them to an encoder, and the
+// event buffer is only ever read (by trace.Replay).
+type decodedMezz struct {
+	frames []*frame.Frame
+	events []byte
+}
+
+// decodeKey identifies one decode of one mezzanine: decoder options change
+// both the emitted event stream (sampling, loop tuning) and nothing else,
+// so (workload, options) fully determines the entry.
+type decodeKey struct {
+	w   Workload
+	opt codec.DecoderOptions
+}
+
+var decCache flightCache[decodeKey, *decodedMezz]
+
+// decoderOptions derives the decode-side options a job's encode options
+// imply — the single place the decode half of Run is configured.
+func decoderOptions(o codec.Options) codec.DecoderOptions {
+	return codec.DecoderOptions{TraceSampleLog2: o.TraceSampleLog2, Tune: o.Tune}
+}
+
+// DecodedMezzanine returns (building and caching on first use) the decoded
+// frames and recorded decode trace of a workload's mezzanine. The returned
+// slices are shared cache state: callers must treat the frames and buffer
+// as read-only (Run clones the frames before encoding into a job).
+func DecodedMezzanine(w Workload, opt codec.DecoderOptions) ([]*frame.Frame, []byte, error) {
+	w, err := w.normalized()
+	if err != nil {
+		return nil, nil, err
+	}
+	ent, err := decCache.get(decodeKey{w: w, opt: opt}, func() (*decodedMezz, error) {
+		stream, err := Mezzanine(w)
+		if err != nil {
+			return nil, err
+		}
+		frames, _, events, err := codec.RecordDecode(stream, opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: mezzanine decode of %s: %w", w.Video, err)
+		}
+		return &decodedMezz{frames: frames, events: events}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ent.frames, ent.events, nil
+}
+
+// snapKey identifies one decoded-machine snapshot: a machine of one
+// configuration (with the default code image) that has already consumed
+// one workload's decode event stream.
+type snapKey struct {
+	w   Workload
+	opt codec.DecoderOptions
+	cfg uarch.Config
+}
+
+var snapCache flightCache[snapKey, *uarch.Machine]
+
+// decodedMachine returns the cached post-decode machine snapshot for a
+// (workload, decoder options, configuration) triple, building it on first
+// use by replaying the recorded decode trace into a fresh machine. Callers
+// must Clone the snapshot before feeding it further events.
+func decodedMachine(w Workload, dopt codec.DecoderOptions, cfg uarch.Config) (*uarch.Machine, error) {
+	w, err := w.normalized()
 	if err != nil {
 		return nil, err
 	}
-	enc, err := codec.NewEncoder(frames[0].Width, frames[0].Height, info.FPS, mezzanineOptions(), nil)
-	if err != nil {
-		return nil, err
+	return snapCache.get(snapKey{w: w, opt: dopt, cfg: cfg}, func() (*uarch.Machine, error) {
+		_, events, err := DecodedMezzanine(w, dopt)
+		if err != nil {
+			return nil, err
+		}
+		m := uarch.NewMachine(cfg, trace.NewImage(nil))
+		if err := trace.Replay(events, m); err != nil {
+			return nil, fmt.Errorf("core: replay of %s decode trace: %w", w.Video, err)
+		}
+		return m, nil
+	})
+}
+
+// cloneFrames deep-copies a cached frame slice so a job's encoder works on
+// private pixels (virtual bases are preserved, keeping traced addresses
+// identical to a live decode).
+func cloneFrames(src []*frame.Frame) []*frame.Frame {
+	out := make([]*frame.Frame, len(src))
+	for i, f := range src {
+		out[i] = f.Clone()
 	}
-	stream, _, err := enc.EncodeAll(frames)
-	if err != nil {
-		return nil, fmt.Errorf("core: mezzanine encode of %s: %w", w.Video, err)
-	}
-	mezzCache.Lock()
-	mezzCache.streams[w] = stream
-	mezzCache.Unlock()
-	return stream, nil
+	return out
 }
 
 // Run simulates one transcoding job end to end: decode the mezzanine (unless
@@ -162,31 +253,62 @@ func Run(job Job) (*Result, error) {
 	if img == nil {
 		img = trace.NewImage(nil)
 	}
-	machine := uarch.NewMachine(job.Config, img)
 
+	var machine *uarch.Machine
 	var input []*frame.Frame
 	info, err := vbench.ByName(job.Workload.Video)
 	if err != nil {
 		return nil, err
 	}
-	if job.SkipDecode {
+	switch {
+	case job.SkipDecode:
+		machine = uarch.NewMachine(job.Config, img)
 		input, _, err = sourceFrames(job.Workload)
 		if err != nil {
 			return nil, err
 		}
-	} else {
+	case job.NoReplayCache:
+		// Live path: simulate the decode directly into this job's machine.
+		machine = uarch.NewMachine(job.Config, img)
 		stream, err := Mezzanine(job.Workload)
 		if err != nil {
 			return nil, err
 		}
-		dec := codec.NewDecoder(codec.DecoderOptions{
-			TraceSampleLog2: job.Options.TraceSampleLog2,
-			Tune:            job.Options.Tune,
-		}, machine)
+		dec := codec.NewDecoder(decoderOptions(job.Options), machine)
 		input, _, err = dec.Decode(stream)
 		if err != nil {
 			return nil, fmt.Errorf("core: mezzanine decode of %s: %w", job.Workload.Video, err)
 		}
+	default:
+		// Cached path: the decode is simulated once per (workload, decoder
+		// options) and its event stream recorded; each job then gets the
+		// post-decode machine state without re-running codec.Decoder. The
+		// machine is a deterministic event consumer, so its state — and
+		// therefore the profile — is bit-for-bit what the live path
+		// produces (TestReplayRunEquivalence).
+		dopt := decoderOptions(job.Options)
+		frames, events, err := DecodedMezzanine(job.Workload, dopt)
+		if err != nil {
+			return nil, err
+		}
+		if job.Image == nil {
+			// Default code image: clone the cached post-decode machine
+			// snapshot — the decode half at memcpy speed.
+			snap, err := decodedMachine(job.Workload, dopt, job.Config)
+			if err != nil {
+				return nil, err
+			}
+			machine = snap.Clone()
+		} else {
+			// Custom image (e.g. the AutoFDO study): snapshots are keyed on
+			// the default layout, so re-drive the recorded events into this
+			// job's machine instead.
+			machine = uarch.NewMachine(job.Config, img)
+			if err := trace.Replay(events, machine); err != nil {
+				return nil, fmt.Errorf("core: replay of %s decode trace: %w", job.Workload.Video, err)
+			}
+		}
+		input = cloneFrames(frames)
 	}
 
 	enc, err := codec.NewEncoder(input[0].Width, input[0].Height, info.FPS, job.Options, machine)
@@ -216,39 +338,77 @@ type Point struct {
 	Err    error
 }
 
-// runParallel evaluates jobs across all CPUs, preserving order.
+// runParallel evaluates jobs on a fixed pool of GOMAXPROCS workers pulling
+// indices from a channel, preserving order in the returned slice. A pool
+// (rather than one goroutine per job gated by a semaphore) keeps an
+// 816-point sweep at a handful of live goroutines instead of 816 parked
+// ones.
 func runParallel(n int, build func(i int) (Job, Point)) []Point {
 	points := make([]Point, n)
 	jobs := make([]Job, n)
 	for i := 0; i < n; i++ {
 		jobs[i], points[i] = build(i)
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := Run(jobs[i])
-			if err != nil {
-				points[i].Err = err
-				return
-			}
-			points[i].Report = res.Report
-			points[i].Stats = res.Stats
-		}(i)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
 	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := Run(jobs[i])
+				if err != nil {
+					points[i].Err = err
+					continue
+				}
+				points[i].Report = res.Report
+				points[i].Stats = res.Stats
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	return points
+}
+
+// SweepOpts adjusts how a sweep executes without changing what it measures.
+type SweepOpts struct {
+	// NoReplayCache runs every point's decode live instead of replaying the
+	// recorded decode trace (see Job.NoReplayCache).
+	NoReplayCache bool
+}
+
+// warmDecode pre-builds the caches a sweep's points will hit so the workers
+// fan out against warm state: always the mezzanine, and — unless the sweep
+// opts out of replay — the decoded frames, the recorded decode trace and
+// the post-decode machine snapshot for the sweep's configuration.
+func warmDecode(w Workload, dopt codec.DecoderOptions, cfg uarch.Config, opts SweepOpts) error {
+	if opts.NoReplayCache {
+		_, err := Mezzanine(w)
+		return err
+	}
+	_, err := decodedMachine(w, dopt, cfg)
+	return err
 }
 
 // SweepCRFRefs profiles every (crf, refs) combination on one video — the
 // §III-C1 experiment behind Figures 3, 4 and 5.
 func SweepCRFRefs(w Workload, base codec.Options, cfg uarch.Config, crfs, refs []int) []Point {
-	// Warm the mezzanine before fanning out.
-	if _, err := Mezzanine(w); err != nil {
+	return SweepCRFRefsWith(w, base, cfg, crfs, refs, SweepOpts{})
+}
+
+// SweepCRFRefsWith is SweepCRFRefs with explicit execution options.
+func SweepCRFRefsWith(w Workload, base codec.Options, cfg uarch.Config, crfs, refs []int, opts SweepOpts) []Point {
+	// Every point shares one decoder configuration: crf and refs only alter
+	// the encode half.
+	if err := warmDecode(w, decoderOptions(base), cfg, opts); err != nil {
 		return []Point{{Video: w.Video, Err: err}}
 	}
 	n := len(crfs) * len(refs)
@@ -259,7 +419,7 @@ func SweepCRFRefs(w Workload, base codec.Options, cfg uarch.Config, crfs, refs [
 		opt.RC = codec.RCCRF
 		opt.CRF = crf
 		opt.Refs = rf
-		return Job{Workload: w, Options: opt, Config: cfg},
+		return Job{Workload: w, Options: opt, Config: cfg, NoReplayCache: opts.NoReplayCache},
 			Point{Video: w.Video, CRF: crf, Refs: rf}
 	})
 }
@@ -268,7 +428,9 @@ func SweepCRFRefs(w Workload, base codec.Options, cfg uarch.Config, crfs, refs [
 // §III-C2 experiment behind Figure 6. Following the paper, crf and refs are
 // pinned to the defaults (23/3) regardless of the preset's own values.
 func SweepPresets(w Workload, cfg uarch.Config, presets []codec.Preset, crf, refs int) []Point {
-	if _, err := Mezzanine(w); err != nil {
+	// All preset points decode full-trace with default tuning (the presets
+	// alter only the encode half), so they share one decode cache entry.
+	if err := warmDecode(w, codec.DecoderOptions{}, cfg, SweepOpts{}); err != nil {
 		return []Point{{Video: w.Video, Err: err}}
 	}
 	return runParallel(len(presets), func(i int) (Job, Point) {
@@ -288,7 +450,7 @@ func SweepPresets(w Workload, cfg uarch.Config, presets []codec.Preset, crf, ref
 func SweepVideos(videos []string, frames, scale int, base codec.Options, cfg uarch.Config) []Point {
 	for _, v := range videos {
 		w := Workload{Video: v, Frames: frames, Scale: scale}
-		if _, err := Mezzanine(w); err != nil {
+		if err := warmDecode(w, decoderOptions(base), cfg, SweepOpts{}); err != nil {
 			return []Point{{Video: v, Err: err}}
 		}
 	}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// TestReplayMachineEquivalence is the fidelity guarantee at the machine
+// level: a Machine fed the recorded decode trace reaches bit-for-bit the
+// state of a Machine that consumed the decode live.
+func TestReplayMachineEquivalence(t *testing.T) {
+	w := tinyWorkload("cricket")
+	stream, err := Mezzanine(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dopt := range []codec.DecoderOptions{
+		{},
+		{TraceSampleLog2: 2},
+		{Tune: codec.Tuning{FuseDeblock: true}},
+	} {
+		live := uarch.NewMachine(uarch.Baseline(), trace.NewImage(nil))
+		liveFrames, _, err := codec.NewDecoder(dopt, live).Decode(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		recFrames, _, events, err := codec.RecordDecode(stream, dopt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed := uarch.NewMachine(uarch.Baseline(), trace.NewImage(nil))
+		if err := trace.Replay(events, replayed); err != nil {
+			t.Fatal(err)
+		}
+
+		if !live.Result().Equal(replayed.Result()) {
+			t.Fatalf("opts %+v: replayed machine state differs from live decode:\nlive:     %+v\nreplayed: %+v",
+				dopt, live.Result(), replayed.Result())
+		}
+		if len(liveFrames) != len(recFrames) {
+			t.Fatalf("opts %+v: frame count differs: %d vs %d", dopt, len(liveFrames), len(recFrames))
+		}
+		for i := range liveFrames {
+			if !reflect.DeepEqual(liveFrames[i], recFrames[i]) {
+				t.Fatalf("opts %+v: decoded frame %d differs between live and recording decode", dopt, i)
+			}
+		}
+	}
+}
+
+// TestReplayRunEquivalence is the fidelity guarantee at the experiment
+// level: the profile of a full transcode is identical whether the decode
+// half was replayed from the cache or simulated live, so every figure stays
+// bit-for-bit unchanged by the cache.
+func TestReplayRunEquivalence(t *testing.T) {
+	w := tinyWorkload("cricket")
+	opt := codec.Defaults()
+	opt.CRF = 27
+	opt.Refs = 2
+	job := Job{Workload: w, Options: opt, Config: uarch.Baseline()}
+
+	cached, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.NoReplayCache = true
+	livePath, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cached.Report, livePath.Report) {
+		t.Fatalf("replay-path report differs from live-decode report:\ncached: %+v\nlive:   %+v",
+			cached.Report, livePath.Report)
+	}
+	if !reflect.DeepEqual(cached.Stats, livePath.Stats) {
+		t.Fatal("replay-path codec stats differ from live-decode stats")
+	}
+}
+
+// TestDecodedMezzanineCached verifies hits share one entry and that the
+// cached frames are not handed to encoders directly (Run clones them).
+func TestDecodedMezzanineCached(t *testing.T) {
+	w := tinyWorkload("cat")
+	fa, ea, err := DecodedMezzanine(w, codec.DecoderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, eb, err := DecodedMezzanine(w, codec.DecoderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fa) == 0 || len(ea) == 0 {
+		t.Fatal("empty decode cache entry")
+	}
+	if fa[0] != fb[0] || &ea[0] != &eb[0] {
+		t.Fatal("decoded mezzanine not cached")
+	}
+	// A different decoder configuration is a different entry.
+	fc, _, err := DecodedMezzanine(w, codec.DecoderOptions{TraceSampleLog2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc[0] == fa[0] {
+		t.Fatal("distinct decoder options share a cache entry")
+	}
+}
+
+// TestCacheSingleflight hammers both caches from many goroutines on a cold
+// key; under -race this catches stampedes and unsynchronized map access,
+// and pointer identity proves everyone got the one shared build.
+func TestCacheSingleflight(t *testing.T) {
+	w := Workload{Video: "house", Frames: 6, Scale: 8, Seed: 7777} // cold: unique seed
+	const callers = 16
+	streams := make([][]byte, callers)
+	events := make([][]byte, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			s, err := Mezzanine(w)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			streams[i] = s
+			_, e, err := DecodedMezzanine(w, codec.DecoderOptions{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			events[i] = e
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if &streams[i][0] != &streams[0][0] {
+			t.Fatal("concurrent Mezzanine callers built separate streams")
+		}
+		if &events[i][0] != &events[0][0] {
+			t.Fatal("concurrent DecodedMezzanine callers built separate traces")
+		}
+	}
+}
+
+// TestFlightCacheBuildsOnce checks the singleflight primitive directly: n
+// concurrent gets of one cold key run build exactly once.
+func TestFlightCacheBuildsOnce(t *testing.T) {
+	var c flightCache[string, int]
+	var builds int32
+	var mu sync.Mutex
+	const callers = 32
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			defer wg.Done()
+			v, err := c.get("k", func() (int, error) {
+				mu.Lock()
+				builds++
+				mu.Unlock()
+				return 99, nil
+			})
+			if err != nil || v != 99 {
+				t.Errorf("get = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if builds != 1 {
+		t.Fatalf("build ran %d times", builds)
+	}
+}

@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Recorder is a Sink that captures the event stream into a compact flat
+// buffer so it can be re-driven later with Replay. A transcode's decode
+// half is byte-identical across every job that shares a workload and
+// decoder options; recording it once and replaying the buffer into each
+// job's machine turns an O(decode) cost into an O(events) memcpy-like scan.
+//
+// Encoding: one tag byte per event — kind in the top three bits, FuncID in
+// the low five — followed by the operands as varints. Addresses are
+// delta-encoded (zigzag of the difference from the previous address, in
+// emission order) because consecutive accesses are near each other; all
+// other integer operands are zigzag varints so any int round-trips exactly.
+type Recorder struct {
+	buf      []byte
+	lastAddr uint64
+	events   int
+}
+
+// Event kinds, packed into the tag byte's top three bits.
+const (
+	evOps uint8 = iota
+	evLoad
+	evStore
+	evLoad2D
+	evStore2D
+	evBranch
+	evLoop
+	evCall
+)
+
+// The tag byte gives FuncID five bits; widening NumFuncs past 32 must widen
+// the encoding too.
+var _ [32 - int(NumFuncs)]struct{}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{}
+}
+
+// Bytes returns the recorded buffer. The Recorder retains ownership; the
+// slice is valid until the next event is recorded.
+func (r *Recorder) Bytes() []byte { return r.buf }
+
+// Events returns the number of events recorded.
+func (r *Recorder) Events() int { return r.events }
+
+// Reset discards all recorded state, keeping the allocated buffer.
+func (r *Recorder) Reset() {
+	r.buf = r.buf[:0]
+	r.lastAddr = 0
+	r.events = 0
+}
+
+func (r *Recorder) tag(kind uint8, fn FuncID) {
+	r.buf = append(r.buf, kind<<5|uint8(fn)&0x1f)
+	r.events++
+}
+
+func (r *Recorder) putInt(v int) {
+	r.buf = binary.AppendVarint(r.buf, int64(v))
+}
+
+func (r *Recorder) putAddr(addr uint64) {
+	// The delta is computed in uint64 space so arbitrary jumps (for example
+	// bitstream base to frame base) wrap rather than overflow.
+	r.buf = binary.AppendVarint(r.buf, int64(addr-r.lastAddr))
+	r.lastAddr = addr
+}
+
+func (r *Recorder) Ops(fn FuncID, n int) {
+	r.tag(evOps, fn)
+	r.putInt(n)
+}
+
+func (r *Recorder) Load(fn FuncID, addr uint64, bytes int) {
+	r.tag(evLoad, fn)
+	r.putAddr(addr)
+	r.putInt(bytes)
+}
+
+func (r *Recorder) Store(fn FuncID, addr uint64, bytes int) {
+	r.tag(evStore, fn)
+	r.putAddr(addr)
+	r.putInt(bytes)
+}
+
+func (r *Recorder) Load2D(fn FuncID, addr uint64, w, h, stride int) {
+	r.tag(evLoad2D, fn)
+	r.putAddr(addr)
+	r.putInt(w)
+	r.putInt(h)
+	r.putInt(stride)
+}
+
+func (r *Recorder) Store2D(fn FuncID, addr uint64, w, h, stride int) {
+	r.tag(evStore2D, fn)
+	r.putAddr(addr)
+	r.putInt(w)
+	r.putInt(h)
+	r.putInt(stride)
+}
+
+func (r *Recorder) Branch(fn FuncID, site BranchID, taken bool) {
+	r.tag(evBranch, fn)
+	v := uint64(site) << 1
+	if taken {
+		v |= 1
+	}
+	r.buf = binary.AppendUvarint(r.buf, v)
+}
+
+func (r *Recorder) Loop(fn FuncID, site BranchID, iters int) {
+	r.tag(evLoop, fn)
+	r.buf = binary.AppendUvarint(r.buf, uint64(site))
+	r.putInt(iters)
+}
+
+func (r *Recorder) Call(fn FuncID) {
+	r.tag(evCall, fn)
+}
+
+var _ Sink = (*Recorder)(nil)
+
+// replayReader walks a recorded buffer.
+type replayReader struct {
+	buf      []byte
+	pos      int
+	lastAddr uint64
+}
+
+func (p *replayReader) int() (int, error) {
+	v, n := binary.Varint(p.buf[p.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("trace: corrupt varint at offset %d", p.pos)
+	}
+	p.pos += n
+	return int(v), nil
+}
+
+func (p *replayReader) uint() (uint64, error) {
+	v, n := binary.Uvarint(p.buf[p.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("trace: corrupt uvarint at offset %d", p.pos)
+	}
+	p.pos += n
+	return v, nil
+}
+
+func (p *replayReader) addr() (uint64, error) {
+	v, n := binary.Varint(p.buf[p.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("trace: corrupt address delta at offset %d", p.pos)
+	}
+	p.pos += n
+	p.lastAddr += uint64(v)
+	return p.lastAddr, nil
+}
+
+// Replay re-drives every event in a buffer produced by Recorder into sink,
+// in recording order. A sink fed by Replay observes exactly the calls the
+// Recorder observed, so a deterministic consumer (such as uarch.Machine)
+// reaches exactly the state it would have reached live.
+func Replay(buf []byte, sink Sink) error {
+	p := replayReader{buf: buf}
+	for p.pos < len(buf) {
+		tag := buf[p.pos]
+		p.pos++
+		kind, fn := tag>>5, FuncID(tag&0x1f)
+		switch kind {
+		case evOps:
+			n, err := p.int()
+			if err != nil {
+				return err
+			}
+			sink.Ops(fn, n)
+		case evLoad, evStore:
+			addr, err := p.addr()
+			if err != nil {
+				return err
+			}
+			bytes, err := p.int()
+			if err != nil {
+				return err
+			}
+			if kind == evLoad {
+				sink.Load(fn, addr, bytes)
+			} else {
+				sink.Store(fn, addr, bytes)
+			}
+		case evLoad2D, evStore2D:
+			addr, err := p.addr()
+			if err != nil {
+				return err
+			}
+			w, err := p.int()
+			if err != nil {
+				return err
+			}
+			h, err := p.int()
+			if err != nil {
+				return err
+			}
+			stride, err := p.int()
+			if err != nil {
+				return err
+			}
+			if kind == evLoad2D {
+				sink.Load2D(fn, addr, w, h, stride)
+			} else {
+				sink.Store2D(fn, addr, w, h, stride)
+			}
+		case evBranch:
+			v, err := p.uint()
+			if err != nil {
+				return err
+			}
+			sink.Branch(fn, BranchID(v>>1), v&1 == 1)
+		case evLoop:
+			site, err := p.uint()
+			if err != nil {
+				return err
+			}
+			iters, err := p.int()
+			if err != nil {
+				return err
+			}
+			sink.Loop(fn, BranchID(site), iters)
+		case evCall:
+			sink.Call(fn)
+		default:
+			return fmt.Errorf("trace: unknown event kind %d at offset %d", kind, p.pos-1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// event is one captured Sink call, used by the collecting sink to compare a
+// live stream against its replay.
+type event struct {
+	Kind    uint8
+	Fn      FuncID
+	Addr    uint64
+	Site    BranchID
+	A, B, C int
+	Taken   bool
+}
+
+// collector records every Sink call verbatim.
+type collector struct{ events []event }
+
+func (c *collector) Ops(fn FuncID, n int) {
+	c.events = append(c.events, event{Kind: evOps, Fn: fn, A: n})
+}
+func (c *collector) Load(fn FuncID, addr uint64, bytes int) {
+	c.events = append(c.events, event{Kind: evLoad, Fn: fn, Addr: addr, A: bytes})
+}
+func (c *collector) Store(fn FuncID, addr uint64, bytes int) {
+	c.events = append(c.events, event{Kind: evStore, Fn: fn, Addr: addr, A: bytes})
+}
+func (c *collector) Load2D(fn FuncID, addr uint64, w, h, stride int) {
+	c.events = append(c.events, event{Kind: evLoad2D, Fn: fn, Addr: addr, A: w, B: h, C: stride})
+}
+func (c *collector) Store2D(fn FuncID, addr uint64, w, h, stride int) {
+	c.events = append(c.events, event{Kind: evStore2D, Fn: fn, Addr: addr, A: w, B: h, C: stride})
+}
+func (c *collector) Branch(fn FuncID, site BranchID, taken bool) {
+	c.events = append(c.events, event{Kind: evBranch, Fn: fn, Site: site, Taken: taken})
+}
+func (c *collector) Loop(fn FuncID, site BranchID, iters int) {
+	c.events = append(c.events, event{Kind: evLoop, Fn: fn, Site: site, A: iters})
+}
+func (c *collector) Call(fn FuncID) { c.events = append(c.events, event{Kind: evCall, Fn: fn}) }
+
+// drive issues one event into a Sink.
+func (e event) drive(s Sink) {
+	switch e.Kind {
+	case evOps:
+		s.Ops(e.Fn, e.A)
+	case evLoad:
+		s.Load(e.Fn, e.Addr, e.A)
+	case evStore:
+		s.Store(e.Fn, e.Addr, e.A)
+	case evLoad2D:
+		s.Load2D(e.Fn, e.Addr, e.A, e.B, e.C)
+	case evStore2D:
+		s.Store2D(e.Fn, e.Addr, e.A, e.B, e.C)
+	case evBranch:
+		s.Branch(e.Fn, e.Site, e.Taken)
+	case evLoop:
+		s.Loop(e.Fn, e.Site, e.A)
+	case evCall:
+		s.Call(e.Fn)
+	}
+}
+
+// eventSeq generates arbitrary valid event sequences for testing/quick.
+type eventSeq []event
+
+func (eventSeq) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size + 1)
+	seq := make(eventSeq, n)
+	for i := range seq {
+		seq[i] = event{
+			Kind:  uint8(r.Intn(int(evCall) + 1)),
+			Fn:    FuncID(1 + r.Intn(int(NumFuncs)-1)),
+			Addr:  r.Uint64(),
+			Site:  BranchID(r.Intn(1 << 16)),
+			A:     r.Intn(1 << 20),
+			B:     r.Intn(1 << 12),
+			C:     r.Intn(1 << 16),
+			Taken: r.Intn(2) == 1,
+		}
+	}
+	return reflect.ValueOf(seq)
+}
+
+// TestRecordReplayRoundTrip is the property test: any event sequence
+// survives record -> replay bit-for-bit.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	prop := func(seq eventSeq) bool {
+		rec := NewRecorder()
+		var live collector
+		for _, e := range seq {
+			e.drive(rec)
+			e.drive(&live)
+		}
+		if rec.Events() != len(seq) {
+			return false
+		}
+		var replayed collector
+		if err := Replay(rec.Bytes(), &replayed); err != nil {
+			t.Logf("replay error: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(live.events, replayed.events)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecordReplayHandBuilt pins the semantics of each event kind,
+// including address deltas that go backwards and wrap.
+func TestRecordReplayHandBuilt(t *testing.T) {
+	rec := NewRecorder()
+	rec.Ops(FnSAD, 42)
+	rec.Load(FnDecMC, 0x8_0000_0000, 64)
+	rec.Store(FnDecIDCT, 0x1000, 16) // large backwards jump
+	rec.Load2D(FnDecMC, 0x8_0000_1000, 16, 16, 1920)
+	rec.Store2D(FnDecIDCT, 0x8_0000_2000, 4, 4, 64)
+	rec.Branch(FnDecParse, 7, true)
+	rec.Branch(FnDecParse, 7, false)
+	rec.Loop(FnDeblock, 3, 12)
+	rec.Call(FnDecParse)
+
+	var got collector
+	if err := Replay(rec.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	want := []event{
+		{Kind: evOps, Fn: FnSAD, A: 42},
+		{Kind: evLoad, Fn: FnDecMC, Addr: 0x8_0000_0000, A: 64},
+		{Kind: evStore, Fn: FnDecIDCT, Addr: 0x1000, A: 16},
+		{Kind: evLoad2D, Fn: FnDecMC, Addr: 0x8_0000_1000, A: 16, B: 16, C: 1920},
+		{Kind: evStore2D, Fn: FnDecIDCT, Addr: 0x8_0000_2000, A: 4, B: 4, C: 64},
+		{Kind: evBranch, Fn: FnDecParse, Site: 7, Taken: true},
+		{Kind: evBranch, Fn: FnDecParse, Site: 7, Taken: false},
+		{Kind: evLoop, Fn: FnDeblock, Site: 3, A: 12},
+		{Kind: evCall, Fn: FnDecParse},
+	}
+	if !reflect.DeepEqual(got.events, want) {
+		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", got.events, want)
+	}
+	if rec.Events() != len(want) {
+		t.Fatalf("Events() = %d, want %d", rec.Events(), len(want))
+	}
+}
+
+// TestRecorderReset verifies Reset clears state so a reused Recorder's
+// buffer stands alone.
+func TestRecorderReset(t *testing.T) {
+	rec := NewRecorder()
+	rec.Load(FnSAD, 0xdeadbeef, 64)
+	rec.Reset()
+	if rec.Events() != 0 || len(rec.Bytes()) != 0 {
+		t.Fatal("reset did not clear recorder")
+	}
+	rec.Load(FnSAD, 0x100, 8)
+	var got collector
+	if err := Replay(rec.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.events) != 1 || got.events[0].Addr != 0x100 {
+		t.Fatalf("post-reset replay wrong: %+v", got.events)
+	}
+}
+
+// TestReplayCorruptBuffer verifies truncated buffers error instead of
+// panicking.
+func TestReplayCorruptBuffer(t *testing.T) {
+	rec := NewRecorder()
+	rec.Load2D(FnDecMC, 0x8_0000_0000, 16, 16, 1920)
+	buf := rec.Bytes()
+	for cut := 1; cut < len(buf); cut++ {
+		if err := Replay(buf[:cut], &collector{}); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(buf))
+		}
+	}
+}

@@ -6,6 +6,8 @@
 // the way hardware counters do.
 package branch
 
+import "maps"
+
 // Predictor predicts conditional branch directions. PredictUpdate performs
 // the predict-then-train step for one dynamic branch and reports whether
 // the prediction was correct. LoopExit models a counted loop executing
@@ -16,6 +18,9 @@ type Predictor interface {
 	PredictUpdate(pc uint64, taken bool) bool
 	LoopExit(pc uint64, iters int) int
 	Reset()
+	// Clone returns an independent deep copy of the predictor, including
+	// all trained table and history state.
+	Clone() Predictor
 }
 
 // Stats tracks aggregate accuracy.
@@ -70,6 +75,13 @@ func (b *Bimodal) Reset() {
 	}
 }
 
+// Clone deep-copies the counter table.
+func (b *Bimodal) Clone() Predictor {
+	n := *b
+	n.table = append([]uint8(nil), b.table...)
+	return &n
+}
+
 func (b *Bimodal) PredictUpdate(pc uint64, taken bool) bool {
 	i := hashPC(pc, b.bits)
 	pred := ctrTaken(b.table[i])
@@ -117,6 +129,13 @@ func (g *GShare) Reset() {
 		g.table[i] = 2
 	}
 	g.hist = 0
+}
+
+// Clone deep-copies the counter table and history register.
+func (g *GShare) Clone() Predictor {
+	n := *g
+	n.table = append([]uint8(nil), g.table...)
+	return &n
 }
 
 func (g *GShare) index(pc uint64) uint64 {
@@ -191,6 +210,17 @@ func (p *PentiumM) Reset() {
 		p.choose[i] = 2
 	}
 	p.loops = make(map[uint64]int)
+}
+
+// Clone deep-copies both component predictors, the chooser and the loop
+// detector.
+func (p *PentiumM) Clone() Predictor {
+	n := *p
+	n.bim = p.bim.Clone().(*Bimodal)
+	n.gsh = p.gsh.Clone().(*GShare)
+	n.choose = append([]uint8(nil), p.choose...)
+	n.loops = maps.Clone(p.loops)
+	return &n
 }
 
 func (p *PentiumM) PredictUpdate(pc uint64, taken bool) bool {
@@ -269,6 +299,18 @@ func (t *TAGE) Reset() {
 	}
 	t.hist = 0
 	t.loops = make(map[uint64][4]int)
+}
+
+// Clone deep-copies the base table, all tagged components, the global
+// history and the loop detector.
+func (t *TAGE) Clone() Predictor {
+	n := *t
+	n.base = t.base.Clone().(*Bimodal)
+	for i := range t.tables {
+		n.tables[i] = append([]tageEntry(nil), t.tables[i]...)
+	}
+	n.loops = maps.Clone(t.loops)
+	return &n
 }
 
 func (t *TAGE) foldedHist(n uint) uint64 {

@@ -106,6 +106,18 @@ func (c *Cache) Access(addr uint64) bool {
 	return false
 }
 
+// Clone returns an independent deep copy of the cache: contents, LRU
+// clocks and statistics. Cloning a warmed cache is how core's decoded-
+// machine snapshots hand every sweep job post-decode cache state at memcpy
+// speed.
+func (c *Cache) Clone() *Cache {
+	n := *c
+	n.tags = append([]uint64(nil), c.tags...)
+	n.valid = append([]bool(nil), c.valid...)
+	n.stamp = append([]uint64(nil), c.stamp...)
+	return &n
+}
+
 // Reset clears contents and statistics.
 func (c *Cache) Reset() {
 	for i := range c.valid {
@@ -158,3 +170,10 @@ func (t *TLB) Stats() Stats { return t.inner.Stats() }
 
 // Reset clears the TLB.
 func (t *TLB) Reset() { t.inner.Reset() }
+
+// Clone returns an independent deep copy of the TLB.
+func (t *TLB) Clone() *TLB {
+	n := *t
+	n.inner = t.inner.Clone()
+	return &n
+}

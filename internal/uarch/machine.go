@@ -84,6 +84,25 @@ func NewMachine(cfg Config, img *trace.Image) *Machine {
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
+// Clone returns an independent deep copy of the machine: counters, fetch
+// cursors, cache and TLB contents, and trained predictor state. The code
+// image is shared (it is immutable after construction). Cloning a machine
+// that has consumed a workload's decode gives each transcode job its
+// post-decode state for the cost of a memcpy instead of a re-simulation.
+func (m *Machine) Clone() *Machine {
+	n := *m
+	n.l1i = m.l1i.Clone()
+	n.l1d = m.l1d.Clone()
+	n.l2 = m.l2.Clone()
+	n.l3 = m.l3.Clone()
+	if m.l4 != nil {
+		n.l4 = m.l4.Clone()
+	}
+	n.itlb = m.itlb.Clone()
+	n.pred = m.pred.Clone()
+	return &n
+}
+
 var _ trace.Sink = (*Machine)(nil)
 
 // --- instruction side ---------------------------------------------------------

@@ -100,6 +100,17 @@ func (r *Result) DRAMBytes() float64 {
 	return float64(misses) * 64
 }
 
+// Equal reports whether two results are bit-for-bit identical: every
+// counter, every cache level, every stall component. It backs the replay
+// fidelity guarantee — a machine fed a recorded trace must reach exactly
+// the state of a machine fed the live event stream.
+func (r *Result) Equal(o *Result) bool {
+	if r == nil || o == nil {
+		return r == o
+	}
+	return *r == *o
+}
+
 // Add accumulates another result into r (same configuration), used to merge
 // the decode and encode halves of a transcode.
 func (r *Result) Add(o *Result) {

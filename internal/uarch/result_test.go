@@ -1,0 +1,22 @@
+package uarch
+
+import "testing"
+
+func TestResultEqual(t *testing.T) {
+	a := &Result{Config: "baseline", Insts: 100, Uops: 150, WidthUops: 4, FreqGHz: 2.9}
+	b := &Result{Config: "baseline", Insts: 100, Uops: 150, WidthUops: 4, FreqGHz: 2.9}
+	if !a.Equal(b) {
+		t.Fatal("identical results reported unequal")
+	}
+	b.L1D.Misses++
+	if a.Equal(b) {
+		t.Fatal("differing L1D misses reported equal")
+	}
+	var nilr *Result
+	if a.Equal(nilr) || nilr.Equal(a) {
+		t.Fatal("nil compared equal to non-nil")
+	}
+	if !nilr.Equal(nil) {
+		t.Fatal("nil != nil")
+	}
+}

@@ -1,0 +1,42 @@
+#!/bin/sh
+# bench.sh — run the core replay-cache benchmarks and record them in
+# BENCH_core.json as [{"name":..., "ns_per_op":..., "allocs_per_op":...}].
+#
+# The cached/uncached sweep pair is the headline number: the acceptance
+# bar is cached >= 1.5x faster than uncached on the reduced 4x4 grid.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2x}"
+OUT="${OUT:-BENCH_core.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkDecodeReplay|BenchmarkSweepCRFRefs' \
+	-benchtime "$BENCHTIME" -benchmem -timeout 1200s . | tee "$RAW"
+
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "allocs/op") allocs = $(i - 1)
+	}
+	if (ns == "") next
+	if (allocs == "") allocs = 0
+	rows[++n] = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs)
+	if (name == "BenchmarkSweepCRFRefsCached") cached = ns
+	if (name == "BenchmarkSweepCRFRefsUncached") uncached = ns
+}
+END {
+	printf "[\n"
+	for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+	printf "]\n"
+	if (cached + 0 > 0 && uncached + 0 > 0)
+		printf "replay cache speedup: %.2fx\n", uncached / cached > "/dev/stderr"
+}
+' "$RAW" >"$OUT"
+
+echo "wrote $OUT"

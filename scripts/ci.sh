@@ -1,0 +1,14 @@
+#!/bin/sh
+# ci.sh — the tier-1 gate: vet, build, full tests, and the race detector
+# over the packages with real concurrency (the sweep pool and the
+# singleflight caches in core, the recorder/replay layer in trace).
+set -eux
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test ./...
+# The race detector slows the simulator ~10x and internal/core's probe
+# tests each run multiple full transcodes, so the default 10m per-package
+# timeout is not enough on small machines.
+go test -race -timeout 3600s ./internal/core/... ./internal/trace/...

@@ -56,6 +56,12 @@ type (
 	Job = core.Job
 	// Point is one sweep sample.
 	Point = core.Point
+	// SweepOpts adjusts sweep execution (e.g. the replay-cache escape hatch).
+	SweepOpts = core.SweepOpts
+	// MachineResult carries the raw counter state of a finished simulation.
+	MachineResult = uarch.Result
+	// DecoderOptions configure decode-side instrumentation and tuning.
+	DecoderOptions = codec.DecoderOptions
 	// Task is one schedulable transcoding job (a Table III row).
 	Task = sched.Task
 	// GraphiteFlags mirror the paper's GCC flag set.
@@ -174,6 +180,31 @@ func Profile(job Job) (*Report, *Stats, error) {
 // (Figures 3-5).
 func SweepCRFRefs(w Workload, base Options, cfg Config, crfs, refs []int) []Point {
 	return core.SweepCRFRefs(w, base, cfg, crfs, refs)
+}
+
+// SweepCRFRefsWith is SweepCRFRefs with explicit execution options, e.g.
+// SweepOpts{NoReplayCache: true} to re-simulate every point's decode live
+// instead of replaying the cached decode trace.
+func SweepCRFRefsWith(w Workload, base Options, cfg Config, crfs, refs []int, opts SweepOpts) []Point {
+	return core.SweepCRFRefsWith(w, base, cfg, crfs, refs, opts)
+}
+
+// DecodedMezzanine returns the cached decoded frames and recorded decode
+// event trace of a workload's mezzanine (built on first use). Both return
+// values are shared cache state and must be treated as read-only.
+func DecodedMezzanine(w Workload, opt DecoderOptions) ([]*Frame, []byte, error) {
+	return core.DecodedMezzanine(w, opt)
+}
+
+// ReplayTrace re-drives a recorded event buffer into a fresh machine of the
+// given configuration and returns its raw counters — the decode half of a
+// transcode at replay speed.
+func ReplayTrace(events []byte, cfg Config) (*MachineResult, error) {
+	m := uarch.NewMachine(cfg, trace.NewImage(nil))
+	if err := trace.Replay(events, m); err != nil {
+		return nil, err
+	}
+	return m.Result(), nil
 }
 
 // SweepPresets profiles the presets at fixed crf/refs (Figure 6).
