@@ -6,6 +6,7 @@ package transcoding
 // outputs (see EXPERIMENTS.md for the recorded results).
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -76,7 +77,7 @@ func BenchmarkTable4Configs(b *testing.B) {
 	w := benchWorkload()
 	for i := 0; i < b.N; i++ {
 		for _, cfg := range Configs() {
-			if _, _, err := Profile(Job{Workload: w, Options: DefaultOptions(), Config: cfg}); err != nil {
+			if _, _, err := Profile(context.Background(), Job{Workload: w, Options: DefaultOptions(), Config: cfg}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -91,7 +92,7 @@ func BenchmarkFig2Triangle(b *testing.B) {
 		opt := DefaultOptions()
 		opt.CRF = 28
 		opt.Refs = 4
-		if _, _, err := Profile(Job{Workload: w, Options: opt, Config: BaselineConfig()}); err != nil {
+		if _, _, err := Profile(context.Background(), Job{Workload: w, Options: opt, Config: BaselineConfig()}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -102,7 +103,7 @@ func BenchmarkFig2Triangle(b *testing.B) {
 func BenchmarkFig3Heatmaps(b *testing.B) {
 	w := benchWorkload()
 	for i := 0; i < b.N; i++ {
-		pts := SweepCRFRefs(w, DefaultOptions(), BaselineConfig(), []int{15, 40}, []int{1, 4})
+		pts := SweepCRFRefs(context.Background(), w, DefaultOptions(), BaselineConfig(), []int{15, 40}, []int{1, 4})
 		for _, p := range pts {
 			if p.Err != nil {
 				b.Fatal(p.Err)
@@ -115,7 +116,7 @@ func BenchmarkFig3Heatmaps(b *testing.B) {
 func BenchmarkFig4Projections(b *testing.B) {
 	w := benchWorkload()
 	for i := 0; i < b.N; i++ {
-		pts := SweepCRFRefs(w, DefaultOptions(), BaselineConfig(), []int{23}, []int{1, 4, 8})
+		pts := SweepCRFRefs(context.Background(), w, DefaultOptions(), BaselineConfig(), []int{23}, []int{1, 4, 8})
 		for _, p := range pts {
 			if p.Err != nil {
 				b.Fatal(p.Err)
@@ -129,7 +130,7 @@ func BenchmarkFig4Projections(b *testing.B) {
 func BenchmarkFig5Counters(b *testing.B) {
 	w := benchWorkload()
 	for i := 0; i < b.N; i++ {
-		rep, _, err := Profile(Job{Workload: w, Options: DefaultOptions(), Config: BaselineConfig()})
+		rep, _, err := Profile(context.Background(), Job{Workload: w, Options: DefaultOptions(), Config: BaselineConfig()})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func BenchmarkFig5Counters(b *testing.B) {
 func BenchmarkFig6Presets(b *testing.B) {
 	w := benchWorkload()
 	for i := 0; i < b.N; i++ {
-		pts := SweepPresets(w, BaselineConfig(), []Preset{"ultrafast", "medium"}, 23, 3)
+		pts := SweepPresets(context.Background(), w, BaselineConfig(), []Preset{"ultrafast", "medium"}, 23, 3)
 		for _, p := range pts {
 			if p.Err != nil {
 				b.Fatal(p.Err)
@@ -155,7 +156,7 @@ func BenchmarkFig6Presets(b *testing.B) {
 // BenchmarkFig7Videos measures per-video profiling at the entropy extremes.
 func BenchmarkFig7Videos(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts := SweepVideos([]string{"desktop", "hall"}, 6, 8, DefaultOptions(), BaselineConfig())
+		pts := SweepVideos(context.Background(), []string{"desktop", "hall"}, 6, 8, DefaultOptions(), BaselineConfig())
 		for _, p := range pts {
 			if p.Err != nil {
 				b.Fatal(p.Err)
@@ -173,12 +174,12 @@ func BenchmarkFig8Compiler(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, _, err := Profile(Job{Workload: w, Options: opt, Config: BaselineConfig(), Image: img}); err != nil {
+		if _, _, err := Profile(context.Background(), Job{Workload: w, Options: opt, Config: BaselineConfig(), Image: img}); err != nil {
 			b.Fatal(err)
 		}
 		gopt := opt
 		gopt.Tune = GraphiteTuning(AllGraphiteFlags())
-		if _, _, err := Profile(Job{Workload: w, Options: gopt, Config: BaselineConfig()}); err != nil {
+		if _, _, err := Profile(context.Background(), Job{Workload: w, Options: gopt, Config: BaselineConfig()}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -191,7 +192,7 @@ func BenchmarkFig9Scheduler(b *testing.B) {
 	tasks := SchedulerTasks()[:2]
 	configs := []Config{Configs()[0], Configs()[2], Configs()[3]}
 	for i := 0; i < b.N; i++ {
-		m, err := MeasureScheduling(tasks, configs, Workload{Frames: 4, Scale: 8})
+		m, err := MeasureScheduling(context.Background(), tasks, configs, Workload{Frames: 4, Scale: 8})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -227,7 +228,7 @@ func benchSweepGrid() ([]int, []int) {
 // trace into a fresh machine — the per-point decode cost under the cache.
 func BenchmarkDecodeReplay(b *testing.B) {
 	w, _ := benchSweepWorkload()
-	_, events, err := DecodedMezzanine(w, DecoderOptions{})
+	_, events, err := DecodedMezzanine(context.Background(), w, DecoderOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -244,13 +245,13 @@ func BenchmarkDecodeReplay(b *testing.B) {
 // (the default production path).
 func BenchmarkSweepCRFRefsCached(b *testing.B) {
 	w, opt := benchSweepWorkload()
-	if _, _, err := DecodedMezzanine(w, DecoderOptions{}); err != nil {
+	if _, _, err := DecodedMezzanine(context.Background(), w, DecoderOptions{}); err != nil {
 		b.Fatal(err)
 	}
 	crfs, refs := benchSweepGrid()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, p := range SweepCRFRefs(w, opt, BaselineConfig(), crfs, refs) {
+		for _, p := range SweepCRFRefs(context.Background(), w, opt, BaselineConfig(), crfs, refs) {
 			if p.Err != nil {
 				b.Fatal(p.Err)
 			}
@@ -262,13 +263,13 @@ func BenchmarkSweepCRFRefsCached(b *testing.B) {
 // point live (NoReplayCache), the pre-cache behaviour.
 func BenchmarkSweepCRFRefsUncached(b *testing.B) {
 	w, opt := benchSweepWorkload()
-	if _, err := core.Mezzanine(w); err != nil {
+	if _, err := core.Mezzanine(context.Background(), w); err != nil {
 		b.Fatal(err)
 	}
 	crfs, refs := benchSweepGrid()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pts := SweepCRFRefsWith(w, opt, BaselineConfig(), crfs, refs, SweepOpts{NoReplayCache: true})
+		pts := SweepCRFRefsWith(context.Background(), w, opt, BaselineConfig(), crfs, refs, SweepOpts{NoReplayCache: true})
 		for _, p := range pts {
 			if p.Err != nil {
 				b.Fatal(p.Err)
@@ -319,7 +320,7 @@ func BenchmarkDecode(b *testing.B) {
 func BenchmarkSimulationOverhead(b *testing.B) {
 	w := benchWorkload()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := Profile(Job{Workload: w, Options: DefaultOptions(), Config: BaselineConfig(), SkipDecode: true}); err != nil {
+		if _, _, err := Profile(context.Background(), Job{Workload: w, Options: DefaultOptions(), Config: BaselineConfig(), SkipDecode: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -361,7 +362,7 @@ func BenchmarkAblationTraceSampling(b *testing.B) {
 			opt := DefaultOptions()
 			opt.TraceSampleLog2 = log2
 			for i := 0; i < b.N; i++ {
-				if _, _, err := Profile(Job{Workload: w, Options: opt, Config: BaselineConfig()}); err != nil {
+				if _, _, err := Profile(context.Background(), Job{Workload: w, Options: opt, Config: BaselineConfig()}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -379,7 +380,7 @@ func BenchmarkAblationFusedDeblock(b *testing.B) {
 			opt := DefaultOptions()
 			opt.Tune = Tuning{FuseDeblock: fused}
 			for i := 0; i < b.N; i++ {
-				if _, _, err := Profile(Job{Workload: w, Options: opt, Config: BaselineConfig()}); err != nil {
+				if _, _, err := Profile(context.Background(), Job{Workload: w, Options: opt, Config: BaselineConfig()}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -417,7 +418,7 @@ func BenchmarkAblationPredictor(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			cfg, _ := ConfigByName(name)
 			for i := 0; i < b.N; i++ {
-				if _, _, err := Profile(Job{Workload: w, Options: DefaultOptions(), Config: cfg}); err != nil {
+				if _, _, err := Profile(context.Background(), Job{Workload: w, Options: DefaultOptions(), Config: cfg}); err != nil {
 					b.Fatal(err)
 				}
 			}

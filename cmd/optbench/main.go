@@ -5,11 +5,11 @@
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"os"
-	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/opt/autofdo"
@@ -28,17 +28,13 @@ var (
 )
 
 func main() {
-	flag.Parse()
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "optbench:", err)
-		os.Exit(1)
-	}
+	cli.Main("optbench", run)
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	videos := vbench.Names()
 	if *flagVideos != "" {
-		videos = strings.Split(*flagVideos, ",")
+		videos = cli.Strings(*flagVideos)
 	}
 	opt := codec.Options{RC: codec.RCCRF, CRF: *flagCRF, QP: 26, KeyintMax: 250}
 	if err := codec.ApplyPreset(&opt, codec.Preset(*flagPreset)); err != nil {
@@ -49,21 +45,21 @@ func run() error {
 	var sumF, sumG float64
 	for _, v := range videos {
 		w := core.Workload{Video: v, Frames: *flagFrames}
-		base, err := core.Run(core.Job{Workload: w, Options: opt, Config: uarch.Baseline()})
+		base, err := core.Run(ctx, core.Job{Workload: w, Options: opt, Config: uarch.Baseline()})
 		if err != nil {
 			return err
 		}
-		img, err := train(w, opt)
+		img, err := train(ctx, w, opt)
 		if err != nil {
 			return err
 		}
-		fdo, err := core.Run(core.Job{Workload: w, Options: opt, Config: uarch.Baseline(), Image: img})
+		fdo, err := core.Run(ctx, core.Job{Workload: w, Options: opt, Config: uarch.Baseline(), Image: img})
 		if err != nil {
 			return err
 		}
 		gopt := opt
 		gopt.Tune = graphite.All().Tuning()
-		gr, err := core.Run(core.Job{Workload: w, Options: gopt, Config: uarch.Baseline()})
+		gr, err := core.Run(ctx, core.Job{Workload: w, Options: gopt, Config: uarch.Baseline()})
 		if err != nil {
 			return err
 		}
@@ -82,9 +78,9 @@ func run() error {
 		"L1i MPKI", "L1i(FDO)", "L2 MPKI", "L2(Graphite)"}, rows)
 }
 
-func train(w core.Workload, opt codec.Options) (*trace.Image, error) {
+func train(ctx context.Context, w core.Workload, opt codec.Options) (*trace.Image, error) {
 	col := autofdo.NewCollector()
-	stream, err := core.Mezzanine(w)
+	stream, err := core.Mezzanine(ctx, w)
 	if err != nil {
 		return nil, err
 	}

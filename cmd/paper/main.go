@@ -14,11 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
+	"repro/internal/cli"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/opt/autofdo"
@@ -31,15 +33,16 @@ import (
 )
 
 var (
-	flagTable  = flag.Int("table", 0, "regenerate one table (1-4)")
-	flagFig    = flag.Int("fig", 0, "regenerate one figure (2-9)")
-	flagAll    = flag.Bool("all", false, "regenerate everything")
-	flagVideo  = flag.String("video", "cricket", "video for the crf/refs and preset studies")
-	flagFrames = flag.Int("frames", 16, "frames per synthetic clip")
-	flagScale  = flag.Int("scale", 0, "proxy downscale factor (0: auto)")
-	flagFine   = flag.Bool("fine", false, "use the full 816-point crf x refs grid (slow)")
-	flagSVGDir = flag.String("svgdir", "", "also write figures as SVG files into this directory")
-	flagNoRC   = flag.Bool("no-replay-cache", false, "decode the mezzanine live at every point instead of replaying the cached decode trace")
+	flagTable    = flag.Int("table", 0, "regenerate one table (1-4)")
+	flagFig      = flag.Int("fig", 0, "regenerate one figure (2-9)")
+	flagAll      = flag.Bool("all", false, "regenerate everything")
+	flagVideo    = flag.String("video", "cricket", "video for the crf/refs and preset studies")
+	flagFrames   = flag.Int("frames", 16, "frames per synthetic clip")
+	flagScale    = flag.Int("scale", 0, "proxy downscale factor (0: auto)")
+	flagFine     = flag.Bool("fine", false, "use the full 816-point crf x refs grid (slow)")
+	flagSVGDir   = flag.String("svgdir", "", "also write figures as SVG files into this directory")
+	flagNoRC     = flag.Bool("no-replay-cache", false, "decode the mezzanine live at every point instead of replaying the cached decode trace")
+	flagProgress = flag.Bool("progress", false, "report per-point sweep progress on stderr")
 )
 
 // svgOut opens an SVG file in -svgdir; returns nil when SVG output is off.
@@ -60,69 +63,89 @@ func svgOut(name string) *os.File {
 }
 
 func main() {
-	flag.Parse()
+	cli.Main("paper", run)
+}
+
+// section is one regenerable unit: a table or figure taking the root
+// context, so Ctrl-C aborts the underlying sweep mid-grid.
+type section = func(ctx context.Context) error
+
+func run(ctx context.Context) error {
 	if !*flagAll && *flagTable == 0 && *flagFig == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	run := func(name string, f func() error) {
+	emit := func(name string, f section) error {
 		fmt.Printf("\n=== %s ===\n", name)
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+		if err := f(ctx); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
 		}
+		return nil
 	}
-	tables := map[int]func() error{1: table1, 2: table2, 3: table3, 4: table4}
-	figs := map[int]func() error{
+	tables := map[int]section{1: table1, 2: table2, 3: table3, 4: table4}
+	figs := map[int]section{
 		2: fig2, 3: figs345, 4: nop, 5: nop,
 		6: fig6, 7: fig7, 8: fig8, 9: fig9,
 	}
 	if *flagAll {
 		for i := 1; i <= 4; i++ {
-			run(fmt.Sprintf("Table %d", i), tables[i])
+			if err := emit(fmt.Sprintf("Table %d", i), tables[i]); err != nil {
+				return err
+			}
 		}
-		run("Figure 2", fig2)
-		run("Figures 3-5", figs345)
-		run("Figure 6", fig6)
-		run("Figure 7", fig7)
-		run("Figure 8", fig8)
-		run("Figure 9", fig9)
-		return
+		for _, s := range []struct {
+			name string
+			f    section
+		}{
+			{"Figure 2", fig2}, {"Figures 3-5", figs345}, {"Figure 6", fig6},
+			{"Figure 7", fig7}, {"Figure 8", fig8}, {"Figure 9", fig9},
+		} {
+			if err := emit(s.name, s.f); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	if *flagTable != 0 {
 		f, ok := tables[*flagTable]
 		if !ok {
-			fmt.Fprintln(os.Stderr, "unknown table")
-			os.Exit(2)
+			return fmt.Errorf("unknown table %d", *flagTable)
 		}
-		run(fmt.Sprintf("Table %d", *flagTable), f)
+		if err := emit(fmt.Sprintf("Table %d", *flagTable), f); err != nil {
+			return err
+		}
 	}
 	if *flagFig != 0 {
 		f, ok := figs[*flagFig]
 		if !ok {
-			fmt.Fprintln(os.Stderr, "unknown figure")
-			os.Exit(2)
+			return fmt.Errorf("unknown figure %d", *flagFig)
 		}
 		if *flagFig == 4 || *flagFig == 5 {
 			f = figs345 // shares the Figure 3 sweep
 		}
-		run(fmt.Sprintf("Figure %d", *flagFig), f)
+		if err := emit(fmt.Sprintf("Figure %d", *flagFig), f); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func nop() error { return nil }
+func nop(context.Context) error { return nil }
 
 func workload() core.Workload {
 	return core.Workload{Video: *flagVideo, Frames: *flagFrames, Scale: *flagScale}
 }
 
 func sweepOpts() core.SweepOpts {
-	return core.SweepOpts{NoReplayCache: *flagNoRC}
+	return core.SweepOpts{
+		NoReplayCache: *flagNoRC,
+		Progress:      cli.Progress("paper", !*flagProgress),
+	}
 }
 
 // --- tables --------------------------------------------------------------------
 
-func table1() error {
+func table1(context.Context) error {
 	rows := [][]string{}
 	for _, v := range vbench.Catalog {
 		rows = append(rows, []string{v.FullName, v.ShortName, v.Resolution(),
@@ -131,7 +154,7 @@ func table1() error {
 	return report.Table(os.Stdout, []string{"Full Name", "Short", "Res", "FPS", "Entropy"}, rows)
 }
 
-func table2() error {
+func table2(context.Context) error {
 	opts := []string{"aq-mode", "b-adapt", "bframes", "deblock", "me", "merange",
 		"partitions", "refs", "scenecut", "subme", "trellis"}
 	headers := append([]string{"Option"}, func() []string {
@@ -156,7 +179,7 @@ func table2() error {
 	return report.Table(os.Stdout, headers, rows)
 }
 
-func table3() error {
+func table3(context.Context) error {
 	rows := [][]string{}
 	for _, t := range sched.TableIII() {
 		rows = append(rows, []string{t.Name, t.Video, report.I(t.CRF), report.I(t.Refs), string(t.Preset)})
@@ -164,7 +187,7 @@ func table3() error {
 	return report.Table(os.Stdout, []string{"Task", "Video", "crf", "refs", "Preset"}, rows)
 }
 
-func table4() error {
+func table4(context.Context) error {
 	rows := [][]string{}
 	for _, c := range uarch.TableIV() {
 		l4 := "none"
@@ -190,16 +213,16 @@ func table4() error {
 
 // fig2 demonstrates the speed/quality/size triangle: the sign of each
 // metric's response to crf and refs.
-func fig2() error {
+func fig2(ctx context.Context) error {
 	w := workload()
 	crfs := []int{18, 23, 28, 33}
 	refs := []int{1, 4, 8}
-	pts := core.SweepCRFRefsWith(w, codec.Defaults(), uarch.Baseline(), crfs, refs, sweepOpts())
+	pts := core.SweepCRFRefsWith(ctx, w, codec.Defaults(), uarch.Baseline(), crfs, refs, sweepOpts())
+	if err := pts.FirstErr(); err != nil {
+		return err
+	}
 	rows := [][]string{}
 	for _, p := range pts {
-		if p.Err != nil {
-			return p.Err
-		}
 		rows = append(rows, []string{
 			report.I(p.CRF), report.I(p.Refs),
 			report.F(p.Report.Seconds*1000, 2),
@@ -212,7 +235,7 @@ func fig2() error {
 
 // figs345 runs the crf x refs sweep once and renders the Figure 3 top-down
 // heatmaps, the Figure 4 projections, and the Figure 5 counter heatmaps.
-func figs345() error {
+func figs345(ctx context.Context) error {
 	w := workload()
 	var crfs []int
 	var refs []int
@@ -227,11 +250,9 @@ func figs345() error {
 		crfs = []int{1, 6, 11, 16, 21, 26, 31, 36, 41, 46, 51}
 		refs = []int{1, 2, 3, 4, 6, 8, 12, 16}
 	}
-	pts := core.SweepCRFRefsWith(w, codec.Defaults(), uarch.Baseline(), crfs, refs, sweepOpts())
-	for _, p := range pts {
-		if p.Err != nil {
-			return p.Err
-		}
+	pts := core.SweepCRFRefsWith(ctx, w, codec.Defaults(), uarch.Baseline(), crfs, refs, sweepOpts())
+	if err := pts.FirstErr(); err != nil {
+		return err
 	}
 	at := func(i, j int) *core.Point { return &pts[i*len(refs)+j] }
 	rowLab := make([]string, len(crfs))
@@ -338,14 +359,14 @@ func figs345() error {
 	return nil
 }
 
-func fig6() error {
+func fig6(ctx context.Context) error {
 	w := workload()
-	pts := core.SweepPresets(w, uarch.Baseline(), codec.Presets, 23, 3)
+	pts := core.SweepPresetsWith(ctx, w, uarch.Baseline(), codec.Presets, 23, 3, sweepOpts())
+	if err := pts.FirstErr(); err != nil {
+		return err
+	}
 	rows := [][]string{}
 	for _, p := range pts {
-		if p.Err != nil {
-			return p.Err
-		}
 		r := p.Report
 		rows = append(rows, []string{
 			string(p.Preset),
@@ -377,7 +398,7 @@ func fig6() error {
 	return nil
 }
 
-func fig7() error {
+func fig7(ctx context.Context) error {
 	names := vbench.Names()
 	// Group by resolution, then sort by entropy within the group (the
 	// paper's Figure 7 x-axis).
@@ -396,12 +417,12 @@ func fig7() error {
 	for i, v := range infos {
 		ordered[i] = v.ShortName
 	}
-	pts := core.SweepVideos(ordered, *flagFrames, 0, codec.Defaults(), uarch.Baseline())
+	pts := core.SweepVideosWith(ctx, ordered, *flagFrames, 0, codec.Defaults(), uarch.Baseline(), sweepOpts())
+	if err := pts.FirstErr(); err != nil {
+		return err
+	}
 	rows := [][]string{}
 	for i, p := range pts {
-		if p.Err != nil {
-			return p.Err
-		}
 		r := p.Report
 		rows = append(rows, []string{
 			p.Video, infos[i].Resolution(), report.F(infos[i].Entropy, 1),
@@ -434,7 +455,7 @@ func fig7() error {
 }
 
 // fig8 measures AutoFDO and Graphite speedups per video.
-func fig8() error {
+func fig8(ctx context.Context) error {
 	// Parameter combinations averaged per video (a reduced version of the
 	// paper's 32-combination average).
 	combos := []struct {
@@ -458,21 +479,21 @@ func fig8() error {
 			}
 			opt.Refs = cb.refs
 
-			base, err := core.Run(core.Job{Workload: w, Options: opt, Config: uarch.Baseline(), NoReplayCache: *flagNoRC})
+			base, err := core.Run(ctx, core.Job{Workload: w, Options: opt, Config: uarch.Baseline(), NoReplayCache: *flagNoRC})
 			if err != nil {
 				return err
 			}
-			img, err := trainFDO(w, opt)
+			img, err := trainFDO(ctx, w, opt)
 			if err != nil {
 				return err
 			}
-			fdo, err := core.Run(core.Job{Workload: w, Options: opt, Config: uarch.Baseline(), Image: img, NoReplayCache: *flagNoRC})
+			fdo, err := core.Run(ctx, core.Job{Workload: w, Options: opt, Config: uarch.Baseline(), Image: img, NoReplayCache: *flagNoRC})
 			if err != nil {
 				return err
 			}
 			gopt := opt
 			gopt.Tune = graphite.All().Tuning()
-			gr, err := core.Run(core.Job{Workload: w, Options: gopt, Config: uarch.Baseline(), NoReplayCache: *flagNoRC})
+			gr, err := core.Run(ctx, core.Job{Workload: w, Options: gopt, Config: uarch.Baseline(), NoReplayCache: *flagNoRC})
 			if err != nil {
 				return err
 			}
@@ -536,9 +557,9 @@ func sanitize(title string) string {
 	return string(b)
 }
 
-func trainFDO(w core.Workload, opt codec.Options) (*trace.Image, error) {
+func trainFDO(ctx context.Context, w core.Workload, opt codec.Options) (*trace.Image, error) {
 	col := autofdo.NewCollector()
-	stream, err := core.Mezzanine(w)
+	stream, err := core.Mezzanine(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -557,8 +578,8 @@ func trainFDO(w core.Workload, opt codec.Options) (*trace.Image, error) {
 	return col.Profile().Apply(trace.NewImage(nil), autofdo.Options{}), nil
 }
 
-func fig9() error {
-	m, err := sched.Measure(sched.TableIII(), uarch.TableIV(), core.Workload{Frames: *flagFrames})
+func fig9(ctx context.Context) error {
+	m, err := sched.Measure(ctx, sched.TableIII(), uarch.TableIV(), core.Workload{Frames: *flagFrames})
 	if err != nil {
 		return err
 	}

@@ -6,10 +6,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/sched"
@@ -19,18 +21,14 @@ import (
 var flagFrames = flag.Int("frames", 16, "frames per clip")
 
 func main() {
-	flag.Parse()
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "schedsim:", err)
-		os.Exit(1)
-	}
+	cli.Main("schedsim", run)
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	tasks := sched.TableIII()
 	configs := uarch.TableIV()
 	fmt.Println("measuring", len(tasks), "tasks on", len(configs), "configurations...")
-	m, err := sched.Measure(tasks, configs, core.Workload{Frames: *flagFrames})
+	m, err := sched.Measure(ctx, tasks, configs, core.Workload{Frames: *flagFrames})
 	if err != nil {
 		return err
 	}

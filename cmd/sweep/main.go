@@ -4,13 +4,18 @@
 //	sweep -mode crf-refs -video cricket
 //	sweep -mode presets  -video cricket
 //	sweep -mode videos
+//
+// Ctrl-C cancels the sweep context: in-flight points finish, the rest are
+// abandoned, and the process exits 130 without writing a truncated CSV.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/report"
@@ -19,46 +24,17 @@ import (
 )
 
 var (
-	flagMode   = flag.String("mode", "crf-refs", "sweep: crf-refs|presets|videos")
-	flagVideo  = flag.String("video", "cricket", "video for crf-refs and presets")
-	flagFrames = flag.Int("frames", 16, "frames per clip")
-	flagCRFs   = flag.String("crfs", "1,6,11,16,21,26,31,36,41,46,51", "comma-separated crf values")
-	flagRefs   = flag.String("refs", "1,2,3,4,6,8,12,16", "comma-separated refs values")
-	flagNoRC   = flag.Bool("no-replay-cache", false, "decode the mezzanine live at every sweep point instead of replaying the cached decode trace")
+	flagMode     = flag.String("mode", "crf-refs", "sweep: crf-refs|presets|videos")
+	flagVideo    = flag.String("video", "cricket", "video for crf-refs and presets")
+	flagFrames   = flag.Int("frames", 16, "frames per clip")
+	flagCRFs     = flag.String("crfs", "1,6,11,16,21,26,31,36,41,46,51", "comma-separated crf values")
+	flagRefs     = flag.String("refs", "1,2,3,4,6,8,12,16", "comma-separated refs values")
+	flagNoRC     = flag.Bool("no-replay-cache", false, "decode the mezzanine live at every sweep point instead of replaying the cached decode trace")
+	flagProgress = flag.Bool("progress", false, "report per-point progress on stderr")
 )
 
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, tok := range splitComma(s) {
-		var v int
-		if _, err := fmt.Sscanf(tok, "%d", &v); err != nil {
-			return nil, fmt.Errorf("bad integer %q", tok)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func splitComma(s string) []string {
-	var out []string
-	start := 0
-	for i := 0; i <= len(s); i++ {
-		if i == len(s) || s[i] == ',' {
-			if i > start {
-				out = append(out, s[start:i])
-			}
-			start = i + 1
-		}
-	}
-	return out
-}
-
 func main() {
-	flag.Parse()
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
-	}
+	cli.Main("sweep", run)
 }
 
 func row(p *core.Point) []string {
@@ -90,33 +66,40 @@ var headers = []string{"video", "crf", "refs", "preset", "seconds", "kbps", "psn
 	"br_mpki", "l1d_mpki", "l2_mpki", "l3_mpki",
 	"stall_any", "stall_rob", "stall_rs", "stall_sb"}
 
-func run() error {
+func run(ctx context.Context) error {
 	w := core.Workload{Video: *flagVideo, Frames: *flagFrames}
-	var pts []core.Point
+	opts := core.SweepOpts{
+		NoReplayCache: *flagNoRC,
+		Progress:      cli.Progress("sweep", !*flagProgress),
+	}
+	var pts core.Points
 	switch *flagMode {
 	case "crf-refs":
-		crfs, err := parseInts(*flagCRFs)
+		crfs, err := cli.Ints(*flagCRFs)
 		if err != nil {
 			return err
 		}
-		refs, err := parseInts(*flagRefs)
+		refs, err := cli.Ints(*flagRefs)
 		if err != nil {
 			return err
 		}
-		pts = core.SweepCRFRefsWith(w, codec.Defaults(), uarch.Baseline(), crfs, refs,
-			core.SweepOpts{NoReplayCache: *flagNoRC})
+		pts = core.SweepCRFRefsWith(ctx, w, codec.Defaults(), uarch.Baseline(), crfs, refs, opts)
 	case "presets":
-		pts = core.SweepPresets(w, uarch.Baseline(), codec.Presets, 23, 3)
+		pts = core.SweepPresetsWith(ctx, w, uarch.Baseline(), codec.Presets, 23, 3, opts)
 	case "videos":
-		pts = core.SweepVideos(vbench.Names(), *flagFrames, 0, codec.Defaults(), uarch.Baseline())
+		pts = core.SweepVideosWith(ctx, vbench.Names(), *flagFrames, 0, codec.Defaults(), uarch.Baseline(), opts)
 	default:
 		return fmt.Errorf("unknown mode %q", *flagMode)
 	}
+	// Per-point failures become the exit code, not silent CSV holes.
+	if err := pts.FirstErr(); err != nil {
+		if n := len(pts.Failed()); n > 1 {
+			return fmt.Errorf("%d of %d points failed, first: %w", n, len(pts), err)
+		}
+		return err
+	}
 	rows := make([][]string, 0, len(pts))
 	for i := range pts {
-		if pts[i].Err != nil {
-			return pts[i].Err
-		}
 		rows = append(rows, row(&pts[i]))
 	}
 	return report.CSV(os.Stdout, headers, rows)

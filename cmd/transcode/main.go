@@ -7,10 +7,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/codec"
 	"repro/internal/frame"
 	"repro/internal/vbench"
@@ -36,11 +38,7 @@ var (
 )
 
 func main() {
-	flag.Parse()
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "transcode:", err)
-		os.Exit(1)
-	}
+	cli.Main("transcode", run)
 }
 
 func buildOptions() (codec.Options, error) {
@@ -76,7 +74,9 @@ func buildOptions() (codec.Options, error) {
 	return opt, nil
 }
 
-func run() error {
+// run does its single encode inline — there is no sweep to cancel — so the
+// signal context is unused beyond cli.Main's exit-code handling.
+func run(_ context.Context) error {
 	opt, err := buildOptions()
 	if err != nil {
 		return err

@@ -6,10 +6,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"os"
 
+	"repro/internal/cli"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/roofline"
@@ -27,14 +28,10 @@ var (
 )
 
 func main() {
-	flag.Parse()
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "vprof:", err)
-		os.Exit(1)
-	}
+	cli.Main("vprof", run)
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	opt := codec.Options{RC: codec.RCCRF, CRF: *flagCRF, QP: 26, KeyintMax: 250}
 	if err := codec.ApplyPreset(&opt, codec.Preset(*flagPreset)); err != nil {
 		return err
@@ -47,7 +44,7 @@ func run() error {
 	if !ok {
 		return fmt.Errorf("unknown config %q", *flagConfig)
 	}
-	res, err := core.Run(core.Job{
+	res, err := core.Run(ctx, core.Job{
 		Workload: core.Workload{Video: *flagVideo, Frames: *flagFrames},
 		Options:  opt,
 		Config:   cfg,

@@ -6,18 +6,25 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	transcoding "repro"
 )
 
 func main() {
+	// Ctrl-C cancels the context; the measurement matrix aborts mid-fill.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	tasks := transcoding.SchedulerTasks() // Table III
 	configs := transcoding.Configs()      // Table IV
 
 	fmt.Println("characterizing", len(tasks), "tasks on", len(configs), "server types (simulated)...")
-	matrix, err := transcoding.MeasureScheduling(tasks, configs,
+	matrix, err := transcoding.MeasureScheduling(ctx, tasks, configs,
 		transcoding.Workload{Frames: 10})
 	if err != nil {
 		log.Fatal(err)

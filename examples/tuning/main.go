@@ -5,13 +5,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	transcoding "repro"
 )
 
 func main() {
+	// Ctrl-C cancels the context and aborts the remaining simulations.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	const video = "game2"
 	w := transcoding.Workload{Video: video, Frames: 12}
 	cfg := transcoding.BaselineConfig()
@@ -25,7 +32,7 @@ func main() {
 	for _, crf := range []int{14, 20, 26, 32, 38, 44} {
 		opt := transcoding.DefaultOptions()
 		opt.CRF = crf
-		rep, stats := profile(w, opt, cfg)
+		rep, stats := profile(ctx, w, opt, cfg)
 		fmt.Printf("  %4d  %9.2f  %9.0f  %8.2f\n",
 			crf, rep.Seconds*1000, stats.BitrateKbps(), stats.AveragePSNR)
 	}
@@ -37,7 +44,7 @@ func main() {
 	for _, refs := range []int{1, 2, 4, 8, 16} {
 		opt := transcoding.DefaultOptions()
 		opt.Refs = refs
-		rep, stats := profile(w, opt, cfg)
+		rep, stats := profile(ctx, w, opt, cfg)
 		fmt.Printf("  %4d  %9.2f  %9.0f  %8.2f\n",
 			refs, rep.Seconds*1000, stats.BitrateKbps(), stats.AveragePSNR)
 	}
@@ -51,14 +58,14 @@ func main() {
 			log.Fatal(err)
 		}
 		opt.Refs = 3
-		rep, stats := profile(w, opt, cfg)
+		rep, stats := profile(ctx, w, opt, cfg)
 		fmt.Printf("  %-10s  %9.2f  %9.0f  %8.2f\n",
 			p, rep.Seconds*1000, stats.BitrateKbps(), stats.AveragePSNR)
 	}
 }
 
-func profile(w transcoding.Workload, opt transcoding.Options, cfg transcoding.Config) (*transcoding.Report, *transcoding.Stats) {
-	rep, stats, err := transcoding.Profile(transcoding.Job{Workload: w, Options: opt, Config: cfg})
+func profile(ctx context.Context, w transcoding.Workload, opt transcoding.Options, cfg transcoding.Config) (*transcoding.Report, *transcoding.Stats) {
+	rep, stats, err := transcoding.Profile(ctx, transcoding.Job{Workload: w, Options: opt, Config: cfg})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,78 @@
+// Package cli holds the scaffolding every cmd/* binary shares: flag
+// parsing, a signal-canceled root context, uniform error reporting on
+// stderr and exit-code conventions. Keeping it in one place is what makes
+// Ctrl-C behave identically across the six tools — the context from Main
+// reaches the sweep engine, so an 816-point sweep aborts within one
+// in-flight job per worker and the process exits non-zero.
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// Main parses flags, installs SIGINT/SIGTERM cancellation on the root
+// context, runs the command body, and exits: 0 on success, 130 when the
+// run was canceled (the shell convention for death-by-interrupt), 1 on any
+// other error.
+func Main(name string, run func(ctx context.Context) error) {
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := run(ctx)
+	stop()
+	if err == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		os.Exit(130)
+	}
+	os.Exit(1)
+}
+
+// Ints parses a comma-separated integer list flag value ("1,6,11").
+func Ints(s string) ([]int, error) {
+	var out []int
+	for _, tok := range Strings(s) {
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Strings splits a comma-separated list flag value, dropping empty tokens
+// (so "a,,b," parses the same as "a,b").
+func Strings(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// Progress returns a sweep progress callback that rewrites one stderr
+// status line per completed point, or nil when off is true. The final call
+// terminates the line so subsequent output starts clean.
+func Progress(name string, off bool) func(done, total int) {
+	if off {
+		return nil
+	}
+	return func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d points", name, done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}

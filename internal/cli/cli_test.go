@@ -1,0 +1,41 @@
+package cli
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestInts(t *testing.T) {
+	got, err := Ints("1,6,,11,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{1, 6, 11}) {
+		t.Fatalf("Ints = %v", got)
+	}
+	if _, err := Ints("1,x"); err == nil {
+		t.Fatal("bad token accepted")
+	}
+	got, err = Ints("")
+	if err != nil || got != nil {
+		t.Fatalf("empty list = %v, %v", got, err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if got := Strings("a,,b,"); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Strings = %v", got)
+	}
+	if got := Strings(""); got != nil {
+		t.Fatalf("Strings(\"\") = %v", got)
+	}
+}
+
+func TestProgressOff(t *testing.T) {
+	if Progress("x", true) != nil {
+		t.Fatal("off progress not nil")
+	}
+	if Progress("x", false) == nil {
+		t.Fatal("on progress is nil")
+	}
+}

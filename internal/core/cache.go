@@ -1,10 +1,13 @@
 package core
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // flightCache is a keyed build-once cache with per-key singleflight: the
-// first caller of a key runs build exactly once while concurrent callers of
-// the same key block on that build instead of duplicating it (the cache
+// first caller of a key starts build exactly once while concurrent callers
+// of the same key wait on that build instead of duplicating it (the cache
 // stampede two sweeps warming the same mezzanine used to hit). Distinct
 // keys build in parallel — only the map access is serialized.
 //
@@ -17,23 +20,40 @@ type flightCache[K comparable, V any] struct {
 }
 
 type flightEntry[V any] struct {
-	once sync.Once
+	done chan struct{}
 	val  V
 	err  error
 }
 
 // get returns the cached value for k, building it with build on first use.
-func (c *flightCache[K, V]) get(k K, build func() (V, error)) (V, error) {
+//
+// The build runs in its own goroutine, detached from ctx: a canceled
+// waiter — including the caller that triggered the build — returns
+// ctx.Err() immediately while the build runs to completion and lands in
+// the cache. Cancellation therefore can never poison an entry: the next
+// caller of the key gets the real value, not a stale context error. Builds
+// are bounded CPU work (one encode or decode), so letting an abandoned
+// build finish costs at most one job's worth of compute.
+func (c *flightCache[K, V]) get(ctx context.Context, k K, build func() (V, error)) (V, error) {
 	c.mu.Lock()
 	if c.m == nil {
 		c.m = make(map[K]*flightEntry[V])
 	}
 	e := c.m[k]
 	if e == nil {
-		e = new(flightEntry[V])
+		e = &flightEntry[V]{done: make(chan struct{})}
 		c.m[k] = e
+		go func() {
+			defer close(e.done)
+			e.val, e.err = build()
+		}()
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.val, e.err = build() })
-	return e.val, e.err
+	select {
+	case <-e.done:
+		return e.val, e.err
+	case <-ctx.Done():
+		var zero V
+		return zero, ctx.Err()
+	}
 }

@@ -3,14 +3,21 @@
 // together and exposes the three profiling sweeps of §III-C — across
 // crf x refs, across presets, and across videos — plus single-run
 // characterization used by the optimization and scheduling studies.
+//
+// All sweeps execute through one engine: a declarative Plan (warm targets,
+// point count, a point builder) handed to Sweep, which runs on the
+// context-aware worker pool in internal/exec. Canceling the context stops
+// a sweep within one in-flight job per worker; unstarted points carry
+// ctx.Err().
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/codec"
+	"repro/internal/exec"
 	"repro/internal/frame"
 	"repro/internal/perf"
 	"repro/internal/trace"
@@ -93,12 +100,12 @@ type Result struct {
 var mezzCache flightCache[Workload, []byte]
 
 // mezzanineOptions returns the settings of the pristine copy.
-func mezzanineOptions() codec.Options {
+func mezzanineOptions() (codec.Options, error) {
 	o := codec.Options{RC: codec.RCCQP, QP: 12, CRF: 23, KeyintMax: 250}
 	if err := codec.ApplyPreset(&o, codec.PresetVeryfast); err != nil {
-		panic(err)
+		return o, fmt.Errorf("core: mezzanine preset: %w", err)
 	}
-	return o
+	return o, nil
 }
 
 // sourceFrames synthesizes the raw clip for a workload.
@@ -120,18 +127,23 @@ func sourceFrames(w Workload) ([]*frame.Frame, vbench.VideoInfo, error) {
 }
 
 // Mezzanine returns (building and caching on first use) the pristine
-// bitstream for a workload.
-func Mezzanine(w Workload) ([]byte, error) {
+// bitstream for a workload. Cache builds are detached from ctx: canceling
+// a waiting caller never poisons the entry.
+func Mezzanine(ctx context.Context, w Workload) ([]byte, error) {
 	w, err := w.normalized()
 	if err != nil {
 		return nil, err
 	}
-	return mezzCache.get(w, func() ([]byte, error) {
+	return mezzCache.get(ctx, w, func() ([]byte, error) {
 		frames, info, err := sourceFrames(w)
 		if err != nil {
 			return nil, err
 		}
-		enc, err := codec.NewEncoder(frames[0].Width, frames[0].Height, info.FPS, mezzanineOptions(), nil)
+		mo, err := mezzanineOptions()
+		if err != nil {
+			return nil, err
+		}
+		enc, err := codec.NewEncoder(frames[0].Width, frames[0].Height, info.FPS, mo, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -174,13 +186,15 @@ func decoderOptions(o codec.Options) codec.DecoderOptions {
 // frames and recorded decode trace of a workload's mezzanine. The returned
 // slices are shared cache state: callers must treat the frames and buffer
 // as read-only (Run clones the frames before encoding into a job).
-func DecodedMezzanine(w Workload, opt codec.DecoderOptions) ([]*frame.Frame, []byte, error) {
+func DecodedMezzanine(ctx context.Context, w Workload, opt codec.DecoderOptions) ([]*frame.Frame, []byte, error) {
 	w, err := w.normalized()
 	if err != nil {
 		return nil, nil, err
 	}
-	ent, err := decCache.get(decodeKey{w: w, opt: opt}, func() (*decodedMezz, error) {
-		stream, err := Mezzanine(w)
+	ent, err := decCache.get(ctx, decodeKey{w: w, opt: opt}, func() (*decodedMezz, error) {
+		// Detached build: the nested cache lookup must not inherit the
+		// waiter's cancellation, or an abandoned build could cache ctx.Err().
+		stream, err := Mezzanine(context.Background(), w)
 		if err != nil {
 			return nil, err
 		}
@@ -211,13 +225,13 @@ var snapCache flightCache[snapKey, *uarch.Machine]
 // (workload, decoder options, configuration) triple, building it on first
 // use by replaying the recorded decode trace into a fresh machine. Callers
 // must Clone the snapshot before feeding it further events.
-func decodedMachine(w Workload, dopt codec.DecoderOptions, cfg uarch.Config) (*uarch.Machine, error) {
+func decodedMachine(ctx context.Context, w Workload, dopt codec.DecoderOptions, cfg uarch.Config) (*uarch.Machine, error) {
 	w, err := w.normalized()
 	if err != nil {
 		return nil, err
 	}
-	return snapCache.get(snapKey{w: w, opt: dopt, cfg: cfg}, func() (*uarch.Machine, error) {
-		_, events, err := DecodedMezzanine(w, dopt)
+	return snapCache.get(ctx, snapKey{w: w, opt: dopt, cfg: cfg}, func() (*uarch.Machine, error) {
+		_, events, err := DecodedMezzanine(context.Background(), w, dopt)
 		if err != nil {
 			return nil, err
 		}
@@ -243,7 +257,15 @@ func cloneFrames(src []*frame.Frame) []*frame.Frame {
 // Run simulates one transcoding job end to end: decode the mezzanine (unless
 // skipped), re-encode with the job's options, all under the configured
 // microarchitecture. Returns the profile and codec statistics.
-func Run(job Job) (*Result, error) {
+//
+// Cancellation is observed at the stage boundaries (cache waits and the
+// start of the encode); a job already inside the encoder runs to
+// completion, which bounds a canceled sweep's overhang to one in-flight
+// job per worker.
+func Run(ctx context.Context, job Job) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	nw, err := job.Workload.normalized()
 	if err != nil {
 		return nil, err
@@ -270,7 +292,7 @@ func Run(job Job) (*Result, error) {
 	case job.NoReplayCache:
 		// Live path: simulate the decode directly into this job's machine.
 		machine = uarch.NewMachine(job.Config, img)
-		stream, err := Mezzanine(job.Workload)
+		stream, err := Mezzanine(ctx, job.Workload)
 		if err != nil {
 			return nil, err
 		}
@@ -287,14 +309,14 @@ func Run(job Job) (*Result, error) {
 		// therefore the profile — is bit-for-bit what the live path
 		// produces (TestReplayRunEquivalence).
 		dopt := decoderOptions(job.Options)
-		frames, events, err := DecodedMezzanine(job.Workload, dopt)
+		frames, events, err := DecodedMezzanine(ctx, job.Workload, dopt)
 		if err != nil {
 			return nil, err
 		}
 		if job.Image == nil {
 			// Default code image: clone the cached post-decode machine
 			// snapshot — the decode half at memcpy speed.
-			snap, err := decodedMachine(job.Workload, dopt, job.Config)
+			snap, err := decodedMachine(ctx, job.Workload, dopt, job.Config)
 			if err != nil {
 				return nil, err
 			}
@@ -311,6 +333,9 @@ func Run(job Job) (*Result, error) {
 		input = cloneFrames(frames)
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	enc, err := codec.NewEncoder(input[0].Width, input[0].Height, info.FPS, job.Options, machine)
 	if err != nil {
 		return nil, err
@@ -338,44 +363,31 @@ type Point struct {
 	Err    error
 }
 
-// runParallel evaluates jobs on a fixed pool of GOMAXPROCS workers pulling
-// indices from a channel, preserving order in the returned slice. A pool
-// (rather than one goroutine per job gated by a semaphore) keeps an
-// 816-point sweep at a handful of live goroutines instead of 816 parked
-// ones.
-func runParallel(n int, build func(i int) (Job, Point)) []Point {
-	points := make([]Point, n)
-	jobs := make([]Job, n)
-	for i := 0; i < n; i++ {
-		jobs[i], points[i] = build(i)
+// Points is an ordered sweep result, one Point per planned job.
+type Points []Point
+
+// FirstErr returns the first per-point error in sweep order, or nil when
+// every point succeeded. CLIs use it to turn per-point failures into
+// non-zero exit codes instead of silently printing them into CSVs.
+func (ps Points) FirstErr() error {
+	for i := range ps {
+		if ps[i].Err != nil {
+			return ps[i].Err
+		}
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	return nil
+}
+
+// Failed returns the subset of points whose build or run failed, in sweep
+// order.
+func (ps Points) Failed() Points {
+	var out Points
+	for i := range ps {
+		if ps[i].Err != nil {
+			out = append(out, ps[i])
+		}
 	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				res, err := Run(jobs[i])
-				if err != nil {
-					points[i].Err = err
-					continue
-				}
-				points[i].Report = res.Report
-				points[i].Stats = res.Stats
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	return points
+	return out
 }
 
 // SweepOpts adjusts how a sweep executes without changing what it measures.
@@ -383,80 +395,191 @@ type SweepOpts struct {
 	// NoReplayCache runs every point's decode live instead of replaying the
 	// recorded decode trace (see Job.NoReplayCache).
 	NoReplayCache bool
+	// Progress, when non-nil, is called once per finished point with the
+	// running count and the total. Calls are serialized by the engine.
+	Progress func(done, total int)
 }
 
-// warmDecode pre-builds the caches a sweep's points will hit so the workers
-// fan out against warm state: always the mezzanine, and — unless the sweep
-// opts out of replay — the decoded frames, the recorded decode trace and
-// the post-decode machine snapshot for the sweep's configuration.
-func warmDecode(w Workload, dopt codec.DecoderOptions, cfg uarch.Config, opts SweepOpts) error {
+// WarmTarget names one decode-cache entry a sweep's points will hit, so the
+// workers fan out against warm state instead of stampeding a cold cache.
+type WarmTarget struct {
+	Workload Workload
+	Decoder  codec.DecoderOptions
+	Config   uarch.Config
+}
+
+// Plan declares a sweep: which caches to warm, how many points there are,
+// and how to build each point's job and coordinates. Every §III-C sweep is
+// a Plan; so is any future axis.
+type Plan struct {
+	// Warm lists the decode-cache entries to pre-build (in parallel) before
+	// the points fan out.
+	Warm []WarmTarget
+	// N is the number of points.
+	N int
+	// Build returns the i-th point's job and coordinate labels. A build
+	// error marks the point failed and the runner skips it — the job is
+	// never executed, so the original error survives into Point.Err.
+	Build func(i int) (Job, Point, error)
+	// Opts adjusts execution (replay cache, progress reporting).
+	Opts SweepOpts
+}
+
+// Sweep executes a plan on the shared worker pool and returns one Point
+// per planned job, in plan order.
+//
+// Cancellation: when ctx is canceled the sweep returns within one
+// in-flight job per worker; points that never started carry ctx.Err() in
+// Point.Err. Per-point failures (build or run) land in Point.Err without
+// stopping the other points.
+func Sweep(ctx context.Context, p Plan) Points {
+	if len(p.Warm) > 0 {
+		errs, err := exec.Pool{Policy: exec.FailFast}.Map(ctx, len(p.Warm), func(ctx context.Context, i int) error {
+			t := p.Warm[i]
+			return warmDecode(ctx, t.Workload, t.Decoder, t.Config, p.Opts)
+		})
+		if err != nil {
+			// Preserve the pre-engine contract: a warm-up failure yields a
+			// single point naming the workload that failed.
+			for i, e := range errs {
+				if e != nil && !errors.Is(e, exec.ErrSkipped) {
+					return Points{{Video: p.Warm[i].Workload.Video, Err: e}}
+				}
+			}
+			return Points{{Err: err}}
+		}
+	}
+
+	points := make(Points, p.N)
+	jobs := make([]Job, p.N)
+	runnable := make([]bool, p.N)
+	for i := range points {
+		job, pt, err := p.Build(i)
+		points[i] = pt
+		if err != nil {
+			points[i].Err = err
+			continue
+		}
+		jobs[i] = job
+		runnable[i] = true
+	}
+
+	pool := exec.Pool{OnProgress: p.Opts.Progress}
+	errs, _ := pool.Map(ctx, p.N, func(ctx context.Context, i int) error {
+		if !runnable[i] {
+			return nil // build already failed the point; never run the zero Job
+		}
+		res, err := Run(ctx, jobs[i])
+		if err != nil {
+			return err
+		}
+		points[i].Report = res.Report
+		points[i].Stats = res.Stats
+		return nil
+	})
+	for i, e := range errs {
+		if e != nil && points[i].Err == nil {
+			points[i].Err = e
+		}
+	}
+	return points
+}
+
+// warmDecode pre-builds the caches a sweep's points will hit: always the
+// mezzanine, and — unless the sweep opts out of replay — the decoded
+// frames, the recorded decode trace and the post-decode machine snapshot
+// for the sweep's configuration.
+func warmDecode(ctx context.Context, w Workload, dopt codec.DecoderOptions, cfg uarch.Config, opts SweepOpts) error {
 	if opts.NoReplayCache {
-		_, err := Mezzanine(w)
+		_, err := Mezzanine(ctx, w)
 		return err
 	}
-	_, err := decodedMachine(w, dopt, cfg)
+	_, err := decodedMachine(ctx, w, dopt, cfg)
 	return err
 }
 
 // SweepCRFRefs profiles every (crf, refs) combination on one video — the
 // §III-C1 experiment behind Figures 3, 4 and 5.
-func SweepCRFRefs(w Workload, base codec.Options, cfg uarch.Config, crfs, refs []int) []Point {
-	return SweepCRFRefsWith(w, base, cfg, crfs, refs, SweepOpts{})
+func SweepCRFRefs(ctx context.Context, w Workload, base codec.Options, cfg uarch.Config, crfs, refs []int) Points {
+	return SweepCRFRefsWith(ctx, w, base, cfg, crfs, refs, SweepOpts{})
 }
 
 // SweepCRFRefsWith is SweepCRFRefs with explicit execution options.
-func SweepCRFRefsWith(w Workload, base codec.Options, cfg uarch.Config, crfs, refs []int, opts SweepOpts) []Point {
-	// Every point shares one decoder configuration: crf and refs only alter
-	// the encode half.
-	if err := warmDecode(w, decoderOptions(base), cfg, opts); err != nil {
-		return []Point{{Video: w.Video, Err: err}}
-	}
-	n := len(crfs) * len(refs)
-	return runParallel(n, func(i int) (Job, Point) {
-		crf := crfs[i/len(refs)]
-		rf := refs[i%len(refs)]
-		opt := base
-		opt.RC = codec.RCCRF
-		opt.CRF = crf
-		opt.Refs = rf
-		return Job{Workload: w, Options: opt, Config: cfg, NoReplayCache: opts.NoReplayCache},
-			Point{Video: w.Video, CRF: crf, Refs: rf}
+func SweepCRFRefsWith(ctx context.Context, w Workload, base codec.Options, cfg uarch.Config, crfs, refs []int, opts SweepOpts) Points {
+	return Sweep(ctx, Plan{
+		// Every point shares one decoder configuration: crf and refs only
+		// alter the encode half.
+		Warm: []WarmTarget{{Workload: w, Decoder: decoderOptions(base), Config: cfg}},
+		N:    len(crfs) * len(refs),
+		Build: func(i int) (Job, Point, error) {
+			crf := crfs[i/len(refs)]
+			rf := refs[i%len(refs)]
+			opt := base
+			opt.RC = codec.RCCRF
+			opt.CRF = crf
+			opt.Refs = rf
+			return Job{Workload: w, Options: opt, Config: cfg, NoReplayCache: opts.NoReplayCache},
+				Point{Video: w.Video, CRF: crf, Refs: rf}, nil
+		},
+		Opts: opts,
 	})
 }
 
 // SweepPresets profiles all presets at fixed crf/refs on one video — the
 // §III-C2 experiment behind Figure 6. Following the paper, crf and refs are
 // pinned to the defaults (23/3) regardless of the preset's own values.
-func SweepPresets(w Workload, cfg uarch.Config, presets []codec.Preset, crf, refs int) []Point {
-	// All preset points decode full-trace with default tuning (the presets
-	// alter only the encode half), so they share one decode cache entry.
-	if err := warmDecode(w, codec.DecoderOptions{}, cfg, SweepOpts{}); err != nil {
-		return []Point{{Video: w.Video, Err: err}}
-	}
-	return runParallel(len(presets), func(i int) (Job, Point) {
-		opt := codec.Options{RC: codec.RCCRF, CRF: crf, QP: 26, KeyintMax: 250}
-		if err := codec.ApplyPreset(&opt, presets[i]); err != nil {
-			return Job{}, Point{Err: err}
-		}
-		opt.Refs = refs
-		opt.TraceSampleLog2 = 0
-		return Job{Workload: w, Options: opt, Config: cfg},
-			Point{Video: w.Video, CRF: crf, Refs: refs, Preset: presets[i]}
+func SweepPresets(ctx context.Context, w Workload, cfg uarch.Config, presets []codec.Preset, crf, refs int) Points {
+	return SweepPresetsWith(ctx, w, cfg, presets, crf, refs, SweepOpts{})
+}
+
+// SweepPresetsWith is SweepPresets with explicit execution options.
+func SweepPresetsWith(ctx context.Context, w Workload, cfg uarch.Config, presets []codec.Preset, crf, refs int, opts SweepOpts) Points {
+	return Sweep(ctx, Plan{
+		// All preset points decode full-trace with default tuning (the
+		// presets alter only the encode half), so they share one decode
+		// cache entry.
+		Warm: []WarmTarget{{Workload: w, Config: cfg}},
+		N:    len(presets),
+		Build: func(i int) (Job, Point, error) {
+			pt := Point{Video: w.Video, CRF: crf, Refs: refs, Preset: presets[i]}
+			opt := codec.Options{RC: codec.RCCRF, CRF: crf, QP: 26, KeyintMax: 250}
+			if err := codec.ApplyPreset(&opt, presets[i]); err != nil {
+				return Job{}, pt, err
+			}
+			opt.Refs = refs
+			opt.TraceSampleLog2 = 0
+			return Job{Workload: w, Options: opt, Config: cfg, NoReplayCache: opts.NoReplayCache}, pt, nil
+		},
+		Opts: opts,
 	})
 }
 
 // SweepVideos profiles a fixed configuration (medium, crf 23, refs 3 unless
 // overridden) across videos — the §III-C3 experiment behind Figure 7.
-func SweepVideos(videos []string, frames, scale int, base codec.Options, cfg uarch.Config) []Point {
-	for _, v := range videos {
-		w := Workload{Video: v, Frames: frames, Scale: scale}
-		if err := warmDecode(w, decoderOptions(base), cfg, SweepOpts{}); err != nil {
-			return []Point{{Video: v, Err: err}}
+func SweepVideos(ctx context.Context, videos []string, frames, scale int, base codec.Options, cfg uarch.Config) Points {
+	return SweepVideosWith(ctx, videos, frames, scale, base, cfg, SweepOpts{})
+}
+
+// SweepVideosWith is SweepVideos with explicit execution options. The
+// per-video warm-up runs in parallel on the pool (it was serial before the
+// execution layer existed).
+func SweepVideosWith(ctx context.Context, videos []string, frames, scale int, base codec.Options, cfg uarch.Config, opts SweepOpts) Points {
+	warm := make([]WarmTarget, len(videos))
+	for i, v := range videos {
+		warm[i] = WarmTarget{
+			Workload: Workload{Video: v, Frames: frames, Scale: scale},
+			Decoder:  decoderOptions(base),
+			Config:   cfg,
 		}
 	}
-	return runParallel(len(videos), func(i int) (Job, Point) {
-		w := Workload{Video: videos[i], Frames: frames, Scale: scale}
-		return Job{Workload: w, Options: base, Config: cfg},
-			Point{Video: videos[i], CRF: base.CRF, Refs: base.Refs}
+	return Sweep(ctx, Plan{
+		Warm: warm,
+		N:    len(videos),
+		Build: func(i int) (Job, Point, error) {
+			w := Workload{Video: videos[i], Frames: frames, Scale: scale}
+			return Job{Workload: w, Options: base, Config: cfg, NoReplayCache: opts.NoReplayCache},
+				Point{Video: videos[i], CRF: base.CRF, Refs: base.Refs}, nil
+		},
+		Opts: opts,
 	})
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/codec"
@@ -17,7 +18,7 @@ func runPoint(t *testing.T, w Workload, crf, refs int, cfg uarch.Config) *Result
 	opt := codec.Defaults()
 	opt.CRF = crf
 	opt.Refs = refs
-	res, err := Run(Job{Workload: w, Options: opt, Config: cfg})
+	res, err := Run(context.Background(), Job{Workload: w, Options: opt, Config: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,11 +59,11 @@ func TestWorkloadNormalization(t *testing.T) {
 
 func TestMezzanineCached(t *testing.T) {
 	w := tinyWorkload("cat")
-	a, err := Mezzanine(w)
+	a, err := Mezzanine(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Mezzanine(w)
+	b, err := Mezzanine(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestMezzanineCached(t *testing.T) {
 }
 
 func TestRunErrorsOnUnknownVideo(t *testing.T) {
-	_, err := Run(Job{Workload: Workload{Video: "void"}, Options: codec.Defaults(), Config: uarch.Baseline()})
+	_, err := Run(context.Background(), Job{Workload: Workload{Video: "void"}, Options: codec.Defaults(), Config: uarch.Baseline()})
 	if err == nil {
 		t.Fatal("unknown video accepted")
 	}
@@ -160,7 +161,7 @@ func TestTrendEntropyRaisesBranchMPKI(t *testing.T) {
 // more compute per byte, diluting data-cache misses.
 func TestTrendSlowerPresetsLowerDataMPKI(t *testing.T) {
 	w := tinyWorkload("cricket")
-	pts := SweepPresets(w, uarch.Baseline(), []codec.Preset{codec.PresetVeryfast, codec.PresetSlower}, 23, 3)
+	pts := SweepPresets(context.Background(), w, uarch.Baseline(), []codec.Preset{codec.PresetVeryfast, codec.PresetSlower}, 23, 3)
 	for _, p := range pts {
 		if p.Err != nil {
 			t.Fatal(p.Err)
@@ -180,7 +181,7 @@ func TestTrendSlowerPresetsLowerDataMPKI(t *testing.T) {
 // TestSweepShapes runs a minimal grid and checks structural integrity.
 func TestSweepCRFRefsGrid(t *testing.T) {
 	w := tinyWorkload("cat")
-	pts := SweepCRFRefs(w, codec.Defaults(), uarch.Baseline(), []int{15, 35}, []int{1, 4})
+	pts := SweepCRFRefs(context.Background(), w, codec.Defaults(), uarch.Baseline(), []int{15, 35}, []int{1, 4})
 	if len(pts) != 4 {
 		t.Fatalf("%d points", len(pts))
 	}
@@ -202,7 +203,7 @@ func TestSweepCRFRefsGrid(t *testing.T) {
 }
 
 func TestSweepVideosShape(t *testing.T) {
-	pts := SweepVideos([]string{"desktop", "holi"}, 8, 8, codec.Defaults(), uarch.Baseline())
+	pts := SweepVideos(context.Background(), []string{"desktop", "holi"}, 8, 8, codec.Defaults(), uarch.Baseline())
 	if len(pts) != 2 {
 		t.Fatalf("%d points", len(pts))
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestProbeOpt(t *testing.T) {
 		w := Workload{Video: video, Frames: 16}
 		opt := codec.Defaults()
 
-		base, err := Run(Job{Workload: w, Options: opt, Config: uarch.Baseline()})
+		base, err := Run(context.Background(), Job{Workload: w, Options: opt, Config: uarch.Baseline()})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -29,14 +30,14 @@ func TestProbeOpt(t *testing.T) {
 		enc, _ := codec.NewEncoder(frames[0].Width, frames[0].Height, info.FPS, opt, col)
 		enc.EncodeAll(frames)
 		img := col.Profile().Apply(trace.NewImage(nil), autofdo.Options{})
-		fdo, err := Run(Job{Workload: w, Options: opt, Config: uarch.Baseline(), Image: img})
+		fdo, err := Run(context.Background(), Job{Workload: w, Options: opt, Config: uarch.Baseline(), Image: img})
 		if err != nil {
 			t.Fatal(err)
 		}
 
 		gopt := opt
 		gopt.Tune = graphite.All().Tuning()
-		gr, err := Run(Job{Workload: w, Options: gopt, Config: uarch.Baseline()})
+		gr, err := Run(context.Background(), Job{Workload: w, Options: gopt, Config: uarch.Baseline()})
 		if err != nil {
 			t.Fatal(err)
 		}

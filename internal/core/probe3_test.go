@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestProbeFlags(t *testing.T) {
 	run := func(name string, tune codec.Tuning) {
 		opt := codec.Defaults()
 		opt.Tune = tune
-		res, err := Run(Job{Workload: w, Options: opt, Config: uarch.Baseline()})
+		res, err := Run(context.Background(), Job{Workload: w, Options: opt, Config: uarch.Baseline()})
 		if err != nil {
 			t.Fatal(err)
 		}

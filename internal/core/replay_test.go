@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -15,7 +16,7 @@ import (
 // state of a Machine that consumed the decode live.
 func TestReplayMachineEquivalence(t *testing.T) {
 	w := tinyWorkload("cricket")
-	stream, err := Mezzanine(w)
+	stream, err := Mezzanine(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,12 +66,12 @@ func TestReplayRunEquivalence(t *testing.T) {
 	opt.Refs = 2
 	job := Job{Workload: w, Options: opt, Config: uarch.Baseline()}
 
-	cached, err := Run(job)
+	cached, err := Run(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
 	job.NoReplayCache = true
-	livePath, err := Run(job)
+	livePath, err := Run(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,11 +88,11 @@ func TestReplayRunEquivalence(t *testing.T) {
 // cached frames are not handed to encoders directly (Run clones them).
 func TestDecodedMezzanineCached(t *testing.T) {
 	w := tinyWorkload("cat")
-	fa, ea, err := DecodedMezzanine(w, codec.DecoderOptions{})
+	fa, ea, err := DecodedMezzanine(context.Background(), w, codec.DecoderOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fb, eb, err := DecodedMezzanine(w, codec.DecoderOptions{})
+	fb, eb, err := DecodedMezzanine(context.Background(), w, codec.DecoderOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestDecodedMezzanineCached(t *testing.T) {
 		t.Fatal("decoded mezzanine not cached")
 	}
 	// A different decoder configuration is a different entry.
-	fc, _, err := DecodedMezzanine(w, codec.DecoderOptions{TraceSampleLog2: 1})
+	fc, _, err := DecodedMezzanine(context.Background(), w, codec.DecoderOptions{TraceSampleLog2: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,13 +125,13 @@ func TestCacheSingleflight(t *testing.T) {
 	for i := 0; i < callers; i++ {
 		go func(i int) {
 			defer wg.Done()
-			s, err := Mezzanine(w)
+			s, err := Mezzanine(context.Background(), w)
 			if err != nil {
 				t.Error(err)
 				return
 			}
 			streams[i] = s
-			_, e, err := DecodedMezzanine(w, codec.DecoderOptions{})
+			_, e, err := DecodedMezzanine(context.Background(), w, codec.DecoderOptions{})
 			if err != nil {
 				t.Error(err)
 				return
@@ -161,7 +162,7 @@ func TestFlightCacheBuildsOnce(t *testing.T) {
 	for i := 0; i < callers; i++ {
 		go func() {
 			defer wg.Done()
-			v, err := c.get("k", func() (int, error) {
+			v, err := c.get(context.Background(), "k", func() (int, error) {
 				mu.Lock()
 				builds++
 				mu.Unlock()

@@ -1,0 +1,193 @@
+// Package exec is the execution layer shared by every fan-out in the repo:
+// a context-aware job engine that runs indexed jobs on a bounded worker
+// pool with cancellation, per-job panic recovery, a configurable error
+// policy and an optional progress callback.
+//
+// The sweeps in internal/core, the scheduling measurement matrix in
+// internal/sched and any future sharded or remote execution all funnel
+// through Pool.Map, so cancellation and error semantics are defined in
+// exactly one place.
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Policy selects what the engine does when a job returns an error.
+type Policy int
+
+const (
+	// Collect runs every job regardless of failures; errors are reported
+	// per job. This is the sweep default: one bad point must not void the
+	// other 815.
+	Collect Policy = iota
+	// FailFast cancels the remaining jobs after the first error. In-flight
+	// jobs still run to completion (jobs are CPU-bound simulations that
+	// observe ctx only at their own checkpoints); unstarted jobs are
+	// marked with ErrSkipped.
+	FailFast
+)
+
+// ErrSkipped marks a job that never started because FailFast tripped on an
+// earlier error. Jobs unstarted because the caller's context was canceled
+// are marked with that context's error instead.
+var ErrSkipped = errors.New("exec: job skipped after earlier failure")
+
+// Pool configures a bounded worker pool. The zero value is a Collect-policy
+// pool with GOMAXPROCS workers and no progress reporting.
+type Pool struct {
+	// Workers bounds concurrency; 0 means GOMAXPROCS. The pool is fixed:
+	// Workers goroutines pull job indices from a channel, so an 816-point
+	// sweep holds a handful of live goroutines, not 816 parked ones.
+	Workers int
+	// Policy selects Collect (default) or FailFast error handling.
+	Policy Policy
+	// OnProgress, when non-nil, is called once per finished job with the
+	// number of jobs completed so far and the total. Calls are serialized
+	// and done is strictly increasing, so the callback needs no locking of
+	// its own.
+	OnProgress func(done, total int)
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on the pool and returns one
+// error slot per job.
+//
+// Semantics:
+//   - errs[i] is fn's return for jobs that ran (nil on success), the
+//     recovered panic for jobs that panicked, ctx.Err() for jobs unstarted
+//     at cancellation, and ErrSkipped for jobs unstarted after a FailFast
+//     trip.
+//   - The returned error is the engine-level outcome: nil when every job
+//     was attempted, ctx.Err() when the caller's context canceled the run,
+//     or the triggering job error under FailFast.
+//   - A panic in one job fails only that job's slot.
+//
+// Map always waits for in-flight jobs before returning, so on return no
+// goroutine started by Map is still touching caller state: cancellation
+// costs at most one in-flight job per worker.
+func (p Pool) Map(ctx context.Context, n int, fn func(ctx context.Context, i int) error) ([]error, error) {
+	errs := make([]error, n)
+	if n <= 0 {
+		return errs, ctx.Err()
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// runCtx stops the feeder and the workers' per-job checks; it is
+	// canceled by the caller's ctx or by a FailFast trip.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		done     int
+		firstErr error // FailFast trigger
+		started  = make([]bool, n)
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	finish := func() {
+		if p.OnProgress == nil {
+			return
+		}
+		// The callback runs under the pool lock: that is what serializes
+		// calls across workers (the callback must not call back into Map).
+		mu.Lock()
+		done++
+		p.OnProgress(done, n)
+		mu.Unlock()
+	}
+
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := 0; i < n; i++ {
+			select {
+			case idx <- i:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if runCtx.Err() != nil {
+					// Drain without running: the feeder may have handed
+					// out this index before observing cancellation.
+					continue
+				}
+				started[i] = true
+				err := runJob(runCtx, i, fn)
+				errs[i] = err
+				if err != nil && p.Policy == FailFast {
+					fail(err)
+				}
+				finish()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Mark the jobs that never ran. The caller's cancellation wins over a
+	// concurrent FailFast trip: those jobs were abandoned either way, but
+	// ctx.Err() is the more truthful cause.
+	var skip error
+	switch {
+	case ctx.Err() != nil:
+		skip = ctx.Err()
+	case firstErr != nil:
+		skip = ErrSkipped
+	}
+	if skip != nil {
+		for i := range errs {
+			if !started[i] && errs[i] == nil {
+				errs[i] = skip
+			}
+		}
+	}
+	switch {
+	case ctx.Err() != nil:
+		return errs, ctx.Err()
+	case firstErr != nil:
+		return errs, firstErr
+	}
+	return errs, nil
+}
+
+// runJob invokes fn for one index, converting a panic into that job's
+// error so one corrupt point cannot take down a whole sweep.
+func runJob(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("exec: job %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(ctx, i)
+}
+
+// Map runs fn over [0, n) on a default pool (GOMAXPROCS workers, Collect
+// policy) — the common case for callers that track errors per job.
+func Map(ctx context.Context, n int, fn func(ctx context.Context, i int) error) ([]error, error) {
+	return Pool{}.Map(ctx, n, fn)
+}

@@ -1,10 +1,12 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/perf"
 	"repro/internal/uarch"
 )
@@ -51,28 +53,38 @@ type Matrix struct {
 
 // Measure simulates every task on every configuration. workload fields
 // other than Video are taken from proto (Frames/Scale/Seed), letting tests
-// shrink the study.
-func Measure(tasks []Task, configs []uarch.Config, proto core.Workload) (*Matrix, error) {
+// shrink the study. The task×config cells fan out on the shared execution
+// engine (they are independent simulations); the first failure aborts the
+// remaining cells and cancellation propagates from ctx.
+func Measure(ctx context.Context, tasks []Task, configs []uarch.Config, proto core.Workload) (*Matrix, error) {
 	m := &Matrix{Tasks: tasks, Configs: configs}
 	m.Seconds = make([][]float64, len(tasks))
 	m.Reports = make([][]*perf.Report, len(tasks))
+	opts := make([]codec.Options, len(tasks))
 	for ti, t := range tasks {
 		opt, err := t.options()
 		if err != nil {
 			return nil, err
 		}
+		opts[ti] = opt
 		m.Seconds[ti] = make([]float64, len(configs))
 		m.Reports[ti] = make([]*perf.Report, len(configs))
-		for ci, cfg := range configs {
-			w := proto
-			w.Video = t.Video
-			res, err := core.Run(core.Job{Workload: w, Options: opt, Config: cfg})
-			if err != nil {
-				return nil, fmt.Errorf("sched: %s on %s: %w", t.Name, cfg.Name, err)
-			}
-			m.Seconds[ti][ci] = res.Report.Seconds
-			m.Reports[ti][ci] = res.Report
+	}
+	nc := len(configs)
+	_, err := exec.Pool{Policy: exec.FailFast}.Map(ctx, len(tasks)*nc, func(ctx context.Context, i int) error {
+		ti, ci := i/nc, i%nc
+		w := proto
+		w.Video = tasks[ti].Video
+		res, err := core.Run(ctx, core.Job{Workload: w, Options: opts[ti], Config: configs[ci]})
+		if err != nil {
+			return fmt.Errorf("sched: %s on %s: %w", tasks[ti].Name, configs[ci].Name, err)
 		}
+		m.Seconds[ti][ci] = res.Report.Seconds
+		m.Reports[ti][ci] = res.Report
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return m, nil
 }

@@ -4,18 +4,25 @@
 #
 # The cached/uncached sweep pair is the headline number: the acceptance
 # bar is cached >= 1.5x faster than uncached on the reduced 4x4 grid.
+#
+# An interrupted run (Ctrl-C) still writes whatever benchmarks completed,
+# with a trailing {"name": "_note", "partial": true} entry so downstream
+# consumers never mistake a truncated file for a full record.
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2x}"
 OUT="${OUT:-BENCH_core.json}"
 RAW="$(mktemp)"
+PARTIAL=0
 trap 'rm -f "$RAW"' EXIT
+trap 'PARTIAL=1' INT TERM
 
 go test -run '^$' -bench 'BenchmarkDecodeReplay|BenchmarkSweepCRFRefs' \
-	-benchtime "$BENCHTIME" -benchmem -timeout 1200s . | tee "$RAW"
+	-benchtime "$BENCHTIME" -benchmem -timeout 1200s . | tee "$RAW" || PARTIAL=1
+trap - INT TERM
 
-awk '
+awk -v partial="$PARTIAL" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
@@ -31,6 +38,8 @@ awk '
 	if (name == "BenchmarkSweepCRFRefsUncached") uncached = ns
 }
 END {
+	if (partial + 0 != 0)
+		rows[++n] = "  {\"name\": \"_note\", \"partial\": true}"
 	printf "[\n"
 	for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
 	printf "]\n"
@@ -39,4 +48,8 @@ END {
 }
 ' "$RAW" >"$OUT"
 
+if [ "$PARTIAL" -ne 0 ]; then
+	echo "wrote $OUT (PARTIAL: benchmark run was interrupted)" >&2
+	exit 130
+fi
 echo "wrote $OUT"

@@ -1,13 +1,20 @@
 #!/bin/sh
-# ci.sh — the tier-1 gate: vet, build, full tests, and the race detector
-# over the packages with real concurrency (the sweep pool and the
-# singleflight caches in core, the recorder/replay layer in trace).
+# ci.sh — the tier-1 gate: format, vet, build, full tests, and the race
+# detector over the packages with real concurrency (the exec worker pool,
+# the sweep engine and singleflight caches in core, the recorder/replay
+# layer in trace).
 set -eux
 cd "$(dirname "$0")/.."
 
+# gofmt -l prints offending files and exits 0, so fail on any output.
+test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test ./...
+# Fast race gates first: the execution engine is pure concurrency and races
+# there invalidate every sweep, so surface them before the long run below.
+go test -race ./internal/exec/...
+go test -race -run 'TestSweepCancel|TestSweepPreCanceled|TestFlightCacheCancelDetach' ./internal/core/...
 # The race detector slows the simulator ~10x and internal/core's probe
 # tests each run multiple full transcodes, so the default 10m per-package
 # timeout is not enough on small machines.

@@ -18,6 +18,7 @@
 package transcoding
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/codec"
@@ -56,8 +57,17 @@ type (
 	Job = core.Job
 	// Point is one sweep sample.
 	Point = core.Point
+	// Points is a sweep result with error-inspection helpers (FirstErr,
+	// Failed).
+	Points = core.Points
 	// SweepOpts adjusts sweep execution (e.g. the replay-cache escape hatch).
 	SweepOpts = core.SweepOpts
+	// Plan is a declarative sweep for the generic Sweep engine: warm-up
+	// targets plus an indexed point builder.
+	Plan = core.Plan
+	// WarmTarget names one (workload, decoder, config) combination a Plan
+	// pre-warms before its points run.
+	WarmTarget = core.WarmTarget
 	// MachineResult carries the raw counter state of a finished simulation.
 	MachineResult = uarch.Result
 	// DecoderOptions configure decode-side instrumentation and tuning.
@@ -167,33 +177,44 @@ func Configs() []Config { return uarch.TableIV() }
 func ConfigByName(name string) (Config, bool) { return uarch.ByName(name) }
 
 // Profile simulates one transcoding job and returns its profile and codec
-// statistics.
-func Profile(job Job) (*Report, *Stats, error) {
-	res, err := core.Run(job)
+// statistics. Canceling ctx aborts the simulation between its decode and
+// encode stages.
+func Profile(ctx context.Context, job Job) (*Report, *Stats, error) {
+	res, err := core.Run(ctx, job)
 	if err != nil {
 		return nil, nil, err
 	}
 	return res.Report, res.Stats, nil
 }
 
+// Sweep runs an arbitrary declarative sweep Plan on the shared execution
+// engine — the primitive under SweepCRFRefs, SweepPresets and SweepVideos,
+// exposed for custom grids.
+func Sweep(ctx context.Context, p Plan) Points {
+	return core.Sweep(ctx, p)
+}
+
 // SweepCRFRefs profiles every (crf, refs) combination on one video
-// (Figures 3-5).
-func SweepCRFRefs(w Workload, base Options, cfg Config, crfs, refs []int) []Point {
-	return core.SweepCRFRefs(w, base, cfg, crfs, refs)
+// (Figures 3-5). Canceling ctx returns promptly: finished points keep
+// their results, unstarted ones carry ctx's error.
+func SweepCRFRefs(ctx context.Context, w Workload, base Options, cfg Config, crfs, refs []int) Points {
+	return core.SweepCRFRefs(ctx, w, base, cfg, crfs, refs)
 }
 
 // SweepCRFRefsWith is SweepCRFRefs with explicit execution options, e.g.
 // SweepOpts{NoReplayCache: true} to re-simulate every point's decode live
 // instead of replaying the cached decode trace.
-func SweepCRFRefsWith(w Workload, base Options, cfg Config, crfs, refs []int, opts SweepOpts) []Point {
-	return core.SweepCRFRefsWith(w, base, cfg, crfs, refs, opts)
+func SweepCRFRefsWith(ctx context.Context, w Workload, base Options, cfg Config, crfs, refs []int, opts SweepOpts) Points {
+	return core.SweepCRFRefsWith(ctx, w, base, cfg, crfs, refs, opts)
 }
 
 // DecodedMezzanine returns the cached decoded frames and recorded decode
 // event trace of a workload's mezzanine (built on first use). Both return
-// values are shared cache state and must be treated as read-only.
-func DecodedMezzanine(w Workload, opt DecoderOptions) ([]*Frame, []byte, error) {
-	return core.DecodedMezzanine(w, opt)
+// values are shared cache state and must be treated as read-only. A
+// canceled ctx detaches the caller without poisoning the cache: the build
+// completes in the background for the next caller.
+func DecodedMezzanine(ctx context.Context, w Workload, opt DecoderOptions) ([]*Frame, []byte, error) {
+	return core.DecodedMezzanine(ctx, w, opt)
 }
 
 // ReplayTrace re-drives a recorded event buffer into a fresh machine of the
@@ -208,13 +229,13 @@ func ReplayTrace(events []byte, cfg Config) (*MachineResult, error) {
 }
 
 // SweepPresets profiles the presets at fixed crf/refs (Figure 6).
-func SweepPresets(w Workload, cfg Config, presets []Preset, crf, refs int) []Point {
-	return core.SweepPresets(w, cfg, presets, crf, refs)
+func SweepPresets(ctx context.Context, w Workload, cfg Config, presets []Preset, crf, refs int) Points {
+	return core.SweepPresets(ctx, w, cfg, presets, crf, refs)
 }
 
 // SweepVideos profiles one setting across videos (Figure 7).
-func SweepVideos(videos []string, frames, scale int, base Options, cfg Config) []Point {
-	return core.SweepVideos(videos, frames, scale, base, cfg)
+func SweepVideos(ctx context.Context, videos []string, frames, scale int, base Options, cfg Config) Points {
+	return core.SweepVideos(ctx, videos, frames, scale, base, cfg)
 }
 
 // --- compiler optimization studies ---------------------------------------------
@@ -274,8 +295,8 @@ func synthesizeWorkload(w Workload) ([]*Frame, error) {
 func SchedulerTasks() []Task { return sched.TableIII() }
 
 // MeasureScheduling simulates every task on every configuration.
-func MeasureScheduling(tasks []Task, configs []Config, proto Workload) (*sched.Matrix, error) {
-	return sched.Measure(tasks, configs, proto)
+func MeasureScheduling(ctx context.Context, tasks []Task, configs []Config, proto Workload) (*sched.Matrix, error) {
+	return sched.Measure(ctx, tasks, configs, proto)
 }
 
 // SchedulerOutcome is the Figure 9 comparison result.

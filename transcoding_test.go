@@ -2,6 +2,7 @@ package transcoding
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 )
@@ -67,7 +68,7 @@ func TestSynthesizeEncodeDecodeTranscode(t *testing.T) {
 }
 
 func TestProfileFacade(t *testing.T) {
-	rep, stats, err := Profile(Job{
+	rep, stats, err := Profile(context.Background(), Job{
 		Workload: testWorkload("bike"),
 		Options:  DefaultOptions(),
 		Config:   BaselineConfig(),
@@ -103,11 +104,11 @@ func TestTrainAutoFDOProducesFasterImage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, _, err := Profile(Job{Workload: w, Options: opt, Config: BaselineConfig()})
+	base, _, err := Profile(context.Background(), Job{Workload: w, Options: opt, Config: BaselineConfig()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fdo, _, err := Profile(Job{Workload: w, Options: opt, Config: BaselineConfig(), Image: img})
+	fdo, _, err := Profile(context.Background(), Job{Workload: w, Options: opt, Config: BaselineConfig(), Image: img})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,18 +129,18 @@ func TestGraphiteTuningFacade(t *testing.T) {
 
 func TestSweepFacades(t *testing.T) {
 	w := testWorkload("cat")
-	pts := SweepCRFRefs(w, DefaultOptions(), BaselineConfig(), []int{20, 40}, []int{1})
+	pts := SweepCRFRefs(context.Background(), w, DefaultOptions(), BaselineConfig(), []int{20, 40}, []int{1})
 	if len(pts) != 2 || pts[0].Err != nil || pts[1].Err != nil {
 		t.Fatalf("crf sweep: %+v", pts)
 	}
 	if pts[1].Report.Seconds >= pts[0].Report.Seconds {
 		t.Fatal("crf 40 should transcode faster than crf 20")
 	}
-	pp := SweepPresets(w, BaselineConfig(), []Preset{"ultrafast"}, 23, 3)
+	pp := SweepPresets(context.Background(), w, BaselineConfig(), []Preset{"ultrafast"}, 23, 3)
 	if len(pp) != 1 || pp[0].Err != nil {
 		t.Fatalf("preset sweep: %+v", pp)
 	}
-	vv := SweepVideos([]string{"cat"}, 8, 8, DefaultOptions(), BaselineConfig())
+	vv := SweepVideos(context.Background(), []string{"cat"}, 8, 8, DefaultOptions(), BaselineConfig())
 	if len(vv) != 1 || vv[0].Err != nil {
 		t.Fatalf("video sweep: %+v", vv)
 	}
@@ -153,7 +154,7 @@ func TestSchedulerFacade(t *testing.T) {
 	// A reduced matrix keeps this integration test fast; the one-to-one
 	// constraint needs at least as many optimized configs as tasks.
 	configs := []Config{BaselineConfig(), Configs()[2], Configs()[3]}
-	m, err := MeasureScheduling(tasks[:2], configs, Workload{Frames: 6, Scale: 8})
+	m, err := MeasureScheduling(context.Background(), tasks[:2], configs, Workload{Frames: 6, Scale: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
