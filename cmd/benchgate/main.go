@@ -1,0 +1,74 @@
+// Command benchgate compares a fresh benchmark run against the committed
+// baseline (BENCH_core.json) and fails when any benchmark slowed beyond
+// the tolerance — the perf-regression tripwire behind scripts/benchgate.sh
+// and the CI bench job.
+//
+//	benchgate -base BENCH_core.json -new new.json -tol 0.10
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/perf"
+	"repro/internal/report"
+)
+
+var (
+	flagBase = flag.String("base", "BENCH_core.json", "baseline benchmark JSON")
+	flagNew  = flag.String("new", "", "new benchmark JSON to compare (required)")
+	flagTol  = flag.Float64("tol", 0.10, "relative ns/op tolerance (0.10 = +10%)")
+)
+
+func main() {
+	cli.Main("benchgate", run)
+}
+
+func run(context.Context) error {
+	if *flagNew == "" {
+		return fmt.Errorf("-new is required")
+	}
+	base, err := perf.ReadBenchFile(*flagBase)
+	if err != nil {
+		return err
+	}
+	cur, err := perf.ReadBenchFile(*flagNew)
+	if err != nil {
+		return err
+	}
+	deltas, err := perf.CompareBench(base, cur, *flagTol)
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(deltas))
+	for _, d := range deltas {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED"
+		}
+		rows = append(rows, []string{
+			d.Name,
+			fmt.Sprintf("%.0f", d.BaseNs),
+			fmt.Sprintf("%.0f", d.NewNs),
+			fmt.Sprintf("%+.1f%%", (d.Ratio-1)*100),
+			verdict,
+		})
+	}
+	if err := report.Table(os.Stdout, []string{"benchmark", "base ns/op", "new ns/op", "delta", "verdict"}, rows); err != nil {
+		return err
+	}
+	if regs := perf.Regressions(deltas); len(regs) > 0 {
+		names := make([]string, len(regs))
+		for i, d := range regs {
+			names[i] = fmt.Sprintf("%s (%+.1f%%)", d.Name, (d.Ratio-1)*100)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s",
+			len(regs), *flagTol*100, strings.Join(names, ", "))
+	}
+	fmt.Printf("bench gate ok: %d benchmarks within %.0f%% of baseline\n", len(deltas), *flagTol*100)
+	return nil
+}

@@ -19,10 +19,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/opt/autofdo"
 	"repro/internal/opt/graphite"
 	"repro/internal/report"
@@ -33,16 +35,17 @@ import (
 )
 
 var (
-	flagTable    = flag.Int("table", 0, "regenerate one table (1-4)")
-	flagFig      = flag.Int("fig", 0, "regenerate one figure (2-9)")
-	flagAll      = flag.Bool("all", false, "regenerate everything")
-	flagVideo    = flag.String("video", "cricket", "video for the crf/refs and preset studies")
-	flagFrames   = flag.Int("frames", 16, "frames per synthetic clip")
-	flagScale    = flag.Int("scale", 0, "proxy downscale factor (0: auto)")
-	flagFine     = flag.Bool("fine", false, "use the full 816-point crf x refs grid (slow)")
-	flagSVGDir   = flag.String("svgdir", "", "also write figures as SVG files into this directory")
-	flagNoRC     = flag.Bool("no-replay-cache", false, "decode the mezzanine live at every point instead of replaying the cached decode trace")
-	flagProgress = flag.Bool("progress", false, "report per-point sweep progress on stderr")
+	flagTable      = flag.Int("table", 0, "regenerate one table (1-4)")
+	flagFig        = flag.Int("fig", 0, "regenerate one figure (2-9)")
+	flagAll        = flag.Bool("all", false, "regenerate everything")
+	flagVideo      = flag.String("video", "cricket", "video for the crf/refs and preset studies")
+	flagFrames     = flag.Int("frames", 16, "frames per synthetic clip")
+	flagScale      = flag.Int("scale", 0, "proxy downscale factor (0: auto)")
+	flagFine       = flag.Bool("fine", false, "use the full 816-point crf x refs grid (slow)")
+	flagSVGDir     = flag.String("svgdir", "", "also write figures as SVG files into this directory")
+	flagNoRC       = flag.Bool("no-replay-cache", false, "decode the mezzanine live at every point instead of replaying the cached decode trace")
+	flagProgress   = flag.Bool("progress", false, "report per-point sweep progress on stderr")
+	flagMetricsOut = flag.String("metrics-out", "", "write the JSON run manifest (inputs, git rev, metrics snapshot, wall time) to this file")
 )
 
 // svgOut opens an SVG file in -svgdir; returns nil when SVG output is off.
@@ -71,6 +74,21 @@ func main() {
 type section = func(ctx context.Context) error
 
 func run(ctx context.Context) error {
+	start := time.Now()
+	err := runSections(ctx)
+	// Summary and manifest cover aborted runs too: partial telemetry is
+	// exactly what debugging an interrupted -all regeneration needs.
+	cli.Summary("paper", !*flagProgress)
+	if *flagMetricsOut != "" {
+		m := obs.NewManifest("paper", os.Args[1:], start, nil)
+		if werr := m.WriteFile(*flagMetricsOut); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+func runSections(ctx context.Context) error {
 	if !*flagAll && *flagTable == 0 && *flagFig == 0 {
 		flag.Usage()
 		os.Exit(2)

@@ -14,23 +14,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/uarch"
 	"repro/internal/vbench"
 )
 
 var (
-	flagMode     = flag.String("mode", "crf-refs", "sweep: crf-refs|presets|videos")
-	flagVideo    = flag.String("video", "cricket", "video for crf-refs and presets")
-	flagFrames   = flag.Int("frames", 16, "frames per clip")
-	flagCRFs     = flag.String("crfs", "1,6,11,16,21,26,31,36,41,46,51", "comma-separated crf values")
-	flagRefs     = flag.String("refs", "1,2,3,4,6,8,12,16", "comma-separated refs values")
-	flagNoRC     = flag.Bool("no-replay-cache", false, "decode the mezzanine live at every sweep point instead of replaying the cached decode trace")
-	flagProgress = flag.Bool("progress", false, "report per-point progress on stderr")
+	flagMode       = flag.String("mode", "crf-refs", "sweep: crf-refs|presets|videos")
+	flagVideo      = flag.String("video", "cricket", "video for crf-refs and presets")
+	flagFrames     = flag.Int("frames", 16, "frames per clip")
+	flagCRFs       = flag.String("crfs", "1,6,11,16,21,26,31,36,41,46,51", "comma-separated crf values")
+	flagRefs       = flag.String("refs", "1,2,3,4,6,8,12,16", "comma-separated refs values")
+	flagNoRC       = flag.Bool("no-replay-cache", false, "decode the mezzanine live at every sweep point instead of replaying the cached decode trace")
+	flagProgress   = flag.Bool("progress", false, "report per-point progress on stderr")
+	flagMetricsOut = flag.String("metrics-out", "", "write the JSON run manifest (inputs, git rev, metrics snapshot, wall time) to this file")
 )
 
 func main() {
@@ -67,6 +70,7 @@ var headers = []string{"video", "crf", "refs", "preset", "seconds", "kbps", "psn
 	"stall_any", "stall_rob", "stall_rs", "stall_sb"}
 
 func run(ctx context.Context) error {
+	start := time.Now()
 	w := core.Workload{Video: *flagVideo, Frames: *flagFrames}
 	opts := core.SweepOpts{
 		NoReplayCache: *flagNoRC,
@@ -91,6 +95,12 @@ func run(ctx context.Context) error {
 	default:
 		return fmt.Errorf("unknown mode %q", *flagMode)
 	}
+	// The manifest and summary cover failed runs too — telemetry matters
+	// most when something went wrong — so emit them before error handling.
+	cli.Summary("sweep", !*flagProgress)
+	if err := writeManifest(start); err != nil {
+		return err
+	}
 	// Per-point failures become the exit code, not silent CSV holes.
 	if err := pts.FirstErr(); err != nil {
 		if n := len(pts.Failed()); n > 1 {
@@ -103,4 +113,13 @@ func run(ctx context.Context) error {
 		rows = append(rows, row(&pts[i]))
 	}
 	return report.CSV(os.Stdout, headers, rows)
+}
+
+// writeManifest records the run manifest when -metrics-out is set.
+func writeManifest(start time.Time) error {
+	if *flagMetricsOut == "" {
+		return nil
+	}
+	m := obs.NewManifest("sweep", os.Args[1:], start, nil)
+	return m.WriteFile(*flagMetricsOut)
 }

@@ -16,14 +16,32 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+
+	"repro/internal/obs"
 )
 
+// flagDebugAddr is shared by every cmd/* binary (they all enter through
+// Main): when set, the process serves live metrics (/metrics), expvar
+// (/debug/vars) and pprof (/debug/pprof) for the duration of the run —
+// the observability side door for watching an 816-point sweep from
+// another terminal.
+var flagDebugAddr = flag.String("debug-addr", "",
+	"serve /metrics, expvar and pprof debug endpoints on this address (e.g. localhost:6060)")
+
 // Main parses flags, installs SIGINT/SIGTERM cancellation on the root
-// context, runs the command body, and exits: 0 on success, 130 when the
-// run was canceled (the shell convention for death-by-interrupt), 1 on any
-// other error.
+// context, optionally starts the -debug-addr endpoint, runs the command
+// body, and exits: 0 on success, 130 when the run was canceled (the shell
+// convention for death-by-interrupt), 1 on any other error.
 func Main(name string, run func(ctx context.Context) error) {
 	flag.Parse()
+	if *flagDebugAddr != "" {
+		addr, err := obs.Serve(*flagDebugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%s: debug endpoint on http://%s/debug/vars\n", name, addr)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	err := run(ctx)
 	stop()
@@ -75,4 +93,46 @@ func Progress(name string, off bool) func(done, total int) {
 			fmt.Fprintln(os.Stderr)
 		}
 	}
+}
+
+// Summary prints the end-of-run telemetry digest on stderr (one line:
+// points, per-point latency quantiles, cache traffic, failures) unless off
+// is true. It reads the default obs registry, so it reflects everything
+// the process ran.
+func Summary(name string, off bool) {
+	if off {
+		return
+	}
+	fmt.Fprintln(os.Stderr, SummaryLine(name, obs.Default().Snapshot()))
+}
+
+// SummaryLine renders the digest Summary prints; split out so tests can
+// pin the format without capturing stderr.
+func SummaryLine(name string, s obs.Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", name)
+	if total := s.CounterTotal("core_sweep_points_total"); total > 0 {
+		fmt.Fprintf(&b, " %d points", total)
+		if failed := s.CounterTotal("core_sweep_points_failed"); failed > 0 {
+			fmt.Fprintf(&b, " (%d failed)", failed)
+		}
+	}
+	if h, ok := s.HistogramByName("core_sweep_point_ns"); ok && h.Count > 0 {
+		fmt.Fprintf(&b, ", point p50 %s p95 %s p99 %s",
+			obs.FmtDuration(h.P50), obs.FmtDuration(h.P95), obs.FmtDuration(h.P99))
+	}
+	if h, ok := s.HistogramByName("core_sweep_warmup_ns"); ok && h.Count > 0 {
+		fmt.Fprintf(&b, ", warm-up %s", obs.FmtDuration(h.Sum))
+	}
+	hits, misses := s.CounterTotal("core_cache_hits"), s.CounterTotal("core_cache_misses")
+	if hits+misses > 0 {
+		fmt.Fprintf(&b, ", cache %d hits / %d misses", hits, misses)
+		if bytes := s.CounterTotal("core_cache_bytes"); bytes > 0 {
+			fmt.Fprintf(&b, " (%.1f MiB cached)", float64(bytes)/(1<<20))
+		}
+	}
+	if util, ok := s.Gauges["exec_utilization_pct"]; ok {
+		fmt.Fprintf(&b, ", workers %d%% busy", util)
+	}
+	return b.String()
 }

@@ -2,7 +2,10 @@ package cli
 
 import (
 	"reflect"
+	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestInts(t *testing.T) {
@@ -37,5 +40,34 @@ func TestProgressOff(t *testing.T) {
 	}
 	if Progress("x", false) == nil {
 		t.Fatal("on progress is nil")
+	}
+}
+
+func TestSummaryLine(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("core_sweep_points_total").Add(16)
+	r.Counter("core_sweep_points_failed").Add(2)
+	r.Counter("core_cache_hits", "cache", "snapshot").Add(12)
+	r.Counter("core_cache_misses", "cache", "snapshot").Add(4)
+	r.Counter("core_cache_bytes", "cache", "decoded").Add(3 << 20)
+	for i := 0; i < 16; i++ {
+		r.Histogram("core_sweep_point_ns").Observe(int64(50+i) * 1e6)
+	}
+	r.Gauge("exec_utilization_pct").Set(93)
+	line := SummaryLine("sweep", r.Snapshot())
+	for _, want := range []string{
+		"sweep:", "16 points", "(2 failed)", "p50", "p95", "p99",
+		"12 hits / 4 misses", "3.0 MiB cached", "93% busy",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("summary line missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestSummaryLineEmpty(t *testing.T) {
+	// A run that swept nothing still renders a valid (terse) line.
+	if got := SummaryLine("vprof", obs.NewRegistry().Snapshot()); got != "vprof:" {
+		t.Fatalf("empty summary = %q", got)
 	}
 }

@@ -102,6 +102,12 @@ func (d *Decoder) Decode(stream []byte) ([]*frame.Frame, *Info, error) {
 	if mbw == 0 || mbh == 0 || mbw > 1024 || mbh > 1024 {
 		return nil, nil, errBitstream("implausible dimensions")
 	}
+	// A conforming stream carries at least one picture, and each coded
+	// frame consumes at least one bit, so the declared count can never
+	// exceed the bits remaining — reject before sizing any allocation.
+	if nFrames == 0 || int64(nFrames) > int64(len(stream))*8 {
+		return nil, nil, errBitstream("implausible frame count")
+	}
 	d.w, d.h, d.fps = mbw*16, mbh*16, fps
 	db, err := d.br.ReadBit()
 	if err != nil {

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // flightCache is a keyed build-once cache with per-key singleflight: the
@@ -14,7 +16,19 @@ import (
 // Build results, including errors, are cached: every build here is a pure
 // function of its key (deterministic synthesis, encode or decode), so a
 // failure would fail identically on retry.
+//
+// Each cache self-reports into obs.Default under its name label:
+// core_cache_hits / core_cache_misses (one per get), core_cache_bytes
+// (successful builds, via size), and core_cache_detached_builds — builds
+// whose triggering caller was canceled before the build landed, i.e. work
+// the detach policy saved from being wasted.
 type flightCache[K comparable, V any] struct {
+	// name labels this cache's metrics; empty disables self-reporting.
+	name string
+	// size measures a built value's footprint for core_cache_bytes;
+	// nil skips the byte accounting.
+	size func(V) int64
+
 	mu sync.Mutex
 	m  map[K]*flightEntry[V]
 }
@@ -40,19 +54,34 @@ func (c *flightCache[K, V]) get(ctx context.Context, k K, build func() (V, error
 		c.m = make(map[K]*flightEntry[V])
 	}
 	e := c.m[k]
-	if e == nil {
+	builder := e == nil
+	if builder {
 		e = &flightEntry[V]{done: make(chan struct{})}
 		c.m[k] = e
+		ent := e
 		go func() {
-			defer close(e.done)
-			e.val, e.err = build()
+			defer close(ent.done)
+			ent.val, ent.err = build()
+			if c.name != "" && ent.err == nil && c.size != nil {
+				obs.Default().Counter("core_cache_bytes", "cache", c.name).Add(c.size(ent.val))
+			}
 		}()
 	}
 	c.mu.Unlock()
+	if c.name != "" {
+		if builder {
+			obs.Default().Counter("core_cache_misses", "cache", c.name).Inc()
+		} else {
+			obs.Default().Counter("core_cache_hits", "cache", c.name).Inc()
+		}
+	}
 	select {
 	case <-e.done:
 		return e.val, e.err
 	case <-ctx.Done():
+		if builder && c.name != "" {
+			obs.Default().Counter("core_cache_detached_builds", "cache", c.name).Inc()
+		}
 		var zero V
 		return zero, ctx.Err()
 	}

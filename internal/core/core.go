@@ -19,6 +19,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/exec"
 	"repro/internal/frame"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/trace"
 	"repro/internal/uarch"
@@ -97,7 +98,10 @@ type Result struct {
 // one pristine copy and transcodes it many times. Per-key singleflight
 // guarantees the pristine encode runs exactly once even when concurrent
 // sweep workers miss simultaneously.
-var mezzCache flightCache[Workload, []byte]
+var mezzCache = flightCache[Workload, []byte]{
+	name: "mezzanine",
+	size: func(b []byte) int64 { return int64(len(b)) },
+}
 
 // mezzanineOptions returns the settings of the pristine copy.
 func mezzanineOptions() (codec.Options, error) {
@@ -174,7 +178,16 @@ type decodeKey struct {
 	opt codec.DecoderOptions
 }
 
-var decCache flightCache[decodeKey, *decodedMezz]
+var decCache = flightCache[decodeKey, *decodedMezz]{
+	name: "decoded",
+	size: func(d *decodedMezz) int64 {
+		n := int64(len(d.events))
+		for _, f := range d.frames {
+			n += int64(f.ByteSize())
+		}
+		return n
+	},
+}
 
 // decoderOptions derives the decode-side options a job's encode options
 // imply — the single place the decode half of Run is configured.
@@ -219,7 +232,7 @@ type snapKey struct {
 	cfg uarch.Config
 }
 
-var snapCache flightCache[snapKey, *uarch.Machine]
+var snapCache = flightCache[snapKey, *uarch.Machine]{name: "snapshot"}
 
 // decodedMachine returns the cached post-decode machine snapshot for a
 // (workload, decoder options, configuration) triple, building it on first
@@ -433,11 +446,14 @@ type Plan struct {
 // Point.Err. Per-point failures (build or run) land in Point.Err without
 // stopping the other points.
 func Sweep(ctx context.Context, p Plan) Points {
+	met := obs.Default()
 	if len(p.Warm) > 0 {
+		warmSpan := met.Histogram("core_sweep_warmup_ns").Start()
 		errs, err := exec.Pool{Policy: exec.FailFast}.Map(ctx, len(p.Warm), func(ctx context.Context, i int) error {
 			t := p.Warm[i]
 			return warmDecode(ctx, t.Workload, t.Decoder, t.Config, p.Opts)
 		})
+		warmSpan.End()
 		if err != nil {
 			// Preserve the pre-engine contract: a warm-up failure yields a
 			// single point naming the workload that failed.
@@ -464,12 +480,16 @@ func Sweep(ctx context.Context, p Plan) Points {
 		runnable[i] = true
 	}
 
+	pointHist := met.Histogram("core_sweep_point_ns")
+	met.Counter("core_sweep_points_total").Add(int64(p.N))
 	pool := exec.Pool{OnProgress: p.Opts.Progress}
 	errs, _ := pool.Map(ctx, p.N, func(ctx context.Context, i int) error {
 		if !runnable[i] {
 			return nil // build already failed the point; never run the zero Job
 		}
+		sp := pointHist.Start()
 		res, err := Run(ctx, jobs[i])
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -481,6 +501,9 @@ func Sweep(ctx context.Context, p Plan) Points {
 		if e != nil && points[i].Err == nil {
 			points[i].Err = e
 		}
+	}
+	if failed := len(points.Failed()); failed > 0 {
+		met.Counter("core_sweep_points_failed").Add(int64(failed))
 	}
 	return points
 }

@@ -16,6 +16,10 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Policy selects what the engine does when a job returns an error.
@@ -52,6 +56,39 @@ type Pool struct {
 	// and done is strictly increasing, so the callback needs no locking of
 	// its own.
 	OnProgress func(done, total int)
+	// Metrics selects the registry the pool records its telemetry into
+	// (job counts, queue wait, worker utilization); nil means obs.Default.
+	Metrics *obs.Registry
+}
+
+// metrics bundles the pool's instrumentation points, resolved once per Map
+// call so the per-job hot path is atomic adds only.
+type poolMetrics struct {
+	started   *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	panicked  *obs.Counter
+	queueWait *obs.Histogram
+	jobTime   *obs.Histogram
+	busyNs    *obs.Counter
+	util      *obs.Gauge
+}
+
+func (p Pool) metrics() poolMetrics {
+	r := p.Metrics
+	if r == nil {
+		r = obs.Default()
+	}
+	return poolMetrics{
+		started:   r.Counter("exec_jobs_started"),
+		completed: r.Counter("exec_jobs_completed"),
+		failed:    r.Counter("exec_jobs_failed"),
+		panicked:  r.Counter("exec_jobs_panicked"),
+		queueWait: r.Histogram("exec_queue_wait_ns"),
+		jobTime:   r.Histogram("exec_job_ns"),
+		busyNs:    r.Counter("exec_busy_ns"),
+		util:      r.Gauge("exec_utilization_pct"),
+	}
 }
 
 // Map runs fn(ctx, i) for every i in [0, n) on the pool and returns one
@@ -114,31 +151,57 @@ func (p Pool) Map(ctx context.Context, n int, fn func(ctx context.Context, i int
 		mu.Unlock()
 	}
 
-	idx := make(chan int)
+	m := p.metrics()
+	mapStart := time.Now()
+
+	// The feeder stamps each index when it starts offering it; the channel
+	// is unbuffered, so receive-time minus stamp is exactly how long the
+	// job sat waiting for a free worker.
+	type item struct {
+		i   int
+		enq time.Time
+	}
+	idx := make(chan item)
 	go func() {
 		defer close(idx)
 		for i := 0; i < n; i++ {
 			select {
-			case idx <- i:
+			case idx <- item{i: i, enq: time.Now()}:
 			case <-runCtx.Done():
 				return
 			}
 		}
 	}()
 
+	var busyNs atomic.Int64 // busy time of this Map call only (the counter spans calls)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range idx {
+			for it := range idx {
+				i := it.i
 				if runCtx.Err() != nil {
 					// Drain without running: the feeder may have handed
 					// out this index before observing cancellation.
 					continue
 				}
+				m.queueWait.ObserveSince(it.enq)
+				m.started.Inc()
 				started[i] = true
-				err := runJob(runCtx, i, fn)
+				jobStart := time.Now()
+				err, panicked := runJob(runCtx, i, fn)
+				d := time.Since(jobStart)
+				m.jobTime.Observe(int64(d))
+				m.busyNs.Add(int64(d))
+				busyNs.Add(int64(d))
+				m.completed.Inc()
+				if panicked {
+					m.panicked.Inc()
+				}
+				if err != nil {
+					m.failed.Inc()
+				}
 				errs[i] = err
 				if err != nil && p.Policy == FailFast {
 					fail(err)
@@ -148,6 +211,12 @@ func (p Pool) Map(ctx context.Context, n int, fn func(ctx context.Context, i int
 		}()
 	}
 	wg.Wait()
+
+	// Utilization of this Map call: busy worker-time over the worker-time
+	// available while the pool ran. A fully fed pool reads ~100.
+	if wall := time.Since(mapStart); wall > 0 {
+		m.util.Set(busyNs.Load() * 100 / int64(wall) / int64(workers))
+	}
 
 	// Mark the jobs that never ran. The caller's cancellation wins over a
 	// concurrent FailFast trip: those jobs were abandoned either way, but
@@ -176,14 +245,16 @@ func (p Pool) Map(ctx context.Context, n int, fn func(ctx context.Context, i int
 }
 
 // runJob invokes fn for one index, converting a panic into that job's
-// error so one corrupt point cannot take down a whole sweep.
-func runJob(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+// error so one corrupt point cannot take down a whole sweep. The second
+// result reports whether the error came from a recovered panic.
+func runJob(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("exec: job %d panicked: %v\n%s", i, r, debug.Stack())
+			panicked = true
 		}
 	}()
-	return fn(ctx, i)
+	return fn(ctx, i), false
 }
 
 // Map runs fn over [0, n) on a default pool (GOMAXPROCS workers, Collect

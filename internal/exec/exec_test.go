@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestMapRunsAll(t *testing.T) {
@@ -238,5 +240,50 @@ func TestMapPreCanceled(t *testing.T) {
 		if !errors.Is(e, context.Canceled) {
 			t.Fatalf("job %d error %v", i, e)
 		}
+	}
+}
+
+// TestMapMetrics pins the pool's telemetry contract: per-job counters,
+// queue-wait and job-duration histograms, and the utilization gauge all
+// land in the pool's registry.
+func TestMapMetrics(t *testing.T) {
+	r := obs.NewRegistry()
+	boom := errors.New("boom")
+	p := Pool{Workers: 2, Metrics: r}
+	_, err := p.Map(context.Background(), 6, func(_ context.Context, i int) error {
+		switch i {
+		case 3:
+			return boom
+		case 4:
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Collect policy returned engine error: %v", err)
+	}
+	s := r.Snapshot()
+	for name, want := range map[string]int64{
+		"exec_jobs_started":   6,
+		"exec_jobs_completed": 6,
+		"exec_jobs_failed":    2, // the error and the panic
+		"exec_jobs_panicked":  1,
+	} {
+		if got := s.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if h, ok := s.HistogramByName("exec_job_ns"); !ok || h.Count != 6 {
+		t.Errorf("exec_job_ns count = %+v, want 6 observations", h)
+	}
+	if h, ok := s.HistogramByName("exec_queue_wait_ns"); !ok || h.Count != 6 {
+		t.Errorf("exec_queue_wait_ns count = %+v, want 6 observations", h)
+	}
+	if s.Counters["exec_busy_ns"] <= 0 {
+		t.Error("exec_busy_ns not accumulated")
+	}
+	util, ok := s.Gauges["exec_utilization_pct"]
+	if !ok || util < 0 || util > 100 {
+		t.Errorf("exec_utilization_pct = %d (present=%v), want 0..100", util, ok)
 	}
 }

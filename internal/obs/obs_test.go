@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("jobs").Inc()
+				r.Counter("jobs", "kind", "x").Add(2)
+				r.Gauge("depth").Set(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("jobs").Load(); got != workers*perWorker {
+		t.Fatalf("jobs = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Counter("jobs", "kind", "x").Load(); got != 2*workers*perWorker {
+		t.Fatalf("labeled jobs = %d, want %d", got, 2*workers*perWorker)
+	}
+	s := r.Snapshot()
+	if got := s.CounterTotal("jobs"); got != 3*workers*perWorker {
+		t.Fatalf("CounterTotal = %d, want %d", got, 3*workers*perWorker)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(int64(w*perWorker+i+1) * 1000)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	if s.Min != 1000 || s.Max != int64(workers*perWorker)*1000 {
+		t.Fatalf("min/max = %d/%d", s.Min, s.Max)
+	}
+	var want int64
+	for i := 1; i <= workers*perWorker; i++ {
+		want += int64(i) * 1000
+	}
+	if s.Sum != want {
+		t.Fatalf("sum = %d, want %d", s.Sum, want)
+	}
+	var bucketSum int64
+	for _, b := range s.Buckets {
+		bucketSum += b.Count
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// Uniform 1..1000 µs: quantiles should land near the ideal values,
+	// within the resolution of the power-of-two buckets (one bucket wide).
+	for i := 1; i <= 1000; i++ {
+		h.Observe(int64(i) * 1000)
+	}
+	s := h.snapshot()
+	check := func(name string, got, ideal int64) {
+		t.Helper()
+		if got < ideal/2 || got > ideal*2 {
+			t.Fatalf("%s = %d, want within 2x of %d", name, got, ideal)
+		}
+	}
+	check("p50", s.P50, 500_000)
+	check("p95", s.P95, 950_000)
+	check("p99", s.P99, 990_000)
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Fatalf("quantiles not monotone: %d %d %d", s.P50, s.P95, s.P99)
+	}
+	if s.P99 > s.Max {
+		t.Fatalf("p99 %d exceeds max %d", s.P99, s.Max)
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(5000)
+	s := h.snapshot()
+	if s.Min != 5000 || s.Max != 5000 {
+		t.Fatalf("min/max = %d/%d, want 5000/5000", s.Min, s.Max)
+	}
+	if s.P50 < 4096 || s.P50 > 5000 {
+		t.Fatalf("p50 = %d, want in (4096, 5000]", s.P50)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram()
+	huge := int64(1) << 62 // beyond the last bounded bucket
+	h.Observe(huge)
+	s := h.snapshot()
+	if len(s.Buckets) != 1 || s.Buckets[0].Le != -1 {
+		t.Fatalf("overflow bucket not marked: %+v", s.Buckets)
+	}
+	if s.P99 != huge {
+		t.Fatalf("overflow p99 = %d, want max %d", s.P99, huge)
+	}
+}
+
+// TestSnapshotStability pins two properties the manifest relies on: a
+// snapshot taken with no intervening updates is identical to the previous
+// one, and its JSON serialization is byte-stable.
+func TestSnapshotStability(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a", "k", "v").Add(3)
+	r.Gauge("g").Set(7)
+	r.Histogram("h").Observe(1500)
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("snapshots differ:\n%+v\n%+v", s1, s2)
+	}
+	j1, err := json.Marshal(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Fatalf("JSON not stable:\n%s\n%s", j1, j2)
+	}
+	if want := `"a{k=v}":3`; !contains(string(j1), want) {
+		t.Fatalf("labeled counter key missing from %s", j1)
+	}
+}
+
+// TestSnapshotUnderConcurrentWrites asserts snapshotting never sees a torn
+// or decreasing counter while writers run (run with -race).
+func TestSnapshotUnderConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(2000)
+			}
+		}
+	}()
+	var last int64
+	for i := 0; i < 100; i++ {
+		s := r.Snapshot()
+		if c := s.Counters["c"]; c < last {
+			t.Fatalf("counter went backwards: %d -> %d", last, c)
+		} else {
+			last = c
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSpan(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("span_ns")
+	sp := h.Start()
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d < time.Millisecond {
+		t.Fatalf("span too short: %v", d)
+	}
+	s := r.Snapshot()
+	hs, ok := s.HistogramByName("span_ns")
+	if !ok || hs.Count != 1 {
+		t.Fatalf("span not recorded: %+v", hs)
+	}
+	if hs.Min < int64(time.Millisecond) {
+		t.Fatalf("recorded span %dns below sleep", hs.Min)
+	}
+}
+
+func TestKeyLabelOrder(t *testing.T) {
+	if Key("m", "b", "2", "a", "1") != "m{a=1,b=2}" {
+		t.Fatalf("Key label ordering: %s", Key("m", "b", "2", "a", "1"))
+	}
+	if Key("m") != "m" {
+		t.Fatal("bare key altered")
+	}
+}
+
+func TestHistogramByNameLabeled(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat_ns", "stage", "warm").Observe(100)
+	if _, ok := r.Snapshot().HistogramByName("lat_ns"); !ok {
+		t.Fatal("labeled histogram not found by base name")
+	}
+	if _, ok := r.Snapshot().HistogramByName("nope"); ok {
+		t.Fatal("found a histogram that does not exist")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

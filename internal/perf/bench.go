@@ -1,0 +1,97 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BenchEntry mirrors one row of BENCH_core.json as written by
+// scripts/bench.sh: a benchmark name plus its ns/op and allocs/op. The
+// special "_note" row carries the partial-run marker an interrupted
+// benchmark leaves behind.
+type BenchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Partial     bool    `json:"partial,omitempty"`
+}
+
+// ReadBenchFile parses a BENCH_core.json-format file.
+func ReadBenchFile(path string) ([]BenchEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: read bench file: %w", err)
+	}
+	var entries []BenchEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("perf: parse bench file %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// BenchDelta is the comparison of one benchmark across two runs.
+type BenchDelta struct {
+	Name      string
+	BaseNs    float64
+	NewNs     float64
+	Ratio     float64 // NewNs / BaseNs; > 1 is a slowdown
+	Regressed bool    // Ratio exceeds the tolerance
+}
+
+// CompareBench compares a new benchmark run against a baseline with a
+// relative ns/op tolerance (0.10 = ±10%): a benchmark regresses when its
+// new time exceeds base*(1+tol). It returns one delta per baseline
+// benchmark, sorted by name.
+//
+// Hard errors (rather than deltas): a partial marker in either file — an
+// interrupted run proves nothing either way — and a baseline benchmark
+// missing from the new run, which would otherwise let a gate pass by
+// silently dropping the slow benchmark.
+func CompareBench(base, cur []BenchEntry, tol float64) ([]BenchDelta, error) {
+	if tol < 0 {
+		return nil, fmt.Errorf("perf: negative tolerance %v", tol)
+	}
+	for _, e := range append(append([]BenchEntry{}, base...), cur...) {
+		if e.Partial {
+			return nil, fmt.Errorf("perf: refusing to compare a partial benchmark run (entry %q)", e.Name)
+		}
+	}
+	curByName := make(map[string]BenchEntry, len(cur))
+	for _, e := range cur {
+		if e.Name != "" && e.Name[0] != '_' {
+			curByName[e.Name] = e
+		}
+	}
+	var deltas []BenchDelta
+	for _, b := range base {
+		if b.Name == "" || b.Name[0] == '_' {
+			continue // marker rows are not benchmarks
+		}
+		n, ok := curByName[b.Name]
+		if !ok {
+			return nil, fmt.Errorf("perf: benchmark %s missing from new run", b.Name)
+		}
+		d := BenchDelta{Name: b.Name, BaseNs: b.NsPerOp, NewNs: n.NsPerOp}
+		if b.NsPerOp > 0 {
+			d.Ratio = n.NsPerOp / b.NsPerOp
+			d.Regressed = d.Ratio > 1+tol
+		}
+		deltas = append(deltas, d)
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas, nil
+}
+
+// Regressions filters a comparison down to the benchmarks that slowed
+// beyond tolerance.
+func Regressions(deltas []BenchDelta) []BenchDelta {
+	var out []BenchDelta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

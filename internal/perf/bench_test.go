@@ -1,0 +1,94 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func benchBase() []BenchEntry {
+	return []BenchEntry{
+		{Name: "BenchmarkDecodeReplay", NsPerOp: 14_000_000, AllocsPerOp: 32},
+		{Name: "BenchmarkSweepCRFRefsCached", NsPerOp: 276_000_000, AllocsPerOp: 7769},
+		{Name: "BenchmarkSweepCRFRefsUncached", NsPerOp: 557_000_000, AllocsPerOp: 8121},
+	}
+}
+
+func TestCompareBenchWithinTolerance(t *testing.T) {
+	base := benchBase()
+	cur := benchBase()
+	cur[0].NsPerOp *= 1.08 // +8%: inside a ±10% gate
+	cur[1].NsPerOp *= 0.85 // faster is always fine
+	deltas, err := CompareBench(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %d, want 3", len(deltas))
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %+v", regs)
+	}
+}
+
+func TestCompareBenchCatchesSlowdown(t *testing.T) {
+	base := benchBase()
+	cur := benchBase()
+	cur[1].NsPerOp *= 1.20 // the acceptance-criteria case: a 20% slowdown
+	deltas, err := CompareBench(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkSweepCRFRefsCached" {
+		t.Fatalf("regressions = %+v, want exactly the doctored benchmark", regs)
+	}
+	if regs[0].Ratio < 1.19 || regs[0].Ratio > 1.21 {
+		t.Fatalf("ratio = %v, want ~1.20", regs[0].Ratio)
+	}
+}
+
+func TestCompareBenchMissingBenchmark(t *testing.T) {
+	if _, err := CompareBench(benchBase(), benchBase()[:2], 0.10); err == nil {
+		t.Fatal("missing benchmark not rejected")
+	}
+}
+
+func TestCompareBenchRejectsPartial(t *testing.T) {
+	cur := append(benchBase(), BenchEntry{Name: "_note", Partial: true})
+	if _, err := CompareBench(benchBase(), cur, 0.10); err == nil {
+		t.Fatal("partial run not rejected")
+	}
+}
+
+func TestCompareBenchIgnoresMarkerRows(t *testing.T) {
+	base := append(benchBase(), BenchEntry{Name: "_note"})
+	deltas, err := CompareBench(base, benchBase(), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 3 {
+		t.Fatalf("marker row compared: %+v", deltas)
+	}
+}
+
+func TestReadBenchFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	const body = `[
+  {"name": "BenchmarkDecodeReplay", "ns_per_op": 13995578, "allocs_per_op": 32},
+  {"name": "_note", "partial": true}
+]`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].NsPerOp != 13995578 || !entries[1].Partial {
+		t.Fatalf("parsed %+v", entries)
+	}
+	if _, err := ReadBenchFile(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file not reported")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/uarch"
 )
@@ -71,14 +72,19 @@ func Measure(ctx context.Context, tasks []Task, configs []uarch.Config, proto co
 		m.Reports[ti] = make([]*perf.Report, len(configs))
 	}
 	nc := len(configs)
+	cellHist := obs.Default().Histogram("sched_cell_ns")
+	cells := obs.Default().Counter("sched_cells_measured")
 	_, err := exec.Pool{Policy: exec.FailFast}.Map(ctx, len(tasks)*nc, func(ctx context.Context, i int) error {
 		ti, ci := i/nc, i%nc
 		w := proto
 		w.Video = tasks[ti].Video
+		sp := cellHist.Start()
 		res, err := core.Run(ctx, core.Job{Workload: w, Options: opts[ti], Config: configs[ci]})
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("sched: %s on %s: %w", tasks[ti].Name, configs[ci].Name, err)
 		}
+		cells.Inc()
 		m.Seconds[ti][ci] = res.Report.Seconds
 		m.Reports[ti][ci] = res.Report
 		return nil

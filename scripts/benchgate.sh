@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# benchgate.sh — the perf-regression gate: run the core benchmarks (via
+# bench.sh) and compare them against the committed BENCH_core.json with a
+# ±10% ns/op tolerance. Exits nonzero when any benchmark regressed, when a
+# baseline benchmark vanished, or when either file is a partial run.
+#
+#   ./scripts/benchgate.sh             # run benchmarks, then gate
+#   ./scripts/benchgate.sh new.json    # gate an existing result file
+#   TOL=0.05 ./scripts/benchgate.sh    # tighter tolerance
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOL="${TOL:-0.10}"
+BASE="${BASE:-BENCH_core.json}"
+
+if [ $# -ge 1 ]; then
+	NEW="$1"
+else
+	NEW="$(mktemp)"
+	trap 'rm -f "$NEW"' EXIT
+	# bench.sh prints its own progress; keep it on stderr so this script's
+	# stdout is only the gate verdict.
+	BENCHTIME="${BENCHTIME:-2x}" OUT="$NEW" ./scripts/bench.sh >&2
+fi
+
+go run ./cmd/benchgate -base "$BASE" -new "$NEW" -tol "$TOL"

@@ -1,19 +1,30 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # ci.sh — the tier-1 gate: format, vet, build, full tests, and the race
 # detector over the packages with real concurrency (the exec worker pool,
-# the sweep engine and singleflight caches in core, the recorder/replay
-# layer in trace).
-set -eux
+# the obs metrics registry, the sweep engine and singleflight caches in
+# core, the recorder/replay layer in trace).
+#
+# bash (not sh): `dirname "$0"` + cd keeps relative invocation working,
+# and pipefail keeps a failure on the left of any pipe fatal.
+set -euxo pipefail
 cd "$(dirname "$0")/.."
 
-# gofmt -l prints offending files and exits 0, so fail on any output.
-test -z "$(gofmt -l .)"
+# gofmt -l prints offending files and exits 0, so fail on any output. The
+# expansion stays quoted end-to-end: a filename with spaces is one line of
+# output, not word-split fragments that could collapse to an empty test.
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	printf 'gofmt needed on:\n%s\n' "$unformatted" >&2
+	exit 1
+fi
+
 go vet ./...
 go build ./...
 go test ./...
-# Fast race gates first: the execution engine is pure concurrency and races
-# there invalidate every sweep, so surface them before the long run below.
-go test -race ./internal/exec/...
+# Fast race gates first: the execution engine and the metrics registry are
+# pure concurrency — races there invalidate every sweep and every reported
+# number — so surface them before the long run below.
+go test -race ./internal/exec/... ./internal/obs/...
 go test -race -run 'TestSweepCancel|TestSweepPreCanceled|TestFlightCacheCancelDetach' ./internal/core/...
 # The race detector slows the simulator ~10x and internal/core's probe
 # tests each run multiple full transcodes, so the default 10m per-package

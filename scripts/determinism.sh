@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# determinism.sh — the byte-identical-CSV gate: run cmd/sweep twice on a
+# tiny 2x2 crf×refs grid over the smallest proxy in the vbench catalog
+# (presentation: 1080p source, entropy 0.2, ~480x270 proxy) and cmp the
+# outputs. Each run is a fresh process, so every cache is cold both times;
+# any nondeterminism in the simulator, the worker pool's completion order,
+# or the sweep's row ordering shows up as a byte diff.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+args=(-mode crf-refs -video presentation -frames 4 -crfs 23,33 -refs 1,2)
+
+go run ./cmd/sweep "${args[@]}" >"$tmp/a.csv"
+go run ./cmd/sweep "${args[@]}" >"$tmp/b.csv"
+
+cmp "$tmp/a.csv" "$tmp/b.csv"
+echo "determinism ok: two cold-cache sweeps produced byte-identical CSV ($(wc -c <"$tmp/a.csv") bytes)"
