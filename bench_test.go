@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/frame"
 )
 
 func benchWorkload() Workload { return Workload{Video: "cricket", Frames: 6, Scale: 8} }
@@ -278,7 +279,73 @@ func BenchmarkSweepCRFRefsUncached(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalysisReuse measures one sweep point with the shared per-video
+// analysis artifact against the same point running its own lookahead; the
+// ratio is the perf claim of the analysis layer (recorded in BENCH_core.json
+// alongside the replay-cache ratio).
+func BenchmarkAnalysisReuse(b *testing.B) {
+	w, opt := benchSweepWorkload()
+	for _, mode := range []string{"shared", "live"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			job := Job{Workload: w, Options: opt, Config: BaselineConfig(), NoAnalysisCache: mode == "live"}
+			// Warm every cache the mode uses so the loop measures steady state.
+			if _, _, err := Profile(context.Background(), job); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Profile(context.Background(), job); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- codec throughput microbenchmarks -------------------------------------------
+
+// benchPlanes builds two deterministic pseudo-random planes for the pixel
+// kernel benchmarks.
+func benchPlanes(w, h int) (*frame.Plane, *frame.Plane) {
+	a, b := frame.NewPlane(w, h), frame.NewPlane(w, h)
+	s := uint32(0x2545f491)
+	fill := func(p *frame.Plane) {
+		for i := range p.Pix {
+			s ^= s << 13
+			s ^= s >> 17
+			s ^= s << 5
+			p.Pix[i] = uint8(s)
+		}
+	}
+	fill(&a)
+	fill(&b)
+	return &a, &b
+}
+
+var benchKernelSink int
+
+// BenchmarkSAD measures the SWAR 16x16 SAD kernel, the motion search's
+// innermost cost.
+func BenchmarkSAD(b *testing.B) {
+	pa, pb := benchPlanes(128, 128)
+	b.SetBytes(2 * 16 * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchKernelSink += frame.SAD(pa, 16, 16, pb, 17, 15, 16, 16)
+	}
+}
+
+// BenchmarkSATD measures the SWAR 8x8 Hadamard-SATD kernel used by subpel
+// refinement and the lookahead.
+func BenchmarkSATD(b *testing.B) {
+	pa, pb := benchPlanes(128, 128)
+	b.SetBytes(2 * 8 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchKernelSink += frame.SATD(pa, 16, 16, pb, 17, 15, 8, 8)
+	}
+}
 
 // BenchmarkEncodeMedium measures raw (unsimulated) encoder throughput.
 func BenchmarkEncodeMedium(b *testing.B) {

@@ -1,9 +1,9 @@
 // Command benchgate compares a fresh benchmark run against the committed
-// baseline (BENCH_core.json) and fails when any benchmark slowed beyond
-// the tolerance — the perf-regression tripwire behind scripts/benchgate.sh
-// and the CI bench job.
+// baseline (BENCH_core.json) and fails when any benchmark slowed beyond the
+// ns/op tolerance or allocated beyond the allocs/op tolerance — the
+// perf-regression tripwire behind scripts/benchgate.sh and the CI bench job.
 //
-//	benchgate -base BENCH_core.json -new new.json -tol 0.10
+//	benchgate -base BENCH_core.json -new new.json -tol 0.10 -alloc-tol 0.20
 package main
 
 import (
@@ -22,6 +22,7 @@ var (
 	flagBase = flag.String("base", "BENCH_core.json", "baseline benchmark JSON")
 	flagNew  = flag.String("new", "", "new benchmark JSON to compare (required)")
 	flagTol  = flag.Float64("tol", 0.10, "relative ns/op tolerance (0.10 = +10%)")
+	flagATol = flag.Float64("alloc-tol", 0.20, "relative allocs/op tolerance (0.20 = +20%)")
 )
 
 func main() {
@@ -40,35 +41,54 @@ func run(context.Context) error {
 	if err != nil {
 		return err
 	}
-	deltas, err := perf.CompareBench(base, cur, *flagTol)
+	deltas, err := perf.CompareBench(base, cur, *flagTol, *flagATol)
 	if err != nil {
 		return err
 	}
 	rows := make([][]string, 0, len(deltas))
 	for _, d := range deltas {
 		verdict := "ok"
-		if d.Regressed {
-			verdict = "REGRESSED"
+		switch {
+		case d.Regressed && d.AllocRegressed:
+			verdict = "REGRESSED (ns+allocs)"
+		case d.Regressed:
+			verdict = "REGRESSED (ns)"
+		case d.AllocRegressed:
+			verdict = "REGRESSED (allocs)"
+		}
+		allocDelta := "-" // no finite ratio for a zero-alloc baseline
+		if d.BaseAllocs > 0 {
+			allocDelta = fmt.Sprintf("%+.1f%%", (d.AllocRatio-1)*100)
 		}
 		rows = append(rows, []string{
 			d.Name,
 			fmt.Sprintf("%.0f", d.BaseNs),
 			fmt.Sprintf("%.0f", d.NewNs),
 			fmt.Sprintf("%+.1f%%", (d.Ratio-1)*100),
+			fmt.Sprintf("%.0f", d.BaseAllocs),
+			fmt.Sprintf("%.0f", d.NewAllocs),
+			allocDelta,
 			verdict,
 		})
 	}
-	if err := report.Table(os.Stdout, []string{"benchmark", "base ns/op", "new ns/op", "delta", "verdict"}, rows); err != nil {
+	headers := []string{"benchmark", "base ns/op", "new ns/op", "delta",
+		"base allocs/op", "new allocs/op", "delta", "verdict"}
+	if err := report.Table(os.Stdout, headers, rows); err != nil {
 		return err
 	}
 	if regs := perf.Regressions(deltas); len(regs) > 0 {
 		names := make([]string, len(regs))
 		for i, d := range regs {
-			names[i] = fmt.Sprintf("%s (%+.1f%%)", d.Name, (d.Ratio-1)*100)
+			if d.AllocRegressed && !d.Regressed {
+				names[i] = fmt.Sprintf("%s (allocs %+.1f%%)", d.Name, (d.AllocRatio-1)*100)
+			} else {
+				names[i] = fmt.Sprintf("%s (%+.1f%%)", d.Name, (d.Ratio-1)*100)
+			}
 		}
-		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s",
-			len(regs), *flagTol*100, strings.Join(names, ", "))
+		return fmt.Errorf("%d benchmark(s) regressed beyond +%.0f%% ns/op or +%.0f%% allocs/op: %s",
+			len(regs), *flagTol*100, *flagATol*100, strings.Join(names, ", "))
 	}
-	fmt.Printf("bench gate ok: %d benchmarks within %.0f%% of baseline\n", len(deltas), *flagTol*100)
+	fmt.Printf("bench gate ok: %d benchmarks within +%.0f%% ns/op and +%.0f%% allocs/op of baseline\n",
+		len(deltas), *flagTol*100, *flagATol*100)
 	return nil
 }

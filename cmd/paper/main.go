@@ -44,6 +44,7 @@ var (
 	flagFine       = flag.Bool("fine", false, "use the full 816-point crf x refs grid (slow)")
 	flagSVGDir     = flag.String("svgdir", "", "also write figures as SVG files into this directory")
 	flagNoRC       = flag.Bool("no-replay-cache", false, "decode the mezzanine live at every point instead of replaying the cached decode trace")
+	flagNoAC       = flag.Bool("no-analysis-cache", false, "run the lookahead and AQ analysis live at every point instead of reusing the shared per-video artifact")
 	flagProgress   = flag.Bool("progress", false, "report per-point sweep progress on stderr")
 	flagMetricsOut = flag.String("metrics-out", "", "write the JSON run manifest (inputs, git rev, metrics snapshot, wall time) to this file")
 )
@@ -156,8 +157,9 @@ func workload() core.Workload {
 
 func sweepOpts() core.SweepOpts {
 	return core.SweepOpts{
-		NoReplayCache: *flagNoRC,
-		Progress:      cli.Progress("paper", !*flagProgress),
+		NoReplayCache:   *flagNoRC,
+		NoAnalysisCache: *flagNoAC,
+		Progress:        cli.Progress("paper", !*flagProgress),
 	}
 }
 
@@ -497,7 +499,7 @@ func fig8(ctx context.Context) error {
 			}
 			opt.Refs = cb.refs
 
-			base, err := core.Run(ctx, core.Job{Workload: w, Options: opt, Config: uarch.Baseline(), NoReplayCache: *flagNoRC})
+			base, err := core.Run(ctx, core.Job{Workload: w, Options: opt, Config: uarch.Baseline(), NoReplayCache: *flagNoRC, NoAnalysisCache: *flagNoAC})
 			if err != nil {
 				return err
 			}
@@ -511,7 +513,7 @@ func fig8(ctx context.Context) error {
 			}
 			gopt := opt
 			gopt.Tune = graphite.All().Tuning()
-			gr, err := core.Run(ctx, core.Job{Workload: w, Options: gopt, Config: uarch.Baseline(), NoReplayCache: *flagNoRC})
+			gr, err := core.Run(ctx, core.Job{Workload: w, Options: gopt, Config: uarch.Baseline(), NoReplayCache: *flagNoRC, NoAnalysisCache: *flagNoAC})
 			if err != nil {
 				return err
 			}

@@ -32,6 +32,7 @@ var (
 	flagCRFs       = flag.String("crfs", "1,6,11,16,21,26,31,36,41,46,51", "comma-separated crf values")
 	flagRefs       = flag.String("refs", "1,2,3,4,6,8,12,16", "comma-separated refs values")
 	flagNoRC       = flag.Bool("no-replay-cache", false, "decode the mezzanine live at every sweep point instead of replaying the cached decode trace")
+	flagNoAC       = flag.Bool("no-analysis-cache", false, "run the lookahead and AQ analysis live at every sweep point instead of reusing the shared per-video artifact")
 	flagProgress   = flag.Bool("progress", false, "report per-point progress on stderr")
 	flagMetricsOut = flag.String("metrics-out", "", "write the JSON run manifest (inputs, git rev, metrics snapshot, wall time) to this file")
 )
@@ -73,8 +74,9 @@ func run(ctx context.Context) error {
 	start := time.Now()
 	w := core.Workload{Video: *flagVideo, Frames: *flagFrames}
 	opts := core.SweepOpts{
-		NoReplayCache: *flagNoRC,
-		Progress:      cli.Progress("sweep", !*flagProgress),
+		NoReplayCache:   *flagNoRC,
+		NoAnalysisCache: *flagNoAC,
+		Progress:        cli.Progress("sweep", !*flagProgress),
 	}
 	var pts core.Points
 	switch *flagMode {

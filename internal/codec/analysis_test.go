@@ -1,0 +1,185 @@
+package codec
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/trace"
+)
+
+// baseClip assigns decoder-style virtual bases up front, the way frames
+// arrive in the production pipeline. Encoders only advance their own VA
+// allocator for frames without bases, so pre-basing keeps every encoder
+// sharing the clip — live, Analyze, reuse — on identical recon addresses.
+func baseClip(frames []*frame.Frame) {
+	va := uint64(0x8_0000_0000)
+	for _, f := range frames {
+		f.SetBase(va)
+		va += (uint64(f.ByteSize()) + 4095) &^ 4095
+	}
+}
+
+// analysisOptions are the option sets the reuse equivalence is pinned over:
+// the defaults (AQ, scenecut, b-adapt 1), a b-adapt 2 + sampled-trace
+// configuration exercising the backward lookahead pass and a mid-phase
+// sampling counter, and ultrafast (lookahead with everything else off).
+func analysisOptions(t *testing.T) map[string]Options {
+	t.Helper()
+	badapt2 := Defaults()
+	badapt2.BAdapt = 2
+	badapt2.TraceSampleLog2 = 2
+	ultra := Options{RC: RCCRF, CRF: 30, QP: 26, KeyintMax: 250}
+	if err := ApplyPreset(&ultra, PresetUltrafast); err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Options{"medium": Defaults(), "badapt2_sampled": badapt2, "ultrafast": ultra}
+}
+
+// TestAnalysisEncodeEquivalence is the tentpole invariant: encoding with a
+// shared analysis artifact must reproduce a live encode exactly — the same
+// bitstream, the same stats, and a byte-identical trace-event stream once
+// the artifact's recorded events are counted in.
+func TestAnalysisEncodeEquivalence(t *testing.T) {
+	for name, opt := range analysisOptions(t) {
+		t.Run(name, func(t *testing.T) {
+			frames := makeClip(t, "cricket", 8, 8)
+			baseClip(frames)
+
+			liveRec := trace.NewRecorder()
+			live, err := NewEncoder(frames[0].Width, frames[0].Height, 30, opt, liveRec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			liveStream, liveStats, err := live.EncodeAll(frames)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			a, err := Analyze(frames, 30, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The consumer contract: feed the artifact's events to the sink,
+			// then encode with the artifact attached.
+			reuseRec := trace.NewRecorder()
+			if err := trace.Replay(a.Events(), reuseRec); err != nil {
+				t.Fatal(err)
+			}
+			reuse, err := NewEncoder(frames[0].Width, frames[0].Height, 30, opt, reuseRec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := reuse.SetAnalysis(a); err != nil {
+				t.Fatal(err)
+			}
+			reuseStream, reuseStats, err := reuse.EncodeAll(frames)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !bytes.Equal(liveStream, reuseStream) {
+				t.Errorf("bitstreams differ: live %d bytes, reuse %d bytes", len(liveStream), len(reuseStream))
+			}
+			if !reflect.DeepEqual(liveStats, reuseStats) {
+				t.Errorf("stats differ:\nlive  %+v\nreuse %+v", liveStats, reuseStats)
+			}
+			if !bytes.Equal(liveRec.Bytes(), reuseRec.Bytes()) {
+				t.Errorf("trace event streams differ: live %d bytes, reuse %d bytes",
+					len(liveRec.Bytes()), len(reuseRec.Bytes()))
+			}
+		})
+	}
+}
+
+// TestAnalysisReuseAcrossPoints shares one artifact across several (crf,
+// refs) encodes — the sweep's access pattern — and checks each against its
+// live twin.
+func TestAnalysisReuseAcrossPoints(t *testing.T) {
+	frames := makeClip(t, "desktop", 6, 8)
+	baseClip(frames)
+	base := Defaults()
+	a, err := Analyze(frames, 30, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range [][2]int{{20, 1}, {36, 2}, {48, 4}} {
+		opt := base
+		opt.RC = RCCRF
+		opt.CRF = pt[0]
+		opt.Refs = pt[1]
+
+		liveStream, liveStats := encodeClip(t, frames, opt)
+
+		enc, err := NewEncoder(frames[0].Width, frames[0].Height, 30, opt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.SetAnalysis(a); err != nil {
+			t.Fatal(err)
+		}
+		stream, stats, err := enc.EncodeAll(frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(liveStream, stream) {
+			t.Errorf("crf %d refs %d: bitstream differs under analysis reuse", pt[0], pt[1])
+		}
+		if !reflect.DeepEqual(liveStats, stats) {
+			t.Errorf("crf %d refs %d: stats differ under analysis reuse", pt[0], pt[1])
+		}
+	}
+}
+
+// TestAnalysisGuards covers the misuse cases: mismatched params, two-pass
+// ABR, and a tracer that has already advanced.
+func TestAnalysisGuards(t *testing.T) {
+	frames := makeClip(t, "cricket", 4, 8)
+	opt := Defaults()
+	a, err := Analyze(frames, 30, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Params mismatch: a different sampling cadence invalidates the artifact.
+	bad := opt
+	bad.TraceSampleLog2 = 3
+	enc, err := NewEncoder(frames[0].Width, frames[0].Height, 30, bad, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.SetAnalysis(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := enc.EncodeAll(frames); err == nil {
+		t.Error("expected params-mismatch error, got nil")
+	}
+
+	// Two-pass ABR cannot consume the artifact.
+	abr := opt
+	abr.RC = RCABR2
+	abr.BitrateKbps = 500
+	enc, err = NewEncoder(frames[0].Width, frames[0].Height, 30, abr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.SetAnalysis(a); err == nil {
+		t.Error("expected SetAnalysis to reject two-pass ABR")
+	}
+	if _, err := Analyze(frames, 30, abr); err == nil {
+		t.Error("expected Analyze to reject two-pass ABR")
+	}
+
+	// A used encoder (tracer advanced) must refuse the artifact.
+	enc, err = NewEncoder(frames[0].Width, frames[0].Height, 30, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := enc.EncodeAll(frames); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.SetAnalysis(a); err == nil {
+		t.Error("expected SetAnalysis to reject a used encoder")
+	}
+}

@@ -37,6 +37,24 @@ type Encoder struct {
 	// Motion-search candidate deduplication (see me.go).
 	visited  []uint32
 	visitGen uint32
+
+	scratch arena
+
+	// analysis, when set, replaces the lookahead and variance computation
+	// with the shared per-video artifact (see analysis.go).
+	analysis *Analysis
+}
+
+// arena is the encoder's typed scratch storage: working buffers with
+// per-macroblock lifetime that would otherwise be heap-allocated in the MB
+// loop. It extends the recon-frame recycling (getRecon) down to the
+// macroblock level — the ~2KB coefficient record alone used to account for
+// the bulk of a sweep point's steady-state allocations.
+type arena struct {
+	// mb is the macroblock under construction. encodeMB resets and reuses
+	// it; nothing retains the pointer across macroblocks (neighbour state
+	// is copied out into mvField/deblockState).
+	mb macroblock
 }
 
 // NewEncoder builds an encoder for w x h @ fps video with the given options
@@ -141,7 +159,21 @@ func (e *Encoder) EncodeAll(frames []*frame.Frame) ([]byte, *Stats, error) {
 		}
 	}
 
-	lc := e.runLookahead(frames)
+	var lc *lookaheadCosts
+	if e.analysis != nil {
+		// Shared analysis: the artifact's recorded events stand in for the
+		// lookahead's emission (the caller already fed them to the sink), so
+		// only the cost tables and the tracer's post-lookahead sampling
+		// state are taken here. Frame-type decisions are recomputed — they
+		// are pure arithmetic over the costs and may depend on options
+		// (scenecut, keyint, B policy) outside the artifact's key.
+		var err error
+		if lc, err = e.analysisCosts(frames); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		lc = e.runLookahead(frames)
+	}
 	types := e.decideTypes(frames, lc)
 
 	e.stats = Stats{Width: e.w, Height: e.h, FPS: e.fps}
@@ -317,12 +349,20 @@ func (e *Encoder) encodeFrame(src *frame.Frame, t FrameType, list0 []*frame.Fram
 // encodeMB analyses, reconstructs and writes one macroblock.
 func (e *Encoder) encodeMB(src *frame.Frame, t FrameType, list0 []*frame.Frame, list1 *frame.Frame, mx, my, frameQP int) (*macroblock, error) {
 	x, y := mx*16, my*16
-	mb := &macroblock{x: x, y: y}
+	mb := &e.scratch.mb
+	*mb = macroblock{x: x, y: y}
 
 	// Macroblock quantizer: AQ spatial offset plus CBR row feedback.
 	var variance float64
 	if e.opt.AQMode > 0 {
-		variance = e.tr.blockVariance(&src.Y, x, y, 16, 16)
+		if v, ok := e.analysisVariance(src.PTS, mx, my); ok {
+			// Cached map: emit the exact events the computation would have
+			// (byte-stable traces), skip the arithmetic.
+			e.tr.varianceEvents(&src.Y, x, y, 16, 16)
+			variance = v
+		} else {
+			variance = e.tr.blockVariance(&src.Y, x, y, 16, 16)
+		}
 	}
 	mb.qp = e.rc.mbQP(frameQP, variance, e.opt.AQMode > 0)
 	lambda := lambdaFor(mb.qp)

@@ -201,11 +201,11 @@ func (e *Encoder) analysePartitions(src *frame.Plane, x, y int, parentQ *meQuery
 
 	type partResult struct {
 		cost int
-		mvs  []meResult
+		mvs  [4]meResult // indexed by partGeom position (2 or 4 parts used)
 	}
 	tryMode := func(mode int, overhead int) partResult {
 		geo := partGeom[mode]
-		pr := partResult{mvs: make([]meResult, len(geo))}
+		var pr partResult
 		mvpred := parent.mv
 		for i, g := range geo {
 			r := searchPart(g[0], g[1], g[2], g[3], mvpred, 4)

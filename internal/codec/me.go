@@ -107,7 +107,7 @@ func (e *Encoder) motionSearch(q *meQuery) meResult {
 	case MEUMH:
 		e.umhSearch(q, fn, eval, &best, earlyLimit)
 	case MEESA, METesa:
-		e.esaSearch(q, fn, eval, &best)
+		e.esaSearch(q, fn, eval, &best, earlyLimit)
 	}
 	return best
 }
@@ -224,8 +224,10 @@ var umhRing = [16][2]int{
 
 // esaSearch evaluates every integer position within the search window.
 // Thanks to threshold-aborted SAD its cost still shrinks as the best cost
-// drops, the way real exhaustive searches behave.
-func (e *Encoder) esaSearch(q *meQuery, fn trace.FuncID, eval func(int, int) bool, best *meResult) {
+// drops, the way real exhaustive searches behave; the early-termination
+// threshold the other patterns honour cuts whole remaining rows once a
+// good-enough match has been found.
+func (e *Encoder) esaSearch(q *meQuery, fn trace.FuncID, eval func(int, int) bool, best *meResult, earlyLimit int) {
 	px, py := int(q.mvp.X>>2), int(q.mvp.Y>>2)
 	r := q.rangePx
 	rows := 0
@@ -234,6 +236,13 @@ func (e *Encoder) esaSearch(q *meQuery, fn trace.FuncID, eval func(int, int) boo
 			eval(px+dx, py+dy)
 		}
 		rows++
+		if earlyLimit > 0 {
+			done := best.sad < earlyLimit
+			e.tr.branch(fn, siteMEEarly, done)
+			if done {
+				break
+			}
+		}
 	}
 	e.tr.loop(fn, siteSearchLoop, rows)
 }

@@ -112,15 +112,7 @@ func (t *tracer) sadThresh(fn trace.FuncID, a *frame.Plane, ax, ay int, b *frame
 	s := 0
 	rows := 0
 	for j := 0; j < h; j++ {
-		ra := a.RowFrom(ax, ay+j, w)
-		rb := b.RowFrom(bx, by+j, w)
-		for i, va := range ra {
-			d := int(va) - int(rb[i])
-			if d < 0 {
-				d = -d
-			}
-			s += d
-		}
+		s += frame.SADRow(a.RowFrom(ax, ay+j, w), b.RowFrom(bx, by+j, w))
 		rows++
 		if s > limit {
 			break
@@ -158,6 +150,16 @@ func (t *tracer) blockVariance(p *frame.Plane, x, y, w, h int) float64 {
 	return v
 }
 
+// varianceEvents emits exactly the events blockVariance would, for blocks
+// whose value comes from the shared analysis artifact's variance map.
+func (t *tracer) varianceEvents(p *frame.Plane, x, y, w, h int) {
+	if t.on {
+		t.sink.Call(trace.FnVariance)
+		t.sink.Ops(trace.FnVariance, w*h/8+12)
+		t.sink.Load2D(trace.FnVariance, p.Addr(x, y), w, h, p.Stride)
+	}
+}
+
 // block is a fixed-capacity pixel block used for predictions and
 // reconstruction staging (up to 16x16).
 type block struct {
@@ -173,15 +175,7 @@ func (b *block) row(y int) []uint8     { return b.pix[y*b.w : y*b.w+b.w] }
 func (t *tracer) sadBlock(fn trace.FuncID, a *frame.Plane, ax, ay int, b *block) int {
 	s := 0
 	for j := 0; j < b.h; j++ {
-		ra := a.RowFrom(ax, ay+j, b.w)
-		rb := b.row(j)
-		for i, va := range ra {
-			d := int(va) - int(rb[i])
-			if d < 0 {
-				d = -d
-			}
-			s += d
-		}
+		s += frame.SADRow(a.RowFrom(ax, ay+j, b.w), b.row(j))
 	}
 	if t.on {
 		t.sink.Call(fn)
@@ -195,17 +189,14 @@ func (t *tracer) sadBlock(fn trace.FuncID, a *frame.Plane, ax, ay int, b *block)
 // granularity; block dims must be multiples of 4).
 func (t *tracer) satdBlock(fn trace.FuncID, a *frame.Plane, ax, ay int, b *block) int {
 	var total int
-	var d [16]int32
 	for j := 0; j < b.h; j += 4 {
 		for i := 0; i < b.w; i += 4 {
-			for y := 0; y < 4; y++ {
-				ra := a.RowFrom(ax+i, ay+j+y, 4)
-				rb := b.row(j + y)[i : i+4]
-				for x := 0; x < 4; x++ {
-					d[y*4+x] = int32(ra[x]) - int32(rb[x])
-				}
-			}
-			total += int(hadamardAbs(&d))
+			total += frame.Hadamard4x4Packed(
+				frame.PackDiff4(a.RowFrom(ax+i, ay+j, 4), b.row(j)[i:i+4]),
+				frame.PackDiff4(a.RowFrom(ax+i, ay+j+1, 4), b.row(j + 1)[i:i+4]),
+				frame.PackDiff4(a.RowFrom(ax+i, ay+j+2, 4), b.row(j + 2)[i:i+4]),
+				frame.PackDiff4(a.RowFrom(ax+i, ay+j+3, 4), b.row(j + 3)[i:i+4]),
+			)
 		}
 	}
 	if t.on {
@@ -216,7 +207,8 @@ func (t *tracer) satdBlock(fn trace.FuncID, a *frame.Plane, ax, ay int, b *block
 	return total / 2
 }
 
-// hadamardAbs mirrors frame.hadamard4x4 for staged blocks.
+// hadamardAbs is the scalar reference transform satdBlock's SWAR path is
+// pinned against in pixels_test.go.
 func hadamardAbs(d *[16]int32) int32 {
 	for i := 0; i < 16; i += 4 {
 		s0 := d[i] + d[i+1]

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/uarch"
+)
+
+// TestAnalysisRunEquivalence is the fidelity guarantee for the shared
+// analysis layer at the experiment level: a job that reuses the memoized
+// lookahead artifact produces a profile and stats bit-for-bit identical to a
+// job that runs its own lookahead. Covered across the option families that
+// change what the lookahead does: the defaults (AQ + b-adapt 1), b-adapt 2
+// with trace sampling, and ultrafast.
+func TestAnalysisRunEquivalence(t *testing.T) {
+	w := tinyWorkload("cricket")
+	badapt2 := codec.Defaults()
+	badapt2.BAdapt = 2
+	badapt2.TraceSampleLog2 = 2
+	ultra := codec.Options{RC: codec.RCCRF, CRF: 30, QP: 26, KeyintMax: 250}
+	if err := codec.ApplyPreset(&ultra, codec.PresetUltrafast); err != nil {
+		t.Fatal(err)
+	}
+	for name, opt := range map[string]codec.Options{
+		"medium": codec.Defaults(), "badapt2_sampled": badapt2, "ultrafast": ultra,
+	} {
+		t.Run(name, func(t *testing.T) {
+			job := Job{Workload: w, Options: opt, Config: uarch.Baseline()}
+			shared, err := Run(context.Background(), job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			job.NoAnalysisCache = true
+			live, err := Run(context.Background(), job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(shared.Report, live.Report) {
+				t.Fatalf("analysis-reuse report differs from live-lookahead report:\nshared: %+v\nlive:   %+v",
+					shared.Report, live.Report)
+			}
+			if !reflect.DeepEqual(shared.Stats, live.Stats) {
+				t.Fatal("analysis-reuse codec stats differ from live-lookahead stats")
+			}
+		})
+	}
+}
+
+// TestAnalysisSweepDeterminism runs the crf x refs sweep with and without
+// the shared artifact and requires every point's report and stats to match —
+// the sweep-level form of the determinism.sh CSV gate.
+func TestAnalysisSweepDeterminism(t *testing.T) {
+	w := tinyWorkload("desktop")
+	base := codec.Defaults()
+	crfs, refs := []int{23, 41}, []int{1, 4}
+	shared := SweepCRFRefsWith(context.Background(), w, base, uarch.Baseline(), crfs, refs, SweepOpts{})
+	live := SweepCRFRefsWith(context.Background(), w, base, uarch.Baseline(), crfs, refs,
+		SweepOpts{NoAnalysisCache: true})
+	if err := shared.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	if len(shared) != len(live) {
+		t.Fatalf("point count differs: %d vs %d", len(shared), len(live))
+	}
+	for i := range shared {
+		if !reflect.DeepEqual(shared[i], live[i]) {
+			t.Errorf("point %d (crf %d refs %d) differs between shared-analysis and live sweeps",
+				i, shared[i].CRF, shared[i].Refs)
+		}
+	}
+}
+
+// TestAnalysisTwoPassBypass pins the guard: two-pass ABR jobs run their own
+// lookahead (the artifact cannot reproduce the interleaved first pass) and
+// still succeed with the analysis cache nominally enabled.
+func TestAnalysisTwoPassBypass(t *testing.T) {
+	opt := codec.Defaults()
+	opt.RC = codec.RCABR2
+	opt.BitrateKbps = 400
+	res, err := Run(context.Background(), Job{Workload: tinyWorkload("cricket"), Options: opt, Config: uarch.Baseline()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Insts <= 0 {
+		t.Fatalf("degenerate two-pass report: %+v", res.Report)
+	}
+}
+
+// TestSharedAnalysisCached verifies singleflight identity: two option sets
+// with equal analysis params share one artifact, and a param-changing option
+// gets its own.
+func TestSharedAnalysisCached(t *testing.T) {
+	w := tinyWorkload("cat")
+	dopt := decoderOptions(codec.Defaults())
+	a1, err := sharedAnalysis(context.Background(), w, dopt, codec.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crf41 := codec.Defaults()
+	crf41.RC = codec.RCCRF
+	crf41.CRF = 41
+	crf41.Refs = 4
+	a2, err := sharedAnalysis(context.Background(), w, dopt, crf41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("crf/refs-only option change did not share the analysis artifact")
+	}
+	sampled := codec.Defaults()
+	sampled.TraceSampleLog2 = 2
+	a3, err := sharedAnalysis(context.Background(), w, decoderOptions(sampled), sampled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3 == a1 {
+		t.Fatal("distinct analysis params share a cache entry")
+	}
+}

@@ -82,6 +82,12 @@ type Job struct {
 	// this escape hatch exists for fidelity A/B checks and for measuring the
 	// replay layer's own speedup.
 	NoReplayCache bool
+	// NoAnalysisCache disables the shared per-video analysis artifact: the
+	// encoder runs its own lookahead and AQ variance pass instead of reusing
+	// the memoized one. Like NoReplayCache the two paths are bit-for-bit
+	// identical (TestAnalysisRunEquivalence); this escape hatch exists for
+	// fidelity A/B checks and for measuring the analysis layer's own speedup.
+	NoAnalysisCache bool
 }
 
 // Result bundles the profile and the codec-side outcome of a run.
@@ -291,6 +297,7 @@ func Run(ctx context.Context, job Job) (*Result, error) {
 
 	var machine *uarch.Machine
 	var input []*frame.Frame
+	var analysis *codec.Analysis
 	info, err := vbench.ByName(job.Workload.Video)
 	if err != nil {
 		return nil, err
@@ -326,7 +333,23 @@ func Run(ctx context.Context, job Job) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if job.Image == nil {
+		if job.Image == nil && !job.NoAnalysisCache && job.Options.RC != codec.RCABR2 {
+			// Shared analysis: the crf/refs-invariant lookahead work is
+			// memoized once per workload, and the machine snapshot has already
+			// consumed both the decode trace and the artifact's recorded
+			// lookahead events — the encode starts past the lookahead at
+			// memcpy speed. (Two-pass ABR interleaves a full first-pass encode
+			// before its lookahead, so its tracer state cannot resume from the
+			// artifact.)
+			if analysis, err = sharedAnalysis(ctx, job.Workload, dopt, job.Options); err != nil {
+				return nil, err
+			}
+			snap, err := analysisMachine(ctx, job.Workload, dopt, job.Config, analysis)
+			if err != nil {
+				return nil, err
+			}
+			machine = snap.Clone()
+		} else if job.Image == nil {
 			// Default code image: clone the cached post-decode machine
 			// snapshot — the decode half at memcpy speed.
 			snap, err := decodedMachine(ctx, job.Workload, dopt, job.Config)
@@ -352,6 +375,11 @@ func Run(ctx context.Context, job Job) (*Result, error) {
 	enc, err := codec.NewEncoder(input[0].Width, input[0].Height, info.FPS, job.Options, machine)
 	if err != nil {
 		return nil, err
+	}
+	if analysis != nil {
+		if err := enc.SetAnalysis(analysis); err != nil {
+			return nil, err
+		}
 	}
 	_, stats, err := enc.EncodeAll(input)
 	if err != nil {
@@ -408,6 +436,10 @@ type SweepOpts struct {
 	// NoReplayCache runs every point's decode live instead of replaying the
 	// recorded decode trace (see Job.NoReplayCache).
 	NoReplayCache bool
+	// NoAnalysisCache runs every point's lookahead and AQ analysis live
+	// instead of reusing the shared per-video artifact (see
+	// Job.NoAnalysisCache).
+	NoAnalysisCache bool
 	// Progress, when non-nil, is called once per finished point with the
 	// running count and the total. Calls are serialized by the engine.
 	Progress func(done, total int)
@@ -541,7 +573,8 @@ func SweepCRFRefsWith(ctx context.Context, w Workload, base codec.Options, cfg u
 			opt.RC = codec.RCCRF
 			opt.CRF = crf
 			opt.Refs = rf
-			return Job{Workload: w, Options: opt, Config: cfg, NoReplayCache: opts.NoReplayCache},
+			return Job{Workload: w, Options: opt, Config: cfg,
+					NoReplayCache: opts.NoReplayCache, NoAnalysisCache: opts.NoAnalysisCache},
 				Point{Video: w.Video, CRF: crf, Refs: rf}, nil
 		},
 		Opts: opts,
@@ -571,7 +604,8 @@ func SweepPresetsWith(ctx context.Context, w Workload, cfg uarch.Config, presets
 			}
 			opt.Refs = refs
 			opt.TraceSampleLog2 = 0
-			return Job{Workload: w, Options: opt, Config: cfg, NoReplayCache: opts.NoReplayCache}, pt, nil
+			return Job{Workload: w, Options: opt, Config: cfg,
+				NoReplayCache: opts.NoReplayCache, NoAnalysisCache: opts.NoAnalysisCache}, pt, nil
 		},
 		Opts: opts,
 	})
@@ -600,7 +634,8 @@ func SweepVideosWith(ctx context.Context, videos []string, frames, scale int, ba
 		N:    len(videos),
 		Build: func(i int) (Job, Point, error) {
 			w := Workload{Video: videos[i], Frames: frames, Scale: scale}
-			return Job{Workload: w, Options: base, Config: cfg, NoReplayCache: opts.NoReplayCache},
+			return Job{Workload: w, Options: base, Config: cfg,
+					NoReplayCache: opts.NoReplayCache, NoAnalysisCache: opts.NoAnalysisCache},
 				Point{Video: videos[i], CRF: base.CRF, Refs: base.Refs}, nil
 		},
 		Opts: opts,

@@ -4,8 +4,18 @@ import "math"
 
 // SAD returns the sum of absolute differences between the w x h block at
 // (ax, ay) in a and the block at (bx, by) in b. Coordinates may reach into
-// plane padding.
+// plane padding. Rows run through the SWAR kernel (see swar.go); sadScalar
+// is the reference the equivalence and fuzz tests pin it against.
 func SAD(a *Plane, ax, ay int, b *Plane, bx, by, w, h int) int {
+	sad := 0
+	for j := 0; j < h; j++ {
+		sad += SADRow(a.RowFrom(ax, ay+j, w), b.RowFrom(bx, by+j, w))
+	}
+	return sad
+}
+
+// sadScalar is the byte-at-a-time reference implementation of SAD.
+func sadScalar(a *Plane, ax, ay int, b *Plane, bx, by, w, h int) int {
 	sad := 0
 	for j := 0; j < h; j++ {
 		ra := a.RowFrom(ax, ay+j, w)
@@ -70,8 +80,26 @@ func hadamard4x4(d *[16]int32) int32 {
 // SATD returns the sum of absolute Hadamard-transformed differences between
 // two w x h blocks, computed over 4x4 sub-blocks. w and h must be multiples
 // of 4. SATD approximates the post-transform coding cost far better than SAD
-// and is what x264 uses at subme >= 3.
+// and is what x264 uses at subme >= 3. Each 4x4 tile runs through the packed
+// SWAR Hadamard (see swar.go); satdScalar is the pinned reference.
 func SATD(a *Plane, ax, ay int, b *Plane, bx, by, w, h int) int {
+	total := 0
+	for j := 0; j < h; j += 4 {
+		for i := 0; i < w; i += 4 {
+			total += Hadamard4x4Packed(
+				PackDiff4(a.RowFrom(ax+i, ay+j, 4), b.RowFrom(bx+i, by+j, 4)),
+				PackDiff4(a.RowFrom(ax+i, ay+j+1, 4), b.RowFrom(bx+i, by+j+1, 4)),
+				PackDiff4(a.RowFrom(ax+i, ay+j+2, 4), b.RowFrom(bx+i, by+j+2, 4)),
+				PackDiff4(a.RowFrom(ax+i, ay+j+3, 4), b.RowFrom(bx+i, by+j+3, 4)),
+			)
+		}
+	}
+	// Normalize by 2 to keep SATD on a scale comparable with SAD.
+	return total / 2
+}
+
+// satdScalar is the coefficient-at-a-time reference implementation of SATD.
+func satdScalar(a *Plane, ax, ay int, b *Plane, bx, by, w, h int) int {
 	var total int32
 	var d [16]int32
 	for j := 0; j < h; j += 4 {
@@ -86,7 +114,6 @@ func SATD(a *Plane, ax, ay int, b *Plane, bx, by, w, h int) int {
 			total += hadamard4x4(&d)
 		}
 	}
-	// Normalize by 2 to keep SATD on a scale comparable with SAD.
 	return int(total / 2)
 }
 

@@ -1,0 +1,217 @@
+package frame
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomPlane fills a plane (padding included) from a seeded generator so
+// kernel tests cover reads that extend into the margins.
+func randomPlane(w, h int, seed int64) Plane {
+	p := NewPlane(w, h)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range p.Pix {
+		p.Pix[i] = uint8(rng.Intn(256))
+	}
+	return p
+}
+
+// TestLaneOpsMatchInt16 pins the carry-masked lane arithmetic against plain
+// int16 arithmetic across random lane values, including the extremes.
+func TestLaneOpsMatchInt16(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pack := func(v [4]int16) uint64 {
+		var u uint64
+		for k, x := range v {
+			u |= uint64(uint16(x)) << (16 * k)
+		}
+		return u
+	}
+	unpack := func(u uint64) (v [4]int16) {
+		for k := range v {
+			v[k] = int16(uint16(u >> (16 * k)))
+		}
+		return
+	}
+	for it := 0; it < 20000; it++ {
+		var a, b [4]int16
+		for k := 0; k < 4; k++ {
+			a[k] = int16(rng.Intn(1 << 16))
+			b[k] = int16(rng.Intn(1 << 16))
+		}
+		ua, ub := pack(a), pack(b)
+		sum := unpack(laneAdd(ua, ub))
+		diff := unpack(laneSub(ua, ub))
+		for k := 0; k < 4; k++ {
+			if want := a[k] + b[k]; sum[k] != want {
+				t.Fatalf("laneAdd lane %d: %d + %d = %d, want %d", k, a[k], b[k], sum[k], want)
+			}
+			if want := a[k] - b[k]; diff[k] != want {
+				t.Fatalf("laneSub lane %d: %d - %d = %d, want %d", k, a[k], b[k], diff[k], want)
+			}
+		}
+	}
+}
+
+// TestSADRowExhaustivePairs checks the biased absolute-difference path on
+// every possible byte pair, in every chunk position.
+func TestSADRowExhaustivePairs(t *testing.T) {
+	for pos := 0; pos < 8; pos++ {
+		var ra, rb [8]uint8
+		for a := 0; a < 256; a++ {
+			for b := 0; b < 256; b++ {
+				ra[pos], rb[pos] = uint8(a), uint8(b)
+				want := a - b
+				if want < 0 {
+					want = -want
+				}
+				if got := SADRow(ra[:], rb[:]); got != want {
+					t.Fatalf("SADRow pos %d |%d-%d| = %d, want %d", pos, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSADMatchesScalar sweeps widths (including non-multiples of 8 and of
+// 4), heights and padded offsets against the scalar reference.
+func TestSADMatchesScalar(t *testing.T) {
+	a := randomPlane(48, 40, 2)
+	b := randomPlane(48, 40, 3)
+	for w := 1; w <= 21; w++ {
+		for _, h := range []int{1, 2, 3, 5, 8, 16} {
+			for _, off := range [][4]int{{0, 0, 0, 0}, {3, 1, -7, -5}, {-Pad, -Pad, 5, 9}, {17, 11, 24, 20}} {
+				ax, ay, bx, by := off[0], off[1], off[2], off[3]
+				got := SAD(&a, ax, ay, &b, bx, by, w, h)
+				want := sadScalar(&a, ax, ay, &b, bx, by, w, h)
+				if got != want {
+					t.Fatalf("SAD %dx%d at (%d,%d)/(%d,%d): got %d, want %d", w, h, ax, ay, bx, by, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSADRowLongAccumulation drives the worst-case lane load (all-255 vs
+// all-0 rows far past the flush threshold) to prove the accumulator never
+// wraps.
+func TestSADRowLongAccumulation(t *testing.T) {
+	const n = 8*sadFlush*3 + 20
+	ra := make([]uint8, n)
+	rb := make([]uint8, n)
+	for i := range ra {
+		ra[i] = 255
+	}
+	if got := SADRow(ra, rb); got != 255*n {
+		t.Fatalf("SADRow saturated row: got %d, want %d", got, 255*n)
+	}
+}
+
+// TestSATDMatchesScalar sweeps 4-multiple block sizes and offsets against
+// the scalar Hadamard reference.
+func TestSATDMatchesScalar(t *testing.T) {
+	a := randomPlane(48, 40, 4)
+	b := randomPlane(48, 40, 5)
+	for _, w := range []int{4, 8, 12, 16} {
+		for _, h := range []int{4, 8, 16} {
+			for _, off := range [][4]int{{0, 0, 0, 0}, {2, 6, -3, -1}, {-8, -4, 13, 7}, {21, 15, 1, 19}} {
+				ax, ay, bx, by := off[0], off[1], off[2], off[3]
+				got := SATD(&a, ax, ay, &b, bx, by, w, h)
+				want := satdScalar(&a, ax, ay, &b, bx, by, w, h)
+				if got != want {
+					t.Fatalf("SATD %dx%d at (%d,%d)/(%d,%d): got %d, want %d", w, h, ax, ay, bx, by, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestHadamardPackedExtremes pins the packed transform on the all-extreme
+// difference blocks where lane overflow would first show.
+func TestHadamardPackedExtremes(t *testing.T) {
+	hi := [4]uint8{255, 255, 255, 255}
+	lo := [4]uint8{0, 0, 0, 0}
+	r := PackDiff4(hi[:], lo[:])
+	got := Hadamard4x4Packed(r, r, r, r)
+	var d [16]int32
+	for i := range d {
+		d[i] = 255
+	}
+	if want := int(hadamard4x4(&d)); got != want {
+		t.Fatalf("packed Hadamard all-255: got %d, want %d", got, want)
+	}
+	r = PackDiff4(lo[:], hi[:])
+	got = Hadamard4x4Packed(r, r, r, r)
+	for i := range d {
+		d[i] = -255
+	}
+	if want := int(hadamard4x4(&d)); got != want {
+		t.Fatalf("packed Hadamard all-minus-255: got %d, want %d", got, want)
+	}
+}
+
+// FuzzSADRow feeds arbitrary rows of arbitrary (equal) lengths through both
+// implementations.
+func FuzzSADRow(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, []byte{9, 8, 7, 6, 5, 4, 3, 2, 1})
+	f.Add([]byte{255}, []byte{0})
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, ra, rb []byte) {
+		n := len(ra)
+		if len(rb) < n {
+			n = len(rb)
+		}
+		ra, rb = ra[:n], rb[:n]
+		want := 0
+		for i := range ra {
+			d := int(ra[i]) - int(rb[i])
+			if d < 0 {
+				d = -d
+			}
+			want += d
+		}
+		if got := SADRow(ra, rb); got != want {
+			t.Fatalf("SADRow(%v, %v) = %d, want %d", ra, rb, got, want)
+		}
+	})
+}
+
+// FuzzSADPlane derives block geometry (width not restricted to multiples of
+// 8 or 4) and plane content from fuzz input and compares against the scalar
+// reference.
+func FuzzSADPlane(f *testing.F) {
+	f.Add(int64(7), uint8(13), uint8(9), uint8(3), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, wSel, hSel, axSel, aySel uint8) {
+		w := 1 + int(wSel)%24
+		h := 1 + int(hSel)%16
+		a := randomPlane(32, 24, seed)
+		b := randomPlane(32, 24, seed+1)
+		ax := int(axSel)%(32+2*Pad-w) - Pad
+		ay := int(aySel)%(24+2*Pad-h) - Pad
+		bx, by := -ax/2, -ay/2
+		got := SAD(&a, ax, ay, &b, bx, by, w, h)
+		want := sadScalar(&a, ax, ay, &b, bx, by, w, h)
+		if got != want {
+			t.Fatalf("SAD %dx%d at (%d,%d)/(%d,%d): got %d, want %d", w, h, ax, ay, bx, by, got, want)
+		}
+	})
+}
+
+// FuzzSATDPlane is FuzzSADPlane for the Hadamard metric (4-aligned sizes).
+func FuzzSATDPlane(f *testing.F) {
+	f.Add(int64(11), uint8(2), uint8(1), uint8(40), uint8(17))
+	f.Fuzz(func(t *testing.T, seed int64, wSel, hSel, axSel, aySel uint8) {
+		w := 4 * (1 + int(wSel)%4)
+		h := 4 * (1 + int(hSel)%4)
+		a := randomPlane(32, 24, seed)
+		b := randomPlane(32, 24, seed+1)
+		ax := int(axSel)%(32+2*Pad-w) - Pad
+		ay := int(aySel)%(24+2*Pad-h) - Pad
+		bx, by := -ax/2, -ay/2
+		got := SATD(&a, ax, ay, &b, bx, by, w, h)
+		want := satdScalar(&a, ax, ay, &b, bx, by, w, h)
+		if got != want {
+			t.Fatalf("SATD %dx%d at (%d,%d)/(%d,%d): got %d, want %d", w, h, ax, ay, bx, by, got, want)
+		}
+	})
+}

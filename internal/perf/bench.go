@@ -37,21 +37,30 @@ type BenchDelta struct {
 	BaseNs    float64
 	NewNs     float64
 	Ratio     float64 // NewNs / BaseNs; > 1 is a slowdown
-	Regressed bool    // Ratio exceeds the tolerance
+	Regressed bool    // Ratio exceeds the ns/op tolerance
+
+	BaseAllocs     float64
+	NewAllocs      float64
+	AllocRatio     float64 // NewAllocs / BaseAllocs; > 1 is more allocation
+	AllocRegressed bool    // AllocRatio exceeds the allocs/op tolerance
 }
 
 // CompareBench compares a new benchmark run against a baseline with a
-// relative ns/op tolerance (0.10 = ±10%): a benchmark regresses when its
-// new time exceeds base*(1+tol). It returns one delta per baseline
+// relative ns/op tolerance (0.10 = ±10%) and a relative allocs/op tolerance
+// (0.20 = ±20%): a benchmark regresses when its new time exceeds
+// base*(1+tol) or its new allocation count exceeds base*(1+allocTol). Time
+// is noisy, allocation counts are nearly deterministic — the separate, wider
+// alloc gate catches a reintroduced per-iteration allocation even on a
+// machine too loaded for stable timings. It returns one delta per baseline
 // benchmark, sorted by name.
 //
 // Hard errors (rather than deltas): a partial marker in either file — an
 // interrupted run proves nothing either way — and a baseline benchmark
 // missing from the new run, which would otherwise let a gate pass by
 // silently dropping the slow benchmark.
-func CompareBench(base, cur []BenchEntry, tol float64) ([]BenchDelta, error) {
-	if tol < 0 {
-		return nil, fmt.Errorf("perf: negative tolerance %v", tol)
+func CompareBench(base, cur []BenchEntry, tol, allocTol float64) ([]BenchDelta, error) {
+	if tol < 0 || allocTol < 0 {
+		return nil, fmt.Errorf("perf: negative tolerance (ns %v, allocs %v)", tol, allocTol)
 	}
 	for _, e := range append(append([]BenchEntry{}, base...), cur...) {
 		if e.Partial {
@@ -73,10 +82,22 @@ func CompareBench(base, cur []BenchEntry, tol float64) ([]BenchDelta, error) {
 		if !ok {
 			return nil, fmt.Errorf("perf: benchmark %s missing from new run", b.Name)
 		}
-		d := BenchDelta{Name: b.Name, BaseNs: b.NsPerOp, NewNs: n.NsPerOp}
+		d := BenchDelta{
+			Name:   b.Name,
+			BaseNs: b.NsPerOp, NewNs: n.NsPerOp,
+			BaseAllocs: b.AllocsPerOp, NewAllocs: n.AllocsPerOp,
+		}
 		if b.NsPerOp > 0 {
 			d.Ratio = n.NsPerOp / b.NsPerOp
 			d.Regressed = d.Ratio > 1+tol
+		}
+		if b.AllocsPerOp > 0 {
+			d.AllocRatio = n.AllocsPerOp / b.AllocsPerOp
+			d.AllocRegressed = d.AllocRatio > 1+allocTol
+		} else if n.AllocsPerOp > 0 {
+			// A benchmark that allocated nothing at baseline and allocates now
+			// has no finite ratio but is still a regression.
+			d.AllocRegressed = true
 		}
 		deltas = append(deltas, d)
 	}
@@ -84,12 +105,12 @@ func CompareBench(base, cur []BenchEntry, tol float64) ([]BenchDelta, error) {
 	return deltas, nil
 }
 
-// Regressions filters a comparison down to the benchmarks that slowed
-// beyond tolerance.
+// Regressions filters a comparison down to the benchmarks that regressed —
+// in time, in allocations, or both.
 func Regressions(deltas []BenchDelta) []BenchDelta {
 	var out []BenchDelta
 	for _, d := range deltas {
-		if d.Regressed {
+		if d.Regressed || d.AllocRegressed {
 			out = append(out, d)
 		}
 	}

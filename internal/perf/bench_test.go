@@ -19,7 +19,7 @@ func TestCompareBenchWithinTolerance(t *testing.T) {
 	cur := benchBase()
 	cur[0].NsPerOp *= 1.08 // +8%: inside a ±10% gate
 	cur[1].NsPerOp *= 0.85 // faster is always fine
-	deltas, err := CompareBench(base, cur, 0.10)
+	deltas, err := CompareBench(base, cur, 0.10, 0.20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func TestCompareBenchCatchesSlowdown(t *testing.T) {
 	base := benchBase()
 	cur := benchBase()
 	cur[1].NsPerOp *= 1.20 // the acceptance-criteria case: a 20% slowdown
-	deltas, err := CompareBench(base, cur, 0.10)
+	deltas, err := CompareBench(base, cur, 0.10, 0.20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,22 +48,63 @@ func TestCompareBenchCatchesSlowdown(t *testing.T) {
 	}
 }
 
+func TestCompareBenchCatchesAllocRegression(t *testing.T) {
+	base := benchBase()
+	cur := benchBase()
+	cur[1].AllocsPerOp *= 1.35 // +35% allocs: outside the ±20% alloc gate
+	deltas, err := CompareBench(base, cur, 0.10, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkSweepCRFRefsCached" {
+		t.Fatalf("regressions = %+v, want exactly the doctored benchmark", regs)
+	}
+	if regs[0].Regressed || !regs[0].AllocRegressed {
+		t.Fatalf("want an alloc-only regression, got %+v", regs[0])
+	}
+	if regs[0].AllocRatio < 1.34 || regs[0].AllocRatio > 1.36 {
+		t.Fatalf("alloc ratio = %v, want ~1.35", regs[0].AllocRatio)
+	}
+	// +15% allocs stays inside the wider alloc gate.
+	cur[1].AllocsPerOp = base[1].AllocsPerOp * 1.15
+	deltas, err = CompareBench(base, cur, 0.10, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %+v", regs)
+	}
+}
+
+func TestCompareBenchAllocFromZero(t *testing.T) {
+	base := []BenchEntry{{Name: "BenchmarkSAD", NsPerOp: 400, AllocsPerOp: 0}}
+	cur := []BenchEntry{{Name: "BenchmarkSAD", NsPerOp: 400, AllocsPerOp: 1}}
+	deltas, err := CompareBench(base, cur, 0.10, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Regressions(deltas); len(regs) != 1 || !regs[0].AllocRegressed {
+		t.Fatalf("zero-to-nonzero allocation not flagged: %+v", deltas)
+	}
+}
+
 func TestCompareBenchMissingBenchmark(t *testing.T) {
-	if _, err := CompareBench(benchBase(), benchBase()[:2], 0.10); err == nil {
+	if _, err := CompareBench(benchBase(), benchBase()[:2], 0.10, 0.20); err == nil {
 		t.Fatal("missing benchmark not rejected")
 	}
 }
 
 func TestCompareBenchRejectsPartial(t *testing.T) {
 	cur := append(benchBase(), BenchEntry{Name: "_note", Partial: true})
-	if _, err := CompareBench(benchBase(), cur, 0.10); err == nil {
+	if _, err := CompareBench(benchBase(), cur, 0.10, 0.20); err == nil {
 		t.Fatal("partial run not rejected")
 	}
 }
 
 func TestCompareBenchIgnoresMarkerRows(t *testing.T) {
 	base := append(benchBase(), BenchEntry{Name: "_note"})
-	deltas, err := CompareBench(base, benchBase(), 0.10)
+	deltas, err := CompareBench(base, benchBase(), 0.10, 0.20)
 	if err != nil {
 		t.Fatal(err)
 	}

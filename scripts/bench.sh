@@ -1,9 +1,12 @@
 #!/bin/sh
-# bench.sh — run the core replay-cache benchmarks and record them in
-# BENCH_core.json as [{"name":..., "ns_per_op":..., "allocs_per_op":...}].
+# bench.sh — run the core replay-cache, shared-analysis and pixel-kernel
+# benchmarks and record them in BENCH_core.json as
+# [{"name":..., "ns_per_op":..., "allocs_per_op":...}].
 #
 # The cached/uncached sweep pair is the headline number: the acceptance
-# bar is cached >= 1.5x faster than uncached on the reduced 4x4 grid.
+# bar is cached >= 1.5x faster than uncached on the reduced 4x4 grid. The
+# AnalysisReuse shared/live pair is the per-point claim of the shared
+# lookahead artifact, and SAD/SATD pin the SWAR kernels.
 #
 # An interrupted run (Ctrl-C) still writes whatever benchmarks completed,
 # with a trailing {"name": "_note", "partial": true} entry so downstream
@@ -18,7 +21,7 @@ PARTIAL=0
 trap 'rm -f "$RAW"' EXIT
 trap 'PARTIAL=1' INT TERM
 
-go test -run '^$' -bench 'BenchmarkDecodeReplay|BenchmarkSweepCRFRefs' \
+go test -run '^$' -bench 'BenchmarkDecodeReplay|BenchmarkSweepCRFRefs|BenchmarkAnalysisReuse|BenchmarkSAD$|BenchmarkSATD$' \
 	-benchtime "$BENCHTIME" -benchmem -timeout 1200s . | tee "$RAW" || PARTIAL=1
 trap - INT TERM
 
@@ -36,6 +39,8 @@ awk -v partial="$PARTIAL" '
 	rows[++n] = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs)
 	if (name == "BenchmarkSweepCRFRefsCached") cached = ns
 	if (name == "BenchmarkSweepCRFRefsUncached") uncached = ns
+	if (name == "BenchmarkAnalysisReuse/shared") ashared = ns
+	if (name == "BenchmarkAnalysisReuse/live") alive = ns
 }
 END {
 	if (partial + 0 != 0)
@@ -45,6 +50,8 @@ END {
 	printf "]\n"
 	if (cached + 0 > 0 && uncached + 0 > 0)
 		printf "replay cache speedup: %.2fx\n", uncached / cached > "/dev/stderr"
+	if (ashared + 0 > 0 && alive + 0 > 0)
+		printf "shared analysis speedup: %.2fx\n", alive / ashared > "/dev/stderr"
 }
 ' "$RAW" >"$OUT"
 

@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # benchgate.sh — the perf-regression gate: run the core benchmarks (via
 # bench.sh) and compare them against the committed BENCH_core.json with a
-# ±10% ns/op tolerance. Exits nonzero when any benchmark regressed, when a
-# baseline benchmark vanished, or when either file is a partial run.
+# ±10% ns/op and ±20% allocs/op tolerance. Exits nonzero when any benchmark
+# regressed, when a baseline benchmark vanished, or when either file is a
+# partial run.
 #
-#   ./scripts/benchgate.sh             # run benchmarks, then gate
-#   ./scripts/benchgate.sh new.json    # gate an existing result file
-#   TOL=0.05 ./scripts/benchgate.sh    # tighter tolerance
+#   ./scripts/benchgate.sh                 # run benchmarks, then gate
+#   ./scripts/benchgate.sh new.json        # gate an existing result file
+#   TOL=0.05 ./scripts/benchgate.sh        # tighter time tolerance
+#   ALLOC_TOL=0.05 ./scripts/benchgate.sh  # tighter allocation tolerance
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TOL="${TOL:-0.10}"
+ALLOC_TOL="${ALLOC_TOL:-0.20}"
 BASE="${BASE:-BENCH_core.json}"
 
 if [ $# -ge 1 ]; then
@@ -23,4 +26,4 @@ else
 	BENCHTIME="${BENCHTIME:-2x}" OUT="$NEW" ./scripts/bench.sh >&2
 fi
 
-go run ./cmd/benchgate -base "$BASE" -new "$NEW" -tol "$TOL"
+go run ./cmd/benchgate -base "$BASE" -new "$NEW" -tol "$TOL" -alloc-tol "$ALLOC_TOL"

@@ -203,7 +203,9 @@ func SweepCRFRefs(ctx context.Context, w Workload, base Options, cfg Config, crf
 
 // SweepCRFRefsWith is SweepCRFRefs with explicit execution options, e.g.
 // SweepOpts{NoReplayCache: true} to re-simulate every point's decode live
-// instead of replaying the cached decode trace.
+// instead of replaying the cached decode trace, or
+// SweepOpts{NoAnalysisCache: true} to run every point's lookahead live
+// instead of reusing the shared per-video analysis artifact.
 func SweepCRFRefsWith(ctx context.Context, w Workload, base Options, cfg Config, crfs, refs []int, opts SweepOpts) Points {
 	return core.SweepCRFRefsWith(ctx, w, base, cfg, crfs, refs, opts)
 }
