@@ -1,0 +1,248 @@
+// Command loadgen drives an online serving instance (cmd/serve) with a
+// deterministic open-loop arrival process and reports sojourn-time
+// quantiles — the client side of the DESIGN.md §10 serving study.
+//
+//	loadgen -addr localhost:8080 -n 50 -rate 25 -seed 1
+//	loadgen -compare -n 8 -seed 42
+//
+// Arrivals are Poisson (exponential interarrivals) but fully seeded:
+// the i-th job's task parameters come from sched.GenerateTasks and its
+// arrival gap from a per-index hash, so two runs with the same flags
+// submit the identical workload on the identical schedule. The run fails
+// (exit 1) if any admitted job is lost — neither completed, failed, nor
+// canceled within -timeout — or if the server's /metrics snapshot does not
+// expose the queue depth gauge and sojourn histogram the serving layer is
+// supposed to publish.
+//
+// With -compare, no server is contacted: the same task sequence is served
+// in-process once under smart placement and once under random, printing
+// the completed-work delta (the online analogue of schedsim).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/serve"
+)
+
+var (
+	flagAddr    = flag.String("addr", "localhost:8080", "serve instance to drive")
+	flagN       = flag.Int("n", 50, "jobs to submit")
+	flagRate    = flag.Float64("rate", 25, "mean arrival rate, jobs/second")
+	flagSeed    = flag.Uint64("seed", 1, "seed for tasks and interarrival gaps")
+	flagClasses = flag.String("classes", "live,batch", "fairness classes cycled across jobs")
+	flagTimeout = flag.Duration("timeout", 120*time.Second, "deadline for all jobs to reach a terminal state")
+	flagCompare = flag.Bool("compare", false, "run the in-process smart-vs-random comparison instead of driving a server")
+	flagPool    = flag.String("pool", "baseline,fe_op,be_op1,be_op2,bs_op", "fleet configurations (-compare only)")
+	flagEach    = flag.Int("each", 1, "replicas of each -pool configuration (-compare only)")
+	flagFrames  = flag.Int("frames", 8, "frames per job (-compare only)")
+	flagScale   = flag.Int("scale", 0, "proxy downscale factor (-compare only)")
+)
+
+func main() {
+	cli.Main("loadgen", run)
+}
+
+func run(ctx context.Context) error {
+	if *flagCompare {
+		return runCompare(ctx)
+	}
+	return runLoad(ctx)
+}
+
+// splitmix64 mirrors the serving layer's per-index hash so arrival gaps
+// are deterministic without sharing RNG state across jobs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// gap returns the i-th exponential interarrival time for the given rate.
+func gap(seed uint64, i int, rate float64) time.Duration {
+	u := float64(splitmix64(seed^uint64(i))>>11) / float64(1<<53) // [0,1)
+	d := -math.Log(1-u) / rate
+	return time.Duration(d * float64(time.Second))
+}
+
+type submitted struct {
+	id    string
+	class string
+}
+
+func runLoad(ctx context.Context) error {
+	tasks := sched.GenerateTasks(*flagN, *flagSeed)
+	classes := cli.Strings(*flagClasses)
+	if len(classes) == 0 {
+		classes = []string{""}
+	}
+	base := "http://" + *flagAddr
+	client := &http.Client{Timeout: 10 * time.Second}
+	reg := obs.NewRegistry()
+	sojourn := reg.Histogram("loadgen_sojourn_ns")
+
+	var accepted []submitted
+	var rejected int
+	for i, task := range tasks {
+		select {
+		case <-time.After(gap(*flagSeed, i, *flagRate)):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		body, _ := json.Marshal(serve.JobRequest{
+			Video: task.Video, CRF: task.CRF, Refs: task.Refs,
+			Preset: string(task.Preset), Class: classes[i%len(classes)],
+		})
+		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("submit %d: %w", i, err)
+		}
+		var view serve.JobView
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusAccepted && err == nil:
+			accepted = append(accepted, submitted{id: view.ID, class: view.Class})
+		case resp.StatusCode == http.StatusTooManyRequests:
+			rejected++ // admission control doing its job, not a lost job
+		default:
+			return fmt.Errorf("submit %d: status %d (%v)", i, resp.StatusCode, err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d submitted, %d accepted, %d rejected\n",
+		len(tasks), len(accepted), rejected)
+
+	// Poll every accepted job to a terminal state within the deadline.
+	deadline := time.Now().Add(*flagTimeout)
+	var done, failed, canceled, lost int
+	for _, sub := range accepted {
+		final, err := pollJob(ctx, client, base, sub.id, deadline)
+		if err != nil {
+			return err
+		}
+		switch final.State {
+		case serve.StateDone:
+			done++
+			sojourn.Observe(int64(final.Finished.Sub(final.Submitted)))
+		case serve.StateFailed:
+			failed++
+		case serve.StateCanceled:
+			canceled++
+		default:
+			lost++
+			fmt.Fprintf(os.Stderr, "loadgen: job %s still %s at deadline\n", sub.id, final.State)
+		}
+	}
+
+	if h, ok := reg.Snapshot().HistogramByName("loadgen_sojourn_ns"); ok && h.Count > 0 {
+		fmt.Printf("loadgen: %d jobs done, sojourn p50 %s p95 %s p99 %s (max %s)\n",
+			done, obs.FmtDuration(h.P50), obs.FmtDuration(h.P95), obs.FmtDuration(h.P99),
+			obs.FmtDuration(h.Max))
+	}
+	fmt.Printf("loadgen: outcomes: %d done, %d failed, %d canceled, %d rejected, %d lost\n",
+		done, failed, canceled, rejected, lost)
+
+	if err := checkServerMetrics(client, base); err != nil {
+		return err
+	}
+	if lost > 0 {
+		return fmt.Errorf("%d jobs lost (admitted but not terminal within %s)", lost, *flagTimeout)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d jobs failed", failed)
+	}
+	return nil
+}
+
+func pollJob(ctx context.Context, client *http.Client, base, id string, deadline time.Time) (serve.JobView, error) {
+	var view serve.JobView
+	for {
+		resp, err := client.Get(base + "/jobs/" + id)
+		if err != nil {
+			return view, fmt.Errorf("poll %s: %w", id, err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			return view, fmt.Errorf("poll %s: %w", id, err)
+		}
+		switch view.State {
+		case serve.StateDone, serve.StateFailed, serve.StateCanceled:
+			return view, nil
+		}
+		if time.Now().After(deadline) {
+			return view, nil // caller counts it lost
+		}
+		select {
+		case <-time.After(20 * time.Millisecond):
+		case <-ctx.Done():
+			return view, ctx.Err()
+		}
+	}
+}
+
+// checkServerMetrics asserts the serving instance publishes the queue and
+// sojourn instrumentation on /metrics — the observability contract the CI
+// smoke test pins.
+func checkServerMetrics(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if !gaugeExists(snap, "queue_depth") {
+		return fmt.Errorf("metrics: server exposes no queue_depth gauge")
+	}
+	for _, h := range []string{"serve_sojourn_ns", "queue_wait_ns"} {
+		if _, ok := snap.HistogramByName(h); !ok {
+			return fmt.Errorf("metrics: server exposes no %s histogram", h)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "loadgen: server metrics ok (queue depth gauge + sojourn histograms present)")
+	return nil
+}
+
+func gaugeExists(snap obs.Snapshot, name string) bool {
+	for k := range snap.Gauges {
+		if k == name || len(k) > len(name) && k[:len(name)+1] == name+"{" {
+			return true
+		}
+	}
+	return false
+}
+
+func runCompare(ctx context.Context) error {
+	pool, err := sched.PoolByNames(cli.Strings(*flagPool), *flagEach)
+	if err != nil {
+		return err
+	}
+	tasks := sched.GenerateTasks(*flagN, *flagSeed)
+	proto := core.Workload{Frames: *flagFrames, Scale: *flagScale}
+	fmt.Fprintf(os.Stderr, "loadgen: comparing smart vs random over %d jobs on %d servers...\n",
+		len(tasks), len(pool))
+	c, err := serve.RunComparison(ctx, pool, tasks, proto, *flagSeed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("smart:  %d completed, %.3f fleet-seconds\n", c.Smart.Completed, c.Smart.SimSeconds)
+	fmt.Printf("random: %d completed, %.3f fleet-seconds\n", c.Random.Completed, c.Random.SimSeconds)
+	fmt.Printf("delta:  smart frees %+.2f%% of the fleet time random spends\n", 100*c.Delta())
+	return nil
+}

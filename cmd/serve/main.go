@@ -1,0 +1,107 @@
+// Command serve runs the online transcoding service: an HTTP job API over
+// the characterization-driven dispatcher on a simulated heterogeneous
+// fleet (DESIGN.md §10).
+//
+//	serve -addr localhost:8080 -pool baseline,fe_op,be_op1,be_op2,bs_op
+//	serve -addr localhost:8080 -policy random -each 2 -warm all
+//
+// The listener carries the job API (POST /jobs, GET /jobs/{id}, GET
+// /healthz) and the standard observability endpoints (/metrics,
+// /debug/vars, /debug/pprof) on one mux. SIGINT/SIGTERM drains gracefully:
+// admissions stop, queued jobs finish, then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/serve"
+	"repro/internal/vbench"
+)
+
+var (
+	flagAddr   = flag.String("addr", "localhost:8080", "listen address for the job API (use :0 for an ephemeral port)")
+	flagPool   = flag.String("pool", "baseline,fe_op,be_op1,be_op2,bs_op", "comma-separated configuration names forming the fleet")
+	flagEach   = flag.Int("each", 1, "replicas of each -pool configuration")
+	flagPolicy = flag.String("policy", "smart", "placement policy: smart or random")
+	flagDepth  = flag.Int("depth", 0, "admission queue depth (0: default 256)")
+	flagWork   = flag.Int("workers", 0, "concurrent executions (0: one per server)")
+	flagFrames = flag.Int("frames", 8, "frames per job")
+	flagScale  = flag.Int("scale", 0, "proxy downscale factor (0: auto)")
+	flagSeed   = flag.Uint64("seed", 1, "seed for deterministic random placement")
+	flagWarm   = flag.String("warm", "", "videos to pre-profile into the cost model (comma list, or 'all' for the catalog)")
+)
+
+func main() {
+	cli.Main("serve", run)
+}
+
+func run(ctx context.Context) error {
+	pool, err := sched.PoolByNames(cli.Strings(*flagPool), *flagEach)
+	if err != nil {
+		return err
+	}
+	policy, err := serve.ParsePolicy(*flagPolicy)
+	if err != nil {
+		return err
+	}
+	s, err := serve.New(serve.Config{
+		Pool:       pool,
+		Policy:     policy,
+		QueueDepth: *flagDepth,
+		Workers:    *flagWork,
+		Proto:      core.Workload{Frames: *flagFrames, Scale: *flagScale},
+		Seed:       *flagSeed,
+	})
+	if err != nil {
+		return err
+	}
+	if *flagWarm != "" {
+		videos := cli.Strings(*flagWarm)
+		if strings.EqualFold(*flagWarm, "all") {
+			videos = vbench.Names()
+		}
+		fmt.Fprintf(os.Stderr, "serve: warming cost model for %d videos...\n", len(videos))
+		if err := s.Warm(ctx, videos); err != nil {
+			return err
+		}
+	}
+
+	// The dispatcher gets its own context so that SIGINT triggers a drain
+	// (Stop) rather than abandoning queued jobs mid-flight.
+	dispCtx, dispCancel := context.WithCancel(context.Background())
+	defer dispCancel()
+	s.Start(dispCtx)
+
+	ln, err := net.Listen("tcp", *flagAddr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "serve: %d servers (%s policy) on http://%s\n",
+		len(pool), policy, ln.Addr())
+
+	select {
+	case err := <-httpDone:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "serve: draining...")
+	hs.Shutdown(context.Background())
+	s.Stop()
+	tot := s.Totals()
+	fmt.Fprintf(os.Stderr, "serve: done — %d submitted, %d completed, %d failed, %d canceled, %d rejected, %.3f fleet-seconds\n",
+		tot.Submitted, tot.Completed, tot.Failed, tot.Canceled, tot.Rejected, tot.SimSeconds)
+	cli.Summary("serve", false)
+	return nil
+}

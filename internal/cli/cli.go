@@ -134,5 +134,15 @@ func SummaryLine(name string, s obs.Snapshot) string {
 	if util, ok := s.Gauges["exec_utilization_pct"]; ok {
 		fmt.Fprintf(&b, ", workers %d%% busy", util)
 	}
+	if served := s.CounterTotal("serve_jobs_completed"); served > 0 {
+		fmt.Fprintf(&b, ", served %d jobs", served)
+		if h, ok := s.HistogramByName("serve_sojourn_ns"); ok && h.Count > 0 {
+			fmt.Fprintf(&b, " (sojourn p50 %s p95 %s p99 %s)",
+				obs.FmtDuration(h.P50), obs.FmtDuration(h.P95), obs.FmtDuration(h.P99))
+		}
+		if rejected := s.CounterTotal("serve_jobs_rejected"); rejected > 0 {
+			fmt.Fprintf(&b, ", %d rejected", rejected)
+		}
+	}
 	return b.String()
 }

@@ -65,6 +65,23 @@ func TestSummaryLine(t *testing.T) {
 	}
 }
 
+func TestSummaryLineServe(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("serve_jobs_completed").Add(50)
+	r.Counter("serve_jobs_rejected").Add(3)
+	for i := 0; i < 50; i++ {
+		r.Histogram("serve_sojourn_ns").Observe(int64(10+i) * 1e6)
+	}
+	line := SummaryLine("serve", r.Snapshot())
+	for _, want := range []string{
+		"serve:", "served 50 jobs", "sojourn p50", "p95", "p99", "3 rejected",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("summary line missing %q: %s", want, line)
+		}
+	}
+}
+
 func TestSummaryLineEmpty(t *testing.T) {
 	// A run that swept nothing still renders a valid (terse) line.
 	if got := SummaryLine("vprof", obs.NewRegistry().Snapshot()); got != "vprof:" {

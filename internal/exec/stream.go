@@ -1,0 +1,121 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// defaultWorkers is the pool's worker default (GOMAXPROCS), shared with
+// Map's inline resolution.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ErrStreamClosed reports a Submit after Close.
+var ErrStreamClosed = errors.New("exec: stream closed")
+
+// Stream is the open-ended counterpart of Pool.Map: the same bounded worker
+// pool, panic recovery and telemetry, but fed one job at a time instead of
+// a fixed index range. It exists for the serving layer, where jobs arrive
+// over time and there is no n to map over.
+//
+// Usage discipline: one owner submits and eventually calls Close exactly
+// once; Submit must not race Close (the dispatcher's single submit loop
+// guarantees this). Job errors are the submitter's business — record them
+// from inside the job function; the stream only counts them.
+type Stream struct {
+	jobs    chan streamJob
+	ctx     context.Context
+	met     poolMetrics
+	wg      sync.WaitGroup
+	closed  bool
+	inFlite sync.WaitGroup // jobs accepted but not yet finished
+}
+
+type streamJob struct {
+	fn  func(ctx context.Context) error
+	enq time.Time
+}
+
+// Stream starts the pool's workers and returns a running stream. The
+// workers exit when Close is called or ctx is canceled; jobs already
+// handed to a worker run to completion either way (they observe ctx at
+// their own checkpoints, exactly like Map jobs).
+func (p Pool) Stream(ctx context.Context) *Stream {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	s := &Stream{
+		jobs: make(chan streamJob),
+		ctx:  ctx,
+		met:  p.metrics(),
+	}
+	s.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer s.wg.Done()
+			for job := range s.jobs {
+				s.met.queueWait.ObserveSince(job.enq)
+				s.met.started.Inc()
+				start := time.Now()
+				err, panicked := runJob(ctx, 0, func(ctx context.Context, _ int) error {
+					return job.fn(ctx)
+				})
+				d := time.Since(start)
+				s.met.jobTime.Observe(int64(d))
+				s.met.busyNs.Add(int64(d))
+				s.met.completed.Inc()
+				if panicked {
+					s.met.panicked.Inc()
+				}
+				if err != nil {
+					s.met.failed.Inc()
+				}
+				s.inFlite.Done()
+			}
+		}()
+	}
+	return s
+}
+
+// Submit hands one job to the stream, blocking until a worker accepts it
+// (the unbuffered handoff is the stream's backpressure: a full pool pushes
+// the wait back into the submitter). Returns ctx.Err() when the submitter's
+// ctx or the stream's ctx cancels first, ErrStreamClosed after Close. A
+// panic inside fn is recovered and counted; fn's error is not returned
+// here — report outcomes from inside fn.
+func (s *Stream) Submit(ctx context.Context, fn func(ctx context.Context) error) error {
+	if s.closed {
+		return ErrStreamClosed
+	}
+	s.inFlite.Add(1)
+	select {
+	case s.jobs <- streamJob{fn: fn, enq: time.Now()}:
+		return nil
+	case <-ctx.Done():
+		s.inFlite.Done()
+		return ctx.Err()
+	case <-s.ctx.Done():
+		s.inFlite.Done()
+		return s.ctx.Err()
+	}
+}
+
+// Wait blocks until every accepted job has finished. The stream stays
+// usable afterwards; drain points (end of a test, a graceful shutdown)
+// call Wait before reading results the jobs wrote.
+func (s *Stream) Wait() { s.inFlite.Wait() }
+
+// Close stops the workers and blocks until in-flight jobs finish. Close is
+// idempotent per the single-owner discipline: call it exactly once, after
+// the last Submit has returned.
+func (s *Stream) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.jobs)
+	s.wg.Wait()
+}

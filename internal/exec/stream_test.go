@@ -1,0 +1,134 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestStreamRunsEveryJob(t *testing.T) {
+	s := Pool{Workers: 4, Metrics: obs.NewRegistry()}.Stream(context.Background())
+	const n = 100
+	var ran atomic.Int64
+	for i := 0; i < n; i++ {
+		if err := s.Submit(context.Background(), func(ctx context.Context) error {
+			ran.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	if got := ran.Load(); got != n {
+		t.Fatalf("ran %d jobs, want %d", got, n)
+	}
+}
+
+func TestStreamPanicIsContained(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := Pool{Workers: 2, Metrics: reg}.Stream(context.Background())
+	var after atomic.Bool
+	if err := s.Submit(context.Background(), func(ctx context.Context) error {
+		panic("one corrupt job")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(context.Background(), func(ctx context.Context) error {
+		after.Store(true)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if !after.Load() {
+		t.Fatal("job after a panic never ran")
+	}
+	snap := reg.Snapshot()
+	if snap.CounterTotal("exec_jobs_panicked") != 1 {
+		t.Fatalf("panicked counter %d, want 1", snap.CounterTotal("exec_jobs_panicked"))
+	}
+}
+
+func TestStreamSubmitObservesCancel(t *testing.T) {
+	// One worker, occupied by a blocking job: the next Submit has no free
+	// worker and must return when its ctx cancels.
+	s := Pool{Workers: 1, Metrics: obs.NewRegistry()}.Stream(context.Background())
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Submit(context.Background(), func(ctx context.Context) error {
+			<-release
+			return nil
+		})
+	}()
+	wg.Wait() // the goroutine has at least entered Submit
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Submit(ctx, func(ctx context.Context) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("submit error %v, want context.Canceled", err)
+	}
+	close(release)
+	s.Close()
+}
+
+func TestStreamSubmitAfterClose(t *testing.T) {
+	s := Pool{Workers: 1, Metrics: obs.NewRegistry()}.Stream(context.Background())
+	s.Close()
+	if err := s.Submit(context.Background(), func(ctx context.Context) error { return nil }); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("submit after close: %v, want ErrStreamClosed", err)
+	}
+}
+
+func TestStreamWaitDrains(t *testing.T) {
+	s := Pool{Workers: 3, Metrics: obs.NewRegistry()}.Stream(context.Background())
+	var done atomic.Int64
+	for i := 0; i < 20; i++ {
+		if err := s.Submit(context.Background(), func(ctx context.Context) error {
+			done.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Wait()
+	if got := done.Load(); got != 20 {
+		t.Fatalf("wait returned with %d/20 jobs done", got)
+	}
+	s.Close()
+}
+
+func TestStreamConcurrentSubmitters(t *testing.T) {
+	// Many submitters, one stream: exercised under -race by ci.sh. Note the
+	// single-owner Close discipline: Close happens only after every
+	// submitter finished.
+	s := Pool{Workers: 4, Metrics: obs.NewRegistry()}.Stream(context.Background())
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := s.Submit(context.Background(), func(ctx context.Context) error {
+					ran.Add(1)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s.Close()
+	if got := ran.Load(); got != 200 {
+		t.Fatalf("ran %d jobs, want 200", got)
+	}
+}

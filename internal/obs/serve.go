@@ -24,21 +24,17 @@ func Publish() {
 	})
 }
 
-// Serve starts the debug HTTP endpoint on addr and returns the bound
-// listener address (useful when addr ends in ":0"). It exposes:
+// Mux returns a fresh mux carrying the standard debug endpoints every
+// binary's -debug-addr serves:
 //
 //	/metrics     — the default registry snapshot as indented JSON
 //	/debug/vars  — expvar, including the "obs" snapshot
 //	/debug/pprof — the standard pprof profile index
 //
-// The server runs until the process exits; Serve fails fast (rather than
-// in the background) when the address cannot be bound.
-func Serve(addr string) (string, error) {
+// The serving layer mounts its API routes on top of this mux so one
+// listener carries both the service and its observability side door.
+func Mux() *http.ServeMux {
 	Publish()
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", fmt.Errorf("obs: debug endpoint: %w", err)
-	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -52,6 +48,18 @@ func Serve(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	go http.Serve(ln, mux)
+	return mux
+}
+
+// Serve starts the debug HTTP endpoint on addr and returns the bound
+// listener address (useful when addr ends in ":0"). It serves Mux until
+// the process exits; Serve fails fast (rather than in the background) when
+// the address cannot be bound.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug endpoint: %w", err)
+	}
+	go http.Serve(ln, Mux())
 	return ln.Addr().String(), nil
 }

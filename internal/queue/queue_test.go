@@ -1,0 +1,190 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func newTest(depth int) (*Queue[int], *obs.Registry) {
+	r := obs.NewRegistry()
+	return New[int](Options{MaxDepth: depth, Metrics: r, Name: "test"}), r
+}
+
+func mustSubmit(t *testing.T, q *Queue[int], v int, o SubmitOptions) *Ticket[int] {
+	t.Helper()
+	tk, err := q.Submit(context.Background(), v, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tk
+}
+
+func TestPriorityThenDeadlineThenFIFO(t *testing.T) {
+	q, _ := newTest(16)
+	base := time.Now()
+	mustSubmit(t, q, 1, SubmitOptions{Priority: 0})                                    // FIFO floor
+	mustSubmit(t, q, 2, SubmitOptions{Priority: 0})                                    // same class+pri, later
+	mustSubmit(t, q, 3, SubmitOptions{Priority: 1, Deadline: base.Add(2 * time.Hour)}) // high pri, late deadline
+	mustSubmit(t, q, 4, SubmitOptions{Priority: 1, Deadline: base.Add(time.Hour)})     // high pri, early deadline
+	mustSubmit(t, q, 5, SubmitOptions{Priority: 1})                                    // high pri, no deadline: last among pri 1
+
+	want := []int{4, 3, 5, 1, 2}
+	for i, w := range want {
+		tk, err := q.Dequeue(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tk.Payload(); got != w {
+			t.Fatalf("dequeue %d: payload %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestClassRoundRobinFairness(t *testing.T) {
+	q, _ := newTest(64)
+	// One aggressive class floods ten jobs; a second class submits two.
+	for i := 0; i < 10; i++ {
+		mustSubmit(t, q, 100+i, SubmitOptions{Class: "batch"})
+	}
+	mustSubmit(t, q, 1, SubmitOptions{Class: "live"})
+	mustSubmit(t, q, 2, SubmitOptions{Class: "live"})
+	// Round-robin alternates batch/live while both are nonempty, so the
+	// live jobs land in the first four dequeues instead of after the flood.
+	var liveSeen int
+	for i := 0; i < 4; i++ {
+		tk, err := q.Dequeue(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tk.Class() == "live" {
+			liveSeen++
+		}
+	}
+	if liveSeen != 2 {
+		t.Fatalf("live jobs seen in first 4 dequeues: %d, want 2", liveSeen)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	q, reg := newTest(2)
+	mustSubmit(t, q, 1, SubmitOptions{})
+	mustSubmit(t, q, 2, SubmitOptions{})
+	_, err := q.Submit(context.Background(), 3, SubmitOptions{})
+	if !errors.Is(err, ErrFull) {
+		t.Fatalf("overflow submit: %v, want ErrFull", err)
+	}
+	if p := q.Pressure(); p != 1 {
+		t.Fatalf("pressure %f, want 1", p)
+	}
+	// Draining one makes room again.
+	if _, err := q.Dequeue(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mustSubmit(t, q, 4, SubmitOptions{})
+	snap := reg.Snapshot()
+	if got := snap.CounterTotal("queue_rejected"); got != 1 {
+		t.Fatalf("rejected counter %d, want 1", got)
+	}
+	if got := snap.CounterTotal("queue_admitted"); got != 3 {
+		t.Fatalf("admitted counter %d, want 3", got)
+	}
+}
+
+func TestCancelViaContext(t *testing.T) {
+	q, reg := newTest(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	tk, err := q.Submit(ctx, 1, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// The AfterFunc watcher runs asynchronously; wait for the withdrawal.
+	deadline := time.Now().Add(2 * time.Second)
+	for q.Depth() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("canceled ticket never left the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if tk.Cancel() {
+		t.Fatal("second cancel must lose")
+	}
+	if got := reg.Snapshot().CounterTotal("queue_canceled"); got != 1 {
+		t.Fatalf("canceled counter %d, want 1", got)
+	}
+}
+
+func TestCancelLosesAfterDequeue(t *testing.T) {
+	q, _ := newTest(8)
+	tk := mustSubmit(t, q, 1, SubmitOptions{})
+	if _, err := q.Dequeue(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if tk.Cancel() {
+		t.Fatal("cancel after dequeue must report false")
+	}
+}
+
+func TestDequeueBlocksUntilSubmit(t *testing.T) {
+	q, _ := newTest(8)
+	got := make(chan int, 1)
+	go func() {
+		tk, err := q.Dequeue(context.Background())
+		if err != nil {
+			got <- -1
+			return
+		}
+		got <- tk.Payload()
+	}()
+	time.Sleep(10 * time.Millisecond)
+	mustSubmit(t, q, 42, SubmitOptions{})
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("dequeued %d, want 42", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("dequeue never woke")
+	}
+}
+
+func TestDequeueObservesContext(t *testing.T) {
+	q, _ := newTest(8)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := q.Dequeue(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("dequeue on empty queue: %v, want deadline exceeded", err)
+	}
+}
+
+func TestCloseDrainsThenRejects(t *testing.T) {
+	q, _ := newTest(8)
+	mustSubmit(t, q, 1, SubmitOptions{})
+	q.Close()
+	if _, err := q.Submit(context.Background(), 2, SubmitOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	tk, err := q.Dequeue(context.Background())
+	if err != nil || tk.Payload() != 1 {
+		t.Fatalf("draining a closed queue: %v, %v", tk, err)
+	}
+	if _, err := q.Dequeue(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("dequeue on drained closed queue: %v, want ErrClosed", err)
+	}
+}
+
+func TestTryDequeue(t *testing.T) {
+	q, _ := newTest(8)
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("try on empty queue must miss")
+	}
+	mustSubmit(t, q, 7, SubmitOptions{})
+	tk, ok := q.TryDequeue()
+	if !ok || tk.Payload() != 7 {
+		t.Fatalf("try: %v %v", tk, ok)
+	}
+}

@@ -1,0 +1,144 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestStressExactlyOnce is the -race gate of the serving layer's core
+// invariant: under concurrent submitters, a dispatcher and random
+// cancellations, every submitted job has exactly one outcome — rejected at
+// admission, canceled before dispatch, or executed once — and the metrics
+// agree with the ground truth.
+func TestStressExactlyOnce(t *testing.T) {
+	const (
+		submitters   = 8
+		perSubmitter = 200
+		total        = submitters * perSubmitter
+	)
+	reg := obs.NewRegistry()
+	q := New[int](Options{MaxDepth: 64, Metrics: reg, Name: "stress"})
+
+	var (
+		executed [total]atomic.Int32
+		accepted [total]atomic.Bool
+		rejected atomic.Int64
+		canceled atomic.Int64 // cancellations that won (Cancel returned true)
+		done     atomic.Int64 // jobs the dispatcher executed
+	)
+
+	// Dispatcher: drain until the queue closes and empties.
+	var dispatcher sync.WaitGroup
+	dispatcher.Add(1)
+	go func() {
+		defer dispatcher.Done()
+		for {
+			tk, err := q.Dequeue(context.Background())
+			if err != nil {
+				if !errors.Is(err, ErrClosed) {
+					t.Errorf("dispatcher: %v", err)
+				}
+				return
+			}
+			executed[tk.Payload()].Add(1)
+			done.Add(1)
+			// A late cancel must always lose against a dequeued ticket.
+			if tk.Cancel() {
+				t.Error("cancel won after dequeue")
+			}
+		}
+	}()
+
+	classes := []string{"live", "batch", "bulk"}
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + s)))
+			for i := 0; i < perSubmitter; i++ {
+				id := s*perSubmitter + i
+				ctx, cancel := context.WithCancel(context.Background())
+				tk, err := q.Submit(ctx, id, SubmitOptions{
+					Class:    classes[rng.Intn(len(classes))],
+					Priority: rng.Intn(3),
+				})
+				if err != nil {
+					cancel()
+					if !errors.Is(err, ErrFull) {
+						t.Errorf("submit %d: %v", id, err)
+					}
+					rejected.Add(1)
+					continue
+				}
+				accepted[id].Store(true)
+				switch rng.Intn(3) {
+				case 0: // cancel via the submission context
+					cancel()
+				case 1: // cancel directly; count only if we won
+					if tk.Cancel() {
+						canceled.Add(1)
+					}
+					cancel()
+				default:
+					// Leak no context watcher; the job stays live.
+					defer cancel()
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	q.Close()
+	dispatcher.Wait()
+
+	// Ground truth: every job rejected xor (accepted and executed at most
+	// once); nothing both executed and counted as a won cancellation is
+	// checked inside the dispatcher loop.
+	var execCount int64
+	for id := 0; id < total; id++ {
+		n := executed[id].Load()
+		if n > 1 {
+			t.Fatalf("job %d executed %d times", id, n)
+		}
+		if n == 1 && !accepted[id].Load() {
+			t.Fatalf("job %d executed but was never admitted", id)
+		}
+		execCount += int64(n)
+	}
+	if execCount != done.Load() {
+		t.Fatalf("executed flags %d != dispatcher count %d", execCount, done.Load())
+	}
+
+	snap := reg.Snapshot()
+	admitted := snap.CounterTotal("queue_admitted")
+	if admitted+rejected.Load() != total {
+		t.Fatalf("admitted %d + rejected %d != %d submitted", admitted, rejected.Load(), total)
+	}
+	if got := snap.CounterTotal("queue_rejected"); got != rejected.Load() {
+		t.Fatalf("rejected counter %d, want %d", got, rejected.Load())
+	}
+	// Every admitted job was either dequeued or canceled — no job lost,
+	// none double-settled. (ctx-path cancellations are counted by the
+	// queue itself; the direct-path ones we tallied must be a subset.)
+	dequeued := snap.CounterTotal("queue_dequeued")
+	canceledMetric := snap.CounterTotal("queue_canceled")
+	if dequeued+canceledMetric != admitted {
+		t.Fatalf("dequeued %d + canceled %d != admitted %d: a job was lost or double-settled",
+			dequeued, canceledMetric, admitted)
+	}
+	if dequeued != execCount {
+		t.Fatalf("dequeued counter %d != executed jobs %d", dequeued, execCount)
+	}
+	if canceledMetric < canceled.Load() {
+		t.Fatalf("canceled counter %d < direct cancellations %d", canceledMetric, canceled.Load())
+	}
+	if got := q.Depth(); got != 0 {
+		t.Fatalf("depth %d after drain", got)
+	}
+}

@@ -7,21 +7,80 @@
 // constraint).
 package sched
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Hungarian solves the rectangular assignment problem: cost is an n x m
 // matrix with n <= m; the result maps each row to a distinct column such
 // that the total cost is minimized. O(n^2 m) via shortest augmenting paths
 // with potentials.
-func Hungarian(cost [][]float64) []int {
+//
+// More rows than columns is an error, not a panic: an online dispatcher can
+// momentarily have more waiting tasks than free servers, and overload must
+// degrade (callers fall back, or use HungarianPad) instead of crashing the
+// serving process.
+func Hungarian(cost [][]float64) ([]int, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, nil
+	}
+	m := len(cost[0])
+	if m < n {
+		return nil, fmt.Errorf("sched: Hungarian needs at least as many columns as rows (have %d rows, %d columns)", n, m)
+	}
+	return solveAssignment(cost, n, m), nil
+}
+
+// HungarianPad solves the assignment problem for any shape by padding the
+// matrix with virtual columns whose cost exceeds every real cell: when rows
+// outnumber columns, the overflow rows land on virtual columns and are
+// reported as -1 (unplaced) instead of failing the whole solve. The rows
+// that do get real columns still form a minimum-cost matching — exactly the
+// degraded behaviour an overloaded dispatcher wants (place what fits now,
+// keep the rest queued).
+func HungarianPad(cost [][]float64) []int {
 	n := len(cost)
 	if n == 0 {
 		return nil
 	}
 	m := len(cost[0])
-	if m < n {
-		panic("sched: Hungarian requires at least as many columns as rows")
+	if m >= n {
+		return solveAssignment(cost, n, m)
 	}
+	// Virtual column cost: strictly worse than any real cell, so the solver
+	// only uses virtual columns for the rows that cannot fit. The pad is
+	// finite (not +Inf) to keep the potentials arithmetic exact.
+	worst := 0.0
+	for _, row := range cost {
+		for _, c := range row {
+			if v := math.Abs(c); v > worst {
+				worst = v
+			}
+		}
+	}
+	pad := worst*float64(n) + 1
+	padded := make([][]float64, n)
+	for i, row := range cost {
+		padded[i] = make([]float64, n)
+		copy(padded[i], row)
+		for j := m; j < n; j++ {
+			padded[i][j] = pad
+		}
+	}
+	out := solveAssignment(padded, n, n)
+	for i, j := range out {
+		if j >= m {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// solveAssignment is the shortest-augmenting-path core shared by Hungarian
+// and HungarianPad; it requires n <= m (checked by the callers).
+func solveAssignment(cost [][]float64, n, m int) []int {
 	const inf = math.MaxFloat64
 	u := make([]float64, n+1)
 	v := make([]float64, m+1)

@@ -59,7 +59,10 @@ func TestHungarianKnownCases(t *testing.T) {
 		{[][]float64{{10, 19, 8, 15}, {10, 18, 7, 17}, {13, 16, 9, 14}, {12, 19, 8, 18}}, 49},
 	}
 	for i, c := range cases {
-		got := Hungarian(c.cost)
+		got, err := Hungarian(c.cost)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
 		if tc := totalCost(c.cost, got); tc != c.want {
 			t.Errorf("case %d: cost %f, want %f (assign %v)", i, tc, c.want, got)
 		}
@@ -86,7 +89,11 @@ func TestHungarianMatchesBruteForceOnRandom(t *testing.T) {
 				cost[i][j] = float64(rng.Intn(100))
 			}
 		}
-		got := totalCost(cost, Hungarian(cost))
+		assign, err := Hungarian(cost)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := totalCost(cost, assign)
 		want := bruteForce(cost)
 		if got != want {
 			t.Fatalf("trial %d: hungarian %f != optimal %f for %v", trial, got, want, cost)
@@ -96,23 +103,60 @@ func TestHungarianMatchesBruteForceOnRandom(t *testing.T) {
 
 func TestHungarianNegativeCosts(t *testing.T) {
 	cost := [][]float64{{-5, -1}, {-2, -8}}
-	got := Hungarian(cost)
+	got, err := Hungarian(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if totalCost(cost, got) != -13 {
 		t.Fatalf("negative costs mishandled: %v -> %f", got, totalCost(cost, got))
 	}
 }
 
 func TestHungarianRejectsWideRows(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("n > m must panic")
+	if _, err := Hungarian([][]float64{{1}, {2}}); err == nil {
+		t.Fatal("n > m must return an error")
+	}
+}
+
+func TestHungarianPadOverload(t *testing.T) {
+	// Three tasks, one server: the cheapest task gets the server, the
+	// other two report unplaced (-1) instead of panicking the dispatcher.
+	cost := [][]float64{{5}, {1}, {3}}
+	got := HungarianPad(cost)
+	if len(got) != 3 || got[1] != 0 || got[0] != -1 || got[2] != -1 {
+		t.Fatalf("pad assignment %v, want [-1 0 -1]", got)
+	}
+	// Two tasks, two servers: padding must not change an exact solve.
+	square := [][]float64{{1, 2}, {2, 1}}
+	if got := HungarianPad(square); got[0] != 0 || got[1] != 1 {
+		t.Fatalf("square pad assignment %v, want [0 1]", got)
+	}
+	// Rectangular overload with negative costs: the two best rows win.
+	neg := [][]float64{{-1, 0}, {-5, -4}, {-3, -6}}
+	got = HungarianPad(neg)
+	placed := 0
+	for _, j := range got {
+		if j >= 0 {
+			placed++
 		}
-	}()
-	Hungarian([][]float64{{1}, {2}})
+	}
+	if placed != 2 {
+		t.Fatalf("pad placed %d rows of %v, want 2", placed, got)
+	}
+	if got[1] != 0 || got[2] != 1 {
+		t.Fatalf("pad assignment %v, want rows 1,2 placed on 0,1", got)
+	}
 }
 
 func TestHungarianEmpty(t *testing.T) {
-	if out := Hungarian(nil); out != nil {
+	out, err := Hungarian(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
 		t.Fatal("empty input must give empty output")
+	}
+	if out := HungarianPad(nil); out != nil {
+		t.Fatal("empty pad input must give empty output")
 	}
 }

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"fmt"
+
 	"repro/internal/codec"
 	"repro/internal/perf"
 	"repro/internal/uarch"
@@ -42,16 +44,30 @@ func GenerateTasks(n int, seed uint64) []Task {
 	return out
 }
 
+// itoa renders v in decimal. The buffer covers the full int range
+// (20 bytes: 19 digits of -math.MinInt64 plus the sign); the previous
+// fixed [8]byte version silently truncated nine-digit task indices.
 func itoa(v int) string {
 	if v == 0 {
 		return "0"
 	}
-	var buf [8]byte
+	neg := v < 0
+	// Negate via unsigned so math.MinInt64 (whose negation overflows int)
+	// still renders correctly.
+	u := uint64(v)
+	if neg {
+		u = -u
+	}
+	var buf [20]byte
 	i := len(buf)
-	for v > 0 {
+	for u > 0 {
 		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
+		buf[i] = byte('0' + u%10)
+		u /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
 	}
 	return string(buf[i:])
 }
@@ -69,11 +85,32 @@ func UniformPool(configs []uarch.Config, each int) Pool {
 	return p
 }
 
+// PoolByNames builds a uniform fleet from configuration names (the -pool
+// flag shape the serving binaries share).
+func PoolByNames(names []string, each int) (Pool, error) {
+	if each < 1 {
+		return nil, fmt.Errorf("sched: pool replicas %d, want >= 1", each)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("sched: empty pool")
+	}
+	configs := make([]uarch.Config, len(names))
+	for i, name := range names {
+		c, ok := uarch.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("sched: unknown configuration %q", name)
+		}
+		configs[i] = c
+	}
+	return UniformPool(configs, each), nil
+}
+
 // AssignPool places tasks one-to-one onto the pool's servers by
 // characterization affinity (the smart scheduler generalized to fleets).
-// len(pool) must be >= len(tasks). Returns, per task, the pool index of the
-// chosen server.
-func AssignPool(tasks []Task, baselineReports []*perf.Report, pool Pool) []int {
+// It fails when len(pool) < len(tasks); callers that want partial placement
+// under overload build the cost matrix themselves and use HungarianPad.
+// Returns, per task, the pool index of the chosen server.
+func AssignPool(tasks []Task, baselineReports []*perf.Report, pool Pool) ([]int, error) {
 	n := len(tasks)
 	cost := make([][]float64, n)
 	for ti := 0; ti < n; ti++ {

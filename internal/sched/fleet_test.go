@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"math"
+	"strconv"
 	"testing"
 
 	"repro/internal/perf"
@@ -35,7 +37,7 @@ func TestGenerateTasksInRange(t *testing.T) {
 		if task.Refs < 1 || task.Refs > 8 {
 			t.Fatalf("refs %d out of range", task.Refs)
 		}
-		opt, err := task.options()
+		opt, err := task.Options()
 		if err != nil {
 			t.Fatalf("%+v: %v", task, err)
 		}
@@ -76,7 +78,10 @@ func TestAssignPoolRoutesByBottleneck(t *testing.T) {
 	}
 	// Pool with two of each relevant config.
 	pool := UniformPool(uarch.TableIV()[1:], 2)
-	assign := AssignPool(tasks, reports, pool)
+	assign, err := AssignPool(tasks, reports, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantName := []string{"fe_op", "bs_op", "be_op1", "be_op2"}
 	seen := map[int]bool{}
 	for ti, si := range assign {
@@ -104,5 +109,28 @@ func TestPoolSpeedup(t *testing.T) {
 	got := PoolSpeedup(tasks, pool, []int{0, 1}, baseline, seconds)
 	if got != 50 {
 		t.Fatalf("pool speedup %f", got)
+	}
+}
+
+func TestAssignPoolOverloadErrors(t *testing.T) {
+	tasks := GenerateTasks(3, 5)
+	reports := []*perf.Report{{}, {}, {}}
+	if _, err := AssignPool(tasks, reports, Pool{uarch.Baseline()}); err == nil {
+		t.Fatal("3 tasks on a 1-server pool must return an error")
+	}
+}
+
+func TestItoaBoundaries(t *testing.T) {
+	cases := []int{0, 1, 9, 10, 99999999, 100000000, 123456789, 2147483647, -1, -100000000}
+	for _, v := range cases {
+		if got, want := itoa(v), strconv.Itoa(v); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", v, got, want)
+		}
+	}
+	if got, want := itoa(math.MaxInt64), strconv.Itoa(math.MaxInt64); got != want {
+		t.Errorf("itoa(MaxInt64) = %q, want %q", got, want)
+	}
+	if got, want := itoa(math.MinInt64), strconv.Itoa(math.MinInt64); got != want {
+		t.Errorf("itoa(MinInt64) = %q, want %q", got, want)
 	}
 }

@@ -31,9 +31,11 @@ func TableIII() []Task {
 	}
 }
 
-// options builds the encoder options of a task: preset defaults with the
-// task's crf and refs pinned on top, as the paper does.
-func (t Task) options() (codec.Options, error) {
+// Options builds the encoder options of a task: preset defaults with the
+// task's crf and refs pinned on top, as the paper does. It is exported for
+// the serving layer, which turns submitted jobs into the same encode
+// options the offline study uses.
+func (t Task) Options() (codec.Options, error) {
 	o := codec.Options{RC: codec.RCCRF, CRF: t.CRF, QP: 26, KeyintMax: 250}
 	if err := codec.ApplyPreset(&o, t.Preset); err != nil {
 		return o, err
@@ -63,7 +65,7 @@ func Measure(ctx context.Context, tasks []Task, configs []uarch.Config, proto co
 	m.Reports = make([][]*perf.Report, len(tasks))
 	opts := make([]codec.Options, len(tasks))
 	for ti, t := range tasks {
-		opt, err := t.options()
+		opt, err := t.Options()
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +166,9 @@ func Affinity(baseline *perf.Report, cfg uarch.Config) float64 {
 // then matched one-to-one to configurations maximizing total recovered
 // bottleneck share. It never looks at the measured per-configuration
 // times — only at the baseline characterization, as a real scheduler would.
-func SmartAssignment(tasks []Task, baselineReports []*perf.Report, configs []uarch.Config) []int {
+// It fails (rather than panics) when there are fewer configurations than
+// tasks.
+func SmartAssignment(tasks []Task, baselineReports []*perf.Report, configs []uarch.Config) ([]int, error) {
 	n := len(tasks)
 	cost := make([][]float64, n)
 	for ti := 0; ti < n; ti++ {
@@ -239,7 +243,10 @@ func (m *Matrix) Evaluate() (*Outcome, error) {
 		}
 		o.RandomSeconds[ti] = sum / float64(len(optIdx))
 	}
-	smart := SmartAssignment(m.Tasks, baseReports, optCfg)
+	smart, err := SmartAssignment(m.Tasks, baseReports, optCfg)
+	if err != nil {
+		return nil, err
+	}
 	o.SmartAssign = make([]int, n)
 	for ti, ci := range smart {
 		o.SmartAssign[ti] = optIdx[ci]

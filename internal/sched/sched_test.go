@@ -28,7 +28,7 @@ func TestTableIIIMatchesPaper(t *testing.T) {
 
 func TestTaskOptionsPinCRFAndRefs(t *testing.T) {
 	task := TableIII()[0] // veryfast preset has refs=1, task pins 8
-	opt, err := task.options()
+	opt, err := task.Options()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// Comparison is the smart-vs-random serving outcome over one task sequence
+// on one pool: the online analogue of sched.Evaluate's offline comparison.
+type Comparison struct {
+	Smart  Totals `json:"smart"`
+	Random Totals `json:"random"`
+}
+
+// Delta is the completed-work advantage of characterization-driven
+// placement: the fraction of fleet service time the random policy spends
+// that smart does not. Positive means smart finished the same jobs in
+// fewer fleet-seconds, i.e. freed that share of capacity.
+func (c Comparison) Delta() float64 {
+	if c.Random.SimSeconds == 0 {
+		return 0
+	}
+	return (c.Random.SimSeconds - c.Smart.SimSeconds) / c.Random.SimSeconds
+}
+
+// RunComparison serves the same task sequence twice over the same pool —
+// once under smart placement with a pre-warmed cost model, once under the
+// random control. The loop is closed (submit, wait for completion, submit
+// the next), so every placement decision sees the whole fleet free: the
+// outcome depends only on (pool, tasks, seed), making the comparison
+// deterministic and assertable in tests.
+func RunComparison(ctx context.Context, pool sched.Pool, tasks []sched.Task, proto core.Workload, seed uint64) (Comparison, error) {
+	var out Comparison
+	smart, err := runClosedLoop(ctx, pool, tasks, proto, seed, PolicySmart)
+	if err != nil {
+		return out, err
+	}
+	random, err := runClosedLoop(ctx, pool, tasks, proto, seed, PolicyRandom)
+	if err != nil {
+		return out, err
+	}
+	out.Smart, out.Random = smart, random
+	return out, nil
+}
+
+func runClosedLoop(ctx context.Context, pool sched.Pool, tasks []sched.Task, proto core.Workload, seed uint64, pol Policy) (Totals, error) {
+	s, err := New(Config{
+		Pool: pool, Policy: pol, Workers: 1, Proto: proto, Seed: seed,
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		return Totals{}, err
+	}
+	if pol == PolicySmart {
+		videos := make([]string, len(tasks))
+		for i, t := range tasks {
+			videos[i] = t.Video
+		}
+		if err := s.Warm(ctx, videos); err != nil {
+			return Totals{}, err
+		}
+	}
+	s.Start(ctx)
+	defer s.Stop()
+	for _, t := range tasks {
+		view, err := s.Submit(ctx, JobRequest{
+			Video: t.Video, CRF: t.CRF, Refs: t.Refs, Preset: string(t.Preset),
+		})
+		if err != nil {
+			return Totals{}, fmt.Errorf("serve: compare submit %s: %w", t.Video, err)
+		}
+		final, err := s.WaitJob(ctx, view.ID)
+		if err != nil {
+			return Totals{}, err
+		}
+		if final.State != StateDone {
+			return Totals{}, fmt.Errorf("serve: compare job %s ended %s: %s", final.ID, final.State, final.Error)
+		}
+	}
+	return s.Totals(), nil
+}

@@ -1,0 +1,330 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/perf"
+	"repro/internal/sched"
+	"repro/internal/uarch"
+)
+
+// This file is the online dispatcher: the incremental counterpart of the
+// paper's one-shot Hungarian placement. Each cycle it takes the next
+// dequeued job, tops the batch up with whatever else is waiting (bounded by
+// the free-server count), and solves the batch×free-servers assignment with
+// the same affinity cost model the offline smart scheduler uses — a batch
+// of one degenerates to greedy argmax-affinity, a fuller batch recovers the
+// regret-aware matching (a job only concedes its best server when another
+// job loses more by missing it). Videos without a cached baseline
+// characterization fall back to seeded-random placement, the cold-start
+// behaviour the random control policy uses for everything.
+
+// run is the dispatcher loop; it exits when ctx cancels or the queue is
+// closed and drained.
+func (s *Server) run(ctx context.Context) {
+	defer close(s.runDone)
+	for {
+		ticket, err := s.q.Dequeue(ctx)
+		if err != nil {
+			return // canceled, or closed and drained
+		}
+		sp := s.met.dispatch.Start()
+		batch := []*record{ticket.Payload()}
+		if !s.waitFree(ctx) {
+			// Canceled while every server was busy: the dequeued job never
+			// ran; settle it so no waiter hangs.
+			s.settleCanceled(batch[0])
+			sp.End()
+			return
+		}
+		s.mu.Lock()
+		free := s.free
+		s.mu.Unlock()
+		for len(batch) < free {
+			extra, ok := s.q.TryDequeue()
+			if !ok {
+				break
+			}
+			batch = append(batch, extra.Payload())
+		}
+		placements := s.place(batch)
+		sp.End()
+		for bi, rec := range batch {
+			s.launch(ctx, rec, placements[bi])
+		}
+	}
+}
+
+// waitFree blocks until at least one server is free; false means ctx
+// canceled first.
+func (s *Server) waitFree(ctx context.Context) bool {
+	if ctx.Done() != nil {
+		defer context.AfterFunc(ctx, func() {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.free == 0 {
+		if ctx.Err() != nil {
+			return false
+		}
+		s.cond.Wait()
+	}
+	return true
+}
+
+// placement pairs a batch entry with its chosen server and the mode the
+// decision was made under.
+type placement struct {
+	server int
+	mode   string // smart | random | cold
+}
+
+// place assigns every batch entry to a distinct free server and marks the
+// servers busy, all under the fleet lock. len(batch) never exceeds the free
+// count (run caps the batch), so every entry gets a server.
+func (s *Server) place(batch []*record) []placement {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var freeIdx []int
+	for si, b := range s.busy {
+		if !b {
+			freeIdx = append(freeIdx, si)
+		}
+	}
+	out := make([]placement, len(batch))
+	taken := make([]bool, len(freeIdx))
+
+	// Partition the batch: smart-placeable rows (policy smart, warm cache)
+	// solve jointly; the rest place random.
+	var warm []int
+	var cold []int
+	reports := make([]*perf.Report, len(batch))
+	for bi, rec := range batch {
+		if s.cfg.Policy == PolicySmart {
+			if rep := s.costOf(rec.task.Video); rep != nil {
+				reports[bi] = rep
+				warm = append(warm, bi)
+				continue
+			}
+			out[bi].mode = "cold"
+		} else {
+			out[bi].mode = "random"
+		}
+		cold = append(cold, bi)
+	}
+	if len(warm) > 0 {
+		cost := make([][]float64, len(warm))
+		for k, bi := range warm {
+			cost[k] = make([]float64, len(freeIdx))
+			for j, si := range freeIdx {
+				cost[k][j] = -sched.Affinity(reports[bi], s.cfg.Pool[si])
+			}
+		}
+		// HungarianPad so overload degrades: a row the solve cannot place
+		// (more warm jobs than free servers can only happen if run's batch
+		// cap is ever loosened) falls back to the random path instead of
+		// crashing the dispatcher.
+		assign := sched.HungarianPad(cost)
+		for k, bi := range warm {
+			j := assign[k]
+			if j < 0 {
+				out[bi].mode = "cold"
+				cold = append(cold, bi)
+				continue
+			}
+			out[bi] = placement{server: freeIdx[j], mode: "smart"}
+			taken[j] = true
+		}
+	}
+	for _, bi := range cold {
+		var remaining []int
+		for j := range freeIdx {
+			if !taken[j] {
+				remaining = append(remaining, j)
+			}
+		}
+		// Per-job hash, not a shared RNG stream: the draw depends only on
+		// (seed, job sequence), so placement is reproducible regardless of
+		// dispatch interleaving.
+		j := remaining[int(splitmix64(s.cfg.Seed^batch[bi].seq)%uint64(len(remaining)))]
+		out[bi].server = freeIdx[j]
+		taken[j] = true
+	}
+	for _, p := range out {
+		s.busy[p.server] = true
+	}
+	s.free -= len(batch)
+	s.met.busySrv.Set(int64(len(s.cfg.Pool) - s.free))
+	return out
+}
+
+// launch records the dispatch and hands the job to the execution stream.
+func (s *Server) launch(ctx context.Context, rec *record, p placement) {
+	cfg := s.cfg.Pool[p.server]
+	rec.mu.Lock()
+	rec.state = StateRunning
+	rec.server = cfg.Name
+	rec.mode = p.mode
+	rec.started = time.Now()
+	rec.mu.Unlock()
+	s.met.placed(p.mode).Inc()
+	if err := s.stream.Submit(ctx, func(jctx context.Context) error {
+		return s.execute(jctx, rec, p.server)
+	}); err != nil {
+		// The stream refused (shutdown race): release the server and fail
+		// the job so its waiters settle.
+		s.release(p.server)
+		s.settle(rec, StateFailed, 0, fmt.Errorf("serve: dispatch: %w", err))
+	}
+}
+
+// execute runs one placed job on the simulated fleet via the shared core
+// pipeline (decode/analysis caches and all), then settles the record.
+func (s *Server) execute(ctx context.Context, rec *record, server int) error {
+	cfg := s.cfg.Pool[server]
+	w := s.cfg.Proto
+	w.Video = rec.task.Video
+	res, err := core.Run(ctx, core.Job{Workload: w, Options: rec.opts, Config: cfg})
+	// Release before settling: a closed-loop client that saw the job finish
+	// must find the fleet capacity already restored.
+	s.release(server)
+	if err != nil {
+		s.settle(rec, StateFailed, 0, err)
+		return err
+	}
+	// The fleet learns while serving: any job that happened to run on a
+	// baseline-configured server doubles as the baseline characterization
+	// of its video, warming the cost model for free.
+	if cfg.Name == "baseline" {
+		s.learn(rec.task.Video, res.Report)
+	}
+	s.settle(rec, StateDone, res.Report.Seconds, nil)
+	return nil
+}
+
+// release returns a server to the free set.
+func (s *Server) release(server int) {
+	s.mu.Lock()
+	s.busy[server] = false
+	s.free++
+	s.met.busySrv.Set(int64(len(s.cfg.Pool) - s.free))
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// settle moves a record to a terminal state exactly once and updates the
+// outcome counters.
+func (s *Server) settle(rec *record, state JobState, seconds float64, err error) {
+	rec.mu.Lock()
+	if rec.state == StateDone || rec.state == StateFailed || rec.state == StateCanceled {
+		rec.mu.Unlock()
+		return
+	}
+	rec.state = state
+	rec.finished = time.Now()
+	rec.seconds = seconds
+	if err != nil {
+		rec.errMsg = err.Error()
+	}
+	enq := rec.enq
+	rec.mu.Unlock()
+
+	s.met.sojourn.ObserveSince(enq)
+	s.totMu.Lock()
+	switch state {
+	case StateDone:
+		s.met.completed.Inc()
+		s.met.simMs.Add(int64(seconds * 1e3))
+		s.totals.Completed++
+		s.totals.SimSeconds += seconds
+	case StateFailed:
+		s.met.failed.Inc()
+		s.totals.Failed++
+	case StateCanceled:
+		s.met.canceled.Inc()
+		s.totals.Canceled++
+	}
+	s.totMu.Unlock()
+	close(rec.done)
+}
+
+// settleCanceled marks a withdrawn job (its queue ticket was canceled
+// before dispatch).
+func (s *Server) settleCanceled(rec *record) {
+	s.settle(rec, StateCanceled, 0, context.Canceled)
+}
+
+// --- characterization cost model ------------------------------------------------
+
+// costOf returns the cached baseline characterization of a video, or nil
+// when the cache is cold.
+func (s *Server) costOf(video string) *perf.Report {
+	s.costMu.Lock()
+	defer s.costMu.Unlock()
+	return s.costs[video]
+}
+
+// learn stores a baseline characterization (first writer wins, keeping the
+// model stable once warm).
+func (s *Server) learn(video string, rep *perf.Report) {
+	s.costMu.Lock()
+	if _, ok := s.costs[video]; !ok {
+		s.costs[video] = rep
+	}
+	s.costMu.Unlock()
+}
+
+// Warm profiles the given videos on the baseline configuration with the
+// paper's default options (medium, crf 23) and fills the cost cache,
+// fanning out on the shared execution engine. The model is keyed by video
+// only — content dominates the bottleneck mix — so one profile per video
+// serves every (crf, refs, preset) a job may carry. Duplicate and
+// already-warm videos are skipped. Typically called at startup with the
+// expected catalog; without it the dispatcher serves cold (random) until
+// baseline-placed jobs warm the model organically.
+func (s *Server) Warm(ctx context.Context, videos []string) error {
+	want := make(map[string]bool)
+	var todo []string
+	for _, v := range videos {
+		if want[v] || s.costOf(v) != nil {
+			continue
+		}
+		want[v] = true
+		todo = append(todo, v)
+	}
+	sort.Strings(todo)
+	if len(todo) == 0 {
+		return nil
+	}
+	opts := codec.Defaults()
+	base := uarch.Baseline()
+	_, err := exec.Pool{Policy: exec.FailFast, Metrics: s.cfg.Metrics}.Map(ctx, len(todo), func(ctx context.Context, i int) error {
+		w := s.cfg.Proto
+		w.Video = todo[i]
+		res, err := core.Run(ctx, core.Job{Workload: w, Options: opts, Config: base})
+		if err != nil {
+			return fmt.Errorf("serve: warm %s: %w", todo[i], err)
+		}
+		s.learn(todo[i], res.Report)
+		return nil
+	})
+	return err
+}
+
+// splitmix64 is the per-job hash behind deterministic random placement.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,489 @@
+// Package serve is the online serving layer: an HTTP transcoding-job API
+// in front of a characterization-driven live dispatcher over a
+// heterogeneous simulated fleet.
+//
+// The paper's §III-D2 scheduler study is offline — every task is known
+// upfront and placed in one Hungarian solve (internal/sched). This package
+// is the same placement policy moved to the deployment shape real
+// transcoding services have (Li et al.): jobs *arrive* on a bounded
+// admission queue (internal/queue) and a dispatcher assigns each batch of
+// waiting jobs to free servers of a sched.Pool using the characterization
+// cost model, falling back to seeded-random placement while the cost cache
+// is cold. Execution runs on the shared exec layer through core.Run, so
+// repeated videos hit the decode/analysis caches exactly like sweep
+// points do.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/perf"
+	"repro/internal/queue"
+	"repro/internal/sched"
+	"repro/internal/vbench"
+)
+
+// Policy selects the dispatcher's placement rule.
+type Policy string
+
+const (
+	// PolicySmart places by characterization affinity (the online variant
+	// of the paper's smart scheduler), falling back to seeded-random
+	// placement for videos whose baseline profile is not cached yet.
+	PolicySmart Policy = "smart"
+	// PolicyRandom places every job uniformly at random over the free
+	// servers — the paper's random scheduler, used as the control.
+	PolicyRandom Policy = "random"
+)
+
+// ParsePolicy validates a -policy flag value.
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case PolicySmart, PolicyRandom:
+		return Policy(s), nil
+	}
+	return "", fmt.Errorf("serve: unknown policy %q (want smart or random)", s)
+}
+
+// Config assembles a serving instance.
+type Config struct {
+	// Pool is the heterogeneous fleet; one entry per server. Required.
+	Pool sched.Pool
+	// Policy selects smart (default) or random placement.
+	Policy Policy
+	// QueueDepth bounds the admission queue (0: 256, the queue default).
+	QueueDepth int
+	// Workers bounds concurrent executions; 0 means len(Pool) (every
+	// server can run one job at a time, so more workers never help).
+	Workers int
+	// Proto supplies the Workload fields other than Video (Frames, Scale,
+	// Seed) applied to every submitted job, mirroring sched.Measure.
+	Proto core.Workload
+	// Seed drives the deterministic random placement (random policy and
+	// cold-cache fallback).
+	Seed uint64
+	// Metrics selects the registry; nil means obs.Default().
+	Metrics *obs.Registry
+}
+
+// JobState is the lifecycle of a submitted job.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// JobRequest is the POST /jobs body: the task parameters of the paper's
+// studies plus the queueing class/priority/deadline of the serving layer.
+type JobRequest struct {
+	Video    string `json:"video"`
+	CRF      int    `json:"crf,omitempty"`      // 0: 23
+	Refs     int    `json:"refs,omitempty"`     // 0: 3
+	Preset   string `json:"preset,omitempty"`   // "": medium
+	Class    string `json:"class,omitempty"`    // fairness class
+	Priority int    `json:"priority,omitempty"` // higher dequeues first
+	// DeadlineMs is a relative deadline in milliseconds used for intra-class
+	// ordering (0: none).
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+}
+
+// JobView is the externally visible state of one job (GET /jobs/{id}).
+type JobView struct {
+	ID         string    `json:"id"`
+	State      JobState  `json:"state"`
+	Class      string    `json:"class,omitempty"`
+	Video      string    `json:"video"`
+	CRF        int       `json:"crf"`
+	Refs       int       `json:"refs"`
+	Preset     string    `json:"preset"`
+	Priority   int       `json:"priority,omitempty"`
+	Server     string    `json:"server,omitempty"` // configuration name of the placement
+	Mode       string    `json:"mode,omitempty"`   // smart | random | cold
+	Submitted  time.Time `json:"submitted"`
+	Started    time.Time `json:"started"`  // zero until dispatched
+	Finished   time.Time `json:"finished"` // zero until terminal
+	SimSeconds float64   `json:"simulated_seconds,omitempty"`
+	Error      string    `json:"error,omitempty"`
+}
+
+// Totals summarizes a server's lifetime outcomes. SimSeconds is the summed
+// simulated service time of completed jobs — the completed-work measure the
+// smart-vs-random comparison reports (same work, fewer fleet-seconds means
+// more capacity headroom).
+type Totals struct {
+	Submitted  int64   `json:"submitted"`
+	Completed  int64   `json:"completed"`
+	Failed     int64   `json:"failed"`
+	Canceled   int64   `json:"canceled"`
+	Rejected   int64   `json:"rejected"`
+	SimSeconds float64 `json:"simulated_seconds"`
+}
+
+// record is the server-side job state; mu guards the mutable fields.
+type record struct {
+	seq      uint64
+	id       string
+	task     sched.Task
+	opts     codec.Options
+	class    string
+	priority int
+
+	done chan struct{} // closed at any terminal state
+
+	mu       sync.Mutex
+	state    JobState
+	server   string
+	mode     string
+	enq      time.Time
+	started  time.Time
+	finished time.Time
+	seconds  float64
+	errMsg   string
+}
+
+// view snapshots a record for the API.
+func (r *record) view() JobView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return JobView{
+		ID: r.id, State: r.state, Class: r.class,
+		Video: r.task.Video, CRF: r.task.CRF, Refs: r.task.Refs,
+		Preset: string(r.task.Preset), Priority: r.priority,
+		Server: r.server, Mode: r.mode,
+		Submitted: r.enq, Started: r.started, Finished: r.finished,
+		SimSeconds: r.seconds, Error: r.errMsg,
+	}
+}
+
+// serveMetrics bundles the serving layer's obs instrumentation.
+type serveMetrics struct {
+	submitted *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	canceled  *obs.Counter
+	rejected  *obs.Counter
+	sojourn   *obs.Histogram
+	dispatch  *obs.Histogram
+	simMs     *obs.Counter
+	busySrv   *obs.Gauge
+	placed    func(mode string) *obs.Counter
+}
+
+// Server is one serving instance: queue, dispatcher, fleet state and the
+// job records behind the HTTP API.
+type Server struct {
+	cfg Config
+	q   *queue.Queue[*record]
+	met serveMetrics
+
+	stream *exec.Stream
+
+	mu   sync.Mutex // fleet state: busy set, free count
+	cond *sync.Cond
+	busy []bool
+	free int
+
+	jobsMu sync.Mutex
+	jobs   map[string]*record
+	seq    uint64
+
+	costMu sync.Mutex
+	costs  map[string]*perf.Report // per-video baseline characterization
+
+	totMu  sync.Mutex
+	totals Totals
+
+	runDone chan struct{}
+	started bool
+}
+
+// New builds a stopped server; call Start to begin dispatching.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Pool) == 0 {
+		return nil, errors.New("serve: empty pool")
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicySmart
+	}
+	if _, err := ParsePolicy(string(cfg.Policy)); err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 || cfg.Workers > len(cfg.Pool) {
+		cfg.Workers = len(cfg.Pool)
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	s := &Server{
+		cfg: cfg,
+		q: queue.New[*record](queue.Options{
+			MaxDepth: cfg.QueueDepth, Name: "serve", Metrics: reg,
+		}),
+		met: serveMetrics{
+			submitted: reg.Counter("serve_jobs_submitted"),
+			completed: reg.Counter("serve_jobs_completed"),
+			failed:    reg.Counter("serve_jobs_failed"),
+			canceled:  reg.Counter("serve_jobs_canceled"),
+			rejected:  reg.Counter("serve_jobs_rejected"),
+			sojourn:   reg.Histogram("serve_sojourn_ns"),
+			dispatch:  reg.Histogram("serve_dispatch_ns"),
+			simMs:     reg.Counter("serve_completed_sim_ms"),
+			busySrv:   reg.Gauge("serve_busy_servers"),
+			placed:    func(mode string) *obs.Counter { return reg.Counter("serve_placements", "mode", mode) },
+		},
+		busy:    make([]bool, len(cfg.Pool)),
+		free:    len(cfg.Pool),
+		jobs:    make(map[string]*record),
+		costs:   make(map[string]*perf.Report),
+		runDone: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Start launches the execution stream and the dispatcher loop. The server
+// runs until Stop (graceful drain) or ctx cancellation (abandons queued
+// jobs).
+func (s *Server) Start(ctx context.Context) {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.stream = exec.Pool{Workers: s.cfg.Workers, Metrics: s.cfg.Metrics}.Stream(ctx)
+	go s.run(ctx)
+}
+
+// Stop gracefully shuts the server down: admissions close immediately,
+// already-queued jobs are dispatched and executed, then the dispatcher and
+// workers exit. Safe to call once after Start.
+func (s *Server) Stop() {
+	s.q.Close()
+	<-s.runDone
+	s.stream.Close()
+}
+
+// Submit validates and admits one job. The returned view is the queued
+// state; rejections return queue.ErrFull / queue.ErrClosed (admission) or a
+// validation error. Canceling ctx while the job is still queued withdraws
+// it; a job already dispatched runs to completion.
+func (s *Server) Submit(ctx context.Context, req JobRequest) (JobView, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	task, opts, err := buildTask(req)
+	if err != nil {
+		return JobView{}, err
+	}
+	rec := &record{
+		task:     task,
+		opts:     opts,
+		class:    req.Class,
+		priority: req.Priority,
+		done:     make(chan struct{}),
+		state:    StateQueued,
+		enq:      time.Now(),
+	}
+	s.jobsMu.Lock()
+	s.seq++
+	rec.seq = s.seq
+	rec.id = "job-" + strconv.FormatUint(rec.seq, 10)
+	rec.task.Name = rec.id
+	s.jobsMu.Unlock()
+
+	var deadline time.Time
+	if req.DeadlineMs > 0 {
+		deadline = rec.enq.Add(time.Duration(req.DeadlineMs) * time.Millisecond)
+	}
+	// The queue's own ctx watcher is bypassed (Background) so that the
+	// serving layer observes every cancellation and can settle the record.
+	ticket, err := s.q.Submit(context.Background(), rec, queue.SubmitOptions{
+		Class: req.Class, Priority: req.Priority, Deadline: deadline,
+	})
+	if err != nil {
+		s.met.rejected.Inc()
+		s.totMu.Lock()
+		s.totals.Rejected++
+		s.totMu.Unlock()
+		return JobView{}, err
+	}
+	if ctx.Done() != nil {
+		context.AfterFunc(ctx, func() {
+			if ticket.Cancel() {
+				s.settleCanceled(rec)
+			}
+		})
+	}
+	s.jobsMu.Lock()
+	s.jobs[rec.id] = rec
+	s.jobsMu.Unlock()
+	s.met.submitted.Inc()
+	s.totMu.Lock()
+	s.totals.Submitted++
+	s.totMu.Unlock()
+	return rec.view(), nil
+}
+
+// Job returns the current view of a job by id.
+func (s *Server) Job(id string) (JobView, bool) {
+	s.jobsMu.Lock()
+	rec := s.jobs[id]
+	s.jobsMu.Unlock()
+	if rec == nil {
+		return JobView{}, false
+	}
+	return rec.view(), true
+}
+
+// WaitJob blocks until the job reaches a terminal state (done, failed or
+// canceled) and returns its final view.
+func (s *Server) WaitJob(ctx context.Context, id string) (JobView, error) {
+	s.jobsMu.Lock()
+	rec := s.jobs[id]
+	s.jobsMu.Unlock()
+	if rec == nil {
+		return JobView{}, fmt.Errorf("serve: unknown job %q", id)
+	}
+	select {
+	case <-rec.done:
+		return rec.view(), nil
+	case <-ctx.Done():
+		return JobView{}, ctx.Err()
+	}
+}
+
+// Totals returns the server's lifetime outcome counters.
+func (s *Server) Totals() Totals {
+	s.totMu.Lock()
+	defer s.totMu.Unlock()
+	return s.totals
+}
+
+// QueueDepth exposes the admission queue depth (the healthz signal).
+func (s *Server) QueueDepth() int { return s.q.Depth() }
+
+// Pressure exposes the admission queue backpressure fraction.
+func (s *Server) Pressure() float64 { return s.q.Pressure() }
+
+// buildTask validates a request and resolves defaults into a sched.Task
+// plus its encode options (validated eagerly so a bad preset is a 400 at
+// submission, not a failed job later).
+func buildTask(req JobRequest) (sched.Task, codec.Options, error) {
+	if _, err := vbench.ByName(req.Video); err != nil {
+		return sched.Task{}, codec.Options{}, fmt.Errorf("serve: %w", err)
+	}
+	task := sched.Task{Video: req.Video, CRF: req.CRF, Refs: req.Refs, Preset: codec.Preset(req.Preset)}
+	if task.CRF == 0 {
+		task.CRF = 23
+	}
+	if task.Refs == 0 {
+		task.Refs = 3
+	}
+	if task.Preset == "" {
+		task.Preset = codec.PresetMedium
+	}
+	if task.CRF < 0 || task.CRF > 51 {
+		return sched.Task{}, codec.Options{}, fmt.Errorf("serve: crf %d out of range [0,51]", task.CRF)
+	}
+	if task.Refs < 1 || task.Refs > 16 {
+		return sched.Task{}, codec.Options{}, fmt.Errorf("serve: refs %d out of range [1,16]", task.Refs)
+	}
+	opts, err := task.Options()
+	if err != nil {
+		return sched.Task{}, codec.Options{}, fmt.Errorf("serve: %w", err)
+	}
+	return task, opts, nil
+}
+
+// --- HTTP API -------------------------------------------------------------------
+
+// Handler returns the service mux: the job API mounted on top of the
+// standard -debug-addr observability endpoints (/metrics, /debug/vars,
+// /debug/pprof), so one listener serves both.
+func (s *Server) Handler() http.Handler {
+	mux := obs.Mux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	// Deliberately not r.Context(): a POSTed job is fire-and-forget; the
+	// client disconnecting must not withdraw it.
+	view, err := s.Submit(context.Background(), req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, view)
+	case errors.Is(err, queue.ErrFull):
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), Reason: "full"})
+	case errors.Is(err, queue.ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), Reason: "closed"})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// healthBody is the GET /healthz response.
+type healthBody struct {
+	Status      string  `json:"status"`
+	Policy      Policy  `json:"policy"`
+	PoolSize    int     `json:"pool_size"`
+	FreeServers int     `json:"free_servers"`
+	QueueDepth  int     `json:"queue_depth"`
+	Pressure    float64 `json:"pressure"`
+	Totals      Totals  `json:"totals"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	free := s.free
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, healthBody{
+		Status: "ok", Policy: s.cfg.Policy, PoolSize: len(s.cfg.Pool),
+		FreeServers: free, QueueDepth: s.q.Depth(), Pressure: s.q.Pressure(),
+		Totals: s.Totals(),
+	})
+}

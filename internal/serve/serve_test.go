@@ -1,0 +1,357 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/perf"
+	"repro/internal/queue"
+	"repro/internal/sched"
+	"repro/internal/uarch"
+)
+
+// tinyProto keeps simulated jobs cheap: 4 frames at an aggressive proxy
+// scale, the same shrink the sched tests use.
+var tinyProto = core.Workload{Frames: 4, Scale: 16}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Pool == nil {
+		cfg.Pool = sched.UniformPool(uarch.TableIV(), 1)
+	}
+	if cfg.Proto == (core.Workload{}) {
+		cfg.Proto = tinyProto
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSmartBeatsRandomDeterministic is the acceptance criterion of the
+// serving layer: on a heterogeneous pool, the characterization-driven
+// dispatcher completes the same job sequence in strictly fewer
+// fleet-seconds than random placement, and the whole comparison is
+// reproducible bit-for-bit from the seed.
+func TestSmartBeatsRandomDeterministic(t *testing.T) {
+	pool := sched.UniformPool(uarch.TableIV(), 1)
+	tasks := sched.GenerateTasks(8, 7)
+	ctx := context.Background()
+
+	first, err := RunComparison(ctx, pool, tasks, tinyProto, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunComparison(ctx, pool, tasks, tinyProto, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("comparison not deterministic:\n first %+v\nsecond %+v", first, second)
+	}
+	if got := first.Smart.Completed; got != int64(len(tasks)) {
+		t.Fatalf("smart completed %d of %d jobs", got, len(tasks))
+	}
+	if got := first.Random.Completed; got != int64(len(tasks)) {
+		t.Fatalf("random completed %d of %d jobs", got, len(tasks))
+	}
+	if first.Smart.SimSeconds >= first.Random.SimSeconds {
+		t.Fatalf("smart placement (%f fleet-seconds) did not beat random (%f)",
+			first.Smart.SimSeconds, first.Random.SimSeconds)
+	}
+	if d := first.Delta(); d <= 0 || d >= 1 {
+		t.Fatalf("delta %f out of (0,1)", d)
+	}
+}
+
+// TestColdThenLearned pins the cold-start path: with an unwarmed cost
+// model the smart policy places randomly (mode "cold"); once a job has run
+// on a baseline-configured server, the same video places smart.
+func TestColdThenLearned(t *testing.T) {
+	// A pool of only baseline servers: the cold random draw must land on
+	// baseline, which feeds the learning path.
+	s := newTestServer(t, Config{Pool: sched.Pool{uarch.Baseline(), uarch.Baseline()}})
+	ctx := context.Background()
+	s.Start(ctx)
+	defer s.Stop()
+
+	run := func(wantMode string) {
+		t.Helper()
+		view, err := s.Submit(ctx, JobRequest{Video: "bbb"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		final, err := s.WaitJob(ctx, view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State != StateDone {
+			t.Fatalf("job ended %s: %s", final.State, final.Error)
+		}
+		if final.Mode != wantMode {
+			t.Fatalf("job placed in mode %q, want %q", final.Mode, wantMode)
+		}
+		if final.Server != "baseline" {
+			t.Fatalf("job placed on %q, want baseline", final.Server)
+		}
+		if final.SimSeconds <= 0 {
+			t.Fatalf("sim seconds %f", final.SimSeconds)
+		}
+	}
+	run("cold")
+	run("smart")
+}
+
+// TestWarmSkipsKnownVideos checks Warm is idempotent and deduplicating.
+func TestWarmSkipsKnownVideos(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ctx := context.Background()
+	if err := s.Warm(ctx, []string{"bbb", "bbb"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.costOf("bbb") == nil {
+		t.Fatal("warm did not populate the cost cache")
+	}
+	rep := s.costOf("bbb")
+	if err := s.Warm(ctx, []string{"bbb"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.costOf("bbb") != rep {
+		t.Fatal("second warm replaced the cached report")
+	}
+}
+
+// TestSubmitValidation exercises the 400-path checks.
+func TestSubmitValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ctx := context.Background()
+	cases := []JobRequest{
+		{Video: "no-such-video"},
+		{Video: "bbb", CRF: 99},
+		{Video: "bbb", Refs: 99},
+		{Video: "bbb", Preset: "warpspeed"},
+	}
+	for _, req := range cases {
+		if _, err := s.Submit(ctx, req); err == nil {
+			t.Fatalf("submit %+v: expected validation error", req)
+		}
+	}
+}
+
+// TestCancelWhileQueued withdraws a queued job via its submission context
+// and checks it settles canceled without ever running.
+func TestCancelWhileQueued(t *testing.T) {
+	s := newTestServer(t, Config{})
+	// Not started: the job stays queued, so the cancellation must win.
+	ctx, cancel := context.WithCancel(context.Background())
+	view, err := s.Submit(ctx, JobRequest{Video: "bbb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	final, err := s.WaitJob(context.Background(), view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCanceled {
+		t.Fatalf("job state %s, want canceled", final.State)
+	}
+	if got := s.Totals().Canceled; got != 1 {
+		t.Fatalf("canceled total %d, want 1", got)
+	}
+}
+
+// TestHTTPLifecycle drives the full API surface over a real listener:
+// submit, poll to completion, healthz, 404 and 400.
+func TestHTTPLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ctx := context.Background()
+	s.Start(ctx)
+	defer s.Stop()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, JobView) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var view JobView
+		json.NewDecoder(resp.Body).Decode(&view)
+		return resp, view
+	}
+
+	resp, view := post(`{"video":"bbb","class":"live","priority":1}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	if view.State != StateQueued || view.ID == "" {
+		t.Fatalf("submit view %+v", view)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/jobs/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got JobView
+		json.NewDecoder(r.Body).Decode(&got)
+		r.Body.Close()
+		if got.State == StateDone {
+			if got.Server == "" || got.SimSeconds <= 0 {
+				t.Fatalf("done view %+v", got)
+			}
+			break
+		}
+		if got.State == StateFailed || got.State == StateCanceled {
+			t.Fatalf("job ended %s: %s", got.State, got.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", got.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health healthBody
+	json.NewDecoder(r.Body).Decode(&health)
+	r.Body.Close()
+	if health.Status != "ok" || health.PoolSize != 5 || health.Totals.Completed != 1 {
+		t.Fatalf("healthz %+v", health)
+	}
+
+	if r, err = http.Get(ts.URL + "/jobs/job-999"); err != nil || r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %v %v", r.StatusCode, err)
+	}
+	r.Body.Close()
+	if resp, _ := post(`{"video":"no-such-video"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad video status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := post(`{broken`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status %d, want 400", resp.StatusCode)
+	}
+
+	// The obs side door rides on the same mux.
+	if r, err = http.Get(ts.URL + "/metrics"); err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %v %v", r.StatusCode, err)
+	}
+	r.Body.Close()
+}
+
+// TestHTTPAdmissionFull pins the 429 path: a depth-1 queue with no
+// dispatcher running fills after one job.
+func TestHTTPAdmissionFull(t *testing.T) {
+	s := newTestServer(t, Config{QueueDepth: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"video":"bbb"}`
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/jobs", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit status %d, want 429", resp.StatusCode)
+	}
+	var e errorBody
+	json.NewDecoder(resp.Body).Decode(&e)
+	if e.Reason != "full" {
+		t.Fatalf("overflow reason %q, want full", e.Reason)
+	}
+	if got := s.Totals().Rejected; got != 1 {
+		t.Fatalf("rejected total %d, want 1", got)
+	}
+}
+
+// TestStopDrainsQueuedJobs checks graceful shutdown: jobs admitted before
+// Stop still execute.
+func TestStopDrainsQueuedJobs(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	s.Start(ctx)
+	var ids []string
+	for i := 0; i < 4; i++ {
+		view, err := s.Submit(ctx, JobRequest{Video: "bbb"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, view.ID)
+	}
+	s.Stop()
+	if _, err := s.Submit(ctx, JobRequest{Video: "bbb"}); !errors.Is(err, queue.ErrClosed) {
+		t.Fatalf("submit after stop: %v, want ErrClosed", err)
+	}
+	for _, id := range ids {
+		final, err := s.WaitJob(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State != StateDone {
+			t.Fatalf("job %s ended %s after graceful stop: %s", id, final.State, final.Error)
+		}
+	}
+	if got := s.Totals().Completed; got != 4 {
+		t.Fatalf("completed %d, want 4", got)
+	}
+}
+
+// BenchmarkDispatch measures one placement decision — the per-job overhead
+// the online dispatcher adds on top of execution — with a warm cost model,
+// a four-job batch and a ten-server fleet.
+func BenchmarkDispatch(b *testing.B) {
+	pool := sched.UniformPool(uarch.TableIV(), 2)
+	s, err := New(Config{
+		Pool: pool, Proto: tinyProto, Seed: 1, Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]*record, 4)
+	for i := range batch {
+		video := sched.GenerateTasks(len(batch), 9)[i].Video
+		batch[i] = &record{seq: uint64(i + 1), task: sched.Task{Video: video}}
+		s.learn(video, &perf.Report{Topdown: perf.Topdown{
+			FrontEnd: 0.2 + 0.1*float64(i), BadSpec: 0.1,
+			MemBound: 0.3 - 0.05*float64(i), CoreBound: 0.2,
+		}})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.place(batch)
+		// Restore the fleet so every iteration solves the same instance.
+		s.mu.Lock()
+		for j := range s.busy {
+			s.busy[j] = false
+		}
+		s.free = len(pool)
+		s.mu.Unlock()
+	}
+}

@@ -6,7 +6,8 @@
 # The cached/uncached sweep pair is the headline number: the acceptance
 # bar is cached >= 1.5x faster than uncached on the reduced 4x4 grid. The
 # AnalysisReuse shared/live pair is the per-point claim of the shared
-# lookahead artifact, and SAD/SATD pin the SWAR kernels.
+# lookahead artifact, SAD/SATD pin the SWAR kernels, and Dispatch pins the
+# serving layer's per-batch placement overhead.
 #
 # An interrupted run (Ctrl-C) still writes whatever benchmarks completed,
 # with a trailing {"name": "_note", "partial": true} entry so downstream
@@ -23,6 +24,10 @@ trap 'PARTIAL=1' INT TERM
 
 go test -run '^$' -bench 'BenchmarkDecodeReplay|BenchmarkSweepCRFRefs|BenchmarkAnalysisReuse|BenchmarkSAD$|BenchmarkSATD$' \
 	-benchtime "$BENCHTIME" -benchmem -timeout 1200s . | tee "$RAW" || PARTIAL=1
+# The serving layer's placement benchmark lives in its own package; append
+# to the same raw stream so the awk pass below records it alongside.
+go test -run '^$' -bench 'BenchmarkDispatch' \
+	-benchtime "$BENCHTIME" -benchmem -timeout 600s ./internal/serve | tee -a "$RAW" || PARTIAL=1
 trap - INT TERM
 
 awk -v partial="$PARTIAL" '

@@ -23,8 +23,12 @@ go build ./...
 go test ./...
 # Fast race gates first: the execution engine and the metrics registry are
 # pure concurrency — races there invalidate every sweep and every reported
-# number — so surface them before the long run below.
-go test -race ./internal/exec/... ./internal/obs/...
+# number — so surface them before the long run below. The admission queue
+# and serving layer join the list: their exactly-once guarantee (no job
+# lost or double-executed under concurrent submit/dispatch/cancel) only
+# means something under the race detector.
+go test -race ./internal/exec/... ./internal/obs/... ./internal/queue/...
+go test -race ./internal/serve/...
 go test -race -run 'TestSweepCancel|TestSweepPreCanceled|TestFlightCacheCancelDetach' ./internal/core/...
 # The race detector slows the simulator ~10x and internal/core's probe
 # tests each run multiple full transcodes, so the default 10m per-package

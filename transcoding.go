@@ -324,7 +324,8 @@ func GenerateTasks(n int, seed uint64) []Task { return sched.GenerateTasks(n, se
 func UniformPool(configs []Config, each int) ServerPool { return sched.UniformPool(configs, each) }
 
 // AssignPool places tasks one-to-one onto a fleet by characterization
-// affinity, generalizing the paper's smart scheduler.
-func AssignPool(tasks []Task, baselineReports []*Report, pool ServerPool) []int {
+// affinity, generalizing the paper's smart scheduler. It fails when the
+// pool has fewer servers than there are tasks.
+func AssignPool(tasks []Task, baselineReports []*Report, pool ServerPool) ([]int, error) {
 	return sched.AssignPool(tasks, baselineReports, pool)
 }

@@ -188,7 +188,10 @@ func TestFleetFacade(t *testing.T) {
 		reports[i].Topdown.MemBound = float64(10 + i*5)
 		reports[i].Topdown.FrontEnd = float64(30 - i*5)
 	}
-	assign := AssignPool(tasks, reports, pool)
+	assign, err := AssignPool(tasks, reports, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
 	seen := map[int]bool{}
 	for _, si := range assign {
 		if si < 0 || si >= len(pool) || seen[si] {
