@@ -46,7 +46,19 @@ func run(context.Context) error {
 		return err
 	}
 	rows := make([][]string, 0, len(deltas))
+	newCount := 0
 	for _, d := range deltas {
+		if d.New {
+			// Informational: the benchmark has no baseline yet, so there is
+			// nothing to gate until BENCH_core.json is regenerated.
+			newCount++
+			rows = append(rows, []string{
+				d.Name, "-", fmt.Sprintf("%.0f", d.NewNs), "-",
+				"-", fmt.Sprintf("%.0f", d.NewAllocs), "-",
+				"new (no baseline)",
+			})
+			continue
+		}
 		verdict := "ok"
 		switch {
 		case d.Regressed && d.AllocRegressed:
@@ -88,7 +100,12 @@ func run(context.Context) error {
 		return fmt.Errorf("%d benchmark(s) regressed beyond +%.0f%% ns/op or +%.0f%% allocs/op: %s",
 			len(regs), *flagTol*100, *flagATol*100, strings.Join(names, ", "))
 	}
-	fmt.Printf("bench gate ok: %d benchmarks within +%.0f%% ns/op and +%.0f%% allocs/op of baseline\n",
-		len(deltas), *flagTol*100, *flagATol*100)
+	gated := len(deltas) - newCount
+	fmt.Printf("bench gate ok: %d benchmarks within +%.0f%% ns/op and +%.0f%% allocs/op of baseline",
+		gated, *flagTol*100, *flagATol*100)
+	if newCount > 0 {
+		fmt.Printf(" (%d new, not gated)", newCount)
+	}
+	fmt.Println()
 	return nil
 }

@@ -35,6 +35,7 @@ var (
 	flagNoAC       = flag.Bool("no-analysis-cache", false, "run the lookahead and AQ analysis live at every sweep point instead of reusing the shared per-video artifact")
 	flagProgress   = flag.Bool("progress", false, "report per-point progress on stderr")
 	flagMetricsOut = flag.String("metrics-out", "", "write the JSON run manifest (inputs, git rev, metrics snapshot, wall time) to this file")
+	flagWorkers    = flag.Int("workers", 0, "intra-encode worker count for crf-refs and videos modes (0/1: serial; output is byte-identical at any count)")
 )
 
 func main() {
@@ -76,8 +77,14 @@ func run(ctx context.Context) error {
 	opts := core.SweepOpts{
 		NoReplayCache:   *flagNoRC,
 		NoAnalysisCache: *flagNoAC,
-		Progress:        cli.Progress("sweep", !*flagProgress),
+		// Stage histograms ride along whenever the run is being observed
+		// anyway (manifest or live progress); the benchmarked silent path
+		// stays timing-call free.
+		StageMetrics: *flagMetricsOut != "" || *flagProgress,
+		Progress:     cli.Progress("sweep", !*flagProgress),
 	}
+	base := codec.Defaults()
+	base.Workers = *flagWorkers
 	var pts core.Points
 	switch *flagMode {
 	case "crf-refs":
@@ -89,11 +96,13 @@ func run(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
-		pts = core.SweepCRFRefsWith(ctx, w, codec.Defaults(), uarch.Baseline(), crfs, refs, opts)
+		pts = core.SweepCRFRefsWith(ctx, w, base, uarch.Baseline(), crfs, refs, opts)
 	case "presets":
+		// Preset points build their options from the preset table, so
+		// -workers does not apply here.
 		pts = core.SweepPresetsWith(ctx, w, uarch.Baseline(), codec.Presets, 23, 3, opts)
 	case "videos":
-		pts = core.SweepVideosWith(ctx, vbench.Names(), *flagFrames, 0, codec.Defaults(), uarch.Baseline(), opts)
+		pts = core.SweepVideosWith(ctx, vbench.Names(), *flagFrames, 0, base, uarch.Baseline(), opts)
 	default:
 		return fmt.Errorf("unknown mode %q", *flagMode)
 	}

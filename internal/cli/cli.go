@@ -17,6 +17,7 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/codec"
 	"repro/internal/obs"
 )
 
@@ -133,6 +134,16 @@ func SummaryLine(name string, s obs.Snapshot) string {
 	}
 	if util, ok := s.Gauges["exec_utilization_pct"]; ok {
 		fmt.Fprintf(&b, ", workers %d%% busy", util)
+	}
+	// Per-encode-stage latency split (populated when stage metrics are on).
+	var stages []string
+	for st := codec.EncodeStage(0); st < codec.NumEncodeStages; st++ {
+		if h, ok := s.HistogramByName("encode_stage_" + st.String() + "_ns"); ok && h.Count > 0 {
+			stages = append(stages, fmt.Sprintf("%s %s", st, obs.FmtDuration(h.Sum)))
+		}
+	}
+	if len(stages) > 0 {
+		fmt.Fprintf(&b, ", stages [%s]", strings.Join(stages, " "))
 	}
 	if served := s.CounterTotal("serve_jobs_completed"); served > 0 {
 		fmt.Fprintf(&b, ", served %d jobs", served)

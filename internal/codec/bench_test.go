@@ -1,0 +1,90 @@
+package codec
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchSink keeps the compiler from eliding benchmark kernel results.
+var benchSink int
+
+// BenchmarkDeblock measures the packed deblocking filter over a full frame
+// of reconstructed content (every macroblock row, luma and chroma, with a
+// mix of strong and normal edges).
+func BenchmarkDeblock(b *testing.B) {
+	frames := makeClip(b, "cricket", 1, 8)
+	rec := frames[0]
+	mbw, mbh := rec.Width/16, rec.Height/16
+	st := newDeblockState(mbw, mbh)
+	for my := 0; my < mbh; my++ {
+		for mx := 0; mx < mbw; mx++ {
+			kind := kindInter
+			if (mx+my)%5 == 0 {
+				kind = kindIntra
+			}
+			st.set(mx, my, 22+(mx+my)%8, kind)
+		}
+	}
+	tr := newTracer(nil, 0)
+	b.SetBytes(int64(rec.Width * rec.Height))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for my := 0; my < mbh; my++ {
+			deblockMBRow(&tr, 0, rec, st, my, 0, 0)
+		}
+	}
+}
+
+// BenchmarkIntraPredict measures the fused predict+SATD intra analysis over
+// a frame's macroblocks: every 16x16 mode plus the 4x4 sub-block search.
+func BenchmarkIntraPredict(b *testing.B) {
+	frames := makeClip(b, "cricket", 1, 8)
+	src := frames[0]
+	opt := Defaults()
+	enc, err := NewEncoder(src.Width, src.Height, 30, opt, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc.recon = enc.getRecon()
+	enc.recon.Y.CopyFrom(&src.Y)
+	enc.recon.Cb.CopyFrom(&src.Cb)
+	enc.recon.Cr.CopyFrom(&src.Cr)
+	mbw, mbh := src.Width/16, src.Height/16
+	b.SetBytes(int64(src.Width * src.Height))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for my := 0; my < mbh; my++ {
+			for mx := 0; mx < mbw; mx++ {
+				c := enc.analyseIntra(&src.Y, &enc.recon.Y, mx*16, my*16, lambdaFor(26))
+				benchSink += c.cost
+			}
+		}
+	}
+}
+
+// BenchmarkEncodeParallel measures a full traced medium-preset encode at
+// several intra-encode worker counts; workers=1 is the serial baseline the
+// wavefront speedup is read against.
+func BenchmarkEncodeParallel(b *testing.B) {
+	frames := makeClip(b, "cricket", 6, 8)
+	pinClipVAs(b, frames)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := Defaults()
+			opt.Tune.FuseDeblock = true
+			opt.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				enc, err := NewEncoder(frames[0].Width, frames[0].Height, 30, opt, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stream, _, err := enc.EncodeAll(frames)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink += len(stream)
+			}
+		})
+	}
+}

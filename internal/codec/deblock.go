@@ -72,8 +72,31 @@ func deblockMBRow(t *tracer, fn trace.FuncID, rec *frame.Frame, st *deblockState
 
 // filterEdge smooths one `length`-pixel block edge. For a vertical edge
 // the boundary is the column x (pixels x-1 | x); for a horizontal edge the
-// row y. Strong (intra) edges use a doubled clip range.
+// row y. Strong (intra) edges use a doubled clip range. The pixel work runs
+// in filterEdgePacked (four pixels per lane word); filterEdgeScalar below is
+// the per-pixel reference it is pinned against.
 func filterEdge(t *tracer, fn trace.FuncID, rec *frame.Plane, x, y, length int, horizontal bool, qp, aOff, bOff int, strong bool) {
+	alpha, beta, tc := deblockAlphaBeta(qp, aOff, bOff)
+	if strong {
+		tc *= 2
+	}
+	t.call(fn)
+	filterEdgePacked(t, fn, rec, x, y, length, horizontal, alpha, beta, tc)
+	// Memory traffic: the filter examines a 3+3 pixel band around the edge
+	// (the H.264 strong filter reaches p2/q2) and rewrites the inner pair.
+	if horizontal {
+		t.load2D(fn, rec, x, y-3, length, 6)
+		t.store2D(fn, rec, x, y-1, length, 2)
+	} else {
+		t.load2D(fn, rec, x-3, y, 6, length)
+		t.store2D(fn, rec, x-1, y, 2, length)
+	}
+	t.ops(fn, 24+2*length) // branchy but partially vectorized
+}
+
+// filterEdgeScalar is the per-pixel reference implementation of filterEdge,
+// kept for the SWAR equivalence tests (identical pixels and trace events).
+func filterEdgeScalar(t *tracer, fn trace.FuncID, rec *frame.Plane, x, y, length int, horizontal bool, qp, aOff, bOff int, strong bool) {
 	alpha, beta, tc := deblockAlphaBeta(qp, aOff, bOff)
 	if strong {
 		tc *= 2

@@ -43,6 +43,17 @@ type Encoder struct {
 	// analysis, when set, replaces the lookahead and variance computation
 	// with the shared per-video artifact (see analysis.go).
 	analysis *Analysis
+
+	// Intra-encode parallelism (see parallel.go): cached per-worker shadow
+	// encoders plus per-frame scratch reused across frames.
+	shadows   []*Encoder
+	mbScratch []macroblock
+	qpScratch []int
+
+	// Per-stage latency accounting (see stage.go). Both nil unless a
+	// StageObserver is attached.
+	stageObs StageObserver
+	stage    *stageClock
 }
 
 // arena is the encoder's typed scratch storage: working buffers with
@@ -172,7 +183,10 @@ func (e *Encoder) EncodeAll(frames []*frame.Frame) ([]byte, *Stats, error) {
 			return nil, nil, err
 		}
 	} else {
+		t0 := e.stageStart()
 		lc = e.runLookahead(frames)
+		e.stageEnd(StageLookahead, t0)
+		e.flushStages()
 	}
 	types := e.decideTypes(frames, lc)
 
@@ -287,38 +301,46 @@ func (e *Encoder) encodeFrame(src *frame.Frame, t FrameType, list0 []*frame.Fram
 
 	mbw, mbh := e.w/16, e.h/16
 	intraMB, interMB, skipMB := 0, 0, 0
-	for my := 0; my < mbh; my++ {
-		for mx := 0; mx < mbw; mx++ {
-			e.tr.nextMB()
-			e.tr.call(trace.FnDriver)
-			e.tr.ops(trace.FnDriver, 80)
-			mb, err := e.encodeMB(src, t, list0, list1, mx, my, frameQP)
-			if err != nil {
-				return FrameStats{}, err
-			}
-			switch mb.kind {
-			case kindIntra:
-				intraMB++
-			case kindInter:
-				interMB++
-			default:
-				skipMB++
-			}
+	if workers := e.parallelWorkers(); workers > 1 && mbh > 1 {
+		var err error
+		intraMB, interMB, skipMB, err = e.encodeRowsParallel(src, t, list0, list1, frameQP, workers)
+		if err != nil {
+			return FrameStats{}, err
 		}
-		e.tr.loop(trace.FnDriver, siteRowLoop, mbw)
-		e.rc.endRow(my+1, mbh, e.bw.BitsWritten())
-		// Fused deblocking: filter the previous row while its pixels are
-		// still cache-resident (Graphite loop fusion).
-		if e.opt.Deblock && e.opt.Tune.FuseDeblock && my > 0 {
-			deblockMBRow(&e.tr, trace.FnDeblock, rec, e.dbs, my-1, e.opt.DeblockA, e.opt.DeblockB)
+	} else {
+		for my := 0; my < mbh; my++ {
+			for mx := 0; mx < mbw; mx++ {
+				e.tr.nextMB()
+				e.tr.call(trace.FnDriver)
+				e.tr.ops(trace.FnDriver, 80)
+				mb, err := e.encodeMB(src, t, list0, list1, mx, my, frameQP)
+				if err != nil {
+					return FrameStats{}, err
+				}
+				switch mb.kind {
+				case kindIntra:
+					intraMB++
+				case kindInter:
+					interMB++
+				default:
+					skipMB++
+				}
+			}
+			e.tr.loop(trace.FnDriver, siteRowLoop, mbw)
+			e.rc.endRow(my+1, mbh, e.bw.BitsWritten())
+			// Fused deblocking: filter the previous row while its pixels are
+			// still cache-resident (Graphite loop fusion).
+			if e.opt.Deblock && e.opt.Tune.FuseDeblock && my > 0 {
+				e.deblockRow(rec, my-1)
+			}
 		}
 	}
 	if e.opt.Deblock {
 		if e.opt.Tune.FuseDeblock {
-			deblockMBRow(&e.tr, trace.FnDeblock, rec, e.dbs, mbh-1, e.opt.DeblockA, e.opt.DeblockB)
+			e.deblockRow(rec, mbh-1)
 		} else {
 			for my := 0; my < mbh; my++ {
-				deblockMBRow(&e.tr, trace.FnDeblock, rec, e.dbs, my, e.opt.DeblockA, e.opt.DeblockB)
+				e.deblockRow(rec, my)
 			}
 		}
 	}
@@ -334,6 +356,7 @@ func (e *Encoder) encodeFrame(src *frame.Frame, t FrameType, list0 []*frame.Fram
 
 	bitsUsed := e.bw.BitsWritten() - startBits
 	e.rc.postFrame(bitsUsed)
+	e.flushStages()
 	return FrameStats{
 		PTS:     src.PTS,
 		Type:    t,
@@ -348,26 +371,48 @@ func (e *Encoder) encodeFrame(src *frame.Frame, t FrameType, list0 []*frame.Fram
 
 // encodeMB analyses, reconstructs and writes one macroblock.
 func (e *Encoder) encodeMB(src *frame.Frame, t FrameType, list0 []*frame.Frame, list1 *frame.Frame, mx, my, frameQP int) (*macroblock, error) {
-	x, y := mx*16, my*16
 	mb := &e.scratch.mb
-	*mb = macroblock{x: x, y: y}
+	*mb = macroblock{x: mx * 16, y: my * 16}
 
 	// Macroblock quantizer: AQ spatial offset plus CBR row feedback.
-	var variance float64
-	if e.opt.AQMode > 0 {
-		if v, ok := e.analysisVariance(src.PTS, mx, my); ok {
-			// Cached map: emit the exact events the computation would have
-			// (byte-stable traces), skip the arithmetic.
-			e.tr.varianceEvents(&src.Y, x, y, 16, 16)
-			variance = v
-		} else {
-			variance = e.tr.blockVariance(&src.Y, x, y, 16, 16)
-		}
-	}
+	variance := e.mbVariance(src, mx, my)
 	mb.qp = e.rc.mbQP(frameQP, variance, e.opt.AQMode > 0)
+
+	e.decideMB(src, t, list0, list1, mb)
+	e.sequenceMB(mb, t, mx, my, list1 != nil)
+	return mb, nil
+}
+
+// mbVariance returns the luma activity of macroblock (mx, my) when adaptive
+// quantization is active, emitting the exact trace events the serial
+// computation would.
+func (e *Encoder) mbVariance(src *frame.Frame, mx, my int) float64 {
+	if e.opt.AQMode <= 0 {
+		return 0
+	}
+	x, y := mx*16, my*16
+	if v, ok := e.analysisVariance(src.PTS, mx, my); ok {
+		// Cached map: emit the exact events the computation would have
+		// (byte-stable traces), skip the arithmetic.
+		e.tr.varianceEvents(&src.Y, x, y, 16, 16)
+		return v
+	}
+	return e.tr.blockVariance(&src.Y, x, y, 16, 16)
+}
+
+// decideMB runs the per-macroblock mode decision and reconstruction: inter
+// and intra analysis, the RD compare, and residual coding into mb (whose
+// position and qp must already be set). This is the portion of encodeMB
+// that depends only on wavefront-ordered neighbour state — reconstructed
+// pixels and MV fields — never on the bit writer, rate controller or
+// deblock maps, which is what lets parallel row workers run it off the
+// sequencer goroutine (see parallel.go).
+func (e *Encoder) decideMB(src *frame.Frame, t FrameType, list0 []*frame.Frame, list1 *frame.Frame, mb *macroblock) {
+	mx, my := mb.x/16, mb.y/16
 	lambda := lambdaFor(mb.qp)
 
 	// Mode decision.
+	t0 := e.stageStart()
 	isIntraFrame := t == FrameI
 	var inter interChoice
 	if !isIntraFrame {
@@ -375,7 +420,7 @@ func (e *Encoder) encodeMB(src *frame.Frame, t FrameType, list0 []*frame.Frame, 
 	}
 	var intra intraChoice
 	if isIntraFrame || !inter.skip {
-		intra = e.analyseIntra(&src.Y, &e.recon.Y, x, y, lambda)
+		intra = e.analyseIntra(&src.Y, &e.recon.Y, mb.x, mb.y, lambda)
 	}
 	switch {
 	case isIntraFrame:
@@ -410,37 +455,58 @@ func (e *Encoder) encodeMB(src *frame.Frame, t FrameType, list0 []*frame.Frame, 
 			mb.mvsL1 = inter.mvsL1
 		}
 	}
+	e.stageEnd(StageME, t0)
 
 	// Reconstruction and residual computation.
+	t1 := e.stageStart()
 	e.reconstructMB(src, mb, list0, list1)
+	e.stageEnd(StageTransform, t1)
+}
 
+// sequenceMB runs the strictly serial tail of a macroblock: entropy coding
+// and the neighbour bookkeeping that feeds MV prediction and deblocking.
+func (e *Encoder) sequenceMB(mb *macroblock, t FrameType, mx, my int, hasL1 bool) {
 	// Entropy coding.
+	t0 := e.stageStart()
 	startBits := e.bw.BitsWritten()
 	e.writeMB(mb, t)
 	e.bitWriterTrace(startBits)
+	e.stageEnd(StageEntropy, t0)
 
-	// Neighbour bookkeeping. Only *transmitted* vectors may influence
-	// later predictions, or encoder and decoder would diverge: an L1-only
-	// B macroblock contributes nothing to the L0 field.
+	e.setMVField(mx, my, mb, hasL1)
+	qpForDeblock := mb.qp
+	if mb.kind == kindSkip {
+		qpForDeblock = e.qpPrev
+	}
+	e.dbs.set(mx, my, qpForDeblock, mb.kind)
+}
+
+// setMVField publishes the macroblock's transmitted vectors for neighbour
+// prediction. Only *transmitted* vectors may influence later predictions,
+// or encoder and decoder would diverge: an L1-only B macroblock contributes
+// nothing to the L0 field.
+func (e *Encoder) setMVField(mx, my int, mb *macroblock, hasL1 bool) {
 	coded := mb.kind != kindIntra
 	l0 := MV{}
 	if coded && mb.dir != dirL1 {
 		l0 = mb.mvs[0]
 	}
 	e.mvf0.set(mx, my, l0, coded && mb.dir != dirL1)
-	if list1 != nil {
+	if hasL1 {
 		l1 := MV{}
 		if coded && mb.dir != dirL0 {
 			l1 = mb.mvsL1[0]
 		}
 		e.mvf1.set(mx, my, l1, coded && mb.dir != dirL0)
 	}
-	qpForDeblock := mb.qp
-	if mb.kind == kindSkip {
-		qpForDeblock = e.qpPrev
-	}
-	e.dbs.set(mx, my, qpForDeblock, mb.kind)
-	return mb, nil
+}
+
+// deblockRow filters one reconstructed macroblock row with the master
+// tracer, charging the deblock latency stage.
+func (e *Encoder) deblockRow(rec *frame.Frame, my int) {
+	t0 := e.stageStart()
+	deblockMBRow(&e.tr, trace.FnDeblock, rec, e.dbs, my, e.opt.DeblockA, e.opt.DeblockB)
+	e.stageEnd(StageDeblock, t0)
 }
 
 // reconstructMB stages the final prediction, codes the residual and writes

@@ -140,12 +140,12 @@ type intraChoice struct {
 // SATD plus the mode signalling cost in lambda units, as in x264.
 func (e *Encoder) analyseIntra(src, rec *frame.Plane, x, y, lambda int) intraChoice {
 	e.tr.call(trace.FnIntraPred)
-	var pred block
 	best := intraChoice{cost: 1 << 30, mode16: intraDC}
-	// 16x16 modes.
+	// 16x16 modes. Mode trials run through the fused predict+SATD kernel
+	// (swar.go): same value and trace events as predIntra followed by
+	// satdBlock, without staging the prediction block.
 	for mode := 0; mode < numIntra16; mode++ {
-		e.tr.predIntra(trace.FnIntraPred, rec, x, y, 16, 16, mode, &pred)
-		c := e.tr.satdBlock(trace.FnIntraPred, src, x, y, &pred) + lambda*4
+		c := e.tr.intraSATD(trace.FnIntraPred, rec, src, x, y, 16, 16, mode) + lambda*4
 		better := c < best.cost
 		e.tr.branch(trace.FnIntraPred, siteModeCmp, better)
 		if better {
@@ -164,8 +164,7 @@ func (e *Encoder) analyseIntra(src, rec *frame.Plane, x, y, lambda int) intraCho
 			for bx := 0; bx < 4; bx++ {
 				bbest, bidx := 1<<30, 0
 				for idx, m := range mode4Set {
-					e.tr.predIntra(trace.FnIntraPred, src, x+bx*4, y+by*4, 4, 4, m, &pred)
-					c := e.tr.satdBlock(trace.FnIntraPred, src, x+bx*4, y+by*4, &pred) + lambda*3
+					c := e.tr.intraSATD(trace.FnIntraPred, src, src, x+bx*4, y+by*4, 4, 4, m) + lambda*3
 					if c < bbest {
 						bbest, bidx = c, idx
 					}
@@ -192,8 +191,7 @@ func (e *Encoder) analyseIntra(src, rec *frame.Plane, x, y, lambda int) intraCho
 			for bx := 0; bx < 2; bx++ {
 				bbest := 1 << 30
 				for mode := 0; mode < 3; mode++ { // DC, V, H
-					e.tr.predIntra(trace.FnIntraPred, src, x+bx*8, y+by*8, 8, 8, mode, &pred)
-					c := e.tr.satdBlock(trace.FnIntraPred, src, x+bx*8, y+by*8, &pred) + lambda*3
+					c := e.tr.intraSATD(trace.FnIntraPred, src, src, x+bx*8, y+by*8, 8, 8, mode) + lambda*3
 					if c < bbest {
 						bbest = c
 					}

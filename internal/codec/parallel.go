@@ -1,0 +1,378 @@
+package codec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/exec"
+	"repro/internal/frame"
+	"repro/internal/trace"
+)
+
+// Intra-encode parallelism.
+//
+// A single encode parallelizes in two places, both output-invariant:
+//
+//   - The macroblock loop runs as a wavefront: each row is analysed and
+//     reconstructed by a worker that lags the row above by two macroblocks —
+//     exactly the dependency intra prediction (left + top reconstructed
+//     pixels) and median MV prediction (left, top, top-right cells) impose.
+//     The strictly serial tail — entropy coding, rate control, deblocking —
+//     stays on the calling goroutine, consuming finished macroblocks in
+//     raster order.
+//
+//   - The lookahead fans out per frame: every frame's intra/forward/backward
+//     cost estimation is independent arithmetic over source pixels.
+//
+// Determinism is the hard requirement: the bitstream bytes AND the emitted
+// trace-event stream must be identical for 1 and N workers, because the
+// trace feeds a microarchitectural simulator whose results the experiments
+// compare. Three mechanisms deliver it. Quantizers are fixed by a serial
+// pre-pass (the AQ average is an order-dependent EMA). Each worker's tracer
+// starts at the exact macroblock tick the serial schedule would assign its
+// row, so sampling decisions match. And workers record their trace events
+// into private buffers that the sequencer replays in raster order.
+
+// parallelWorkers resolves Options.Workers for this encode: 1 (serial)
+// unless a worker count above one is configured and the rate-control mode
+// tolerates it. CBR adjusts the quantizer row by row from live entropy bit
+// counts — a feedback loop the wavefront cannot honour without changing
+// output — so it always encodes serially. The count is deliberately NOT
+// capped at the core count: output never depends on it, the wavefront
+// waits yield (runtime.Gosched) rather than block, and honouring the
+// configured count even on smaller machines is what lets single-core CI
+// exercise the full parallel machinery.
+func (e *Encoder) parallelWorkers() int {
+	if e.opt.Workers <= 1 || e.opt.RC == RCCBR {
+		return 1
+	}
+	return e.opt.Workers
+}
+
+// shadowPool returns a channel holding `workers` shadow encoders, growing
+// the cached set on first use. A shadow can run decideMB off the sequencer
+// goroutine: options and geometry are copied, wavefront-shared state (MV
+// fields, analysis artifact, stage clock) is aliased, and per-goroutine
+// scratch (tracer, ME dedup window, macroblock arena) is private. The bit
+// writer, rate controller, DPB and deblock maps are deliberately nil — the
+// decision path never touches them, so a nil dereference here means
+// sequencer-only work leaked into a worker.
+func (e *Encoder) shadowPool(workers int) chan *Encoder {
+	for len(e.shadows) < workers {
+		e.shadows = append(e.shadows, &Encoder{
+			opt:      e.opt,
+			w:        e.w,
+			h:        e.h,
+			fps:      e.fps,
+			mvf0:     e.mvf0,
+			mvf1:     e.mvf1,
+			analysis: e.analysis,
+			visited:  make([]uint32, (2*visitR+1)*(2*visitR+1)),
+			stage:    e.stage,
+		})
+	}
+	ch := make(chan *Encoder, workers)
+	for _, sh := range e.shadows[:workers] {
+		sh.recon = e.recon
+		ch <- sh
+	}
+	return ch
+}
+
+// encodeRowsParallel runs the macroblock loop of one frame on a wavefront of
+// `workers` row workers plus the calling goroutine as sequencer. It is the
+// parallel equivalent of the serial loop in encodeFrame, byte-identical in
+// bitstream and trace.
+func (e *Encoder) encodeRowsParallel(src *frame.Frame, t FrameType, list0 []*frame.Frame, list1 *frame.Frame, frameQP, workers int) (intraMB, interMB, skipMB int, err error) {
+	mbw, mbh := e.w/16, e.h/16
+	n := mbw * mbh
+	fused := e.opt.Deblock && e.opt.Tune.FuseDeblock
+	aq := e.opt.AQMode > 0
+
+	// Quantizer pre-pass: rc.mbQP's adaptive-quantization average is an
+	// order-dependent EMA, so every macroblock's QP is fixed serially in
+	// raster order before any worker runs. This pass is pure arithmetic —
+	// the workers themselves emit the variance trace events.
+	if cap(e.qpScratch) < n {
+		e.qpScratch = make([]int, n)
+	}
+	qps := e.qpScratch[:n]
+	for my := 0; my < mbh; my++ {
+		for mx := 0; mx < mbw; mx++ {
+			var variance float64
+			if aq {
+				if v, ok := e.analysisVariance(src.PTS, mx, my); ok {
+					variance = v
+				} else {
+					variance = src.Y.BlockVariance(mx*16, my*16, 16, 16)
+				}
+			}
+			qps[my*mbw+mx] = e.rc.mbQP(frameQP, variance, aq)
+		}
+	}
+
+	// Tick pre-simulation: a worker's tracer must sample exactly the
+	// macroblocks the serial schedule would. With fused deblocking the
+	// serial order interleaves one deblock row (mbw nextMB ticks) after
+	// every encoded row past the first, so row my's first encode tick is
+	// offset by both the rows encoded and the rows deblocked before it.
+	ctr0 := e.tr.ctr
+	rowTick := func(my int) uint64 {
+		ticks := uint64(my * mbw)
+		if fused && my > 1 {
+			ticks += uint64((my - 1) * mbw)
+		}
+		return ctr0 + ticks
+	}
+
+	_, nop := e.tr.sink.(trace.Nop)
+	traced := !nop
+
+	if cap(e.mbScratch) < n {
+		e.mbScratch = make([]macroblock, n)
+	}
+	mbs := e.mbScratch[:n]
+	var recs [][]byte
+	if traced {
+		recs = make([][]byte, n)
+	}
+
+	// progress[my] is the count of macroblocks of row my fully decided
+	// (reconstruction written, MV field published). Workers spin on the row
+	// above; the sequencer spins on the row it is writing out.
+	progress := make([]atomic.Int64, mbh)
+	var abort atomic.Bool
+	shadows := e.shadowPool(workers)
+
+	rowFn := func(ctx context.Context, my int) error {
+		defer func() {
+			if r := recover(); r != nil {
+				abort.Store(true) // unblock everyone still spinning
+				panic(r)          // re-raised; the pool converts it to an error
+			}
+		}()
+		sh := <-shadows
+		defer func() { shadows <- sh }()
+		sh.tr = tracer{sink: trace.Nop{}, mask: e.tr.mask, factor: e.tr.factor, ctr: rowTick(my)}
+		for mx := 0; mx < mbw; mx++ {
+			if my > 0 {
+				// Wavefront: (mx, my) reads the reconstruction and vectors of
+				// (mx-1, my) — same worker, already done — and (mx+1, my-1).
+				need := int64(mx + 2)
+				if need > int64(mbw) {
+					need = int64(mbw)
+				}
+				for progress[my-1].Load() < need {
+					if abort.Load() {
+						return nil
+					}
+					runtime.Gosched()
+				}
+			}
+			idx := my*mbw + mx
+			var rec *trace.Recorder
+			if traced {
+				rec = trace.NewRecorder()
+				sh.tr.sink = rec
+			}
+			mb := &mbs[idx]
+			*mb = macroblock{x: mx * 16, y: my * 16}
+			sh.tr.nextMB()
+			sh.tr.call(trace.FnDriver)
+			sh.tr.ops(trace.FnDriver, 80)
+			_ = sh.mbVariance(src, mx, my) // trace events only; QP is pre-assigned
+			mb.qp = qps[idx]
+			sh.decideMB(src, t, list0, list1, mb)
+			sh.setMVField(mx, my, mb, list1 != nil)
+			if traced {
+				recs[idx] = rec.Bytes()
+			}
+			progress[my].Store(int64(mx + 1))
+		}
+		return nil
+	}
+
+	poolDone := make(chan struct {
+		errs []error
+		err  error
+	}, 1)
+	go func() {
+		errs, perr := exec.Pool{Workers: workers}.Map(context.Background(), mbh, rowFn)
+		poolDone <- struct {
+			errs []error
+			err  error
+		}{errs, perr}
+	}()
+
+	// Sequencer: consume macroblocks in raster order, replay each one's
+	// recorded trace events under the master tracer, then run the serial
+	// tail — entropy coding, deblock bookkeeping, row-end rate control and
+	// fused deblocking — exactly as the serial loop would.
+	var seqErr error
+seq:
+	for my := 0; my < mbh; my++ {
+		for mx := 0; mx < mbw; mx++ {
+			for progress[my].Load() < int64(mx+1) {
+				if abort.Load() {
+					break seq
+				}
+				runtime.Gosched()
+			}
+			idx := my*mbw + mx
+			e.tr.nextMB()
+			if traced {
+				if err := trace.Replay(recs[idx], e.tr.sink); err != nil {
+					seqErr = fmt.Errorf("codec: parallel trace replay: %w", err)
+					break seq
+				}
+				recs[idx] = nil
+			}
+			mb := &mbs[idx]
+			switch mb.kind {
+			case kindIntra:
+				intraMB++
+			case kindInter:
+				interMB++
+			default:
+				skipMB++
+			}
+			t0 := e.stageStart()
+			startBits := e.bw.BitsWritten()
+			e.writeMB(mb, t)
+			e.bitWriterTrace(startBits)
+			e.stageEnd(StageEntropy, t0)
+			qpForDeblock := mb.qp
+			if mb.kind == kindSkip {
+				qpForDeblock = e.qpPrev
+			}
+			e.dbs.set(mx, my, qpForDeblock, mb.kind)
+		}
+		e.tr.loop(trace.FnDriver, siteRowLoop, mbw)
+		e.rc.endRow(my+1, mbh, e.bw.BitsWritten())
+		// Fused deblocking of row my-1 is safe here: its bottom-neighbour
+		// row my is fully reconstructed (just sequenced), and no worker
+		// reads pixels the filter rewrites — row my+1 workers only read
+		// reconstruction from row my's bottom pixel rows, below the band
+		// the row my-1 filter touches.
+		if fused && my > 0 {
+			e.deblockRow(e.recon, my-1)
+		}
+	}
+
+	// Always drain the pool before returning: workers touch the shared
+	// reconstruction and MV fields, which the caller recycles.
+	res := <-poolDone
+	if seqErr != nil {
+		return 0, 0, 0, seqErr
+	}
+	if res.err != nil {
+		return 0, 0, 0, res.err
+	}
+	for _, werr := range res.errs {
+		if werr != nil {
+			return 0, 0, 0, fmt.Errorf("codec: parallel row worker: %w", werr)
+		}
+	}
+	return intraMB, interMB, skipMB, nil
+}
+
+// runLookaheadParallel estimates all frame complexities with one worker per
+// frame, reproducing the serial tracer schedule: each frame's sampling
+// ticks are pre-computed so worker i starts at the exact counter value the
+// serial loop would reach, and recorded events are replayed in frame order.
+func (e *Encoder) runLookaheadParallel(frames []*frame.Frame, workers int) *lookaheadCosts {
+	n := len(frames)
+	lc := &lookaheadCosts{
+		intra: make([]int, n),
+		fwd:   make([]int, n),
+		bwd:   make([]int, n),
+	}
+	needBwd := e.opt.BAdapt >= 2 && e.opt.BFrames > 0
+
+	// Sampling ticks per frame: one nextMB per grid block per pass (all
+	// frames share the clip geometry).
+	step := 8 * lookaheadGrid
+	blocks := 0
+	for y := 0; y+8 <= e.h; y += step {
+		for x := 0; x+8 <= e.w; x += step {
+			blocks++
+		}
+	}
+	cum := make([]uint64, n+1)
+	for i := 0; i < n; i++ {
+		t := blocks // intra pass
+		if i > 0 {
+			t += blocks // forward pass
+		}
+		if needBwd && i+1 < n {
+			t += blocks // backward pass
+		}
+		cum[i+1] = cum[i] + uint64(t)
+	}
+	base, entryOn := e.tr.ctr, e.tr.on
+	// onAt reproduces the tracer's arming state after `ticks` nextMB calls:
+	// nextMB sets on from the pre-increment counter, so the state after k
+	// ticks is decided by counter base+k-1 (and is the entry state for 0).
+	onAt := func(ticks uint64) bool {
+		if ticks == 0 {
+			return entryOn
+		}
+		return (base+ticks-1)&e.tr.mask == 0
+	}
+	_, nop := e.tr.sink.(trace.Nop)
+	traced := !nop
+	recs := make([][]byte, n)
+	shadows := e.shadowPool(workers)
+
+	errs, perr := exec.Pool{Workers: workers}.Map(context.Background(), n, func(ctx context.Context, i int) error {
+		sh := <-shadows
+		defer func() { shadows <- sh }()
+		var sink trace.Sink = trace.Nop{}
+		var rec *trace.Recorder
+		if traced {
+			rec = trace.NewRecorder()
+			sink = rec
+		}
+		sh.tr = tracer{sink: sink, mask: e.tr.mask, factor: e.tr.factor, ctr: base + cum[i], on: onAt(cum[i])}
+		sh.tr.call(trace.FnLookahead)
+		lc.intra[i] = sh.lookaheadIntra(frames[i])
+		if i > 0 {
+			lc.fwd[i] = sh.lookaheadInter(frames[i], frames[i-1])
+		} else {
+			lc.fwd[i] = lc.intra[i]
+		}
+		if needBwd {
+			if i+1 < n {
+				lc.bwd[i] = sh.lookaheadInter(frames[i], frames[i+1])
+			} else {
+				lc.bwd[i] = lc.intra[i]
+			}
+		}
+		if traced {
+			recs[i] = rec.Bytes()
+		}
+		return nil
+	})
+	// The serial lookahead cannot fail; a worker error here is a recovered
+	// panic, so surface it as the panic it was.
+	if perr != nil {
+		panic(perr)
+	}
+	for _, err := range errs {
+		if err != nil {
+			panic(err)
+		}
+	}
+	if traced {
+		for i := 0; i < n; i++ {
+			if err := trace.Replay(recs[i], e.tr.sink); err != nil {
+				panic(fmt.Errorf("codec: parallel lookahead replay: %w", err))
+			}
+		}
+	}
+	e.tr.ctr = base + cum[n]
+	e.tr.on = onAt(cum[n])
+	return lc
+}

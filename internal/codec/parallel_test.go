@@ -1,0 +1,220 @@
+package codec
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/trace"
+)
+
+// pinClipVAs assigns traced virtual addresses to any frame that lacks them,
+// exactly as the first EncodeAll over the clip would. Trace comparisons
+// need this done up front: EncodeAll's assignment is persistent, so without
+// it the first encode of a shared clip lays its reconstruction buffer at a
+// different virtual base than every later encode.
+func pinClipVAs(tb testing.TB, frames []*frame.Frame) {
+	tb.Helper()
+	enc, err := NewEncoder(frames[0].Width, frames[0].Height, 30, Defaults(), nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, f := range frames {
+		if f.Y.Base == 0 {
+			enc.allocVA(f)
+		}
+	}
+}
+
+// encodeWorkers encodes the clip with the given worker count, recording the
+// full instrumentation stream, and returns the bitstream bytes, the
+// recorded trace bytes and the stats.
+func encodeWorkers(tb testing.TB, frames []*frame.Frame, opt Options, workers int) ([]byte, []byte, *Stats) {
+	tb.Helper()
+	opt.Workers = workers
+	rec := trace.NewRecorder()
+	enc, err := NewEncoder(frames[0].Width, frames[0].Height, 30, opt, rec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	stream, stats, err := enc.EncodeAll(frames)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return stream, rec.Bytes(), stats
+}
+
+// workerOptionSets enumerates the option shapes whose parallel schedules
+// differ structurally: fused vs unfused deblocking (different tracer tick
+// interleavings), B frames with both adaptive policies (bidirectional
+// lookahead, L1 MV fields), trellis-2 RD mode decision, the 8x8 transform,
+// trace sampling (worker tick pre-simulation must hit the same macroblocks)
+// and an I-frame-heavy stream.
+func workerOptionSets() map[string]Options {
+	medium := Defaults()
+
+	fused := Defaults()
+	fused.Tune.FuseDeblock = true
+
+	slower := Options{RC: RCCRF, CRF: 28, QP: 26, KeyintMax: 250}
+	ApplyPreset(&slower, PresetSlower)
+	slower.Tune.FuseDeblock = true
+
+	dct8 := Defaults()
+	dct8.DCT8x8 = true
+
+	sampled := Defaults()
+	sampled.TraceSampleLog2 = 2
+	sampled.Tune.FuseDeblock = true
+
+	iheavy := Defaults()
+	iheavy.KeyintMax = 2
+	iheavy.BFrames = 0
+
+	abr2 := Defaults()
+	abr2.RC = RCABR2
+	abr2.BitrateKbps = 400
+
+	cbr := Defaults()
+	cbr.RC = RCCBR
+	cbr.BitrateKbps = 400
+
+	return map[string]Options{
+		"medium":  medium,
+		"fused":   fused,
+		"slower":  slower,
+		"dct8x8":  dct8,
+		"sampled": sampled,
+		"iheavy":  iheavy,
+		"abr2":    abr2,
+		"cbr":     cbr, // serial fallback: must still be identical
+	}
+}
+
+// TestEncodeWorkersDeterminism is the hard guarantee behind Options.Workers:
+// the bitstream bytes AND the emitted trace-event stream are identical for
+// 1 and N workers, across every structurally distinct option shape. The
+// trace equality is what makes the parallel encoder usable at all here —
+// the microarchitectural simulation consumes that stream, and experiments
+// must not depend on the host's core count.
+func TestEncodeWorkersDeterminism(t *testing.T) {
+	frames := makeClip(t, "cricket", 6, 8)
+	pinClipVAs(t, frames)
+	for name, opt := range workerOptionSets() {
+		t.Run(name, func(t *testing.T) {
+			refStream, refTrace, refStats := encodeWorkers(t, frames, opt, 1)
+			for _, workers := range []int{2, 8} {
+				stream, tr, stats := encodeWorkers(t, frames, opt, workers)
+				if !bytes.Equal(stream, refStream) {
+					t.Fatalf("workers=%d: bitstream differs (%d vs %d bytes)", workers, len(stream), len(refStream))
+				}
+				if !bytes.Equal(tr, refTrace) {
+					t.Fatalf("workers=%d: trace differs (%d vs %d bytes)", workers, len(tr), len(refTrace))
+				}
+				if fmt.Sprint(stats.Frames) != fmt.Sprint(refStats.Frames) {
+					t.Fatalf("workers=%d: per-frame stats differ", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestEncodeWorkersUntraced covers the recording-free fast path (nil sink):
+// workers must skip event recording entirely yet still produce the same
+// bytes.
+func TestEncodeWorkersUntraced(t *testing.T) {
+	frames := makeClip(t, "presentation", 5, 8)
+	opt := Defaults()
+	opt.Tune.FuseDeblock = true
+	ref, _ := encodeClip(t, frames, opt)
+	opt.Workers = 4
+	got, _ := encodeClip(t, frames, opt)
+	if !bytes.Equal(got, ref) {
+		t.Fatalf("untraced parallel encode differs (%d vs %d bytes)", len(got), len(ref))
+	}
+}
+
+// TestAnalysisWorkersDeterminism pins the artifact path: a parallel Analyze
+// produces a byte-identical artifact, and an encode consuming an artifact
+// stays byte-identical under workers (the worker tick pre-simulation must
+// resume mid-sampling-phase from the artifact's saved counter).
+func TestAnalysisWorkersDeterminism(t *testing.T) {
+	frames := makeClip(t, "cricket", 6, 8)
+	pinClipVAs(t, frames)
+	opt := Defaults()
+	a1, err := Analyze(frames, 30, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optW := opt
+	optW.Workers = 4
+	a4, err := Analyze(frames, 30, optW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a1.Events(), a4.Events()) {
+		t.Fatalf("parallel Analyze recorded different events (%d vs %d bytes)", len(a4.Events()), len(a1.Events()))
+	}
+	if a1.ctr != a4.ctr || a1.on != a4.on {
+		t.Fatalf("parallel Analyze tracer state (%d,%v) != serial (%d,%v)", a4.ctr, a4.on, a1.ctr, a1.on)
+	}
+
+	encodeShared := func(workers int) ([]byte, []byte) {
+		rec := trace.NewRecorder()
+		o := opt
+		o.Workers = workers
+		enc, err := NewEncoder(frames[0].Width, frames[0].Height, 30, o, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.SetAnalysis(a1); err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Replay(a1.Events(), rec); err != nil {
+			t.Fatal(err)
+		}
+		stream, _, err := enc.EncodeAll(frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stream, rec.Bytes()
+	}
+	refStream, refTrace := encodeShared(1)
+	stream, tr := encodeShared(4)
+	if !bytes.Equal(stream, refStream) {
+		t.Fatal("artifact-fed parallel encode: bitstream differs")
+	}
+	if !bytes.Equal(tr, refTrace) {
+		t.Fatal("artifact-fed parallel encode: trace differs")
+	}
+}
+
+// TestParallelWorkersResolution pins the serial fallbacks: worker counts of
+// zero and one, and CBR's row-feedback loop.
+func TestParallelWorkersResolution(t *testing.T) {
+	opt := Defaults()
+	for _, w := range []int{0, 1} {
+		opt.Workers = w
+		e, err := NewEncoder(64, 64, 30, opt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.parallelWorkers(); got != 1 {
+			t.Fatalf("workers=%d resolved to %d, want 1", w, got)
+		}
+	}
+	opt.RC = RCCBR
+	opt.BitrateKbps = 400
+	opt.Workers = 8
+	e, err := NewEncoder(64, 64, 30, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.parallelWorkers(); got != 1 {
+		t.Fatalf("CBR resolved to %d workers, want serial fallback", got)
+	}
+	if err := (&Options{CRF: 23, QP: 26, Refs: 1, MERange: 16, Workers: 65}).Validate(); err == nil {
+		t.Fatal("Validate accepted workers=65")
+	}
+}

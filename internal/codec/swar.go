@@ -1,0 +1,282 @@
+package codec
+
+import (
+	"encoding/binary"
+
+	"repro/internal/frame"
+	"repro/internal/trace"
+)
+
+// Packed-lane kernels for the codec's remaining scalar hot loops: the
+// deblocking filter processes four edge pixels per uint64, and intra
+// analysis fuses prediction with the SATD metric so mode trials never
+// materialize a prediction block. Both build on the 16-bit-lane layout
+// exported by internal/frame (Spread4/LaneAdd/LaneSub): pixel differences,
+// filter thresholds and clip bounds all fit comfortably in a 16-bit
+// two's-complement lane (the largest magnitude in play is alpha <= 976).
+//
+// Every kernel emits exactly the trace events of the scalar code it
+// replaces — deblock_test.go and intra_swar_test.go pin both the pixels
+// and the recorded event bytes against the retained scalar references.
+
+func le32(p []uint8) uint32       { return binary.LittleEndian.Uint32(p) }
+func putLE32(p []uint8, v uint32) { binary.LittleEndian.PutUint32(p, v) }
+
+// lane16LT returns 1 at the base bit of every lane where a < b, valid
+// while |a-b| < 2^15 per lane.
+func lane16LT(a, b uint64) uint64 {
+	return (frame.LaneSub(a, b) >> 15) & frame.Ones16
+}
+
+// shl2Lanes multiplies each 16-bit lane by 4 (mod 2^16, exact for the
+// deblock operands which stay within +-1279).
+func shl2Lanes(v uint64) uint64 {
+	return (v & 0x3FFF3FFF3FFF3FFF) << 2
+}
+
+// sar3Lanes arithmetic-shifts each 16-bit lane right by 3.
+func sar3Lanes(v uint64) uint64 {
+	s := (v >> 15) & frame.Ones16
+	return ((v >> 3) & 0x1FFF1FFF1FFF1FFF) | s*0xE000
+}
+
+// clampU8Lanes clamps each 16-bit two's-complement lane to [0, 255].
+func clampU8Lanes(v uint64) uint64 {
+	neg := (v >> 15) & frame.Ones16
+	v &^= neg * 0xFFFF
+	const maxW = 0x00FF * frame.Ones16
+	m := lane16LT(maxW, v) * 0xFFFF
+	return (v &^ m) | (maxW & m)
+}
+
+// laneClip clamps each lane of v to [lo, hi] (all lanes two's-complement,
+// spreads of the same signed bound per lane).
+func laneClip(v, lo, hi uint64) uint64 {
+	m := lane16LT(v, lo) * 0xFFFF
+	v = (lo & m) | (v &^ m)
+	m = lane16LT(hi, v) * 0xFFFF
+	return (hi & m) | (v &^ m)
+}
+
+// spreadConst replicates a signed 16-bit value into all four lanes.
+func spreadConst(v int32) uint64 {
+	return uint64(uint16(v)) * frame.Ones16
+}
+
+// gatherLanes packs one byte column (selected by shift) of four 32-bit row
+// words into four 16-bit lanes: the transpose step of the vertical-edge
+// filter.
+func gatherLanes(r0, r1, r2, r3 uint32, shift uint) uint64 {
+	return uint64((r0>>shift)&0xFF) | uint64((r1>>shift)&0xFF)<<16 |
+		uint64((r2>>shift)&0xFF)<<32 | uint64((r3>>shift)&0xFF)<<48
+}
+
+// filterEdgePacked runs the deblocking filter over one length-pixel edge,
+// four pixels per iteration. The per-pixel filter decision, delta clip and
+// final clamp of filterEdgeScalar all become per-lane mask arithmetic; the
+// branch event at every fourth pixel is lane 0's filter bit, exactly the
+// pixel the scalar loop reports. length is always a multiple of 4 (8 for
+// chroma, 16 for luma).
+func filterEdgePacked(t *tracer, fn trace.FuncID, rec *frame.Plane, x, y, length int, horizontal bool, alpha, beta, tc int32) {
+	alphaW := spreadConst(alpha)
+	betaW := spreadConst(beta)
+	tcW := spreadConst(tc)
+	ntcW := spreadConst(-tc)
+	fourW := spreadConst(4)
+	for k := 0; k < length; k += 4 {
+		var p1, p0, q0, q1 uint64
+		if horizontal {
+			p1 = frame.Spread4(le32(rec.RowFrom(x+k, y-2, 4)))
+			p0 = frame.Spread4(le32(rec.RowFrom(x+k, y-1, 4)))
+			q0 = frame.Spread4(le32(rec.RowFrom(x+k, y, 4)))
+			q1 = frame.Spread4(le32(rec.RowFrom(x+k, y+1, 4)))
+		} else {
+			r0 := le32(rec.RowFrom(x-2, y+k, 4))
+			r1 := le32(rec.RowFrom(x-2, y+k+1, 4))
+			r2 := le32(rec.RowFrom(x-2, y+k+2, 4))
+			r3 := le32(rec.RowFrom(x-2, y+k+3, 4))
+			p1 = gatherLanes(r0, r1, r2, r3, 0)
+			p0 = gatherLanes(r0, r1, r2, r3, 8)
+			q0 = gatherLanes(r0, r1, r2, r3, 16)
+			q1 = gatherLanes(r0, r1, r2, r3, 24)
+		}
+		d0 := frame.LaneSub(q0, p0)
+		fm := lane16LT(frame.AbsLanes16(d0), alphaW) &
+			lane16LT(frame.AbsLanes16(frame.LaneSub(p1, p0)), betaW) &
+			lane16LT(frame.AbsLanes16(frame.LaneSub(q1, q0)), betaW)
+		t.branch(fn, siteDeblockBS, fm&1 == 1)
+		if fm == 0 {
+			continue
+		}
+		sum := frame.LaneAdd(frame.LaneAdd(shl2Lanes(d0), frame.LaneSub(p1, q1)), fourW)
+		delta := laneClip(sar3Lanes(sum), ntcW, tcW)
+		fmask := fm * 0xFFFF
+		np0 := (clampU8Lanes(frame.LaneAdd(p0, delta)) & fmask) | (p0 &^ fmask)
+		nq0 := (clampU8Lanes(frame.LaneSub(q0, delta)) & fmask) | (q0 &^ fmask)
+		if horizontal {
+			putLE32(rec.RowFrom(x+k, y-1, 4), frame.Pack4(np0))
+			putLE32(rec.RowFrom(x+k, y, 4), frame.Pack4(nq0))
+		} else {
+			for j := 0; j < 4; j++ {
+				sh := uint(16 * j)
+				rec.Set(x-1, y+k+j, uint8(np0>>sh))
+				rec.Set(x, y+k+j, uint8(nq0>>sh))
+			}
+		}
+	}
+}
+
+// --- fused intra prediction + SATD -------------------------------------------
+
+// predIntraEvents emits exactly the trace events of predIntra's staging
+// (the prediction-side half of a fused mode trial).
+func (t *tracer) predIntraEvents(fn trace.FuncID, rec *frame.Plane, x, y, w, h int) {
+	if t.on {
+		nb := availNeighbors(x, y)
+		t.sink.Call(fn)
+		t.sink.Ops(fn, w*h/8+(w+h)/4+8)
+		if nb.top {
+			t.sink.Load2D(fn, rec.Addr(x, y-1), w, 1, rec.Stride)
+		}
+		if nb.left {
+			t.sink.Load2D(fn, rec.Addr(x-1, y), 1, h, rec.Stride)
+		}
+	}
+}
+
+// satdBlockEvents emits exactly the trace events of satdBlock.
+func (t *tracer) satdBlockEvents(fn trace.FuncID, a *frame.Plane, ax, ay, w, h int) {
+	if t.on {
+		t.sink.Call(fn)
+		t.sink.Ops(fn, w*h/4+24)
+		t.sink.Load2D(fn, a.Addr(ax, ay), w, h, a.Stride)
+	}
+}
+
+// intraSATD returns the SATD between the w x h source block of srcP at
+// (x, y) and the intra prediction of the given mode built from predP's
+// neighbours, without materializing the prediction: each mode's predicted
+// rows are generated directly as packed lanes and subtracted from the
+// source inside the Hadamard accumulation. Identical in value and in trace
+// bytes to predIntra followed by satdBlock (pinned by intra_swar_test.go).
+func (t *tracer) intraSATD(fn trace.FuncID, predP, srcP *frame.Plane, x, y, w, h, mode int) int {
+	nb := availNeighbors(x, y)
+	if (mode == intraV || mode == intraDDL) && !nb.top {
+		mode = intraDC
+	}
+	if mode == intraH && !nb.left {
+		mode = intraDC
+	}
+	if mode == intraPlanar && (!nb.top || !nb.left) {
+		mode = intraDC
+	}
+	total := 0
+	switch mode {
+	case intraDC:
+		var sum, n int32
+		if nb.top {
+			for _, v := range predP.RowFrom(x, y-1, w) {
+				sum += int32(v)
+			}
+			n += int32(w)
+		}
+		if nb.left {
+			for j := 0; j < h; j++ {
+				sum += int32(predP.At(x-1, y+j))
+			}
+			n += int32(h)
+		}
+		dc := int32(128)
+		if n > 0 {
+			dc = (sum + n/2) / n
+		}
+		dcW := spreadConst(dc)
+		for j := 0; j < h; j += 4 {
+			for i := 0; i < w; i += 4 {
+				total += frame.Hadamard4x4Packed(
+					frame.LaneSub(frame.Spread4(le32(srcP.RowFrom(x+i, y+j, 4))), dcW),
+					frame.LaneSub(frame.Spread4(le32(srcP.RowFrom(x+i, y+j+1, 4))), dcW),
+					frame.LaneSub(frame.Spread4(le32(srcP.RowFrom(x+i, y+j+2, 4))), dcW),
+					frame.LaneSub(frame.Spread4(le32(srcP.RowFrom(x+i, y+j+3, 4))), dcW),
+				)
+			}
+		}
+	case intraV:
+		top := predP.RowFrom(x, y-1, w)
+		for i := 0; i < w; i += 4 {
+			topW := frame.Spread4(le32(top[i:]))
+			for j := 0; j < h; j += 4 {
+				total += frame.Hadamard4x4Packed(
+					frame.LaneSub(frame.Spread4(le32(srcP.RowFrom(x+i, y+j, 4))), topW),
+					frame.LaneSub(frame.Spread4(le32(srcP.RowFrom(x+i, y+j+1, 4))), topW),
+					frame.LaneSub(frame.Spread4(le32(srcP.RowFrom(x+i, y+j+2, 4))), topW),
+					frame.LaneSub(frame.Spread4(le32(srcP.RowFrom(x+i, y+j+3, 4))), topW),
+				)
+			}
+		}
+	case intraH:
+		for j := 0; j < h; j += 4 {
+			v0 := spreadConst(int32(predP.At(x-1, y+j)))
+			v1 := spreadConst(int32(predP.At(x-1, y+j+1)))
+			v2 := spreadConst(int32(predP.At(x-1, y+j+2)))
+			v3 := spreadConst(int32(predP.At(x-1, y+j+3)))
+			for i := 0; i < w; i += 4 {
+				total += frame.Hadamard4x4Packed(
+					frame.LaneSub(frame.Spread4(le32(srcP.RowFrom(x+i, y+j, 4))), v0),
+					frame.LaneSub(frame.Spread4(le32(srcP.RowFrom(x+i, y+j+1, 4))), v1),
+					frame.LaneSub(frame.Spread4(le32(srcP.RowFrom(x+i, y+j+2, 4))), v2),
+					frame.LaneSub(frame.Spread4(le32(srcP.RowFrom(x+i, y+j+3, 4))), v3),
+				)
+			}
+		}
+	case intraPlanar:
+		tl := int32(predP.At(x-1, y-1))
+		tr := int32(predP.At(x+w-1, y-1))
+		bl := int32(predP.At(x-1, y+h-1))
+		dH := (tr - tl) / int32(w)
+		dV := (bl - tl) / int32(h)
+		// Per lane-group horizontal ramps dH*(i+1); the per-row base is a
+		// lane constant. base+ramp spans [-480, 735], inside a lane.
+		var ramp [4]uint64
+		for g := 0; g < w/4; g++ {
+			var rw uint64
+			for k := 0; k < 4; k++ {
+				rw |= uint64(uint16(dH*int32(g*4+k+1))) << uint(16*k)
+			}
+			ramp[g] = rw
+		}
+		for j := 0; j < h; j += 4 {
+			var rows [4]uint64
+			for i := 0; i < w; i += 4 {
+				for r := 0; r < 4; r++ {
+					base := spreadConst(tl + dV*int32(j+r+1))
+					pred := clampU8Lanes(frame.LaneAdd(base, ramp[i/4]))
+					rows[r] = frame.LaneSub(frame.Spread4(le32(srcP.RowFrom(x+i, y+j+r, 4))), pred)
+				}
+				total += frame.Hadamard4x4Packed(rows[0], rows[1], rows[2], rows[3])
+			}
+		}
+	case intraDDL:
+		// 4x4 only: top row extended by its last pixel, then the 1-2-1
+		// smoothing runs lane-parallel on three staggered spreads. The
+		// smoothed value is at most 255, so no clamp is needed.
+		top := predP.RowFrom(x, y-1, w)
+		var ext [12]uint8
+		copy(ext[:], top[:w])
+		for i := w; i < len(ext); i++ {
+			ext[i] = top[w-1]
+		}
+		var rows [4]uint64
+		for j := 0; j < 4; j++ {
+			a := frame.Spread4(le32(ext[j:]))
+			b := frame.Spread4(le32(ext[j+1:]))
+			c := frame.Spread4(le32(ext[j+2:]))
+			pred := ((a + b<<1 + c + 2*frame.Ones16) >> 2) & 0x3FFF3FFF3FFF3FFF
+			rows[j] = frame.LaneSub(frame.Spread4(le32(srcP.RowFrom(x, y+j, 4))), pred)
+		}
+		total = frame.Hadamard4x4Packed(rows[0], rows[1], rows[2], rows[3])
+	}
+	t.predIntraEvents(fn, predP, x, y, w, h)
+	t.satdBlockEvents(fn, srcP, x, y, w, h)
+	return total / 2
+}

@@ -1,0 +1,438 @@
+package transform
+
+// SWAR transforms and quantizers: the 32-bit-lane counterpart of the
+// 16-bit-lane pixel kernels in internal/frame/swar.go. Residual math needs
+// wider lanes — a 4x4 row pass already reaches +-42840 — so two int32
+// coefficients ride per uint64 with carry-masked lane add/sub (Hacker's
+// Delight §2-18 with the mask widened to bit 31/63) and per-lane modular
+// multiplies. The butterfly decompositions cut the multiply count of the
+// 4-point basis from 16 to 4 per pass (32/42/17 structure) and of the
+// 8-point basis from 64 to 32 (even/odd symmetry), and the packed add/sub
+// stages then do two rows or columns per operation.
+//
+// Exactness: every lane operation is two's-complement arithmetic mod 2^32,
+// which is exactly what the scalar int32 reference computes, so the 4x4
+// FDCT/IDCT match fdctScalar/idctScalar for *all* inputs (including
+// wrapped overflow). The 8x8 pair routes its symmetric rounding through a
+// per-lane absolute value and matches fdct8Scalar/idct8Scalar for every
+// input whose pass sums stay below 2^31-128 — far beyond any residual or
+// dequantized coefficient the codec produces. The quantizers keep the
+// scalar division as the fallback: the packed path proves its
+// multiply-shift reciprocal exact at init time and bails out (leaving the
+// block untouched) whenever a coefficient exceeds the verified range.
+
+const (
+	signs32 = 0x8000000080000000 // sign bit of each 32-bit lane
+	ones32  = 0x0000000100000001 // 1 in each 32-bit lane
+	low32   = 0x00000000FFFFFFFF
+)
+
+func pack2(a, b int32) uint64 {
+	return uint64(uint32(a)) | uint64(uint32(b))<<32
+}
+
+func unpack2(x uint64) (int32, int32) {
+	return int32(uint32(x)), int32(uint32(x >> 32))
+}
+
+// lane32Add and lane32Sub add/subtract the two 32-bit two's-complement
+// lanes independently: the sign bits are masked out of the partial
+// operation and patched back with xor so no carry or borrow crosses the
+// lane boundary.
+func lane32Add(x, y uint64) uint64 {
+	return ((x &^ signs32) + (y &^ signs32)) ^ ((x ^ y) & signs32)
+}
+
+func lane32Sub(x, y uint64) uint64 {
+	return ((x | signs32) - (y &^ signs32)) ^ ((x ^ ^y) & signs32)
+}
+
+// lane32Mul multiplies both lanes by the scalar constant c, each product
+// reduced mod 2^32 — exactly the scalar int32 multiply.
+func lane32Mul(x uint64, c int32) uint64 {
+	cu := uint64(uint32(c))
+	return (uint64(uint32(x))*cu)&low32 | ((x>>32)*cu)<<32
+}
+
+// lane32Shl5 multiplies both lanes by 32 (the DC basis weight) as a
+// masked shift: (v mod 2^27) << 5 is v*32 mod 2^32 per lane.
+func lane32Shl5(x uint64) uint64 {
+	return (x & 0x07FFFFFF07FFFFFF) << 5
+}
+
+// lane32Abs returns per-lane |x| together with the per-lane negation mask
+// (0xFFFFFFFF in negative lanes) and the per-lane sign bit as 0/1, so
+// callers can re-apply the signs with one lane32Add(v^m, neg).
+func lane32Abs(x uint64) (abs, neg, m uint64) {
+	neg = (x >> 31) & ones32
+	m = neg * 0xFFFFFFFF
+	abs = lane32Add(x^m, neg)
+	return
+}
+
+// lane32RoundShift12 applies the 4x4 transforms' rounding shift per lane:
+// add +-2048 by sign, then arithmetic shift right 12 (logical shift plus
+// re-extended sign bits).
+func lane32RoundShift12(x uint64) uint64 {
+	neg := (x >> 31) & ones32
+	x = lane32Add(x, 0x0000080000000800)
+	x = lane32Sub(x, neg<<12)
+	neg = (x >> 31) & ones32
+	return ((x >> 12) & 0x000FFFFF000FFFFF) | neg*0xFFF00000
+}
+
+// lane32RoundShiftSym8 applies roundShift8's symmetric /256 per lane:
+// round the magnitude, then restore the sign.
+func lane32RoundShiftSym8(x uint64) uint64 {
+	a, neg, m := lane32Abs(x)
+	r := ((a + 0x0000008000000080) >> 8) & 0x00FFFFFF00FFFFFF
+	return lane32Add(r^m, neg)
+}
+
+// FDCT performs the forward 4x4 transform of src into dst. The output is in
+// source scale (orthonormal): a flat block of value v yields DC = 4*v.
+//
+// Butterfly form of the {32,42,17} basis: with e0=r0+r3, e1=r1+r2,
+// o0=r0-r3, o1=r1-r2 the four outputs are 32*(e0+e1), 42*o0+17*o1,
+// 32*(e0-e1), 17*o0-42*o1. Two rows (then two columns) ride the lanes of
+// each packed word.
+func FDCT(src *Block, dst *Block) {
+	var tmp Block
+	for y := 0; y < 4; y += 2 {
+		x0 := pack2(src[y*4+0], src[y*4+4])
+		x1 := pack2(src[y*4+1], src[y*4+5])
+		x2 := pack2(src[y*4+2], src[y*4+6])
+		x3 := pack2(src[y*4+3], src[y*4+7])
+		e0, e1 := lane32Add(x0, x3), lane32Add(x1, x2)
+		o0, o1 := lane32Sub(x0, x3), lane32Sub(x1, x2)
+		t0 := lane32Shl5(lane32Add(e0, e1))
+		t1 := lane32Add(lane32Mul(o0, 42), lane32Mul(o1, 17))
+		t2 := lane32Shl5(lane32Sub(e0, e1))
+		t3 := lane32Sub(lane32Mul(o0, 17), lane32Mul(o1, 42))
+		tmp[y*4+0], tmp[y*4+4] = unpack2(t0)
+		tmp[y*4+1], tmp[y*4+5] = unpack2(t1)
+		tmp[y*4+2], tmp[y*4+6] = unpack2(t2)
+		tmp[y*4+3], tmp[y*4+7] = unpack2(t3)
+	}
+	for v := 0; v < 4; v += 2 {
+		x0 := pack2(tmp[v], tmp[v+1])
+		x1 := pack2(tmp[4+v], tmp[4+v+1])
+		x2 := pack2(tmp[8+v], tmp[8+v+1])
+		x3 := pack2(tmp[12+v], tmp[12+v+1])
+		e0, e1 := lane32Add(x0, x3), lane32Add(x1, x2)
+		o0, o1 := lane32Sub(x0, x3), lane32Sub(x1, x2)
+		t0 := lane32Shl5(lane32Add(e0, e1))
+		t1 := lane32Add(lane32Mul(o0, 42), lane32Mul(o1, 17))
+		t2 := lane32Shl5(lane32Sub(e0, e1))
+		t3 := lane32Sub(lane32Mul(o0, 17), lane32Mul(o1, 42))
+		dst[0+v], dst[0+v+1] = unpack2(lane32RoundShift12(t0))
+		dst[4+v], dst[4+v+1] = unpack2(lane32RoundShift12(t1))
+		dst[8+v], dst[8+v+1] = unpack2(lane32RoundShift12(t2))
+		dst[12+v], dst[12+v+1] = unpack2(lane32RoundShift12(t3))
+	}
+}
+
+// IDCT performs the inverse 4x4 transform of src into dst, the exact adjoint
+// of FDCT to within rounding. The transposed basis butterflies differently:
+// e0=32*(s0+s2), e1=32*(s0-s2), o0=42*s1+17*s3, o1=17*s1-42*s3 and the
+// outputs are e0+o0, e1+o1, e1-o1, e0-o0.
+func IDCT(src *Block, dst *Block) {
+	var tmp Block
+	for v := 0; v < 4; v += 2 {
+		s0 := pack2(src[v], src[v+1])
+		s1 := pack2(src[4+v], src[4+v+1])
+		s2 := pack2(src[8+v], src[8+v+1])
+		s3 := pack2(src[12+v], src[12+v+1])
+		e0 := lane32Shl5(lane32Add(s0, s2))
+		e1 := lane32Shl5(lane32Sub(s0, s2))
+		o0 := lane32Add(lane32Mul(s1, 42), lane32Mul(s3, 17))
+		o1 := lane32Sub(lane32Mul(s1, 17), lane32Mul(s3, 42))
+		tmp[0+v], tmp[0+v+1] = unpack2(lane32Add(e0, o0))
+		tmp[4+v], tmp[4+v+1] = unpack2(lane32Add(e1, o1))
+		tmp[8+v], tmp[8+v+1] = unpack2(lane32Sub(e1, o1))
+		tmp[12+v], tmp[12+v+1] = unpack2(lane32Sub(e0, o0))
+	}
+	for x := 0; x < 4; x += 2 {
+		r0 := pack2(tmp[x*4+0], tmp[x*4+4])
+		r1 := pack2(tmp[x*4+1], tmp[x*4+5])
+		r2 := pack2(tmp[x*4+2], tmp[x*4+6])
+		r3 := pack2(tmp[x*4+3], tmp[x*4+7])
+		e0 := lane32Shl5(lane32Add(r0, r2))
+		e1 := lane32Shl5(lane32Sub(r0, r2))
+		o0 := lane32Add(lane32Mul(r1, 42), lane32Mul(r3, 17))
+		o1 := lane32Sub(lane32Mul(r1, 17), lane32Mul(r3, 42))
+		dst[x*4+0], dst[x*4+4] = unpack2(lane32RoundShift12(lane32Add(e0, o0)))
+		dst[x*4+1], dst[x*4+5] = unpack2(lane32RoundShift12(lane32Add(e1, o1)))
+		dst[x*4+2], dst[x*4+6] = unpack2(lane32RoundShift12(lane32Sub(e1, o1)))
+		dst[x*4+3], dst[x*4+7] = unpack2(lane32RoundShift12(lane32Sub(e0, o0)))
+	}
+}
+
+// dct8Fwd applies the forward 8-point DCT-II to eight packed words (two
+// rows or columns per lane). The basis is symmetric in x for even u and
+// antisymmetric for odd u, so four multiplies per output on the folded
+// sums/differences replace eight on the raw samples.
+func dct8Fwd(x *[8]uint64) (out [8]uint64) {
+	var e, o [4]uint64
+	for i := 0; i < 4; i++ {
+		e[i] = lane32Add(x[i], x[7-i])
+		o[i] = lane32Sub(x[i], x[7-i])
+	}
+	for u := 0; u < 8; u++ {
+		c := &dct8C[u]
+		half := &e
+		if u&1 == 1 {
+			half = &o
+		}
+		acc := lane32Mul(half[0], c[0])
+		acc = lane32Add(acc, lane32Mul(half[1], c[1]))
+		acc = lane32Add(acc, lane32Mul(half[2], c[2]))
+		acc = lane32Add(acc, lane32Mul(half[3], c[3]))
+		out[u] = lane32RoundShiftSym8(acc)
+	}
+	return
+}
+
+// dct8Inv applies the transposed 8-point basis: the even-index inputs form
+// a part symmetric across the output midpoint and the odd-index inputs an
+// antisymmetric part, so outputs pair up as P+Q / P-Q.
+func dct8Inv(s *[8]uint64) (out [8]uint64) {
+	for x := 0; x < 4; x++ {
+		p := lane32Mul(s[0], dct8C[0][x])
+		p = lane32Add(p, lane32Mul(s[2], dct8C[2][x]))
+		p = lane32Add(p, lane32Mul(s[4], dct8C[4][x]))
+		p = lane32Add(p, lane32Mul(s[6], dct8C[6][x]))
+		q := lane32Mul(s[1], dct8C[1][x])
+		q = lane32Add(q, lane32Mul(s[3], dct8C[3][x]))
+		q = lane32Add(q, lane32Mul(s[5], dct8C[5][x]))
+		q = lane32Add(q, lane32Mul(s[7], dct8C[7][x]))
+		out[x] = lane32RoundShiftSym8(lane32Add(p, q))
+		out[7-x] = lane32RoundShiftSym8(lane32Sub(p, q))
+	}
+	return
+}
+
+// FDCT8 performs the forward 8x8 transform of src into dst (orthonormal
+// scaling: a flat block of value v yields DC = 8*v).
+func FDCT8(src, dst *Block8) {
+	var tmp Block8
+	for y := 0; y < 8; y += 2 {
+		var x [8]uint64
+		for i := 0; i < 8; i++ {
+			x[i] = pack2(src[y*8+i], src[y*8+8+i])
+		}
+		out := dct8Fwd(&x)
+		for u := 0; u < 8; u++ {
+			tmp[y*8+u], tmp[y*8+8+u] = unpack2(out[u])
+		}
+	}
+	for v := 0; v < 8; v += 2 {
+		var x [8]uint64
+		for y := 0; y < 8; y++ {
+			x[y] = pack2(tmp[y*8+v], tmp[y*8+v+1])
+		}
+		out := dct8Fwd(&x)
+		for u := 0; u < 8; u++ {
+			dst[u*8+v], dst[u*8+v+1] = unpack2(out[u])
+		}
+	}
+}
+
+// IDCT8 performs the inverse 8x8 transform.
+func IDCT8(src, dst *Block8) {
+	var tmp Block8
+	for v := 0; v < 8; v += 2 {
+		var s [8]uint64
+		for u := 0; u < 8; u++ {
+			s[u] = pack2(src[u*8+v], src[u*8+v+1])
+		}
+		out := dct8Inv(&s)
+		for x := 0; x < 8; x++ {
+			tmp[x*8+v], tmp[x*8+v+1] = unpack2(out[x])
+		}
+	}
+	for x := 0; x < 8; x += 2 {
+		var s [8]uint64
+		for v := 0; v < 8; v++ {
+			s[v] = pack2(tmp[x*8+v], tmp[x*8+8+v])
+		}
+		out := dct8Inv(&s)
+		for y := 0; y < 8; y++ {
+			dst[x*8+y], dst[x*8+8+y] = unpack2(out[y])
+		}
+	}
+}
+
+// --- packed quantization -----------------------------------------------------
+
+// The packed quantizer replaces the per-coefficient signed division with a
+// multiply-shift reciprocal, two coefficients per 64-bit multiply. The
+// reciprocal is only used where it is *provably* exact: init verifies
+// (n*m)>>quantShift == n/step for every numerator the fast path admits, and
+// the per-block magnitude check routes anything larger (or any step whose
+// reciprocal would overflow a lane) to the scalar divider.
+const (
+	quantShift = 22
+	quantMaxN  = 1 << 13 // exclusive bound on 2*|c| + deadzone offset
+	quantMaxC  = 4015    // largest |coefficient| the packed path accepts
+)
+
+type quantRecipEntry struct {
+	m  uint64
+	ok bool
+}
+
+var quantRecip [MaxQP + 1]quantRecipEntry
+
+// initQuantRecip is called from the qstep init in transform.go (file init
+// order would run this one first, before the step table exists).
+func initQuantRecip() {
+	for qp := 0; qp <= MaxQP; qp++ {
+		d := uint64(qstep[qp])
+		m := (uint64(1)<<quantShift)/d + 1
+		if m >= 1<<19 {
+			continue // n*m could overflow a 32-bit lane; keep scalar
+		}
+		ok := true
+		for n := uint64(0); n < quantMaxN; n++ {
+			if (n*m)>>quantShift != n/d {
+				ok = false
+				break
+			}
+		}
+		quantRecip[qp] = quantRecipEntry{m: m, ok: ok}
+	}
+}
+
+// quantPacked quantizes b in place through the reciprocal fast path,
+// returning the nonzero count and whether the path applied. When it
+// reports false the block is untouched and the caller must run the scalar
+// quantizer.
+func quantPacked(b []int32, qp int, off int32) (int, bool) {
+	qr := &quantRecip[qp]
+	if !qr.ok {
+		return 0, false
+	}
+	n := len(b) / 2
+	var abs, sign, negs [32]uint64
+	var rangeOr uint64
+	for i := 0; i < n; i++ {
+		a, neg, m := lane32Abs(pack2(b[2*i], b[2*i+1]))
+		abs[i], sign[i], negs[i] = a, m, neg
+		// Bias each magnitude so the quantMaxC bound becomes a power-of-two
+		// bit test on the accumulated OR.
+		rangeOr |= a + (4095-quantMaxC)*ones32
+	}
+	if rangeOr&0xFFFFF000FFFFF000 != 0 {
+		return 0, false // some |c| > quantMaxC: scalar path
+	}
+	offL := uint64(uint32(off)) * ones32
+	nz := 0
+	for i := 0; i < n; i++ {
+		// numerator lanes 2*|c|+off stay below quantMaxN, so both lane
+		// products of the single 64-bit multiply are exact.
+		num := (abs[i] << 1) + offL
+		prod := num * qr.m
+		l0 := (prod >> quantShift) & 0x3FF
+		l1 := prod >> (32 + quantShift)
+		if l0 != 0 {
+			nz++
+		}
+		if l1 != 0 {
+			nz++
+		}
+		b[2*i], b[2*i+1] = unpack2(lane32Add((l0|l1<<32)^sign[i], negs[i]))
+	}
+	return nz, true
+}
+
+func quantScalar(b []int32, step, off int32) int {
+	nz := 0
+	for i, c := range b {
+		neg := c < 0
+		if neg {
+			c = -c
+		}
+		// level = (2*c + dead zone) / step, where step is 2*qstep.
+		l := (2*c + off) / step
+		if l != 0 {
+			nz++
+		}
+		if neg {
+			l = -l
+		}
+		b[i] = l
+	}
+	return nz
+}
+
+// Quant quantizes the transformed block in place with the given QP and
+// dead-zone, returning the number of nonzero coefficients. Coefficients are
+// divided by QStep/2 with dead-zone rounding.
+func Quant(b *Block, qp int, deadzone int32) int {
+	q := clampQP(qp)
+	step := qstep[q]
+	off := step * deadzone / 64
+	if nz, ok := quantPacked(b[:], q, off); ok {
+		return nz
+	}
+	return quantScalar(b[:], step, off)
+}
+
+// Quant8 quantizes an 8x8 coefficient block in place, returning the
+// nonzero count. Same step scale as the 4x4 quantizer.
+func Quant8(b *Block8, qp int, deadzone int32) int {
+	q := clampQP(qp)
+	step := qstep[q]
+	off := step * deadzone / 64
+	if nz, ok := quantPacked(b[:], q, off); ok {
+		return nz
+	}
+	return quantScalar(b[:], step, off)
+}
+
+// dequantPacked reconstructs magnitudes |l|*step>>1 in packed lanes and
+// restores the signs, matching the scalar l*step/2 (Go division truncates
+// toward zero, which on the magnitude is a plain shift). Levels at or
+// above 2^15 fall back to scalar.
+func dequantPacked(b []int32, step int32) bool {
+	n := len(b) / 2
+	var abs, sign, negs [32]uint64
+	var rangeOr uint64
+	for i := 0; i < n; i++ {
+		a, neg, m := lane32Abs(pack2(b[2*i], b[2*i+1]))
+		abs[i], sign[i], negs[i] = a, m, neg
+		rangeOr |= a
+	}
+	if rangeOr&0xFFFF8000FFFF8000 != 0 {
+		return false
+	}
+	s := uint64(uint32(step))
+	for i := 0; i < n; i++ {
+		p := ((abs[i] * s) >> 1) & 0x7FFFFFFF7FFFFFFF
+		b[2*i], b[2*i+1] = unpack2(lane32Add(p^sign[i], negs[i]))
+	}
+	return true
+}
+
+// Dequant reconstructs coefficient magnitudes from levels in place.
+func Dequant(b *Block, qp int) {
+	step := qstep[clampQP(qp)]
+	if dequantPacked(b[:], step) {
+		return
+	}
+	for i, l := range b {
+		b[i] = l * step / 2
+	}
+}
+
+// Dequant8 reconstructs coefficient magnitudes in place.
+func Dequant8(b *Block8, qp int) {
+	step := qstep[clampQP(qp)]
+	if dequantPacked(b[:], step) {
+		return
+	}
+	for i, l := range b {
+		b[i] = l * step / 2
+	}
+}

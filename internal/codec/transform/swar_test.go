@@ -1,0 +1,311 @@
+package transform
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// The packed 4x4 transforms are exact mod 2^32, so their equivalence tests
+// draw from the full int32 range. The 8x8 pair routes rounding through a
+// per-lane absolute value, exact while pass sums stay below 2^31-128;
+// inputs up to 2^18 keep the column-pass sums under 2^30, three orders of
+// magnitude beyond any real residual (|r| <= 255) or dequantized
+// coefficient the encoder produces.
+const max8Input = 1 << 18
+
+func TestDCT8BasisSymmetry(t *testing.T) {
+	// The fwd8/inv8 folding relies on the *rounded integer* table keeping
+	// the cosine symmetry c[u][7-x] = (-1)^u * c[u][x] exactly.
+	for u := 0; u < 8; u++ {
+		for x := 0; x < 4; x++ {
+			want := dct8C[u][x]
+			if u&1 == 1 {
+				want = -want
+			}
+			if dct8C[u][7-x] != want {
+				t.Fatalf("dct8C[%d][%d] = %d, want %d", u, 7-x, dct8C[u][7-x], want)
+			}
+		}
+	}
+}
+
+func randBlock(rng *rand.Rand, bound int32) Block {
+	var b Block
+	for i := range b {
+		if bound == 0 {
+			b[i] = int32(rng.Uint32()) // full range, including overflow territory
+		} else {
+			b[i] = rng.Int31n(2*bound+1) - bound
+		}
+	}
+	return b
+}
+
+func randBlock8(rng *rand.Rand, bound int32) Block8 {
+	var b Block8
+	for i := range b {
+		b[i] = rng.Int31n(2*bound+1) - bound
+	}
+	return b
+}
+
+func TestFDCTMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	bounds := []int32{1, 9, 255, 4096, 1 << 20, 0} // 0 = full int32 range
+	for _, bound := range bounds {
+		for it := 0; it < 2000; it++ {
+			src := randBlock(rng, bound)
+			var got, want Block
+			FDCT(&src, &got)
+			fdctScalar(&src, &want)
+			if got != want {
+				t.Fatalf("bound %d: FDCT mismatch\nsrc  %v\ngot  %v\nwant %v", bound, src, got, want)
+			}
+		}
+	}
+}
+
+func TestIDCTMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	bounds := []int32{1, 9, 255, 4096, 1 << 20, 0}
+	for _, bound := range bounds {
+		for it := 0; it < 2000; it++ {
+			src := randBlock(rng, bound)
+			var got, want Block
+			IDCT(&src, &got)
+			idctScalar(&src, &want)
+			if got != want {
+				t.Fatalf("bound %d: IDCT mismatch\nsrc  %v\ngot  %v\nwant %v", bound, src, got, want)
+			}
+		}
+	}
+}
+
+func TestFDCT8MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, bound := range []int32{1, 9, 255, 4096, max8Input} {
+		for it := 0; it < 1000; it++ {
+			src := randBlock8(rng, bound)
+			var got, want Block8
+			FDCT8(&src, &got)
+			fdct8Scalar(&src, &want)
+			if got != want {
+				t.Fatalf("bound %d: FDCT8 mismatch\nsrc  %v\ngot  %v\nwant %v", bound, src, got, want)
+			}
+		}
+	}
+}
+
+func TestIDCT8MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for _, bound := range []int32{1, 9, 255, 4096, max8Input} {
+		for it := 0; it < 1000; it++ {
+			src := randBlock8(rng, bound)
+			var got, want Block8
+			IDCT8(&src, &got)
+			idct8Scalar(&src, &want)
+			if got != want {
+				t.Fatalf("bound %d: IDCT8 mismatch\nsrc  %v\ngot  %v\nwant %v", bound, src, got, want)
+			}
+		}
+	}
+}
+
+// quantRefBlock runs the scalar quantizer with the same step/offset
+// derivation as the exported Quant.
+func quantRefBlock(b []int32, qp int, deadzone int32) int {
+	q := clampQP(qp)
+	step := qstep[q]
+	return quantScalar(b, step, step*deadzone/64)
+}
+
+func TestQuantMatchesScalarExhaustivePairs(t *testing.T) {
+	// Every (qp, coefficient) pair across the packed path's range boundary:
+	// c sweeps through quantMaxC on both sides so the bail-out and the
+	// reciprocal are both exercised for every step size.
+	for qp := 0; qp <= MaxQP; qp++ {
+		for c := int32(-4200); c <= 4200; c += 3 {
+			b := Block{c, -c, c + 1, c - 1, c, c, 0, 1, -1, c, c / 2, -c / 2, c, c, c, -c}
+			want := b
+			wnz := quantRefBlock(want[:], qp, DeadzoneIntra)
+			got := b
+			gnz := Quant(&got, qp, DeadzoneIntra)
+			if got != want || gnz != wnz {
+				t.Fatalf("qp %d c %d: Quant mismatch nz %d/%d\ngot  %v\nwant %v", qp, c, gnz, wnz, got, want)
+			}
+		}
+	}
+}
+
+func TestQuantMatchesScalarRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for _, bound := range []int32{1, 40, 4000, 4100, 1 << 16, 0} {
+		for it := 0; it < 1500; it++ {
+			qp := rng.Intn(MaxQP + 1)
+			dz := int32(DeadzoneInter)
+			if it&1 == 1 {
+				dz = DeadzoneIntra
+			}
+			b := randBlock(rng, bound)
+			want := b
+			wnz := quantRefBlock(want[:], qp, dz)
+			got := b
+			gnz := Quant(&got, qp, dz)
+			if got != want || gnz != wnz {
+				t.Fatalf("bound %d qp %d dz %d: Quant mismatch nz %d/%d\nin   %v\ngot  %v\nwant %v",
+					bound, qp, dz, gnz, wnz, b, got, want)
+			}
+		}
+	}
+}
+
+func TestQuant8MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for _, bound := range []int32{40, 4000, 4100, 1 << 16} {
+		for it := 0; it < 800; it++ {
+			qp := rng.Intn(MaxQP + 1)
+			b := randBlock8(rng, bound)
+			want := b
+			q := clampQP(qp)
+			wnz := quantScalar(want[:], qstep[q], qstep[q]*DeadzoneInter/64)
+			got := b
+			gnz := Quant8(&got, qp, DeadzoneInter)
+			if got != want || gnz != wnz {
+				t.Fatalf("bound %d qp %d: Quant8 mismatch nz %d/%d", bound, qp, gnz, wnz)
+			}
+		}
+	}
+}
+
+func dequantRefBlock(b []int32, qp int) {
+	step := qstep[clampQP(qp)]
+	for i, l := range b {
+		b[i] = l * step / 2
+	}
+}
+
+func TestDequantMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	// Bounds straddle the 2^15 packed-path limit so both paths run.
+	for _, bound := range []int32{1, 1000, 1<<15 - 1, 1 << 15, 1 << 20, 0} {
+		for it := 0; it < 1500; it++ {
+			qp := rng.Intn(MaxQP + 1)
+			b := randBlock(rng, bound)
+			want := b
+			dequantRefBlock(want[:], qp)
+			got := b
+			Dequant(&got, qp)
+			if got != want {
+				t.Fatalf("bound %d qp %d: Dequant mismatch\nin   %v\ngot  %v\nwant %v", bound, qp, b, got, want)
+			}
+		}
+	}
+}
+
+func TestDequant8MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	for _, bound := range []int32{1000, 1<<15 - 1, 1 << 20} {
+		for it := 0; it < 600; it++ {
+			qp := rng.Intn(MaxQP + 1)
+			b := randBlock8(rng, bound)
+			want := b
+			dequantRefBlock(want[:], qp)
+			got := b
+			Dequant8(&got, qp)
+			if got != want {
+				t.Fatalf("bound %d qp %d: Dequant8 mismatch", bound, qp)
+			}
+		}
+	}
+}
+
+func blockFromBytes(data []byte) (Block, bool) {
+	if len(data) < 64 {
+		return Block{}, false
+	}
+	var b Block
+	for i := range b {
+		b[i] = int32(binary.LittleEndian.Uint32(data[i*4:]))
+	}
+	return b, true
+}
+
+func FuzzFDCTEquivalence(f *testing.F) {
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src, ok := blockFromBytes(data)
+		if !ok {
+			return
+		}
+		var got, want Block
+		FDCT(&src, &got)
+		fdctScalar(&src, &want)
+		if got != want {
+			t.Fatalf("FDCT mismatch for %v: %v != %v", src, got, want)
+		}
+		IDCT(&src, &got)
+		idctScalar(&src, &want)
+		if got != want {
+			t.Fatalf("IDCT mismatch for %v: %v != %v", src, got, want)
+		}
+	})
+}
+
+func FuzzQuantEquivalence(f *testing.F) {
+	f.Add(uint8(26), uint8(0), make([]byte, 64))
+	f.Fuzz(func(t *testing.T, qpRaw, dzSel uint8, data []byte) {
+		b, ok := blockFromBytes(data)
+		if !ok {
+			return
+		}
+		qp := int(qpRaw) % (MaxQP + 1)
+		dz := int32(DeadzoneInter)
+		if dzSel&1 == 1 {
+			dz = DeadzoneIntra
+		}
+		want := b
+		wnz := quantRefBlock(want[:], qp, dz)
+		got := b
+		gnz := Quant(&got, qp, dz)
+		if got != want || gnz != wnz {
+			t.Fatalf("Quant mismatch qp %d dz %d for %v", qp, dz, b)
+		}
+		// Levels (any magnitude, fuzz may hand us wild blocks) back through
+		// the dequantizer.
+		dq := got
+		ref := got
+		dequantRefBlock(ref[:], qp)
+		Dequant(&dq, qp)
+		if dq != ref {
+			t.Fatalf("Dequant mismatch qp %d for %v", qp, got)
+		}
+	})
+}
+
+func FuzzFDCT8Equivalence(f *testing.F) {
+	f.Add(make([]byte, 256))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 256 {
+			return
+		}
+		var src Block8
+		for i := range src {
+			v := int32(binary.LittleEndian.Uint32(data[i*4:]))
+			// Clamp into the documented exactness domain of the packed 8x8
+			// rounding (see swar.go); real residuals are far smaller still.
+			src[i] = v % max8Input
+		}
+		var got, want Block8
+		FDCT8(&src, &got)
+		fdct8Scalar(&src, &want)
+		if got != want {
+			t.Fatalf("FDCT8 mismatch for %v", src)
+		}
+		IDCT8(&src, &got)
+		idct8Scalar(&src, &want)
+		if got != want {
+			t.Fatalf("IDCT8 mismatch for %v", src)
+		}
+	})
+}

@@ -18,9 +18,10 @@ var dctC = [4][4]int32{
 	{17, -42, 42, -17},
 }
 
-// FDCT performs the forward 4x4 transform of src into dst. The output is in
-// source scale (orthonormal): a flat block of value v yields DC = 4*v.
-func FDCT(src *Block, dst *Block) {
+// fdctScalar is the direct matrix-product form of the forward transform.
+// The shipping FDCT in swar.go computes the identical result through packed
+// butterflies; this version is kept as the equivalence-test reference.
+func fdctScalar(src *Block, dst *Block) {
 	var tmp [16]int32
 	// Rows: tmp = src * C^T
 	for y := 0; y < 4; y++ {
@@ -45,9 +46,8 @@ func FDCT(src *Block, dst *Block) {
 	}
 }
 
-// IDCT performs the inverse 4x4 transform of src into dst, the exact adjoint
-// of FDCT to within rounding.
-func IDCT(src *Block, dst *Block) {
+// idctScalar is the matrix-product reference for the packed IDCT in swar.go.
+func idctScalar(src *Block, dst *Block) {
 	var tmp [16]int32
 	// Columns: tmp = C^T * src
 	for v := 0; v < 4; v++ {
@@ -92,6 +92,7 @@ func init() {
 		}
 		qstep[qp] = v
 	}
+	initQuantRecip()
 }
 
 // QStep returns the quantization step (x2 fixed point) for qp.
@@ -111,39 +112,6 @@ const (
 	DeadzoneIntra = 21
 	DeadzoneInter = 11
 )
-
-// Quant quantizes the transformed block in place with the given QP and
-// dead-zone, returning the number of nonzero coefficients. Coefficients are
-// divided by QStep/2 with dead-zone rounding.
-func Quant(b *Block, qp int, deadzone int32) int {
-	step := qstep[clampQP(qp)]
-	nz := 0
-	off := step * deadzone / 64
-	for i, c := range b {
-		neg := c < 0
-		if neg {
-			c = -c
-		}
-		// level = (2*c + dead zone) / step, where step is 2*qstep.
-		l := (2*c + off) / step
-		if l != 0 {
-			nz++
-		}
-		if neg {
-			l = -l
-		}
-		b[i] = l
-	}
-	return nz
-}
-
-// Dequant reconstructs coefficient magnitudes from levels in place.
-func Dequant(b *Block, qp int) {
-	step := qstep[clampQP(qp)]
-	for i, l := range b {
-		b[i] = l * step / 2
-	}
-}
 
 func clampQP(qp int) int {
 	if qp < 0 {

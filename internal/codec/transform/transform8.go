@@ -57,9 +57,8 @@ func init() {
 	}
 }
 
-// FDCT8 performs the forward 8x8 transform of src into dst (orthonormal
-// scaling: a flat block of value v yields DC = 8*v).
-func FDCT8(src, dst *Block8) {
+// fdct8Scalar is the triple-loop reference for the packed FDCT8 in swar.go.
+func fdct8Scalar(src, dst *Block8) {
 	var tmp [64]int32
 	for y := 0; y < 8; y++ {
 		r := src[y*8 : y*8+8]
@@ -92,8 +91,8 @@ func roundShift8(s int32) int32 {
 	return -((-s + 128) >> 8)
 }
 
-// IDCT8 performs the inverse 8x8 transform.
-func IDCT8(src, dst *Block8) {
+// idct8Scalar is the triple-loop reference for the packed IDCT8 in swar.go.
+func idct8Scalar(src, dst *Block8) {
 	var tmp [64]int32
 	for v := 0; v < 8; v++ {
 		for x := 0; x < 8; x++ {
@@ -113,37 +112,6 @@ func IDCT8(src, dst *Block8) {
 			}
 			dst[x*8+y] = roundShift8(s)
 		}
-	}
-}
-
-// Quant8 quantizes an 8x8 coefficient block in place, returning the
-// nonzero count. Same step scale as the 4x4 quantizer.
-func Quant8(b *Block8, qp int, deadzone int32) int {
-	step := qstep[clampQP(qp)]
-	off := step * deadzone / 64
-	nz := 0
-	for i, c := range b {
-		neg := c < 0
-		if neg {
-			c = -c
-		}
-		l := (2*c + off) / step
-		if l != 0 {
-			nz++
-		}
-		if neg {
-			l = -l
-		}
-		b[i] = l
-	}
-	return nz
-}
-
-// Dequant8 reconstructs coefficient magnitudes in place.
-func Dequant8(b *Block8, qp int) {
-	step := qstep[clampQP(qp)]
-	for i, l := range b {
-		b[i] = l * step / 2
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/exec"
@@ -88,6 +89,29 @@ type Job struct {
 	// identical (TestAnalysisRunEquivalence); this escape hatch exists for
 	// fidelity A/B checks and for measuring the analysis layer's own speedup.
 	NoAnalysisCache bool
+	// StageMetrics attaches a per-encode-stage latency observer that feeds
+	// the encode_stage_<stage>_ns histograms in obs.Default(). Opt-in: the
+	// timing calls cost real wall time per macroblock, so throughput-critical
+	// paths (the benchmarked sweeps) leave it off.
+	StageMetrics bool
+}
+
+// stageRecorder bridges codec.StageObserver onto the shared metrics
+// registry, one histogram per encode stage.
+type stageRecorder struct {
+	hists [codec.NumEncodeStages]*obs.Histogram
+}
+
+func newStageRecorder(reg *obs.Registry) *stageRecorder {
+	r := &stageRecorder{}
+	for s := codec.EncodeStage(0); s < codec.NumEncodeStages; s++ {
+		r.hists[s] = reg.Histogram("encode_stage_" + s.String() + "_ns")
+	}
+	return r
+}
+
+func (r *stageRecorder) ObserveStage(s codec.EncodeStage, d time.Duration) {
+	r.hists[s].Observe(int64(d))
 }
 
 // Result bundles the profile and the codec-side outcome of a run.
@@ -381,6 +405,9 @@ func Run(ctx context.Context, job Job) (*Result, error) {
 			return nil, err
 		}
 	}
+	if job.StageMetrics {
+		enc.SetStageObserver(newStageRecorder(obs.Default()))
+	}
 	_, stats, err := enc.EncodeAll(input)
 	if err != nil {
 		return nil, fmt.Errorf("core: encode of %s: %w", job.Workload.Video, err)
@@ -440,6 +467,9 @@ type SweepOpts struct {
 	// instead of reusing the shared per-video artifact (see
 	// Job.NoAnalysisCache).
 	NoAnalysisCache bool
+	// StageMetrics turns on per-encode-stage latency histograms for every
+	// point (see Job.StageMetrics).
+	StageMetrics bool
 	// Progress, when non-nil, is called once per finished point with the
 	// running count and the total. Calls are serialized by the engine.
 	Progress func(done, total int)
@@ -574,7 +604,8 @@ func SweepCRFRefsWith(ctx context.Context, w Workload, base codec.Options, cfg u
 			opt.CRF = crf
 			opt.Refs = rf
 			return Job{Workload: w, Options: opt, Config: cfg,
-					NoReplayCache: opts.NoReplayCache, NoAnalysisCache: opts.NoAnalysisCache},
+					NoReplayCache: opts.NoReplayCache, NoAnalysisCache: opts.NoAnalysisCache,
+					StageMetrics: opts.StageMetrics},
 				Point{Video: w.Video, CRF: crf, Refs: rf}, nil
 		},
 		Opts: opts,
@@ -605,7 +636,8 @@ func SweepPresetsWith(ctx context.Context, w Workload, cfg uarch.Config, presets
 			opt.Refs = refs
 			opt.TraceSampleLog2 = 0
 			return Job{Workload: w, Options: opt, Config: cfg,
-				NoReplayCache: opts.NoReplayCache, NoAnalysisCache: opts.NoAnalysisCache}, pt, nil
+				NoReplayCache: opts.NoReplayCache, NoAnalysisCache: opts.NoAnalysisCache,
+				StageMetrics: opts.StageMetrics}, pt, nil
 		},
 		Opts: opts,
 	})
@@ -635,7 +667,8 @@ func SweepVideosWith(ctx context.Context, videos []string, frames, scale int, ba
 		Build: func(i int) (Job, Point, error) {
 			w := Workload{Video: videos[i], Frames: frames, Scale: scale}
 			return Job{Workload: w, Options: base, Config: cfg,
-					NoReplayCache: opts.NoReplayCache, NoAnalysisCache: opts.NoAnalysisCache},
+					NoReplayCache: opts.NoReplayCache, NoAnalysisCache: opts.NoAnalysisCache,
+					StageMetrics: opts.StageMetrics},
 				Point{Video: videos[i], CRF: base.CRF, Refs: base.Refs}, nil
 		},
 		Opts: opts,

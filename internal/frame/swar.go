@@ -140,6 +140,36 @@ func hadamardRow(v uint64) uint64 {
 	return (laneAdd(v, u) & lowLanes) | (laneSub(v, u) &^ lowLanes)
 }
 
+// Ones16 is 1 in each 16-bit lane: the unit constant of the packed-lane
+// arithmetic exported below.
+const Ones16 = ones16
+
+// Spread4 distributes the four bytes of x into the four 16-bit lanes of a
+// uint64 (byte 0 in lane 0, ... byte 3 in lane 3). Exported alongside
+// LaneAdd/LaneSub so packed kernels outside this package (the codec's
+// deblocking filter and fused intra/SATD paths) share one lane layout.
+func Spread4(x uint32) uint64 { return spread4(x) }
+
+// Pack4 is the inverse of Spread4 for lane values in [0, 255]: it gathers
+// the low byte of each 16-bit lane back into a packed 4-byte word.
+func Pack4(v uint64) uint32 {
+	v &= lanesLo
+	v = (v | v>>8) & 0x0000FFFF0000FFFF
+	return uint32(v | v>>16)
+}
+
+// LaneAdd adds the four 16-bit two's-complement lanes independently.
+func LaneAdd(x, y uint64) uint64 { return laneAdd(x, y) }
+
+// LaneSub subtracts the four 16-bit two's-complement lanes independently.
+func LaneSub(x, y uint64) uint64 { return laneSub(x, y) }
+
+// AbsLanes16 returns the per-lane absolute value of four 16-bit lanes.
+func AbsLanes16(v uint64) uint64 { return absLanes16(v) }
+
+// SumLanes16 adds the four 16-bit lanes (total must stay below 2^16).
+func SumLanes16(v uint64) int { return sumLanes16(v) }
+
 // Hadamard4x4Packed returns the sum of absolute 4x4 Hadamard-transform
 // coefficients of a difference block whose rows are packed 16-bit lanes
 // (see PackDiff4). All intermediate values stay within +-4080, well inside

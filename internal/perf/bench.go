@@ -43,6 +43,11 @@ type BenchDelta struct {
 	NewAllocs      float64
 	AllocRatio     float64 // NewAllocs / BaseAllocs; > 1 is more allocation
 	AllocRegressed bool    // AllocRatio exceeds the allocs/op tolerance
+
+	// New marks a benchmark present in the new run but absent from the
+	// baseline: informational only (there is nothing to regress against)
+	// until the baseline file is regenerated.
+	New bool
 }
 
 // CompareBench compares a new benchmark run against a baseline with a
@@ -57,7 +62,10 @@ type BenchDelta struct {
 // Hard errors (rather than deltas): a partial marker in either file — an
 // interrupted run proves nothing either way — and a baseline benchmark
 // missing from the new run, which would otherwise let a gate pass by
-// silently dropping the slow benchmark.
+// silently dropping the slow benchmark. The asymmetric case — a benchmark
+// in the new run with no baseline entry — is NOT an error: new benchmarks
+// land before their baseline is regenerated, so they are reported as
+// informational deltas with New set and can never regress.
 func CompareBench(base, cur []BenchEntry, tol, allocTol float64) ([]BenchDelta, error) {
 	if tol < 0 || allocTol < 0 {
 		return nil, fmt.Errorf("perf: negative tolerance (ns %v, allocs %v)", tol, allocTol)
@@ -100,6 +108,12 @@ func CompareBench(base, cur []BenchEntry, tol, allocTol float64) ([]BenchDelta, 
 			d.AllocRegressed = true
 		}
 		deltas = append(deltas, d)
+		delete(curByName, b.Name)
+	}
+	for _, n := range curByName {
+		deltas = append(deltas, BenchDelta{
+			Name: n.Name, NewNs: n.NsPerOp, NewAllocs: n.AllocsPerOp, New: true,
+		})
 	}
 	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
 	return deltas, nil

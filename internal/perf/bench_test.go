@@ -95,6 +95,31 @@ func TestCompareBenchMissingBenchmark(t *testing.T) {
 	}
 }
 
+func TestCompareBenchNewBenchmark(t *testing.T) {
+	cur := append(benchBase(), BenchEntry{Name: "BenchmarkDeblock", NsPerOp: 900_000, AllocsPerOp: 0})
+	deltas, err := CompareBench(benchBase(), cur, 0.10, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 4 {
+		t.Fatalf("deltas = %d, want 4 (3 baseline + 1 new)", len(deltas))
+	}
+	var got *BenchDelta
+	for i := range deltas {
+		if deltas[i].Name == "BenchmarkDeblock" {
+			got = &deltas[i]
+		} else if deltas[i].New {
+			t.Fatalf("baseline benchmark marked new: %+v", deltas[i])
+		}
+	}
+	if got == nil || !got.New || got.NewNs != 900_000 || got.BaseNs != 0 {
+		t.Fatalf("new benchmark delta = %+v, want informational New entry", got)
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Fatalf("new benchmark regressed the gate: %+v", regs)
+	}
+}
+
 func TestCompareBenchRejectsPartial(t *testing.T) {
 	cur := append(benchBase(), BenchEntry{Name: "_note", Partial: true})
 	if _, err := CompareBench(benchBase(), cur, 0.10, 0.20); err == nil {

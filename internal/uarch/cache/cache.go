@@ -29,16 +29,27 @@ func (s Stats) MissRate() float64 {
 }
 
 // Cache is a set-associative cache with true-LRU replacement.
+//
+// Each way is one 16-byte entry (tag + LRU stamp, stamp 0 meaning invalid)
+// so a whole set is contiguous in memory: the lookup loop walks one array
+// with one bounds check instead of three parallel slices. The tag shift is
+// precomputed — this function is the single hottest loop of the simulator
+// and runs once per cache-line touch of the entire workload.
 type Cache struct {
 	cfg      Config
 	sets     int
 	setShift uint
 	setMask  uint64
-	tags     []uint64 // sets*assoc entries
-	valid    []bool
-	stamp    []uint64 // LRU clock per entry
+	tagShift uint
+	assoc    int
+	ents     []entry // sets*assoc, set-major
 	clock    uint64
 	stats    Stats
+}
+
+type entry struct {
+	tag   uint64
+	stamp uint64 // LRU clock at last touch; 0 = invalid
 }
 
 // New builds a cache. Size must be a multiple of LineSize*Assoc and the set
@@ -61,9 +72,9 @@ func New(cfg Config) *Cache {
 		sets:     sets,
 		setShift: shift,
 		setMask:  uint64(sets - 1),
-		tags:     make([]uint64, sets*cfg.Assoc),
-		valid:    make([]bool, sets*cfg.Assoc),
-		stamp:    make([]uint64, sets*cfg.Assoc),
+		tagShift: uint(setBits(sets)),
+		assoc:    cfg.Assoc,
+		ents:     make([]entry, sets*cfg.Assoc),
 	}
 	return c
 }
@@ -82,27 +93,24 @@ func (c *Cache) Access(addr uint64) bool {
 	c.stats.Accesses++
 	line := addr >> c.setShift
 	set := int(line & c.setMask)
-	tag := line >> uint(setBits(c.sets))
-	base := set * c.cfg.Assoc
-	victim := base
+	tag := line >> c.tagShift
+	base := set * c.assoc
+	ents := c.ents[base : base+c.assoc]
+	victim := 0
 	oldest := ^uint64(0)
-	for i := base; i < base+c.cfg.Assoc; i++ {
-		if c.valid[i] && c.tags[i] == tag {
-			c.stamp[i] = c.clock
+	for i := range ents {
+		e := &ents[i]
+		if e.stamp != 0 && e.tag == tag {
+			e.stamp = c.clock
 			return true
 		}
-		if !c.valid[i] {
+		if e.stamp < oldest {
 			victim = i
-			oldest = 0
-		} else if c.stamp[i] < oldest {
-			victim = i
-			oldest = c.stamp[i]
+			oldest = e.stamp
 		}
 	}
 	c.stats.Misses++
-	c.tags[victim] = tag
-	c.valid[victim] = true
-	c.stamp[victim] = c.clock
+	ents[victim] = entry{tag: tag, stamp: c.clock}
 	return false
 }
 
@@ -112,16 +120,14 @@ func (c *Cache) Access(addr uint64) bool {
 // speed.
 func (c *Cache) Clone() *Cache {
 	n := *c
-	n.tags = append([]uint64(nil), c.tags...)
-	n.valid = append([]bool(nil), c.valid...)
-	n.stamp = append([]uint64(nil), c.stamp...)
+	n.ents = append([]entry(nil), c.ents...)
 	return &n
 }
 
 // Reset clears contents and statistics.
 func (c *Cache) Reset() {
-	for i := range c.valid {
-		c.valid[i] = false
+	for i := range c.ents {
+		c.ents[i] = entry{}
 	}
 	c.stats = Stats{}
 	c.clock = 0

@@ -6,8 +6,10 @@
 # The cached/uncached sweep pair is the headline number: the acceptance
 # bar is cached >= 1.5x faster than uncached on the reduced 4x4 grid. The
 # AnalysisReuse shared/live pair is the per-point claim of the shared
-# lookahead artifact, SAD/SATD pin the SWAR kernels, and Dispatch pins the
-# serving layer's per-batch placement overhead.
+# lookahead artifact, SAD/SATD/FDCT/TrellisQuant/Deblock/IntraPredict pin
+# the SWAR kernels, EncodeParallel pins the wavefront encode at 1 and 4
+# workers, and Dispatch pins the serving layer's per-batch placement
+# overhead.
 #
 # An interrupted run (Ctrl-C) still writes whatever benchmarks completed,
 # with a trailing {"name": "_note", "partial": true} entry so downstream
@@ -24,8 +26,12 @@ trap 'PARTIAL=1' INT TERM
 
 go test -run '^$' -bench 'BenchmarkDecodeReplay|BenchmarkSweepCRFRefs|BenchmarkAnalysisReuse|BenchmarkSAD$|BenchmarkSATD$' \
 	-benchtime "$BENCHTIME" -benchmem -timeout 1200s . | tee "$RAW" || PARTIAL=1
-# The serving layer's placement benchmark lives in its own package; append
-# to the same raw stream so the awk pass below records it alongside.
+# The remaining benchmarks live in their own packages; append to the same
+# raw stream so the awk pass below records them alongside.
+go test -run '^$' -bench 'BenchmarkFDCT|BenchmarkTrellisQuant' \
+	-benchtime "$BENCHTIME" -benchmem -timeout 600s ./internal/codec/transform | tee -a "$RAW" || PARTIAL=1
+go test -run '^$' -bench 'BenchmarkDeblock|BenchmarkIntraPredict|BenchmarkEncodeParallel' \
+	-benchtime "$BENCHTIME" -benchmem -timeout 600s ./internal/codec | tee -a "$RAW" || PARTIAL=1
 go test -run '^$' -bench 'BenchmarkDispatch' \
 	-benchtime "$BENCHTIME" -benchmem -timeout 600s ./internal/serve | tee -a "$RAW" || PARTIAL=1
 trap - INT TERM
