@@ -39,6 +39,7 @@ import (
 
 var (
 	flagAddr    = flag.String("addr", "localhost:8080", "serve instance to drive")
+	flagTarget  = flag.String("target", "", "base URL of a remote orchestrator (overrides -addr; e.g. http://host:8080)")
 	flagN       = flag.Int("n", 50, "jobs to submit")
 	flagRate    = flag.Float64("rate", 25, "mean arrival rate, jobs/second")
 	flagSeed    = flag.Uint64("seed", 1, "seed for tasks and interarrival gaps")
@@ -89,7 +90,10 @@ func runLoad(ctx context.Context) error {
 	if len(classes) == 0 {
 		classes = []string{""}
 	}
-	base := "http://" + *flagAddr
+	base := cli.BaseURL(*flagAddr)
+	if *flagTarget != "" {
+		base = cli.BaseURL(*flagTarget)
+	}
 	client := &http.Client{Timeout: 10 * time.Second}
 	reg := obs.NewRegistry()
 	sojourn := reg.Histogram("loadgen_sojourn_ns")

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/core"
@@ -38,6 +39,9 @@ var (
 	flagScale  = flag.Int("scale", 0, "proxy downscale factor (0: auto)")
 	flagSeed   = flag.Uint64("seed", 1, "seed for deterministic random placement")
 	flagWarm   = flag.String("warm", "", "videos to pre-profile into the cost model (comma list, or 'all' for the catalog)")
+	flagFleet  = flag.Bool("fleet", false, "run as a fleet orchestrator: execution comes from cmd/worker processes instead of the in-process pool")
+	flagLease  = flag.Duration("lease-ttl", 10*time.Second, "fleet job lease TTL; a lease not renewed by heartbeats within this window is requeued")
+	flagPoll   = flag.Duration("poll-wait", 10*time.Second, "fleet long-poll window for idle workers")
 )
 
 func main() {
@@ -45,22 +49,27 @@ func main() {
 }
 
 func run(ctx context.Context) error {
-	pool, err := sched.PoolByNames(cli.Strings(*flagPool), *flagEach)
-	if err != nil {
-		return err
-	}
 	policy, err := serve.ParsePolicy(*flagPolicy)
 	if err != nil {
 		return err
 	}
-	s, err := serve.New(serve.Config{
-		Pool:       pool,
+	cfg := serve.Config{
 		Policy:     policy,
 		QueueDepth: *flagDepth,
 		Workers:    *flagWork,
 		Proto:      core.Workload{Frames: *flagFrames, Scale: *flagScale},
 		Seed:       *flagSeed,
-	})
+	}
+	if *flagFleet {
+		// Capability comes from worker registrations, not a local pool.
+		cfg.Fleet = &serve.FleetOptions{LeaseTTL: *flagLease, PollWait: *flagPoll}
+	} else {
+		cfg.Pool, err = sched.PoolByNames(cli.Strings(*flagPool), *flagEach)
+		if err != nil {
+			return err
+		}
+	}
+	s, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -88,8 +97,13 @@ func run(ctx context.Context) error {
 	hs := &http.Server{Handler: s.Handler()}
 	httpDone := make(chan error, 1)
 	go func() { httpDone <- hs.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "serve: %d servers (%s policy) on http://%s\n",
-		len(pool), policy, ln.Addr())
+	if *flagFleet {
+		fmt.Fprintf(os.Stderr, "serve: fleet orchestrator (%s policy, lease ttl %s) on http://%s\n",
+			policy, *flagLease, ln.Addr())
+	} else {
+		fmt.Fprintf(os.Stderr, "serve: %d servers (%s policy) on http://%s\n",
+			len(cfg.Pool), policy, ln.Addr())
+	}
 
 	select {
 	case err := <-httpDone:

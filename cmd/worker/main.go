@@ -1,0 +1,62 @@
+// Command worker is one member of the distributed transcoding fleet: it
+// joins an orchestrator (cmd/serve -fleet), heartbeats with live load
+// telemetry, pulls leased jobs when idle, runs them through the shared
+// core pipeline under its configured uarch profile, and streams results
+// back (DESIGN.md §11).
+//
+//	worker -orchestrator localhost:8080 -id w1 -config baseline
+//	worker -orchestrator http://host:8080 -id w2 -config fe_op -heartbeat 500ms
+//
+// Crash-and-rejoin is free: restart the process with the same -id and the
+// orchestrator reclaims any job the dead incarnation was holding.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/uarch"
+	"repro/internal/worker"
+)
+
+var (
+	flagOrch      = flag.String("orchestrator", "localhost:8080", "orchestrator base URL (cmd/serve -fleet instance)")
+	flagID        = flag.String("id", "", "worker id (required; reuse after a crash to rejoin as the same worker)")
+	flagConfig    = flag.String("config", "baseline", "uarch configuration this worker simulates (its placement capability)")
+	flagHeartbeat = flag.Duration("heartbeat", time.Second, "heartbeat period (must be well inside the orchestrator's lease TTL)")
+	flagMinJob    = flag.Duration("min-job", 0, "pad every job to at least this duration (fault-injection knob for smoke tests)")
+)
+
+func main() {
+	cli.Main("worker", run)
+}
+
+func run(ctx context.Context) error {
+	cfg, ok := uarch.ByName(*flagConfig)
+	if !ok {
+		return fmt.Errorf("worker: unknown configuration %q", *flagConfig)
+	}
+	w, err := worker.New(worker.Options{
+		Orchestrator: cli.BaseURL(*flagOrch),
+		ID:           *flagID,
+		Config:       cfg,
+		Heartbeat:    *flagHeartbeat,
+		MinJobTime:   *flagMinJob,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "worker: %s (%s) joining %s\n", *flagID, cfg.Name, cli.BaseURL(*flagOrch))
+	err = w.Run(ctx)
+	if errors.Is(err, context.Canceled) {
+		// SIGINT/SIGTERM is the normal way to retire a worker.
+		err = nil
+	}
+	cli.Summary("worker", false)
+	return err
+}

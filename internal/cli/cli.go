@@ -69,6 +69,18 @@ func Ints(s string) ([]int, error) {
 	return out, nil
 }
 
+// BaseURL normalizes a server flag into a request base URL: a bare
+// host:port gets the http scheme and trailing slashes are trimmed, so both
+// "-addr localhost:8080" and "-target http://host:8080/" produce a prefix
+// that path concatenation works on.
+func BaseURL(s string) string {
+	s = strings.TrimRight(s, "/")
+	if s != "" && !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	return s
+}
+
 // Strings splits a comma-separated list flag value, dropping empty tokens
 // (so "a,,b," parses the same as "a,b").
 func Strings(s string) []string {
@@ -153,6 +165,24 @@ func SummaryLine(name string, s obs.Snapshot) string {
 		}
 		if rejected := s.CounterTotal("serve_jobs_rejected"); rejected > 0 {
 			fmt.Fprintf(&b, ", %d rejected", rejected)
+		}
+	}
+	// Fleet orchestrator digest: live workers, how busy, and the failure
+	// machinery's activity (reassigned leases, heartbeat misses).
+	if workers, ok := s.Gauges["fleet_workers"]; ok {
+		fmt.Fprintf(&b, ", fleet %d workers (%d busy)", workers, s.GaugeTotal("fleet_worker_busy"))
+		if re := s.CounterTotal("fleet_lease_reassigned"); re > 0 {
+			fmt.Fprintf(&b, ", %d leases reassigned", re)
+		}
+		if miss := s.CounterTotal("fleet_heartbeat_miss"); miss > 0 {
+			fmt.Fprintf(&b, ", %d heartbeat misses", miss)
+		}
+	}
+	// Worker-side digest (cmd/worker processes).
+	if ran := s.CounterTotal("worker_jobs_done"); ran > 0 {
+		fmt.Fprintf(&b, ", ran %d leased jobs", ran)
+		if aborts := s.CounterTotal("worker_lease_aborts"); aborts > 0 {
+			fmt.Fprintf(&b, " (%d aborted)", aborts)
 		}
 	}
 	return b.String()

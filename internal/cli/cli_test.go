@@ -82,6 +82,49 @@ func TestSummaryLineServe(t *testing.T) {
 	}
 }
 
+func TestBaseURL(t *testing.T) {
+	for in, want := range map[string]string{
+		"localhost:8080":      "http://localhost:8080",
+		"http://host:8080/":   "http://host:8080",
+		"https://host/":       "https://host",
+		"http://host:8080///": "http://host:8080",
+		"10.0.0.7:9090":       "http://10.0.0.7:9090",
+		"":                    "",
+	} {
+		if got := BaseURL(in); got != want {
+			t.Errorf("BaseURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSummaryLineFleet(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Gauge("fleet_workers").Set(3)
+	r.Gauge("fleet_worker_busy", "worker", "w1").Set(1)
+	r.Gauge("fleet_worker_busy", "worker", "w2").Set(1)
+	r.Counter("fleet_lease_reassigned").Add(2)
+	r.Counter("fleet_heartbeat_miss").Add(1)
+	line := SummaryLine("serve", r.Snapshot())
+	for _, want := range []string{
+		"fleet 3 workers (2 busy)", "2 leases reassigned", "1 heartbeat misses",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("fleet summary missing %q: %s", want, line)
+		}
+	}
+
+	// Worker-side digest renders independently of the orchestrator clause.
+	w := obs.NewRegistry()
+	w.Counter("worker_jobs_done").Add(7)
+	w.Counter("worker_lease_aborts").Add(1)
+	line = SummaryLine("worker", w.Snapshot())
+	for _, want := range []string{"ran 7 leased jobs", "(1 aborted)"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("worker summary missing %q: %s", want, line)
+		}
+	}
+}
+
 func TestSummaryLineEmpty(t *testing.T) {
 	// A run that swept nothing still renders a valid (terse) line.
 	if got := SummaryLine("vprof", obs.NewRegistry().Snapshot()); got != "vprof:" {

@@ -351,6 +351,19 @@ func (s Snapshot) CounterTotal(name string) int64 {
 	return sum
 }
 
+// GaugeTotal sums every gauge whose key equals name or carries name with
+// any label set — e.g. fleet_worker_busy{worker=...} rolled up to a
+// fleet-wide busy count.
+func (s Snapshot) GaugeTotal(name string) int64 {
+	var sum int64
+	for k, v := range s.Gauges {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			sum += v
+		}
+	}
+	return sum
+}
+
 // HistogramByName returns the snapshot of the named histogram (first label
 // variant wins when only a labeled form exists) and whether one was found.
 func (s Snapshot) HistogramByName(name string) (HistogramSnapshot, bool) {

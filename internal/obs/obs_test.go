@@ -224,6 +224,24 @@ func TestHistogramByNameLabeled(t *testing.T) {
 	}
 }
 
+func TestGaugeTotal(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("busy", "worker", "w1").Set(1)
+	r.Gauge("busy", "worker", "w2").Set(1)
+	r.Gauge("busy", "worker", "w3").Set(0)
+	r.Gauge("busywork").Set(9) // shares the prefix but not the name
+	s := r.Snapshot()
+	if got := s.GaugeTotal("busy"); got != 2 {
+		t.Fatalf("GaugeTotal(busy) = %d, want 2", got)
+	}
+	if got := s.GaugeTotal("busywork"); got != 9 {
+		t.Fatalf("GaugeTotal(busywork) = %d, want 9", got)
+	}
+	if got := s.GaugeTotal("absent"); got != 0 {
+		t.Fatalf("GaugeTotal(absent) = %d, want 0", got)
+	}
+}
+
 func contains(s, sub string) bool {
 	for i := 0; i+len(sub) <= len(s); i++ {
 		if s[i:i+len(sub)] == sub {

@@ -64,18 +64,22 @@ type SubmitOptions struct {
 }
 
 // Ticket is one queued submission. A ticket is handed out by Submit and
-// transitions exactly once: to dequeued (via Dequeue) or to canceled (via
-// Cancel or the submission context).
+// settles exactly once: to dequeued (via Dequeue) or to canceled (via
+// Cancel or the submission context). A dequeued ticket whose execution
+// attempt failed externally — an expired worker lease — may travel back
+// through Requeue any number of times before it settles; every pass keeps
+// its original ordering keys, so reassignment never penalizes the job.
 type Ticket[T any] struct {
 	id      uint64
 	opts    SubmitOptions
 	payload T
 	enq     time.Time
 
-	q     *Queue[T]
-	index int // heap index while queued; -1 once off the heap
-	state ticketState
-	stop  func() bool // releases the context.AfterFunc watcher
+	q        *Queue[T]
+	index    int // heap index while queued; -1 once off the heap
+	state    ticketState
+	attempts int         // completed dequeues (grows by one per Requeue round trip)
+	stop     func() bool // releases the context.AfterFunc watcher
 }
 
 type ticketState int32
@@ -99,9 +103,19 @@ func (t *Ticket[T]) Payload() T { return t.payload }
 func (t *Ticket[T]) Deadline() time.Time { return t.opts.Deadline }
 
 // Cancel removes a still-queued ticket. It reports true when this call won
-// the race — the ticket will never be dequeued — and false when the ticket
-// was already dequeued or canceled.
+// the race — the ticket will never be dequeued (again) — and false when
+// the ticket was already dequeued or canceled. A requeued ticket is queued
+// again, so Cancel can still win against it; the dispatcher layer treats
+// that as a canceled job exactly like a never-dequeued one.
 func (t *Ticket[T]) Cancel() bool { return t.q.cancel(t) }
+
+// Attempts returns how many times the ticket has been dequeued so far
+// (1 after its first Dequeue, growing only via Requeue round trips).
+func (t *Ticket[T]) Attempts() int {
+	t.q.mu.Lock()
+	defer t.q.mu.Unlock()
+	return t.attempts
+}
 
 // Queue is a bounded multi-class priority queue. Use New.
 type Queue[T any] struct {
@@ -124,6 +138,7 @@ type queueMetrics struct {
 	rejectedClosed *obs.Counter
 	canceled       *obs.Counter
 	dequeued       *obs.Counter
+	requeued       *obs.Counter
 	depth          *obs.Gauge
 	wait           *obs.Histogram
 }
@@ -149,6 +164,7 @@ func New[T any](o Options) *Queue[T] {
 			rejectedClosed: r.Counter("queue_rejected", append([]string{"reason", "closed"}, labels...)...),
 			canceled:       r.Counter("queue_canceled", labels...),
 			dequeued:       r.Counter("queue_dequeued", labels...),
+			requeued:       r.Counter("queue_requeued", labels...),
 			depth:          r.Gauge("queue_depth", labels...),
 			wait:           r.Histogram("queue_wait_ns", labels...),
 		},
@@ -270,6 +286,7 @@ func (q *Queue[T]) popLocked() (t *Ticket[T]) {
 	}
 	t.state = stateDequeued
 	t.index = -1
+	t.attempts++
 	if t.stop != nil {
 		t.stop() // the ticket is off the queue; the ctx watcher is moot
 	}
@@ -294,6 +311,39 @@ func (q *Queue[T]) cancel(t *Ticket[T]) bool {
 	q.met.canceled.Inc()
 	q.met.depth.Set(int64(q.depth))
 	return true
+}
+
+// Requeue re-admits a dequeued ticket whose execution attempt failed
+// externally — the lease-reassignment path of the serving layer: a worker
+// that held the job missed its heartbeats, so the job must go back and run
+// elsewhere. The ticket keeps its class, priority, deadline and original
+// FIFO rank (its sequence id), so a reassigned job overtakes everything
+// that arrived after it rather than rejoining at the tail.
+//
+// Requeue deliberately bypasses both MaxDepth and Close: the job was
+// already admitted once, and dropping it now would violate the
+// exactly-once settlement contract (Close only stops *new* admissions;
+// requeued tickets drain like any other queued ticket). It fails when the
+// ticket is not currently dequeued — a canceled or still-queued ticket has
+// nothing to re-admit.
+func (q *Queue[T]) Requeue(t *Ticket[T]) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if t.q != q {
+		return errors.New("queue: requeue: ticket belongs to a different queue")
+	}
+	if t.state != stateDequeued {
+		return fmt.Errorf("queue: requeue: ticket %d is not dequeued", t.id)
+	}
+	t.state = stateQueued
+	// The class heap always exists: classes are created at first Submit and
+	// never removed.
+	heap.Push(q.classes[t.opts.Class], t)
+	q.depth++
+	q.met.requeued.Inc()
+	q.met.depth.Set(int64(q.depth))
+	q.cond.Signal()
+	return nil
 }
 
 // Close stops admissions. Already-queued tickets remain dequeueable (a

@@ -188,3 +188,123 @@ func TestTryDequeue(t *testing.T) {
 		t.Fatalf("try: %v %v", tk, ok)
 	}
 }
+
+// TestRequeuePreservesOrdering pins the lease-reassignment contract: a
+// requeued ticket keeps its priority, deadline and original FIFO rank, so
+// it dequeues ahead of everything that arrived after it.
+func TestRequeuePreservesOrdering(t *testing.T) {
+	q, reg := newTest(8)
+	first := mustSubmit(t, q, 1, SubmitOptions{})
+	mustSubmit(t, q, 2, SubmitOptions{})
+	mustSubmit(t, q, 3, SubmitOptions{Priority: 5})
+
+	// Priority wins the first pop; requeue it and it must win again.
+	tk, _ := q.TryDequeue()
+	if tk.Payload() != 3 {
+		t.Fatalf("first pop %d, want priority job 3", tk.Payload())
+	}
+	if err := q.Requeue(tk); err != nil {
+		t.Fatal(err)
+	}
+	if tk, _ = q.TryDequeue(); tk.Payload() != 3 {
+		t.Fatalf("pop after priority requeue %d, want 3", tk.Payload())
+	}
+
+	// FIFO rank: job 1 requeued after job 2 was already waiting still
+	// dequeues first (original sequence id is the tiebreak).
+	tk, _ = q.TryDequeue()
+	if tk.Payload() != 1 {
+		t.Fatalf("pop %d, want 1", tk.Payload())
+	}
+	if err := q.Requeue(tk); err != nil {
+		t.Fatal(err)
+	}
+	if tk, _ = q.TryDequeue(); tk.Payload() != 1 {
+		t.Fatalf("pop after FIFO requeue %d, want 1", tk.Payload())
+	}
+	if got := tk.Attempts(); got != 2 {
+		t.Fatalf("attempts %d, want 2", got)
+	}
+	if got := first.Attempts(); got != 2 {
+		t.Fatalf("first ticket attempts %d, want 2", got)
+	}
+	if got := reg.Snapshot().CounterTotal("queue_requeued"); got != 2 {
+		t.Fatalf("requeued counter %d, want 2", got)
+	}
+}
+
+// TestRequeueStateChecks rejects requeues of tickets that are not
+// currently dequeued, and lets Cancel win against a requeued ticket.
+func TestRequeueStateChecks(t *testing.T) {
+	q, _ := newTest(8)
+	tk := mustSubmit(t, q, 1, SubmitOptions{})
+	if err := q.Requeue(tk); err == nil {
+		t.Fatal("requeue of a still-queued ticket must fail")
+	}
+	got, _ := q.TryDequeue()
+	if err := q.Requeue(got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cancel() {
+		t.Fatal("cancel must win against a requeued (queued-again) ticket")
+	}
+	if err := q.Requeue(got); err == nil {
+		t.Fatal("requeue of a canceled ticket must fail")
+	}
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("canceled requeued ticket must not dequeue")
+	}
+}
+
+// TestRequeueBypassesDepthAndClose: a requeued job was already admitted,
+// so neither a full nor a closed queue may drop it.
+func TestRequeueBypassesDepthAndClose(t *testing.T) {
+	q, _ := newTest(1)
+	tk := mustSubmit(t, q, 1, SubmitOptions{})
+	got, _ := q.TryDequeue()
+	_ = tk
+	mustSubmit(t, q, 2, SubmitOptions{}) // queue full again
+	if err := q.Requeue(got); err != nil {
+		t.Fatalf("requeue into a full queue: %v", err)
+	}
+	q.Close()
+	got, _ = q.TryDequeue()
+	if got.Payload() != 1 {
+		t.Fatalf("pop %d, want requeued job 1", got.Payload())
+	}
+	if err := q.Requeue(got); err != nil {
+		t.Fatalf("requeue into a closed queue: %v", err)
+	}
+	if tk, err := q.Dequeue(context.Background()); err != nil || tk.Payload() != 1 {
+		t.Fatalf("drain of closed queue after requeue: %v %v", tk, err)
+	}
+}
+
+// TestRequeueWakesDequeue: a parked Dequeue must observe a requeued
+// ticket, exactly like a fresh submission.
+func TestRequeueWakesDequeue(t *testing.T) {
+	q, _ := newTest(8)
+	tk := mustSubmit(t, q, 9, SubmitOptions{})
+	got, _ := q.TryDequeue()
+	_ = tk
+	ch := make(chan *Ticket[int], 1)
+	go func() {
+		tk, err := q.Dequeue(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		ch <- tk
+	}()
+	time.Sleep(10 * time.Millisecond) // let the dequeuer park
+	if err := q.Requeue(got); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case tk := <-ch:
+		if tk.Payload() != 9 {
+			t.Fatalf("woken dequeue got %d, want 9", tk.Payload())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("requeue did not wake the parked dequeue")
+	}
+}

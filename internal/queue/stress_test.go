@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -134,6 +135,158 @@ func TestStressExactlyOnce(t *testing.T) {
 	}
 	if dequeued != execCount {
 		t.Fatalf("dequeued counter %d != executed jobs %d", dequeued, execCount)
+	}
+	if canceledMetric < canceled.Load() {
+		t.Fatalf("canceled counter %d < direct cancellations %d", canceledMetric, canceled.Load())
+	}
+	if got := q.Depth(); got != 0 {
+		t.Fatalf("depth %d after drain", got)
+	}
+}
+
+// TestStressRequeueExactlyOnce extends the exactly-once gate to the
+// lease-reassignment path: dispatchers randomly "expire the lease" of a
+// dequeued ticket and requeue it (bounded retries per ticket), racing
+// submitters that cancel via context or directly — including cancels that
+// land while a ticket is back on the queue between attempts. The ground
+// truth must still reconcile: every admitted job settles exactly once
+// (executed xor canceled), and the counters balance with requeues folded
+// in: dequeued + canceled = admitted + requeued.
+func TestStressRequeueExactlyOnce(t *testing.T) {
+	const (
+		submitters   = 8
+		perSubmitter = 200
+		dispatchers  = 4
+		total        = submitters * perSubmitter
+		maxAttempts  = 3
+	)
+	reg := obs.NewRegistry()
+	q := New[int](Options{MaxDepth: 64, Metrics: reg, Name: "stress-requeue"})
+
+	var (
+		executed [total]atomic.Int32
+		accepted [total]atomic.Bool
+		rejected atomic.Int64
+		canceled atomic.Int64 // cancellations that won (Cancel returned true)
+		requeues atomic.Int64 // requeues the dispatchers performed
+	)
+
+	var dispatcher sync.WaitGroup
+	for d := 0; d < dispatchers; d++ {
+		dispatcher.Add(1)
+		go func(d int) {
+			defer dispatcher.Done()
+			rng := rand.New(rand.NewSource(int64(7000 + d)))
+			for {
+				tk, err := q.Dequeue(context.Background())
+				if err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("dispatcher: %v", err)
+					}
+					return
+				}
+				// Simulated lease expiry: put the ticket back instead of
+				// executing, up to maxAttempts total dequeues per ticket.
+				if tk.Attempts() < maxAttempts && rng.Intn(3) == 0 {
+					if err := q.Requeue(tk); err != nil {
+						t.Errorf("requeue: %v", err)
+					}
+					requeues.Add(1)
+					continue
+				}
+				executed[tk.Payload()].Add(1)
+				if tk.Cancel() {
+					t.Error("cancel won after final dequeue")
+				}
+			}
+		}(d)
+	}
+
+	classes := []string{"live", "batch", "bulk"}
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(3000 + s)))
+			for i := 0; i < perSubmitter; i++ {
+				id := s*perSubmitter + i
+				ctx, cancel := context.WithCancel(context.Background())
+				tk, err := q.Submit(ctx, id, SubmitOptions{
+					Class:    classes[rng.Intn(len(classes))],
+					Priority: rng.Intn(3),
+				})
+				if err != nil {
+					cancel()
+					if !errors.Is(err, ErrFull) {
+						t.Errorf("submit %d: %v", id, err)
+					}
+					rejected.Add(1)
+					continue
+				}
+				accepted[id].Store(true)
+				switch rng.Intn(4) {
+				case 0: // cancel via the submission context
+					cancel()
+				case 1, 2:
+					// Direct cancel after a beat: with dispatchers requeuing,
+					// this often races a ticket that is back on the queue
+					// between lease attempts — the mid-race case this test
+					// exists for. Count it only if we won.
+					if rng.Intn(2) == 0 {
+						runtime.Gosched()
+					}
+					if tk.Cancel() {
+						canceled.Add(1)
+					}
+					cancel()
+				default:
+					defer cancel()
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	q.Close()
+	dispatcher.Wait()
+
+	// Ground truth: admitted = settled (executed exactly once) + canceled.
+	var execCount int64
+	for id := 0; id < total; id++ {
+		n := executed[id].Load()
+		if n > 1 {
+			t.Fatalf("job %d executed %d times", id, n)
+		}
+		if n == 1 && !accepted[id].Load() {
+			t.Fatalf("job %d executed but was never admitted", id)
+		}
+		execCount += int64(n)
+	}
+
+	snap := reg.Snapshot()
+	admitted := snap.CounterTotal("queue_admitted")
+	if admitted+rejected.Load() != total {
+		t.Fatalf("admitted %d + rejected %d != %d submitted", admitted, rejected.Load(), total)
+	}
+	canceledMetric := snap.CounterTotal("queue_canceled")
+	if admitted != execCount+canceledMetric {
+		t.Fatalf("admitted %d != settled %d + canceled %d: a job was lost or double-settled",
+			admitted, execCount, canceledMetric)
+	}
+	// Requeues fold into the flow balance: every dequeue is either final
+	// (settled) or followed by a requeue, and every requeued ticket is
+	// dequeued again or canceled off the queue.
+	dequeued := snap.CounterTotal("queue_dequeued")
+	requeuedMetric := snap.CounterTotal("queue_requeued")
+	if dequeued+canceledMetric != admitted+requeuedMetric {
+		t.Fatalf("dequeued %d + canceled %d != admitted %d + requeued %d",
+			dequeued, canceledMetric, admitted, requeuedMetric)
+	}
+	if requeuedMetric != requeues.Load() {
+		t.Fatalf("requeued counter %d != dispatcher requeues %d", requeuedMetric, requeues.Load())
+	}
+	if requeuedMetric == 0 {
+		t.Fatal("stress run exercised no requeues")
 	}
 	if canceledMetric < canceled.Load() {
 		t.Fatalf("canceled counter %d < direct cancellations %d", canceledMetric, canceled.Load())

@@ -122,6 +122,40 @@ func AssignPool(tasks []Task, baselineReports []*perf.Report, pool Pool) ([]int,
 	return Hungarian(cost)
 }
 
+// AssignDynamic is the dynamic-fleet variant of AssignPool: it places jobs
+// onto whatever servers are free *right now*. The free set is a snapshot —
+// workers join and leave between calls (registration, heartbeat loss,
+// crashes), so unlike AssignPool there is no fixed pool identity: the
+// caller re-snapshots before every batch and maps the returned indices
+// back onto its own slot bookkeeping. Rows may exceed columns (overload);
+// unplaceable rows come back as -1 instead of failing the batch, and rows
+// with a nil report (no baseline characterization yet) are never matched —
+// they return -1 so the caller can place them by its cold-start rule.
+func AssignDynamic(reports []*perf.Report, free []uarch.Config) []int {
+	out := make([]int, len(reports))
+	var warm []int
+	for i, rep := range reports {
+		out[i] = -1
+		if rep != nil {
+			warm = append(warm, i)
+		}
+	}
+	if len(warm) == 0 || len(free) == 0 {
+		return out
+	}
+	cost := make([][]float64, len(warm))
+	for k, i := range warm {
+		cost[k] = make([]float64, len(free))
+		for j, cfg := range free {
+			cost[k][j] = -Affinity(reports[i], cfg)
+		}
+	}
+	for k, j := range HungarianPad(cost) {
+		out[warm[k]] = j
+	}
+	return out
+}
+
 // PoolSpeedup estimates the fleet-wide mean per-task speedup of an
 // assignment, given a seconds matrix indexed [task][configIndexOf(pool)].
 // secondsFor maps (task index, config) to measured seconds.

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -10,216 +11,287 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/perf"
+	"repro/internal/queue"
 	"repro/internal/sched"
 	"repro/internal/uarch"
 )
 
 // This file is the online dispatcher: the incremental counterpart of the
-// paper's one-shot Hungarian placement. Each cycle it takes the next
-// dequeued job, tops the batch up with whatever else is waiting (bounded by
-// the free-server count), and solves the batch×free-servers assignment with
-// the same affinity cost model the offline smart scheduler uses — a batch
-// of one degenerates to greedy argmax-affinity, a fuller batch recovers the
+// paper's one-shot Hungarian placement, split into placement (here) and
+// delivery (transport.go / fleet.go). Each cycle it takes the next dequeued
+// job, tops the batch up with whatever else is waiting (bounded by the
+// free-slot count), and solves the batch×free-slots assignment with the
+// same affinity cost model the offline smart scheduler uses — a batch of
+// one degenerates to greedy argmax-affinity, a fuller batch recovers the
 // regret-aware matching (a job only concedes its best server when another
 // job loses more by missing it). Videos without a cached baseline
 // characterization fall back to seeded-random placement, the cold-start
 // behaviour the random control policy uses for everything.
 
 // run is the dispatcher loop; it exits when ctx cancels or the queue is
-// closed and drained.
+// closed and fully drained (including jobs put back by expiring leases).
 func (s *Server) run(ctx context.Context) {
 	defer close(s.runDone)
 	for {
 		ticket, err := s.q.Dequeue(ctx)
 		if err != nil {
+			if errors.Is(err, queue.ErrClosed) && s.waitDrain(ctx) {
+				// A lease expired during drain and put its job back: the
+				// closed queue has work again, keep dispatching.
+				continue
+			}
 			return // canceled, or closed and drained
 		}
-		sp := s.met.dispatch.Start()
-		batch := []*record{ticket.Payload()}
-		if !s.waitFree(ctx) {
-			// Canceled while every server was busy: the dequeued job never
-			// ran; settle it so no waiter hangs.
-			s.settleCanceled(batch[0])
-			sp.End()
-			return
+		batch := []*queue.Ticket[*record]{ticket}
+		var free []slot
+		for {
+			if !s.transport.waitFree(ctx) {
+				// Canceled while no slot was free: the dequeued jobs never
+				// ran; settle them so no waiter hangs.
+				for _, tk := range batch {
+					s.settleCanceled(tk.Payload())
+				}
+				return
+			}
+			if free = s.transport.freeSlots(); len(free) > 0 {
+				break
+			}
+			// The slot that woke us vanished (fleet churn); wait again.
 		}
-		s.mu.Lock()
-		free := s.free
-		s.mu.Unlock()
-		for len(batch) < free {
+		sp := s.met.dispatch.Start()
+		for len(batch) < len(free) {
 			extra, ok := s.q.TryDequeue()
 			if !ok {
 				break
 			}
-			batch = append(batch, extra.Payload())
+			batch = append(batch, extra)
 		}
-		placements := s.place(batch)
+		recs := make([]*record, len(batch))
+		for bi, tk := range batch {
+			recs[bi] = tk.Payload()
+		}
+		placements := s.place(recs, free)
 		sp.End()
-		for bi, rec := range batch {
-			s.launch(ctx, rec, placements[bi])
-		}
-	}
-}
-
-// waitFree blocks until at least one server is free; false means ctx
-// canceled first.
-func (s *Server) waitFree(ctx context.Context) bool {
-	if ctx.Done() != nil {
-		defer context.AfterFunc(ctx, func() {
-			s.mu.Lock()
-			s.cond.Broadcast()
-			s.mu.Unlock()
-		})()
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for s.free == 0 {
-		if ctx.Err() != nil {
-			return false
-		}
-		s.cond.Wait()
-	}
-	return true
-}
-
-// placement pairs a batch entry with its chosen server and the mode the
-// decision was made under.
-type placement struct {
-	server int
-	mode   string // smart | random | cold
-}
-
-// place assigns every batch entry to a distinct free server and marks the
-// servers busy, all under the fleet lock. len(batch) never exceeds the free
-// count (run caps the batch), so every entry gets a server.
-func (s *Server) place(batch []*record) []placement {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var freeIdx []int
-	for si, b := range s.busy {
-		if !b {
-			freeIdx = append(freeIdx, si)
-		}
-	}
-	out := make([]placement, len(batch))
-	taken := make([]bool, len(freeIdx))
-
-	// Partition the batch: smart-placeable rows (policy smart, warm cache)
-	// solve jointly; the rest place random.
-	var warm []int
-	var cold []int
-	reports := make([]*perf.Report, len(batch))
-	for bi, rec := range batch {
-		if s.cfg.Policy == PolicySmart {
-			if rep := s.costOf(rec.task.Video); rep != nil {
-				reports[bi] = rep
-				warm = append(warm, bi)
+		for bi, tk := range batch {
+			p := placements[bi]
+			if p.slot < 0 {
+				// No placeable slot left for this row; back in line at its
+				// original rank.
+				s.requeue(tk)
 				continue
 			}
-			out[bi].mode = "cold"
+			s.launch(ctx, tk, free[p.slot], p.mode)
+		}
+	}
+}
+
+// waitDrain parks after the queue reports closed-and-empty: with leases
+// still in flight a timeout can requeue work, so "drained" only holds once
+// nothing is running AND nothing is queued. Returns true when new work
+// appeared (the caller re-enters the dequeue loop), false when drain is
+// complete or ctx canceled.
+func (s *Server) waitDrain(ctx context.Context) bool {
+	if ctx.Done() != nil {
+		defer context.AfterFunc(ctx, func() {
+			s.flowMu.Lock()
+			s.flowCond.Broadcast()
+			s.flowMu.Unlock()
+		})()
+	}
+	s.flowMu.Lock()
+	defer s.flowMu.Unlock()
+	for {
+		if s.q.Depth() > 0 {
+			return true
+		}
+		if s.inflight == 0 || ctx.Err() != nil {
+			return false
+		}
+		s.flowCond.Wait()
+	}
+}
+
+// addInflight tracks dispatched-but-unfinished jobs for drain accounting.
+func (s *Server) addInflight(d int) {
+	s.flowMu.Lock()
+	s.inflight += d
+	s.flowCond.Broadcast()
+	s.flowMu.Unlock()
+}
+
+// placement pairs a batch entry with its chosen free-slot index and the
+// mode the decision was made under.
+type placement struct {
+	slot int    // index into the free snapshot; -1 = no slot available
+	mode string // smart | random | cold
+}
+
+// place assigns every batch entry to a distinct slot of the free snapshot.
+// len(batch) never exceeds len(free) (run caps the batch), so normally
+// every entry gets a slot; -1 rows only appear if that invariant is ever
+// loosened.
+func (s *Server) place(batch []*record, free []slot) []placement {
+	out := make([]placement, len(batch))
+	reports := make([]*perf.Report, len(batch))
+	for bi, rec := range batch {
+		out[bi].slot = -1
+		if s.cfg.Policy == PolicySmart {
+			if reports[bi] = s.costOf(rec.task.Video); reports[bi] != nil {
+				out[bi].mode = "smart"
+			} else {
+				out[bi].mode = "cold"
+			}
 		} else {
 			out[bi].mode = "random"
 		}
-		cold = append(cold, bi)
 	}
-	if len(warm) > 0 {
-		cost := make([][]float64, len(warm))
-		for k, bi := range warm {
-			cost[k] = make([]float64, len(freeIdx))
-			for j, si := range freeIdx {
-				cost[k][j] = -sched.Affinity(reports[bi], s.cfg.Pool[si])
-			}
+	taken := make([]bool, len(free))
+	if s.cfg.Policy == PolicySmart {
+		configs := make([]uarch.Config, len(free))
+		for j, sl := range free {
+			configs[j] = sl.cfg
 		}
-		// HungarianPad so overload degrades: a row the solve cannot place
-		// (more warm jobs than free servers can only happen if run's batch
-		// cap is ever loosened) falls back to the random path instead of
-		// crashing the dispatcher.
-		assign := sched.HungarianPad(cost)
-		for k, bi := range warm {
-			j := assign[k]
-			if j < 0 {
+		for bi, j := range sched.AssignDynamic(reports, configs) {
+			if j >= 0 {
+				out[bi].slot = j
+				taken[j] = true
+			} else if out[bi].mode == "smart" {
+				// Overload spillover: more warm jobs than free slots; this
+				// row falls back to the cold (seeded-random) path.
 				out[bi].mode = "cold"
-				cold = append(cold, bi)
-				continue
 			}
-			out[bi] = placement{server: freeIdx[j], mode: "smart"}
-			taken[j] = true
 		}
 	}
-	for _, bi := range cold {
+	for bi, rec := range batch {
+		if out[bi].slot >= 0 {
+			continue
+		}
 		var remaining []int
-		for j := range freeIdx {
+		for j := range free {
 			if !taken[j] {
 				remaining = append(remaining, j)
 			}
 		}
+		if len(remaining) == 0 {
+			break // overloaded batch; the rest requeue
+		}
 		// Per-job hash, not a shared RNG stream: the draw depends only on
 		// (seed, job sequence), so placement is reproducible regardless of
 		// dispatch interleaving.
-		j := remaining[int(splitmix64(s.cfg.Seed^batch[bi].seq)%uint64(len(remaining)))]
-		out[bi].server = freeIdx[j]
+		j := remaining[int(splitmix64(s.cfg.Seed^rec.seq)%uint64(len(remaining)))]
+		out[bi].slot = j
 		taken[j] = true
 	}
-	for _, p := range out {
-		s.busy[p.server] = true
-	}
-	s.free -= len(batch)
-	s.met.busySrv.Set(int64(len(s.cfg.Pool) - s.free))
 	return out
 }
 
-// launch records the dispatch and hands the job to the execution stream.
-func (s *Server) launch(ctx context.Context, rec *record, p placement) {
-	cfg := s.cfg.Pool[p.server]
+// launch records the dispatch and hands the job to the transport. A start
+// failure (the slot vanished between snapshot and delivery) requeues the
+// job instead of failing it — delivery never began, so the attempt is free
+// to retry elsewhere.
+func (s *Server) launch(ctx context.Context, tk *queue.Ticket[*record], sl slot, mode string) {
+	rec := tk.Payload()
 	rec.mu.Lock()
+	if rec.state == StateDone || rec.state == StateFailed || rec.state == StateCanceled {
+		// Settled while queued: a late result from a previous lease beat the
+		// requeued ticket through the queue. Nothing to run.
+		rec.mu.Unlock()
+		return
+	}
 	rec.state = StateRunning
-	rec.server = cfg.Name
-	rec.mode = p.mode
-	rec.started = time.Now()
+	rec.server = sl.label
+	rec.mode = mode
+	rec.attempts++
+	if rec.started.IsZero() {
+		rec.started = time.Now()
+	}
 	rec.mu.Unlock()
-	s.met.placed(p.mode).Inc()
-	if err := s.stream.Submit(ctx, func(jctx context.Context) error {
-		return s.execute(jctx, rec, p.server)
-	}); err != nil {
-		// The stream refused (shutdown race): release the server and fail
-		// the job so its waiters settle.
-		s.release(p.server)
-		s.settle(rec, StateFailed, 0, fmt.Errorf("serve: dispatch: %w", err))
+	s.met.placed(mode).Inc()
+	s.addInflight(1)
+	if err := s.transport.start(ctx, sl, tk, func(out outcome) { s.finish(tk, out) }); err != nil {
+		s.requeue(tk)
+		s.addInflight(-1)
 	}
 }
 
-// execute runs one placed job on the simulated fleet via the shared core
-// pipeline (decode/analysis caches and all), then settles the record.
-func (s *Server) execute(ctx context.Context, rec *record, server int) error {
-	cfg := s.cfg.Pool[server]
-	w := s.cfg.Proto
-	w.Video = rec.task.Video
-	res, err := core.Run(ctx, core.Job{Workload: w, Options: rec.opts, Config: cfg})
-	// Release before settling: a closed-loop client that saw the job finish
-	// must find the fleet capacity already restored.
-	s.release(server)
-	if err != nil {
-		s.settle(rec, StateFailed, 0, err)
-		return err
+// finish is the single completion path for every dispatched attempt,
+// called exactly once per successful start.
+func (s *Server) finish(tk *queue.Ticket[*record], out outcome) {
+	rec := tk.Payload()
+	if out.requeue {
+		// The attempt died without a result (lease expired, worker lost):
+		// back in line at the original rank, then wake the drain waiter —
+		// in this order, so drain never observes empty-and-idle in between.
+		s.requeue(tk)
+		s.addInflight(-1)
+		return
 	}
-	// The fleet learns while serving: any job that happened to run on a
-	// baseline-configured server doubles as the baseline characterization
-	// of its video, warming the cost model for free.
-	if cfg.Name == "baseline" {
-		s.learn(rec.task.Video, res.Report)
+	if out.err == nil && out.report != nil && out.config == "baseline" {
+		// The fleet learns while serving: any job that ran on a
+		// baseline-configured slot doubles as the baseline characterization
+		// of its video, warming the cost model for free.
+		s.learn(rec.task.Video, out.report)
 	}
-	s.settle(rec, StateDone, res.Report.Seconds, nil)
-	return nil
+	if out.err != nil {
+		s.settle(rec, StateFailed, 0, out.err)
+	} else {
+		s.settle(rec, StateDone, out.seconds, nil)
+	}
+	s.addInflight(-1)
 }
 
-// release returns a server to the free set.
-func (s *Server) release(server int) {
-	s.mu.Lock()
-	s.busy[server] = false
-	s.free++
-	s.met.busySrv.Set(int64(len(s.cfg.Pool) - s.free))
-	s.cond.Broadcast()
-	s.mu.Unlock()
+// requeue re-admits a dispatched-but-unfinished job at its original queue
+// rank. Terminal records (a late result settled the job while its requeue
+// was racing in) are left alone.
+func (s *Server) requeue(tk *queue.Ticket[*record]) {
+	rec := tk.Payload()
+	rec.mu.Lock()
+	if rec.state == StateDone || rec.state == StateFailed || rec.state == StateCanceled {
+		rec.mu.Unlock()
+		return
+	}
+	rec.state = StateQueued
+	rec.server, rec.mode = "", ""
+	rec.mu.Unlock()
+	if err := s.q.Requeue(tk); err != nil {
+		// The ticket was withdrawn mid-race (client cancellation): settle so
+		// no waiter hangs.
+		s.settleCanceled(rec)
+		return
+	}
+	s.met.requeues.Inc()
+	s.flowMu.Lock()
+	s.flowCond.Broadcast()
+	s.flowMu.Unlock()
+}
+
+// lateSettle handles a result that arrives after its lease expired: the
+// job was requeued (and possibly re-dispatched), but the work is done and
+// exactly-once settlement wants it. If the requeued ticket is still
+// queued, it is withdrawn; if a second attempt is already running, the
+// first settle wins at the record and the loser is a no-op. Reports
+// whether the result was used.
+func (s *Server) lateSettle(tk *queue.Ticket[*record], out outcome) bool {
+	rec := tk.Payload()
+	rec.mu.Lock()
+	terminal := rec.state == StateDone || rec.state == StateFailed || rec.state == StateCanceled
+	rec.mu.Unlock()
+	if terminal {
+		return false
+	}
+	// Withdraw the requeued ticket if it is still waiting; if it was already
+	// re-dispatched this loses the race and the duplicate attempt's own
+	// finish becomes the no-op (settle is terminal-once at the record).
+	tk.Cancel()
+	if out.err == nil && out.report != nil && out.config == "baseline" {
+		s.learn(rec.task.Video, out.report)
+	}
+	if out.err != nil {
+		s.settle(rec, StateFailed, 0, out.err)
+	} else {
+		s.settle(rec, StateDone, out.seconds, nil)
+	}
+	return true
 }
 
 // settle moves a record to a terminal state exactly once and updates the

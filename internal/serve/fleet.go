@@ -1,0 +1,554 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/queue"
+	"repro/internal/uarch"
+)
+
+// fleetTransport is the networked counterpart of the loopback: the
+// orchestrator half of the pull-based worker protocol (wire.go). Workers
+// are upserted on every message (registration IS the heartbeat), idle
+// workers park a long poll, and each delivered job is wrapped in a lease
+// that heartbeats renew. A lease that outlives its TTL — the worker
+// crashed, hung, or lost its network — is expired by the monitor and the
+// job requeued at its original rank; a result that arrives after its lease
+// expired is reconciled by the dispatcher's lateSettle, so every job
+// settles exactly once no matter how the race falls.
+
+// FleetOptions tunes the worker-fleet transport.
+type FleetOptions struct {
+	// LeaseTTL is how long a leased job survives without a heartbeat
+	// renewing it before it is requeued (0: 10s).
+	LeaseTTL time.Duration
+	// PollWait bounds how long an idle worker's poll parks server-side
+	// before returning 204 (0: 10s).
+	PollWait time.Duration
+}
+
+// lease tracks one delivered job from assignment to settlement.
+type lease struct {
+	id      string
+	worker  string
+	cfgName string
+	tk      *queue.Ticket[*record]
+	finish  func(outcome)
+	expires time.Time
+
+	done bool // finish consumed (by result or expiry); never reset
+	// superseded marks a lease that expired or was disclaimed before its
+	// result arrived: the job was requeued, and the lease is kept around so
+	// a late result can still be reconciled.
+	superseded bool
+}
+
+type fleetWorker struct {
+	id   string
+	cfg  uarch.Config
+	last time.Time // last message of any kind
+	util float64
+	jobs int64
+	gone bool // missed its heartbeat window; revived by any message
+	// park is non-nil while an idle long-poll waits: delivery sends one
+	// Assignment, withdrawal/supersession closes the channel. All
+	// transitions happen under fleetTransport.mu, so a channel no longer
+	// registered here is guaranteed to resolve without blocking.
+	park  chan Assignment
+	lease *lease
+}
+
+type fleetMetrics struct {
+	workersG   *obs.Gauge
+	reassigned *obs.Counter
+	hbMiss     *obs.Counter
+	late       *obs.Counter
+	busyW      func(id string) *obs.Gauge
+	utilW      func(id string) *obs.Gauge
+}
+
+type fleetTransport struct {
+	s    *Server
+	ttl  time.Duration
+	wait time.Duration
+	met  fleetMetrics
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers map[string]*fleetWorker
+	leases  map[string]*lease
+	seq     uint64
+	closed  bool
+
+	stopc       chan struct{}
+	monitorDone chan struct{}
+}
+
+func newFleetTransport(s *Server, opts FleetOptions, reg *obs.Registry) *fleetTransport {
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 10 * time.Second
+	}
+	if opts.PollWait <= 0 {
+		opts.PollWait = 10 * time.Second
+	}
+	f := &fleetTransport{
+		s:           s,
+		ttl:         opts.LeaseTTL,
+		wait:        opts.PollWait,
+		workers:     make(map[string]*fleetWorker),
+		leases:      make(map[string]*lease),
+		stopc:       make(chan struct{}),
+		monitorDone: make(chan struct{}),
+		met: fleetMetrics{
+			workersG:   reg.Gauge("fleet_workers"),
+			reassigned: reg.Counter("fleet_lease_reassigned"),
+			hbMiss:     reg.Counter("fleet_heartbeat_miss"),
+			late:       reg.Counter("fleet_results_late"),
+			busyW:      func(id string) *obs.Gauge { return reg.Gauge("fleet_worker_busy", "worker", id) },
+			utilW:      func(id string) *obs.Gauge { return reg.Gauge("fleet_worker_util_pct", "worker", id) },
+		},
+	}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// --- transport interface --------------------------------------------------------
+
+func (f *fleetTransport) open(ctx context.Context) {
+	go f.monitor(ctx)
+}
+
+func (f *fleetTransport) size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.liveLocked()
+}
+
+func (f *fleetTransport) liveLocked() int {
+	n := 0
+	for _, w := range f.workers {
+		if !w.gone {
+			n++
+		}
+	}
+	return n
+}
+
+// freeSlots lists idle parked workers in id order (deterministic so the
+// seeded-random cold path is reproducible for a fixed fleet).
+func (f *fleetTransport) freeSlots() []slot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ids := make([]string, 0, len(f.workers))
+	for id, w := range f.workers {
+		if !w.gone && w.lease == nil && w.park != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	out := make([]slot, len(ids))
+	for i, id := range ids {
+		out[i] = slot{id: id, label: id, cfg: f.workers[id].cfg}
+	}
+	return out
+}
+
+func (f *fleetTransport) waitFree(ctx context.Context) bool {
+	if ctx.Done() != nil {
+		defer context.AfterFunc(ctx, func() {
+			f.mu.Lock()
+			f.cond.Broadcast()
+			f.mu.Unlock()
+		})()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if ctx.Err() != nil || f.closed {
+			return false
+		}
+		for _, w := range f.workers {
+			if !w.gone && w.lease == nil && w.park != nil {
+				return true
+			}
+		}
+		f.cond.Wait()
+	}
+}
+
+// start leases the job to the chosen parked worker and delivers the
+// assignment into its waiting poll. An error means the worker is no longer
+// deliverable (crashed, poll lapsed, already leased) and the caller
+// requeues — finish is not called.
+func (f *fleetTransport) start(_ context.Context, sl slot, tk *queue.Ticket[*record], finish func(outcome)) error {
+	rec := tk.Payload()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return errors.New("serve: fleet transport closed")
+	}
+	w := f.workers[sl.id]
+	if w == nil || w.gone || w.park == nil || w.lease != nil {
+		return fmt.Errorf("serve: worker %q is not free", sl.id)
+	}
+	f.seq++
+	l := &lease{
+		id:      "lease-" + strconv.FormatUint(f.seq, 10),
+		worker:  w.id,
+		cfgName: w.cfg.Name,
+		tk:      tk,
+		finish:  finish,
+		expires: time.Now().Add(f.ttl),
+	}
+	f.leases[l.id] = l
+	w.lease = l
+	ch := w.park
+	w.park = nil
+	f.met.busyW(w.id).Set(1)
+	// Buffered channel, sole sender, park consumed under the lock: the send
+	// can never block.
+	ch <- Assignment{
+		LeaseID: l.id, JobID: rec.id,
+		Video: rec.task.Video, CRF: rec.task.CRF, Refs: rec.task.Refs,
+		Preset: string(rec.task.Preset),
+		Frames: f.s.cfg.Proto.Frames, Scale: f.s.cfg.Proto.Scale, Seed: f.s.cfg.Proto.Seed,
+		LeaseTTLMs: f.ttl.Milliseconds(),
+	}
+	return nil
+}
+
+func (f *fleetTransport) close() {
+	f.mu.Lock()
+	f.closed = true
+	// Resolve every parked poll so worker processes fall out of their long
+	// polls promptly instead of waiting out the window.
+	for _, w := range f.workers {
+		if w.park != nil {
+			close(w.park)
+			w.park = nil
+		}
+	}
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	close(f.stopc)
+	<-f.monitorDone
+}
+
+// --- lease monitor --------------------------------------------------------------
+
+// monitor periodically expires stale leases and declares silent workers
+// gone. It exits on close() or ctx cancellation.
+func (f *fleetTransport) monitor(ctx context.Context) {
+	defer close(f.monitorDone)
+	tick := f.ttl / 4
+	if tick > time.Second {
+		tick = time.Second
+	}
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stopc:
+			return
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			f.sweep(time.Now())
+		}
+	}
+}
+
+// sweep is one monitor pass: expire leases past their TTL (requeue their
+// jobs), mark workers silent for a full TTL as gone, and garbage-collect
+// settled leases.
+func (f *fleetTransport) sweep(now time.Time) {
+	var expired []*lease
+	f.mu.Lock()
+	for _, w := range f.workers {
+		if !w.gone && now.Sub(w.last) > f.ttl {
+			w.gone = true
+			f.met.hbMiss.Inc()
+		}
+	}
+	for id, l := range f.leases {
+		if l.done {
+			if !l.superseded || recTerminal(l.tk.Payload()) {
+				// Settled normally, or its late result has been reconciled
+				// (or a second attempt finished the job): nothing left to
+				// race with.
+				delete(f.leases, id)
+			}
+			continue
+		}
+		if now.After(l.expires) {
+			l.done, l.superseded = true, true
+			if w := f.workers[l.worker]; w != nil && w.lease == l {
+				w.lease = nil
+				f.met.busyW(w.id).Set(0)
+			}
+			f.met.reassigned.Inc()
+			expired = append(expired, l)
+		}
+	}
+	f.met.workersG.Set(int64(f.liveLocked()))
+	f.mu.Unlock()
+	// Requeue outside the lock: finish re-enters the dispatcher (queue,
+	// record and flow locks).
+	for _, l := range expired {
+		l.finish(outcome{requeue: true})
+	}
+}
+
+func recTerminal(rec *record) bool {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return rec.state == StateDone || rec.state == StateFailed || rec.state == StateCanceled
+}
+
+// upsertLocked registers-or-refreshes a worker; every protocol message
+// funnels through here, which is what makes re-registration idempotent and
+// crash-rejoin under the same id seamless.
+func (f *fleetTransport) upsertLocked(id string, cfg uarch.Config, now time.Time) *fleetWorker {
+	w := f.workers[id]
+	if w == nil {
+		w = &fleetWorker{id: id}
+		f.workers[id] = w
+	}
+	w.cfg = cfg
+	w.last = now
+	w.gone = false
+	f.met.workersG.Set(int64(f.liveLocked()))
+	return w
+}
+
+// --- HTTP handlers --------------------------------------------------------------
+
+// parseWorker validates the (worker id, config name) pair every protocol
+// message carries; a nil config return means the response was written.
+func parseWorker(w http.ResponseWriter, workerID, config string) (uarch.Config, bool) {
+	if workerID == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing worker_id"})
+		return uarch.Config{}, false
+	}
+	cfg, ok := uarch.ByName(config)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown configuration %q", config)})
+		return uarch.Config{}, false
+	}
+	return cfg, true
+}
+
+func (f *fleetTransport) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var hb Heartbeat
+	if !decodeJSON(w, r, &hb) {
+		return
+	}
+	cfg, ok := parseWorker(w, hb.WorkerID, hb.Config)
+	if !ok {
+		return
+	}
+	now := time.Now()
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "shutting down", Reason: "closed"})
+		return
+	}
+	fw := f.upsertLocked(hb.WorkerID, cfg, now)
+	fw.util = hb.UtilizationPct
+	fw.jobs = hb.JobsDone
+	f.met.utilW(fw.id).Set(int64(hb.UtilizationPct))
+	leaseValid := true
+	if hb.LeaseID != "" {
+		l := f.leases[hb.LeaseID]
+		if l != nil && !l.done && l.worker == hb.WorkerID {
+			l.expires = now.Add(f.ttl)
+		} else {
+			leaseValid = false
+		}
+	}
+	f.mu.Unlock()
+	writeJSON(w, http.StatusOK, HeartbeatReply{OK: true, LeaseValid: leaseValid})
+}
+
+func (f *fleetTransport) handlePoll(w http.ResponseWriter, r *http.Request) {
+	var req PollRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	cfg, ok := parseWorker(w, req.WorkerID, req.Config)
+	if !ok {
+		return
+	}
+	now := time.Now()
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "shutting down", Reason: "closed"})
+		return
+	}
+	fw := f.upsertLocked(req.WorkerID, cfg, now)
+	var disclaimed *lease
+	if l := fw.lease; l != nil && !l.done {
+		// The lease holder itself says it is idle (it crashed and restarted,
+		// or abandoned the job): release the orphan immediately instead of
+		// waiting out the TTL.
+		l.done, l.superseded = true, true
+		fw.lease = nil
+		f.met.reassigned.Inc()
+		disclaimed = l
+	}
+	if fw.park != nil {
+		// A previous poll for this id is still parked (duplicate poller or
+		// a client that gave up unnoticed): supersede it.
+		close(fw.park)
+	}
+	ch := make(chan Assignment, 1)
+	fw.park = ch
+	f.met.busyW(fw.id).Set(0)
+	f.cond.Broadcast() // a slot became free
+	f.mu.Unlock()
+	if disclaimed != nil {
+		disclaimed.finish(outcome{requeue: true})
+	}
+
+	timer := time.NewTimer(f.wait)
+	defer timer.Stop()
+	select {
+	case a, okc := <-ch:
+		if okc {
+			writeJSON(w, http.StatusOK, a)
+		} else {
+			w.WriteHeader(http.StatusNoContent)
+		}
+	case <-timer.C:
+		f.resolvePoll(fw, ch, w)
+	case <-r.Context().Done():
+		f.resolvePoll(fw, ch, w)
+	}
+}
+
+// resolvePoll ends a poll that stopped waiting (window lapsed or client
+// went away): if an assignment raced in it is still delivered — the lease
+// TTL covers the case where the client is truly gone — otherwise the park
+// is withdrawn and the poll returns empty.
+func (f *fleetTransport) resolvePoll(fw *fleetWorker, ch chan Assignment, w http.ResponseWriter) {
+	f.mu.Lock()
+	if fw.park == ch {
+		fw.park = nil
+		f.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	f.mu.Unlock()
+	// No longer registered: a send or close is already committed, so this
+	// never blocks.
+	if a, ok := <-ch; ok {
+		writeJSON(w, http.StatusOK, a)
+	} else {
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+func (f *fleetTransport) handleResult(w http.ResponseWriter, r *http.Request) {
+	var res ResultReport
+	if !decodeJSON(w, r, &res) {
+		return
+	}
+	if res.WorkerID == "" || res.LeaseID == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing worker_id or lease_id"})
+		return
+	}
+	f.mu.Lock()
+	l := f.leases[res.LeaseID]
+	if l == nil {
+		f.mu.Unlock()
+		writeJSON(w, http.StatusOK, ResultReply{Accepted: false, Reason: "unknown_lease"})
+		return
+	}
+	if l.done {
+		if !l.superseded {
+			// Retry of a result that already settled: safe duplicate.
+			f.mu.Unlock()
+			writeJSON(w, http.StatusOK, ResultReply{Accepted: true, Reason: "duplicate"})
+			return
+		}
+		// The lease expired before this result arrived; the job was
+		// requeued and may even be running elsewhere. Reconcile: a late
+		// success settles the job if nothing else has, a late failure is
+		// discarded (the requeued retry is the better path), and anything
+		// already settled stays settled.
+		delete(f.leases, res.LeaseID)
+		f.mu.Unlock()
+		f.met.late.Inc()
+		used := false
+		if res.Error == "" {
+			used = f.s.lateSettle(l.tk, f.outcomeOf(l, res))
+		}
+		reason := "late"
+		if !used {
+			reason = "late_discarded"
+		}
+		writeJSON(w, http.StatusOK, ResultReply{Accepted: used, Reason: reason})
+		return
+	}
+	l.done = true
+	if fw := f.workers[l.worker]; fw != nil && fw.lease == l {
+		fw.lease = nil
+		fw.jobs++
+		f.met.busyW(fw.id).Set(0)
+	}
+	f.mu.Unlock()
+	l.finish(f.outcomeOf(l, res))
+	writeJSON(w, http.StatusOK, ResultReply{Accepted: true})
+}
+
+// outcomeOf converts a wire result into the dispatcher's outcome.
+func (f *fleetTransport) outcomeOf(l *lease, res ResultReport) outcome {
+	out := outcome{
+		seconds: res.Seconds,
+		config:  l.cfgName,
+		report:  topdownReport(l.cfgName, res.Seconds, res.Topdown),
+	}
+	if res.Error != "" {
+		out.err = errors.New(res.Error)
+	}
+	return out
+}
+
+// workerViews snapshots the fleet for /healthz.
+func (f *fleetTransport) workerViews() []WorkerView {
+	now := time.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ids := make([]string, 0, len(f.workers))
+	for id := range f.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]WorkerView, len(ids))
+	for i, id := range ids {
+		w := f.workers[id]
+		v := WorkerView{
+			ID: id, Config: w.cfg.Name, Busy: w.lease != nil,
+			Parked: w.park != nil, Gone: w.gone, JobsDone: w.jobs,
+			UtilizationPct: w.util, LastBeatMs: now.Sub(w.last).Milliseconds(),
+		}
+		if w.lease != nil {
+			v.Lease = w.lease.id
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,402 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The fleet tests drive the worker protocol at the wire level (raw HTTP,
+// no internal/worker) so crashes and races are fully scripted: a "worker"
+// here is just a test goroutine that polls, then misbehaves exactly as the
+// scenario demands. The end-to-end tests with real workers live in
+// internal/worker (which imports this package; the reverse would cycle).
+
+// fleetHarness is one orchestrator in fleet mode behind a real listener.
+type fleetHarness struct {
+	s      *Server
+	reg    *obs.Registry
+	ts     *httptest.Server
+	cancel context.CancelFunc
+}
+
+func newFleetHarness(t *testing.T, ttl time.Duration) *fleetHarness {
+	t.Helper()
+	reg := obs.NewRegistry()
+	s, err := New(Config{
+		Proto: tinyProto, Seed: 1, Metrics: reg,
+		Fleet: &FleetOptions{LeaseTTL: ttl, PollWait: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Start(ctx)
+	ts := httptest.NewServer(s.Handler())
+	h := &fleetHarness{s: s, reg: reg, ts: ts, cancel: cancel}
+	t.Cleanup(func() {
+		// Cancel before Stop: scenarios deliberately leave jobs stranded on
+		// dead workers, and a graceful drain would wait for them forever.
+		cancel()
+		s.Stop()
+		ts.Close()
+	})
+	return h
+}
+
+func (h *fleetHarness) counter(name string) int64 {
+	return h.reg.Snapshot().CounterTotal(name)
+}
+
+// protoWorker is a scripted wire-level worker.
+type protoWorker struct {
+	t    *testing.T
+	base string
+	id   string
+	cfg  string
+}
+
+func (w *protoWorker) post(path string, body, out any) int {
+	w.t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	resp, err := http.Post(w.base+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			w.t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// poll blocks like a real worker's long poll; ok is false on 204.
+func (w *protoWorker) poll() (Assignment, bool) {
+	w.t.Helper()
+	var a Assignment
+	switch code := w.post("/fleet/poll", PollRequest{WorkerID: w.id, Config: w.cfg}, &a); code {
+	case http.StatusOK:
+		return a, true
+	case http.StatusNoContent:
+		return Assignment{}, false
+	default:
+		w.t.Fatalf("poll: unexpected status %d", code)
+		return Assignment{}, false
+	}
+}
+
+func (w *protoWorker) beat(lease string) HeartbeatReply {
+	w.t.Helper()
+	var reply HeartbeatReply
+	if code := w.post("/fleet/heartbeat", Heartbeat{WorkerID: w.id, Config: w.cfg, LeaseID: lease, Busy: lease != ""}, &reply); code != http.StatusOK {
+		w.t.Fatalf("heartbeat: unexpected status %d", code)
+	}
+	return reply
+}
+
+func (w *protoWorker) result(a Assignment, seconds float64, errMsg string) ResultReply {
+	w.t.Helper()
+	var reply ResultReply
+	rep := ResultReport{WorkerID: w.id, LeaseID: a.LeaseID, JobID: a.JobID, Seconds: seconds, Error: errMsg}
+	if code := w.post("/fleet/result", rep, &reply); code != http.StatusOK {
+		w.t.Fatalf("result: unexpected status %d", code)
+	}
+	return reply
+}
+
+func waitUntil(t *testing.T, d time.Duration, what string, f func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if f() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFleetLeaseExpiryLateResultSettles covers the requeue path and one
+// side of the result-vs-expiry race: the worker goes silent, its lease
+// expires and the job is requeued; then the presumed-dead worker's result
+// arrives with no second attempt running — the late result must settle the
+// job (exactly once) and withdraw the requeued ticket.
+func TestFleetLeaseExpiryLateResultSettles(t *testing.T) {
+	h := newFleetHarness(t, 150*time.Millisecond)
+	w1 := &protoWorker{t: t, base: h.ts.URL, id: "w1", cfg: "baseline"}
+
+	view, err := h.s.Submit(context.Background(), JobRequest{Video: "bbb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := w1.poll()
+	if !ok {
+		t.Fatal("poll returned no assignment")
+	}
+	if a.JobID != view.ID {
+		t.Fatalf("assignment for %s, want %s", a.JobID, view.ID)
+	}
+	// Silence: no heartbeat, no result. The lease must expire and requeue.
+	waitUntil(t, 3*time.Second, "lease reassignment", func() bool {
+		return h.counter("fleet_lease_reassigned") >= 1
+	})
+	if got, _ := h.s.Job(view.ID); got.State != StateQueued {
+		t.Fatalf("after expiry job state %s, want %s", got.State, StateQueued)
+	}
+	if got := h.counter("serve_requeues"); got != 1 {
+		t.Fatalf("serve_requeues %d, want 1", got)
+	}
+	if got := h.counter("queue_requeued"); got != 1 {
+		t.Fatalf("queue_requeued %d, want 1", got)
+	}
+
+	// A heartbeat naming the dead lease must be told it lost it.
+	if reply := w1.beat(a.LeaseID); reply.LeaseValid {
+		t.Fatal("heartbeat validated an expired lease")
+	}
+
+	// The late result lands with no retry running: it settles the job.
+	reply := w1.result(a, 2.5, "")
+	if !reply.Accepted || reply.Reason != "late" {
+		t.Fatalf("late result reply %+v, want accepted/late", reply)
+	}
+	final, err := h.s.WaitJob(context.Background(), view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || final.SimSeconds != 2.5 {
+		t.Fatalf("final %+v, want done @2.5s", final)
+	}
+	if tot := h.s.Totals(); tot.Completed != 1 || tot.Failed != 0 || tot.Canceled != 0 {
+		t.Fatalf("totals %+v, want exactly one completion", tot)
+	}
+	if got := h.counter("fleet_results_late"); got != 1 {
+		t.Fatalf("fleet_results_late %d, want 1", got)
+	}
+}
+
+// TestFleetLateResultLosesToRetry covers the other side of the race: the
+// lease expires, a second worker re-runs and settles the job, and only
+// then does the first worker's result crawl in — it must be discarded, and
+// the job must settle exactly once with the retry's outcome.
+func TestFleetLateResultLosesToRetry(t *testing.T) {
+	h := newFleetHarness(t, 150*time.Millisecond)
+	w1 := &protoWorker{t: t, base: h.ts.URL, id: "w1", cfg: "baseline"}
+	w2 := &protoWorker{t: t, base: h.ts.URL, id: "w2", cfg: "baseline"}
+
+	view, err := h.s.Submit(context.Background(), JobRequest{Video: "bbb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, ok := w1.poll()
+	if !ok {
+		t.Fatal("w1 got no assignment")
+	}
+	waitUntil(t, 3*time.Second, "lease reassignment", func() bool {
+		return h.counter("fleet_lease_reassigned") >= 1
+	})
+	// w2 picks up the requeued job and completes it.
+	a2, ok := w2.poll()
+	if !ok {
+		t.Fatal("w2 got no assignment after requeue")
+	}
+	if a2.JobID != view.ID || a2.LeaseID == a1.LeaseID {
+		t.Fatalf("retry assignment %+v, want same job under a fresh lease (first %+v)", a2, a1)
+	}
+	if reply := w2.result(a2, 4.0, ""); !reply.Accepted {
+		t.Fatalf("retry result rejected: %+v", reply)
+	}
+	final, err := h.s.WaitJob(context.Background(), view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || final.SimSeconds != 4.0 {
+		t.Fatalf("final %+v, want done @4.0s (the retry's result)", final)
+	}
+	if final.Attempts != 2 || final.Server != "w2" {
+		t.Fatalf("final attempts %d on %q, want 2 on w2", final.Attempts, final.Server)
+	}
+
+	// Now the original worker's result arrives: too late, must not
+	// double-settle. Depending on whether the monitor GC'd the superseded
+	// lease yet, the reply is late_discarded or unknown_lease — rejected
+	// either way.
+	if reply := w1.result(a1, 9.9, ""); reply.Accepted {
+		t.Fatalf("stale result accepted: %+v", reply)
+	}
+	if got, _ := h.s.Job(view.ID); got.SimSeconds != 4.0 {
+		t.Fatalf("job overwritten by stale result: %+v", got)
+	}
+	if tot := h.s.Totals(); tot.Completed != 1 {
+		t.Fatalf("totals %+v, want exactly one completion", tot)
+	}
+}
+
+// TestFleetRejoinReclaimsOrphanedJob is the crash-and-rejoin path: a
+// worker takes a job, "crashes", and a fresh process under the same id
+// polls again. The orchestrator must treat the poll as a disclaimer of the
+// old lease — the orphaned job requeues immediately (no TTL wait) and is
+// redelivered.
+func TestFleetRejoinReclaimsOrphanedJob(t *testing.T) {
+	h := newFleetHarness(t, 10*time.Second) // TTL long: only the rejoin can free the job
+	w1 := &protoWorker{t: t, base: h.ts.URL, id: "w1", cfg: "fe_op"}
+
+	view, err := h.s.Submit(context.Background(), JobRequest{Video: "bbb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, ok := w1.poll()
+	if !ok {
+		t.Fatal("w1 got no assignment")
+	}
+	// Crash, restart, poll again: the same id shows up idle.
+	a2, ok := w1.poll()
+	if !ok {
+		t.Fatal("rejoined worker got no assignment")
+	}
+	if a2.JobID != view.ID || a2.LeaseID == a1.LeaseID {
+		t.Fatalf("rejoin assignment %+v, want same job under a fresh lease", a2)
+	}
+	if got := h.counter("fleet_lease_reassigned"); got != 1 {
+		t.Fatalf("fleet_lease_reassigned %d, want 1", got)
+	}
+	if reply := w1.result(a2, 1.0, ""); !reply.Accepted {
+		t.Fatalf("result rejected: %+v", reply)
+	}
+	final, err := h.s.WaitJob(context.Background(), view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || final.Attempts != 2 {
+		t.Fatalf("final %+v, want done after 2 attempts", final)
+	}
+}
+
+// TestFleetDuplicateResultIsIdempotent: a worker retrying its result post
+// (e.g. after a network blip ate the first reply) must not double-settle.
+func TestFleetDuplicateResultIsIdempotent(t *testing.T) {
+	h := newFleetHarness(t, 10*time.Second)
+	w1 := &protoWorker{t: t, base: h.ts.URL, id: "w1", cfg: "baseline"}
+
+	view, err := h.s.Submit(context.Background(), JobRequest{Video: "bbb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := w1.poll()
+	if !ok {
+		t.Fatal("no assignment")
+	}
+	if reply := w1.result(a, 3.0, ""); !reply.Accepted {
+		t.Fatalf("first result rejected: %+v", reply)
+	}
+	// The retry is either recognized as a duplicate (lease still cached) or
+	// rejected as unknown (monitor GC'd it); it must never settle again.
+	reply := w1.result(a, 3.0, "")
+	if reply.Accepted && reply.Reason != "duplicate" {
+		t.Fatalf("duplicate reply %+v", reply)
+	}
+	if tot := h.s.Totals(); tot.Completed != 1 {
+		t.Fatalf("totals %+v, want exactly one completion", tot)
+	}
+	if _, err := h.s.WaitJob(context.Background(), view.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFleetHealthAndRegistration: heartbeats register workers idempotently
+// and surface per-worker telemetry in /healthz and labeled gauges.
+func TestFleetHealthAndRegistration(t *testing.T) {
+	h := newFleetHarness(t, 5*time.Second)
+	w1 := &protoWorker{t: t, base: h.ts.URL, id: "w1", cfg: "baseline"}
+	for i := 0; i < 3; i++ { // re-registration must not duplicate
+		w1.beat("")
+	}
+	if reply := w1.beat("lease-nonexistent"); reply.LeaseValid {
+		t.Fatal("unknown lease reported valid")
+	}
+
+	resp, err := http.Get(h.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body healthBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Fleet || body.PoolSize != 1 || len(body.Workers) != 1 {
+		t.Fatalf("healthz %+v, want fleet with exactly worker w1", body)
+	}
+	if w := body.Workers[0]; w.ID != "w1" || w.Config != "baseline" || w.Busy {
+		t.Fatalf("worker view %+v", w)
+	}
+	if g, ok := h.reg.Snapshot().Gauges["fleet_workers"]; !ok || g != 1 {
+		t.Fatalf("fleet_workers gauge %d (present %v), want 1", g, ok)
+	}
+}
+
+// TestHTTPHardening: wrong methods get JSON 405s with an Allow header, and
+// oversized bodies get a JSON 413 — on the job API and the fleet endpoints.
+func TestHTTPHardening(t *testing.T) {
+	h := newFleetHarness(t, 5*time.Second)
+
+	for _, path := range []string{"/jobs", "/fleet/heartbeat", "/fleet/poll", "/fleet/result"} {
+		resp, err := http.Get(h.ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatalf("GET %s: non-JSON error body: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != http.MethodPost {
+			t.Fatalf("GET %s: status %d allow %q, want 405 allowing POST", path, resp.StatusCode, resp.Header.Get("Allow"))
+		}
+		if eb.Reason != "method" {
+			t.Fatalf("GET %s: reason %q, want method", path, eb.Reason)
+		}
+	}
+
+	huge := `{"video":"` + strings.Repeat("x", maxRequestBody+1) + `"}`
+	for _, path := range []string{"/jobs", "/fleet/heartbeat"} {
+		resp, err := http.Post(h.ts.URL+path, "application/json", strings.NewReader(huge))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatalf("POST %s oversized: non-JSON error body: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge || eb.Reason != "too_large" {
+			t.Fatalf("POST %s oversized: status %d reason %q, want 413/too_large", path, resp.StatusCode, eb.Reason)
+		}
+	}
+
+	// Garbage JSON is a 400 with a JSON body, not a silent 500.
+	resp, err := http.Post(h.ts.URL+"/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("bad JSON: non-JSON error body: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || eb.Error == "" {
+		t.Fatalf("bad JSON: status %d body %+v, want 400 with error", resp.StatusCode, eb)
+	}
+}

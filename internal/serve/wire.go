@@ -1,0 +1,112 @@
+package serve
+
+import "repro/internal/perf"
+
+// Wire types of the orchestrator <-> worker protocol (DESIGN.md §11),
+// shared with internal/worker. All ride as JSON over the orchestrator's
+// HTTP mux, modeled on the pull-based heartbeat/job-request design of
+// production transcode workers: heartbeats carry capability + utilization,
+// workers request work only when idle.
+//
+//	POST /fleet/heartbeat  Heartbeat    -> HeartbeatReply
+//	POST /fleet/poll       PollRequest  -> 200 Assignment | 204 no work
+//	POST /fleet/result     ResultReport -> ResultReply
+
+// Heartbeat is the worker's periodic liveness + telemetry message. Every
+// heartbeat doubles as (re-)registration — a worker that crashed and
+// restarted under the same id is simply upserted, so rejoining needs no
+// dedicated handshake.
+type Heartbeat struct {
+	WorkerID string `json:"worker_id"`
+	// Config is the worker's uarch configuration name — its capability
+	// metadata, driving characterization-based placement.
+	Config string `json:"config"`
+	Busy   bool   `json:"busy"`
+	// LeaseID names the lease the worker believes it holds; carrying it
+	// renews the lease's expiry.
+	LeaseID        string  `json:"lease_id,omitempty"`
+	UtilizationPct float64 `json:"utilization_pct"`
+	JobsDone       int64   `json:"jobs_done"`
+}
+
+// HeartbeatReply acknowledges a heartbeat. LeaseValid echoes whether the
+// reported lease is still the worker's own: false means it expired and was
+// reassigned, so the worker should abandon the job (a late result would be
+// reconciled server-side, but the cycles are wasted).
+type HeartbeatReply struct {
+	OK         bool `json:"ok"`
+	LeaseValid bool `json:"lease_valid"`
+}
+
+// PollRequest asks for one job; the request parks server-side (long poll)
+// until work is assigned or the poll window lapses. Polling also upserts
+// the worker, and — because a worker only polls when idle — implicitly
+// disclaims any lease the orchestrator still holds for it, releasing the
+// orphaned job back to the queue immediately instead of waiting out the
+// lease TTL.
+type PollRequest struct {
+	WorkerID string `json:"worker_id"`
+	Config   string `json:"config"`
+}
+
+// Assignment is one leased job: the task parameters plus the workload
+// prototype the orchestrator applies to every job, so workers need no
+// local configuration beyond their uarch config.
+type Assignment struct {
+	LeaseID string `json:"lease_id"`
+	JobID   string `json:"job_id"`
+	Video   string `json:"video"`
+	CRF     int    `json:"crf"`
+	Refs    int    `json:"refs"`
+	Preset  string `json:"preset"`
+	Frames  int    `json:"frames,omitempty"`
+	Scale   int    `json:"scale,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
+	// LeaseTTLMs is how long the lease survives without a heartbeat
+	// renewing it; the worker must heartbeat well inside this window.
+	LeaseTTLMs int64 `json:"lease_ttl_ms"`
+}
+
+// ResultReport streams one finished job back.
+type ResultReport struct {
+	WorkerID string  `json:"worker_id"`
+	LeaseID  string  `json:"lease_id"`
+	JobID    string  `json:"job_id"`
+	Seconds  float64 `json:"seconds"`
+	Error    string  `json:"error,omitempty"`
+	// Topdown carries the measured profile so jobs run on
+	// baseline-configured workers feed the orchestrator's cost model
+	// exactly like loopback executions do.
+	Topdown *perf.Topdown `json:"topdown,omitempty"`
+}
+
+// ResultReply tells the worker whether its result settled the job.
+// Accepted is true for the settling result AND for safe duplicates
+// (retries, superseded-but-reconciled) — any reply that means "stop
+// retrying"; Reason says which.
+type ResultReply struct {
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// WorkerView is the per-worker slice of GET /healthz in fleet mode.
+type WorkerView struct {
+	ID             string  `json:"id"`
+	Config         string  `json:"config"`
+	Busy           bool    `json:"busy"`
+	Parked         bool    `json:"parked"` // an idle long-poll is waiting for work
+	Gone           bool    `json:"gone,omitempty"`
+	JobsDone       int64   `json:"jobs_done"`
+	UtilizationPct float64 `json:"utilization_pct"`
+	LastBeatMs     int64   `json:"last_heartbeat_ms"` // age of the last message
+	Lease          string  `json:"lease,omitempty"`
+}
+
+// topdownReport rebuilds the minimal perf.Report the affinity cost model
+// needs from a wire Topdown (sched.Affinity only reads the topdown split).
+func topdownReport(config string, seconds float64, td *perf.Topdown) *perf.Report {
+	if td == nil {
+		return nil
+	}
+	return &perf.Report{Config: config, Seconds: seconds, Topdown: *td}
+}

@@ -28,7 +28,7 @@ go test ./...
 # lost or double-executed under concurrent submit/dispatch/cancel) only
 # means something under the race detector.
 go test -race ./internal/exec/... ./internal/obs/... ./internal/queue/...
-go test -race ./internal/serve/...
+go test -race ./internal/serve/... ./internal/worker/...
 go test -race -run 'TestSweepCancel|TestSweepPreCanceled|TestFlightCacheCancelDetach' ./internal/core/...
 # The race detector slows the simulator ~10x and internal/core's probe
 # tests each run multiple full transcodes, so the default 10m per-package
