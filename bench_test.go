@@ -9,6 +9,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/frame"
 )
@@ -301,6 +302,63 @@ func BenchmarkAnalysisReuse(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkLadderSharedAnalysis measures a 3-rung ABR ladder encode with
+// every rung reusing one shared analysis artifact versus each rung running
+// its own lookahead — the per-title saving the serving layer banks when a
+// ladder job fans out into rung parts (recorded in BENCH_core.json
+// alongside the per-point AnalysisReuse ratio). Matching the serving
+// steady state (core's analysis cache hands every rung the same artifact,
+// the N-1 hit contract), the artifact is built outside the timed loop.
+func BenchmarkLadderSharedAnalysis(b *testing.B) {
+	frames, err := Synthesize("cricket", 6, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	codec.AssignBases(frames)
+	base := codec.Defaults()
+	// Exhaustive b-adapt: the ladder encodes at production-grade lookahead,
+	// which is also the setting where sharing the artifact pays most.
+	base.BAdapt = 2
+	crfs := []int{23, 33, 43}
+	encodeRung := func(b *testing.B, crf int, a *codec.Analysis) {
+		opt := base
+		opt.CRF = crf
+		enc, err := codec.NewEncoder(frames[0].Width, frames[0].Height, 30, opt, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a != nil {
+			if err := enc.SetAnalysis(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stream, _, err := enc.EncodeAll(frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchKernelSink += len(stream)
+	}
+	b.Run("shared", func(b *testing.B) {
+		a, err := codec.Analyze(frames, 30, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, crf := range crfs {
+				encodeRung(b, crf, a)
+			}
+		}
+	})
+	b.Run("live", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, crf := range crfs {
+				encodeRung(b, crf, nil)
+			}
+		}
+	})
 }
 
 // --- codec throughput microbenchmarks -------------------------------------------

@@ -46,6 +46,8 @@ var (
 	flagClasses = flag.String("classes", "live,batch", "fairness classes cycled across jobs")
 	flagTimeout = flag.Duration("timeout", 120*time.Second, "deadline for all jobs to reach a terminal state")
 	flagCompare = flag.Bool("compare", false, "run the in-process smart-vs-random comparison instead of driving a server")
+	flagSegs    = flag.Int("segments", 1, "segments per job: every submission fans out into this many independently placed segment parts")
+	flagLadder  = flag.String("ladder", "", "comma-separated rung CRFs (e.g. 23,33,43): every submission becomes an ABR ladder job")
 	flagPool    = flag.String("pool", "baseline,fe_op,be_op1,be_op2,bs_op", "fleet configurations (-compare only)")
 	flagEach    = flag.Int("each", 1, "replicas of each -pool configuration (-compare only)")
 	flagFrames  = flag.Int("frames", 8, "frames per job (-compare only)")
@@ -84,12 +86,34 @@ type submitted struct {
 	class string
 }
 
+// ladderRungs parses -ladder into rung specs: one rung per CRF, named
+// after it, all inheriting the job's preset and refs.
+func ladderRungs() ([]serve.Rung, error) {
+	if *flagLadder == "" {
+		return nil, nil
+	}
+	crfs, err := cli.Ints(*flagLadder)
+	if err != nil {
+		return nil, fmt.Errorf("-ladder: %w", err)
+	}
+	rungs := make([]serve.Rung, len(crfs))
+	for i, crf := range crfs {
+		rungs[i] = serve.Rung{Name: fmt.Sprintf("crf%d", crf), CRF: crf}
+	}
+	return rungs, nil
+}
+
 func runLoad(ctx context.Context) error {
 	tasks := sched.GenerateTasks(*flagN, *flagSeed)
 	classes := cli.Strings(*flagClasses)
 	if len(classes) == 0 {
 		classes = []string{""}
 	}
+	rungs, err := ladderRungs()
+	if err != nil {
+		return err
+	}
+	multi := *flagSegs > 1 || len(rungs) > 0
 	base := cli.BaseURL(*flagAddr)
 	if *flagTarget != "" {
 		base = cli.BaseURL(*flagTarget)
@@ -106,10 +130,15 @@ func runLoad(ctx context.Context) error {
 		case <-ctx.Done():
 			return ctx.Err()
 		}
-		body, _ := json.Marshal(serve.JobRequest{
+		req := serve.JobRequest{
 			Video: task.Video, CRF: task.CRF, Refs: task.Refs,
 			Preset: string(task.Preset), Class: classes[i%len(classes)],
-		})
+			Ladder: rungs,
+		}
+		if *flagSegs > 1 {
+			req.Segments = *flagSegs
+		}
+		body, _ := json.Marshal(req)
 		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
 			return fmt.Errorf("submit %d: %w", i, err)
@@ -132,6 +161,7 @@ func runLoad(ctx context.Context) error {
 	// Poll every accepted job to a terminal state within the deadline.
 	deadline := time.Now().Add(*flagTimeout)
 	var done, failed, canceled, lost int
+	var parents []serve.JobView
 	for _, sub := range accepted {
 		final, err := pollJob(ctx, client, base, sub.id, deadline)
 		if err != nil {
@@ -141,6 +171,9 @@ func runLoad(ctx context.Context) error {
 		case serve.StateDone:
 			done++
 			sojourn.Observe(int64(final.Finished.Sub(final.Submitted)))
+			if multi {
+				parents = append(parents, final)
+			}
 		case serve.StateFailed:
 			failed++
 		case serve.StateCanceled:
@@ -159,8 +192,13 @@ func runLoad(ctx context.Context) error {
 	fmt.Printf("loadgen: outcomes: %d done, %d failed, %d canceled, %d rejected, %d lost\n",
 		done, failed, canceled, rejected, lost)
 
-	if err := checkServerMetrics(client, base); err != nil {
+	if err := checkServerMetrics(client, base, multi); err != nil {
 		return err
+	}
+	if multi {
+		if err := verifyParts(client, base, parents); err != nil {
+			return err
+		}
 	}
 	if lost > 0 {
 		return fmt.Errorf("%d jobs lost (admitted but not terminal within %s)", lost, *flagTimeout)
@@ -200,8 +238,11 @@ func pollJob(ctx context.Context, client *http.Client, base, id string, deadline
 
 // checkServerMetrics asserts the serving instance publishes the queue and
 // sojourn instrumentation on /metrics — the observability contract the CI
-// smoke test pins.
-func checkServerMetrics(client *http.Client, base string) error {
+// smoke test pins. In multi-part mode it additionally requires the segment
+// fan-out instrumentation and a balanced part ledger: every part the
+// server admitted must also have completed, however many times its lease
+// was reassigned along the way.
+func checkServerMetrics(client *http.Client, base string, multi bool) error {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
 		return fmt.Errorf("metrics: %w", err)
@@ -220,6 +261,61 @@ func checkServerMetrics(client *http.Client, base string) error {
 		}
 	}
 	fmt.Fprintln(os.Stderr, "loadgen: server metrics ok (queue depth gauge + sojourn histograms present)")
+	if !multi {
+		return nil
+	}
+	for _, h := range []string{"serve_fanout_ns", "serve_stitch_ns"} {
+		if hs, ok := snap.HistogramByName(h); !ok || hs.Count == 0 {
+			return fmt.Errorf("metrics: server exposes no %s observations", h)
+		}
+	}
+	sub := snap.CounterTotal("serve_parts_submitted")
+	comp := snap.CounterTotal("serve_parts_completed")
+	if sub == 0 || sub != comp {
+		return fmt.Errorf("metrics: part ledger unbalanced: %d submitted, %d completed", sub, comp)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: part ledger balanced (%d parts submitted and completed)\n", sub)
+	return nil
+}
+
+// verifyParts walks every completed parent's part jobs and asserts the job
+// graph settled without loss: every part done, and every requeue confined
+// to individual parts — siblings of a reassigned part keep attempts == 1,
+// which is the per-segment (not whole-job) recovery contract
+// scripts/ladder_smoke.sh pins after killing a worker mid-segment.
+func verifyParts(client *http.Client, base string, parents []serve.JobView) error {
+	var total, reassigned, untouched int
+	for _, p := range parents {
+		if p.PartsTotal == 0 || p.PartsDone != p.PartsTotal {
+			return fmt.Errorf("parts: job %s done with %d/%d parts", p.ID, p.PartsDone, p.PartsTotal)
+		}
+		re := 0
+		for _, id := range p.Parts {
+			resp, err := client.Get(base + "/jobs/" + id)
+			if err != nil {
+				return fmt.Errorf("parts: %s: %w", id, err)
+			}
+			var pv serve.JobView
+			err = json.NewDecoder(resp.Body).Decode(&pv)
+			resp.Body.Close()
+			if err != nil {
+				return fmt.Errorf("parts: %s: %w", id, err)
+			}
+			if pv.State != serve.StateDone {
+				return fmt.Errorf("parts: %s is %s under a done parent", id, pv.State)
+			}
+			total++
+			if pv.Attempts > 1 {
+				re++
+			}
+		}
+		reassigned += re
+		if re > 0 {
+			untouched += p.PartsTotal - re
+		}
+	}
+	fmt.Printf("loadgen: parts: %d done, %d reassigned, %d untouched siblings of reassigned parents\n",
+		total, reassigned, untouched)
 	return nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/codec"
 	"repro/internal/frame"
+	"repro/internal/trace"
 	"repro/internal/vbench"
 )
 
@@ -35,6 +36,11 @@ var (
 	flagY4MOut  = flag.String("y4m-out", "", "write decoded output frames to a y4m file")
 	flagAnalyze = flag.Bool("analyze", false, "with -i: print per-frame coding structure and exit")
 	flagDCT8    = flag.Bool("8x8dct", false, "code luma residuals with the 8x8 transform")
+
+	flagSegments = flag.Int("segments", 1, "split the encode into N independently encodable segments and stitch")
+	flagIndep    = flag.Bool("independent", false,
+		"encode each segment with its own encoder and trace recorder (reverse order) and stitch afterwards, instead of the serial shared-sink reference")
+	flagTraceOut = flag.String("trace-out", "", "write the recorded instrumentation trace to this path")
 )
 
 func main() {
@@ -129,11 +135,7 @@ func run(_ context.Context) error {
 			info.ShortName, src.W, src.H, fps, len(input), info.Entropy)
 	}
 
-	enc, err := codec.NewEncoder(input[0].Width, input[0].Height, fps, opt, nil)
-	if err != nil {
-		return err
-	}
-	stream, stats, err := enc.EncodeAll(input)
+	stream, stats, events, err := encode(input, fps, opt)
 	if err != nil {
 		return err
 	}
@@ -146,6 +148,12 @@ func run(_ context.Context) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *flagOutput)
+	}
+	if *flagTraceOut != "" {
+		if err := os.WriteFile(*flagTraceOut, events, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d trace bytes)\n", *flagTraceOut, len(events))
 	}
 	if *flagVerify || *flagY4MOut != "" {
 		dec := codec.NewDecoder(codec.DecoderOptions{}, nil)
@@ -176,6 +184,66 @@ func run(_ context.Context) error {
 		}
 	}
 	return nil
+}
+
+// encode runs the requested encode shape: a plain whole-clip EncodeAll, a
+// serial segmented encode (one process, fresh encoder per segment, one
+// shared trace recorder), or the distributed shape — independent encoders
+// and recorders per segment, run in reverse order, stitched afterwards.
+// All three produce byte-identical bitstreams (and, segmented, traces);
+// scripts/determinism.sh compares them with cmp.
+func encode(input []*frame.Frame, fps int, opt codec.Options) ([]byte, *codec.Stats, []byte, error) {
+	if *flagSegments < 1 {
+		return nil, nil, nil, fmt.Errorf("-segments %d, want >= 1", *flagSegments)
+	}
+	if *flagSegments == 1 && !*flagIndep && *flagTraceOut == "" {
+		enc, err := codec.NewEncoder(input[0].Width, input[0].Height, fps, opt, nil)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		stream, stats, err := enc.EncodeAll(input)
+		return stream, stats, nil, err
+	}
+	// Segmented (or traced) modes pre-base the clip so every segment
+	// encoder records identical addresses regardless of process or order.
+	codec.AssignBases(input)
+	if !*flagIndep {
+		rec := trace.NewRecorder()
+		stream, stats, err := codec.EncodeSegments(input, fps, opt, rec, *flagSegments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if *flagSegments > 1 {
+			fmt.Printf("encoded %d segments serially (shared trace sink)\n", *flagSegments)
+		}
+		return stream, stats, rec.Bytes(), nil
+	}
+	segs := codec.SplitSegments(len(input), *flagSegments)
+	streams := make([][]byte, len(segs))
+	traces := make([][]byte, len(segs))
+	parts := make([]*codec.Stats, len(segs))
+	for i := len(segs) - 1; i >= 0; i-- {
+		rec := trace.NewRecorder()
+		var err error
+		if streams[i], parts[i], err = codec.EncodeSegment(input, fps, opt, rec, segs[i]); err != nil {
+			return nil, nil, nil, err
+		}
+		traces[i] = append([]byte(nil), rec.Bytes()...)
+	}
+	stream, err := codec.StitchStreams(streams)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	events, err := trace.Stitch(traces...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	stats, err := codec.StitchStats(parts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fmt.Printf("stitched %d independently encoded segments\n", len(segs))
+	return stream, stats, events, nil
 }
 
 // analyze prints the coding structure of a bitstream: one row per coded

@@ -167,6 +167,18 @@ func SummaryLine(name string, s obs.Snapshot) string {
 			fmt.Fprintf(&b, ", %d rejected", rejected)
 		}
 	}
+	// Multi-part job-graph digest: segment/rung parts completed, plus the
+	// fan-out (submit -> all parts dispatched) and stitch (first part done
+	// -> parent settled) latencies of the segmented jobs.
+	if parts := s.CounterTotal("serve_parts_completed"); parts > 0 {
+		fmt.Fprintf(&b, ", %d segment parts", parts)
+		fan, okF := s.HistogramByName("serve_fanout_ns")
+		st, okS := s.HistogramByName("serve_stitch_ns")
+		if okF && fan.Count > 0 && okS && st.Count > 0 {
+			fmt.Fprintf(&b, " (fan-out p50 %s, stitch p50 %s)",
+				obs.FmtDuration(fan.P50), obs.FmtDuration(st.P50))
+		}
+	}
 	// Fleet orchestrator digest: live workers, how busy, and the failure
 	// machinery's activity (reassigned leases, heartbeat misses).
 	if workers, ok := s.Gauges["fleet_workers"]; ok {

@@ -80,6 +80,20 @@ func TestSummaryLineServe(t *testing.T) {
 			t.Errorf("summary line missing %q: %s", want, line)
 		}
 	}
+	if strings.Contains(line, "segment parts") {
+		t.Errorf("summary line mentions parts without any: %s", line)
+	}
+
+	// Segmented/ladder jobs add the part digest with both graph latencies.
+	r.Counter("serve_parts_completed").Add(8)
+	r.Histogram("serve_fanout_ns").Observe(2e6)
+	r.Histogram("serve_stitch_ns").Observe(5e6)
+	line = SummaryLine("serve", r.Snapshot())
+	for _, want := range []string{"8 segment parts", "fan-out p50", "stitch p50"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("summary line missing %q: %s", want, line)
+		}
+	}
 }
 
 func TestBaseURL(t *testing.T) {

@@ -22,6 +22,10 @@ import (
 // lets a sweep share one across every (crf, refs) point.
 type AnalysisParams struct {
 	W, H, Frames int
+	// Base is the first analyzed frame's PTS: zero for a whole clip,
+	// non-zero for a mid-clip segment. Keying on it keeps same-length
+	// segments at different offsets from sharing one artifact.
+	Base int
 	// SampleLog2 fixes the macroblock sampling cadence and therefore which
 	// lookahead events were recorded and where the counter ends.
 	SampleLog2 int
@@ -36,10 +40,10 @@ type AnalysisParams struct {
 }
 
 // AnalysisParamsFor derives the analysis parameters an encode with opt over
-// a w x h, n-frame clip implies.
-func AnalysisParamsFor(opt Options, w, h, n int) AnalysisParams {
+// an n-frame w x h clip (or clip segment starting at PTS base) implies.
+func AnalysisParamsFor(opt Options, w, h, base, n int) AnalysisParams {
 	return AnalysisParams{
-		W: w, H: h, Frames: n,
+		W: w, H: h, Frames: n, Base: base,
 		SampleLog2: opt.TraceSampleLog2,
 		NeedBwd:    opt.BAdapt >= 2 && opt.BFrames > 0,
 		Distribute: opt.Tune.DistributeLookahead,
@@ -77,18 +81,19 @@ func (a *Analysis) SizeBytes() int64 {
 // frame with the given PTS; ok is false when the artifact has no entry (no
 // variance map, or a PTS outside the analyzed clip).
 func (a *Analysis) varianceAt(pts, mx, my int) (float64, bool) {
-	if a.variance == nil || pts < 0 || pts >= a.Params.Frames {
+	i := pts - a.Params.Base
+	if a.variance == nil || i < 0 || i >= a.Params.Frames {
 		return 0, false
 	}
-	return a.variance[(pts*a.mbh+my)*a.mbw+mx], true
+	return a.variance[(i*a.mbh+my)*a.mbw+mx], true
 }
 
 // Analyze runs the shared per-video analysis over a clip: the lookahead
 // cost pass (recorded through a trace.Recorder) and, when AQ is active, the
-// per-MB variance map. Frames must carry sequential PTS starting at zero;
-// frames without an assigned virtual base are given the same bases
-// EncodeAll would assign, so recorded addresses match a later encode of the
-// same frames.
+// per-MB variance map. Frames must carry sequential PTS (starting anywhere
+// — a mid-clip segment keeps its absolute positions); frames without an
+// assigned virtual base are given the same bases EncodeAll would assign, so
+// recorded addresses match a later encode of the same frames.
 func Analyze(frames []*frame.Frame, fps int, opt Options) (*Analysis, error) {
 	if len(frames) == 0 {
 		return nil, ErrNoFrames
@@ -103,13 +108,14 @@ func Analyze(frames []*frame.Frame, fps int, opt Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	base := frames[0].PTS
 	for i, f := range frames {
 		if f.Width != e.w || f.Height != e.h {
 			return nil, fmt.Errorf("codec: analysis frame %d is %dx%d, clip is %dx%d",
 				i, f.Width, f.Height, e.w, e.h)
 		}
-		if f.PTS != i {
-			return nil, fmt.Errorf("codec: analysis frame %d has PTS %d, want sequential", i, f.PTS)
+		if f.PTS != base+i {
+			return nil, fmt.Errorf("codec: analysis frame %d has PTS %d, want sequential from %d", i, f.PTS, base)
 		}
 		if f.Y.Base == 0 {
 			e.allocVA(f)
@@ -118,7 +124,7 @@ func Analyze(frames []*frame.Frame, fps int, opt Options) (*Analysis, error) {
 
 	lc := e.runLookahead(frames)
 	a := &Analysis{
-		Params: AnalysisParamsFor(opt, e.w, e.h, len(frames)),
+		Params: AnalysisParamsFor(opt, e.w, e.h, base, len(frames)),
 		look:   *lc,
 		ctr:    e.tr.ctr,
 		on:     e.tr.on,
@@ -161,7 +167,7 @@ func (e *Encoder) SetAnalysis(a *Analysis) error {
 // events' sampling window.
 func (e *Encoder) analysisCosts(frames []*frame.Frame) (*lookaheadCosts, error) {
 	a := e.analysis
-	want := AnalysisParamsFor(e.opt, e.w, e.h, len(frames))
+	want := AnalysisParamsFor(e.opt, e.w, e.h, frames[0].PTS, len(frames))
 	if a.Params != want {
 		return nil, fmt.Errorf("codec: analysis params %+v do not match encode %+v", a.Params, want)
 	}

@@ -14,11 +14,7 @@ import (
 // allocator for frames without bases, so pre-basing keeps every encoder
 // sharing the clip — live, Analyze, reuse — on identical recon addresses.
 func baseClip(frames []*frame.Frame) {
-	va := uint64(0x8_0000_0000)
-	for _, f := range frames {
-		f.SetBase(va)
-		va += (uint64(f.ByteSize()) + 4095) &^ 4095
-	}
+	AssignBases(frames)
 }
 
 // analysisOptions are the option sets the reuse equivalence is pinned over:

@@ -62,6 +62,28 @@ func BenchmarkIntraPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkSegmentedEncode measures the serial segmented encode-and-stitch
+// at 1/2/4 segments over the same clip; parts=1 is the whole-clip baseline,
+// so the deltas price what segment-parallel transcoding pays per split —
+// the extra closed-GOP opens plus the bitstream/stats stitch.
+func BenchmarkSegmentedEncode(b *testing.B) {
+	frames := makeClip(b, "cricket", 8, 8)
+	AssignBases(frames)
+	opt := Defaults()
+	for _, parts := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parts=%d", parts), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stream, _, err := EncodeSegments(frames, 30, opt, nil, parts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink += len(stream)
+			}
+		})
+	}
+}
+
 // BenchmarkEncodeParallel measures a full traced medium-preset encode at
 // several intra-encode worker counts; workers=1 is the serial baseline the
 // wavefront speedup is read against.

@@ -33,6 +33,11 @@ type Encoder struct {
 	pool   []*frame.Frame // retired reconstruction buffers for reuse
 	qpPrev int
 	stats  Stats
+	// basePTS is the first input frame's PTS. Segment encodes hand EncodeAll
+	// a mid-clip frame range whose PTS values are absolute clip positions
+	// (so frame headers survive stitching); rate-control bookkeeping indexed
+	// by display order subtracts the base.
+	basePTS int
 
 	// Motion-search candidate deduplication (see me.go).
 	visited  []uint32
@@ -139,6 +144,7 @@ func (e *Encoder) EncodeAll(frames []*frame.Frame) ([]byte, *Stats, error) {
 	if len(frames) == 0 {
 		return nil, nil, ErrNoFrames
 	}
+	e.basePTS = frames[0].PTS
 	for _, f := range frames {
 		if f.Width != e.w || f.Height != e.h {
 			return nil, nil, fmt.Errorf("codec: frame %d is %dx%d, encoder is %dx%d",
@@ -166,7 +172,7 @@ func (e *Encoder) EncodeAll(frames []*frame.Frame) ([]byte, *Stats, error) {
 		e.tr = p1.tr
 		e.rc.pass1Bits = make([]int64, len(p1stats.Frames))
 		for _, fs := range p1stats.Frames {
-			e.rc.pass1Bits[fs.PTS] = fs.Bits
+			e.rc.pass1Bits[fs.PTS-e.basePTS] = fs.Bits
 		}
 	}
 
@@ -192,20 +198,11 @@ func (e *Encoder) EncodeAll(frames []*frame.Frame) ([]byte, *Stats, error) {
 
 	e.stats = Stats{Width: e.w, Height: e.h, FPS: e.fps}
 
-	// Sequence header.
-	e.bw.WriteBits(streamMagic, 32)
-	e.bw.WriteUE(uint32(e.w / 16))
-	e.bw.WriteUE(uint32(e.h / 16))
-	e.bw.WriteUE(uint32(e.fps))
-	e.bw.WriteUE(uint32(len(frames)))
-	if e.opt.Deblock {
-		e.bw.WriteBit(true)
-		e.bw.WriteSE(int32(e.opt.DeblockA))
-		e.bw.WriteSE(int32(e.opt.DeblockB))
-	} else {
-		e.bw.WriteBit(false)
-	}
-	e.bw.WriteBit(e.opt.DCT8x8)
+	writeSeqHeader(e.bw, seqHeader{
+		mbw: e.w / 16, mbh: e.h / 16, fps: e.fps, frames: len(frames),
+		deblock: e.opt.Deblock, deblockA: e.opt.DeblockA, deblockB: e.opt.DeblockB,
+		dct8x8: e.opt.DCT8x8,
+	})
 
 	// Coding order: anchors first, then the B frames they close.
 	var pendingB []int
@@ -275,7 +272,7 @@ func (e *Encoder) pushAnchor(rec *frame.Frame) {
 // encodeFrame encodes one picture and returns its statistics.
 func (e *Encoder) encodeFrame(src *frame.Frame, t FrameType, list0 []*frame.Frame, list1 *frame.Frame) (FrameStats, error) {
 	startBits := e.bw.BitsWritten()
-	frameQP := e.rc.frameQP(t, src.PTS)
+	frameQP := e.rc.frameQP(t, src.PTS-e.basePTS)
 	e.traceRC()
 	e.rc.beginFrame(startBits)
 

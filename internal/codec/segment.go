@@ -1,0 +1,288 @@
+package codec
+
+import (
+	"fmt"
+
+	"repro/internal/codec/bits"
+	"repro/internal/frame"
+	"repro/internal/trace"
+)
+
+// Segment-parallel encoding. Production streamers hide transcode latency by
+// splitting a video into GOP-aligned segments, encoding them on different
+// machines, and stitching the renditions back together. This file is that
+// contract for the simulated codec: SplitSegments is the splitting rule,
+// EncodeSegments is the serial reference (one process, one encoder per
+// segment), and StitchStreams/StitchStats reassemble independently encoded
+// segment bitstreams. Because each segment — serial or distributed — is
+// encoded by a fresh Encoder with identical inputs, the stitched bitstream
+// and (via trace.Stitch) the stitched event trace are byte-identical to the
+// serial reference no matter where or in what order the segments ran.
+// For a single segment the output is byte-identical to a plain EncodeAll
+// of the whole clip. Both identities are pinned by TestSegmentStitch* and
+// enforced in CI by scripts/determinism.sh.
+
+// Segment is a half-open frame range [Start, End) of a clip. The zero value
+// means "the whole clip" wherever a Segment parameterizes an encode.
+type Segment struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// IsZero reports whether s is the whole-clip sentinel.
+func (s Segment) IsZero() bool { return s.Start == 0 && s.End == 0 }
+
+// Len is the segment's frame count.
+func (s Segment) Len() int { return s.End - s.Start }
+
+func (s Segment) String() string { return fmt.Sprintf("[%d,%d)", s.Start, s.End) }
+
+// Validate checks the range against a clip of n frames.
+func (s Segment) Validate(n int) error {
+	if s.Start < 0 || s.End > n || s.Start >= s.End {
+		return fmt.Errorf("codec: segment %s invalid for %d-frame clip", s, n)
+	}
+	return nil
+}
+
+// AssignBases pre-assigns decoder-style virtual bases to a raw clip (the
+// same fixed range codec.Decoder hands decoded frames). Encoders only
+// allocate bases for frames that lack one, so pre-basing a clip keeps
+// every segment encoder — in one process or many — on identical recon
+// addresses, which is what makes independently recorded segment traces
+// stitch byte-identically. Decoded frames never need this; it exists for
+// synthesized or file-read inputs (cmd/transcode's segment modes).
+func AssignBases(frames []*frame.Frame) {
+	va := uint64(0x8_0000_0000)
+	for _, f := range frames {
+		f.SetBase(va)
+		va += (uint64(f.ByteSize()) + 4095) &^ 4095
+	}
+}
+
+// SplitSegments is the splitting rule: n frames into parts contiguous,
+// balanced segments (the first n%parts segments get the extra frame). Every
+// segment opens a closed GOP — a fresh encoder's first frame is always an I
+// frame — which is what makes the segments independently encodable. More
+// parts than frames clamps to one frame per segment; parts < 1 means one
+// segment.
+func SplitSegments(n, parts int) []Segment {
+	if n <= 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	segs := make([]Segment, parts)
+	size, rem := n/parts, n%parts
+	start := 0
+	for i := range segs {
+		ln := size
+		if i < rem {
+			ln++
+		}
+		segs[i] = Segment{Start: start, End: start + ln}
+		start += ln
+	}
+	return segs
+}
+
+// EncodeSegment encodes one segment of a clip with a fresh encoder,
+// returning the segment's standalone bitstream and stats. Frames keep their
+// absolute clip PTS, so the stitched stream's frame headers are identical
+// to the serial segmented encode's. The caller is responsible for frames
+// carrying pre-assigned virtual bases when address-exact traces across
+// encoders are required (decoded mezzanine frames always do).
+func EncodeSegment(frames []*frame.Frame, fps int, opt Options, sink trace.Sink, seg Segment) ([]byte, *Stats, error) {
+	if err := seg.Validate(len(frames)); err != nil {
+		return nil, nil, err
+	}
+	enc, err := NewEncoder(frames[seg.Start].Width, frames[seg.Start].Height, fps, opt, sink)
+	if err != nil {
+		return nil, nil, err
+	}
+	stream, stats, err := enc.EncodeAll(frames[seg.Start:seg.End])
+	if err != nil {
+		return nil, nil, fmt.Errorf("codec: segment %s: %w", seg, err)
+	}
+	return stream, stats, nil
+}
+
+// EncodeSegments is the serial segmented encode — the reference the
+// distributed fan-out must match byte for byte. Each segment is encoded by
+// its own fresh Encoder (all sharing one trace sink, so the combined event
+// stream is one continuous recording) and the per-segment bitstreams are
+// stitched. parts=1 degenerates to a whole-clip encode whose output equals
+// a plain EncodeAll.
+func EncodeSegments(frames []*frame.Frame, fps int, opt Options, sink trace.Sink, parts int) ([]byte, *Stats, error) {
+	if len(frames) == 0 {
+		return nil, nil, ErrNoFrames
+	}
+	segs := SplitSegments(len(frames), parts)
+	streams := make([][]byte, len(segs))
+	stats := make([]*Stats, len(segs))
+	for i, sg := range segs {
+		var err error
+		if streams[i], stats[i], err = EncodeSegment(frames, fps, opt, sink, sg); err != nil {
+			return nil, nil, err
+		}
+	}
+	stream, err := StitchStreams(streams)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := StitchStats(stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stream, st, nil
+}
+
+// seqHeader is the parsed (or to-be-written) sequence header of a
+// bitstream; payload is the byte offset where the first frame's (aligned)
+// payload begins, set by parseSeqHeader.
+type seqHeader struct {
+	mbw, mbh, fps, frames int
+	deblock               bool
+	deblockA, deblockB    int
+	dct8x8                bool
+	payload               int
+}
+
+// compatible reports whether two segment streams can be stitched: every
+// header field other than the frame count must agree.
+func (h seqHeader) compatible(o seqHeader) bool {
+	return h.mbw == o.mbw && h.mbh == o.mbh && h.fps == o.fps &&
+		h.deblock == o.deblock && h.deblockA == o.deblockA &&
+		h.deblockB == o.deblockB && h.dct8x8 == o.dct8x8
+}
+
+// writeSeqHeader emits the sequence header. EncodeAll and StitchStreams
+// share this single writer so a stitched stream's header is bit-identical
+// to the one a serial encode of the same total frame count writes.
+func writeSeqHeader(bw *bits.Writer, h seqHeader) {
+	bw.WriteBits(streamMagic, 32)
+	bw.WriteUE(uint32(h.mbw))
+	bw.WriteUE(uint32(h.mbh))
+	bw.WriteUE(uint32(h.fps))
+	bw.WriteUE(uint32(h.frames))
+	if h.deblock {
+		bw.WriteBit(true)
+		bw.WriteSE(int32(h.deblockA))
+		bw.WriteSE(int32(h.deblockB))
+	} else {
+		bw.WriteBit(false)
+	}
+	bw.WriteBit(h.dct8x8)
+}
+
+// parseSeqHeader reads a stream's sequence header and locates the start of
+// its frame payload (every frame begins byte-aligned, so the payload starts
+// at the byte boundary after the header bits).
+func parseSeqHeader(stream []byte) (seqHeader, error) {
+	var h seqHeader
+	r := bits.NewReader(stream)
+	magic, err := r.ReadBits(32)
+	if err != nil {
+		return h, fmt.Errorf("codec: truncated sequence header: %w", err)
+	}
+	if magic != streamMagic {
+		return h, fmt.Errorf("codec: bad stream magic %#x", magic)
+	}
+	fields := []*int{&h.mbw, &h.mbh, &h.fps, &h.frames}
+	for _, f := range fields {
+		v, err := r.ReadUE()
+		if err != nil {
+			return h, fmt.Errorf("codec: truncated sequence header: %w", err)
+		}
+		*f = int(v)
+	}
+	if h.deblock, err = r.ReadBit(); err != nil {
+		return h, fmt.Errorf("codec: truncated sequence header: %w", err)
+	}
+	if h.deblock {
+		a, err := r.ReadSE()
+		if err != nil {
+			return h, fmt.Errorf("codec: truncated sequence header: %w", err)
+		}
+		b, err := r.ReadSE()
+		if err != nil {
+			return h, fmt.Errorf("codec: truncated sequence header: %w", err)
+		}
+		h.deblockA, h.deblockB = int(a), int(b)
+	}
+	if h.dct8x8, err = r.ReadBit(); err != nil {
+		return h, fmt.Errorf("codec: truncated sequence header: %w", err)
+	}
+	h.payload = int((r.BitsRead() + 7) / 8)
+	return h, nil
+}
+
+// StitchStreams reassembles independently encoded segment bitstreams into
+// one stream: a single sequence header carrying the total frame count,
+// followed by every segment's byte-aligned frame payload in order. The
+// result is byte-identical to the serial segmented encode of the same
+// segment plan, and — for a one-segment plan — to a plain whole-clip
+// encode.
+func StitchStreams(parts [][]byte) ([]byte, error) {
+	if len(parts) == 0 {
+		return nil, ErrNoFrames
+	}
+	hdrs := make([]seqHeader, len(parts))
+	total := 0
+	for i, p := range parts {
+		h, err := parseSeqHeader(p)
+		if err != nil {
+			return nil, fmt.Errorf("codec: stitch part %d: %w", i, err)
+		}
+		if i > 0 && !h.compatible(hdrs[0]) {
+			return nil, fmt.Errorf("codec: stitch part %d: incompatible sequence header", i)
+		}
+		hdrs[i] = h
+		total += h.frames
+	}
+	bw := bits.NewWriter()
+	combined := hdrs[0]
+	combined.frames = total
+	writeSeqHeader(bw, combined)
+	// Frame payloads are byte-aligned (every frame header starts with an
+	// AlignByte), so after padding the header to a byte boundary the
+	// segments' payload bytes concatenate directly.
+	bw.AlignByte()
+	out := bw.Bytes()
+	out = append([]byte(nil), out...)
+	for i, p := range parts {
+		out = append(out, p[hdrs[i].payload:]...)
+	}
+	return out, nil
+}
+
+// StitchStats merges per-segment encode stats into whole-clip stats, in
+// segment order: frame records concatenate (coding order within a segment
+// is preserved; segments never interleave) and the totals are recomputed
+// exactly as EncodeAll computes them.
+func StitchStats(parts []*Stats) (*Stats, error) {
+	if len(parts) == 0 {
+		return nil, ErrNoFrames
+	}
+	out := &Stats{Width: parts[0].Width, Height: parts[0].Height, FPS: parts[0].FPS}
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("codec: stitch stats part %d: nil", i)
+		}
+		if p.Width != out.Width || p.Height != out.Height || p.FPS != out.FPS {
+			return nil, fmt.Errorf("codec: stitch stats part %d: mismatched geometry", i)
+		}
+		out.Frames = append(out.Frames, p.Frames...)
+	}
+	var psnrSum float64
+	for i := range out.Frames {
+		out.TotalBits += out.Frames[i].Bits
+		psnrSum += out.Frames[i].PSNR
+	}
+	out.AveragePSNR = psnrSum / float64(len(out.Frames))
+	return out, nil
+}

@@ -1,0 +1,220 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSplitSegments(t *testing.T) {
+	cases := []struct {
+		n, parts int
+		want     []Segment
+	}{
+		{16, 1, []Segment{{0, 16}}},
+		{16, 2, []Segment{{0, 8}, {8, 16}}},
+		{16, 4, []Segment{{0, 4}, {4, 8}, {8, 12}, {12, 16}}},
+		{10, 3, []Segment{{0, 4}, {4, 7}, {7, 10}}},
+		{3, 5, []Segment{{0, 1}, {1, 2}, {2, 3}}},
+		{5, 0, []Segment{{0, 5}}},
+		{0, 3, nil},
+	}
+	for _, c := range cases {
+		got := SplitSegments(c.n, c.parts)
+		if len(got) != len(c.want) {
+			t.Fatalf("SplitSegments(%d,%d) = %v, want %v", c.n, c.parts, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("SplitSegments(%d,%d) = %v, want %v", c.n, c.parts, got, c.want)
+			}
+		}
+	}
+}
+
+// segmentOptions are the option sets the stitch identity is pinned over:
+// the defaults (AQ, scenecut, B frames, deblock), a two-pass ABR encode
+// (cross-frame rate-control state), and a sampled-trace configuration.
+func segmentOptions(t *testing.T) map[string]Options {
+	t.Helper()
+	abr2 := Defaults()
+	abr2.RC = RCABR2
+	abr2.BitrateKbps = 400
+	sampled := Defaults()
+	sampled.TraceSampleLog2 = 2
+	sampled.BAdapt = 2
+	return map[string]Options{"medium": Defaults(), "abr2": abr2, "sampled_badapt2": sampled}
+}
+
+// TestSegmentStitchByteIdentical is the tentpole invariant: encoding a
+// clip's segments independently — each with its own fresh encoder and its
+// own trace recorder, in reverse order — and stitching the bitstreams and
+// traces must reproduce, byte for byte, the serial segmented encode (one
+// process, one shared sink, in order). For one segment it must also equal a
+// plain whole-clip EncodeAll.
+func TestSegmentStitchByteIdentical(t *testing.T) {
+	for name, opt := range segmentOptions(t) {
+		t.Run(name, func(t *testing.T) {
+			frames := makeClip(t, "desktop", 8, 8)
+			baseClip(frames)
+
+			plainRec := trace.NewRecorder()
+			plainEnc, err := NewEncoder(frames[0].Width, frames[0].Height, 30, opt, plainRec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plainStream, _, err := plainEnc.EncodeAll(frames)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plainTrace := append([]byte(nil), plainRec.Bytes()...)
+
+			for _, parts := range []int{1, 2, 4} {
+				// Serial reference: every segment through one shared recorder.
+				serialRec := trace.NewRecorder()
+				serialStream, serialStats, err := EncodeSegments(frames, 30, opt, serialRec, parts)
+				if err != nil {
+					t.Fatalf("parts=%d: %v", parts, err)
+				}
+
+				// Distributed: independent encoders and recorders, reverse
+				// order, stitched afterwards.
+				segs := SplitSegments(len(frames), parts)
+				streams := make([][]byte, len(segs))
+				traces := make([][]byte, len(segs))
+				stats := make([]*Stats, len(segs))
+				for i := len(segs) - 1; i >= 0; i-- {
+					rec := trace.NewRecorder()
+					streams[i], stats[i], err = EncodeSegment(frames, 30, opt, rec, segs[i])
+					if err != nil {
+						t.Fatalf("parts=%d seg=%v: %v", parts, segs[i], err)
+					}
+					traces[i] = append([]byte(nil), rec.Bytes()...)
+				}
+				gotStream, err := StitchStreams(streams)
+				if err != nil {
+					t.Fatalf("parts=%d: %v", parts, err)
+				}
+				gotTrace, err := trace.Stitch(traces...)
+				if err != nil {
+					t.Fatalf("parts=%d: %v", parts, err)
+				}
+				gotStats, err := StitchStats(stats)
+				if err != nil {
+					t.Fatalf("parts=%d: %v", parts, err)
+				}
+
+				if !bytes.Equal(gotStream, serialStream) {
+					t.Fatalf("parts=%d: stitched bitstream (%dB) != serial segmented encode (%dB)",
+						parts, len(gotStream), len(serialStream))
+				}
+				if !bytes.Equal(gotTrace, serialRec.Bytes()) {
+					t.Fatalf("parts=%d: stitched trace (%dB) != serial segmented trace (%dB)",
+						parts, len(gotTrace), len(serialRec.Bytes()))
+				}
+				if parts == 1 {
+					if !bytes.Equal(gotStream, plainStream) {
+						t.Fatal("one-segment stitch != plain EncodeAll bitstream")
+					}
+					if !bytes.Equal(gotTrace, plainTrace) {
+						t.Fatal("one-segment stitch trace != plain EncodeAll trace")
+					}
+				}
+				if len(gotStats.Frames) != len(frames) {
+					t.Fatalf("parts=%d: stitched stats cover %d frames, want %d", parts, len(gotStats.Frames), len(frames))
+				}
+				if gotStats.TotalBits != serialStats.TotalBits || gotStats.AveragePSNR != serialStats.AveragePSNR {
+					t.Fatalf("parts=%d: stitched stats diverge from serial reference", parts)
+				}
+
+				// The stitched stream must decode: full frame count, absolute
+				// PTS preserved across segment boundaries.
+				dec := NewDecoder(DecoderOptions{}, nil)
+				decoded, info, err := dec.Decode(gotStream)
+				if err != nil {
+					t.Fatalf("parts=%d: decode of stitched stream: %v", parts, err)
+				}
+				if info.Frames != len(frames) || len(decoded) != len(frames) {
+					t.Fatalf("parts=%d: stitched stream decodes %d frames, want %d", parts, len(decoded), len(frames))
+				}
+				for i, f := range decoded {
+					if f.PTS != i {
+						t.Fatalf("parts=%d: decoded frame %d has PTS %d", parts, i, f.PTS)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSegmentAnalysisReuse checks a mid-clip segment supports the shared
+// analysis artifact: analyzing frames [4,8) of a clip and encoding that
+// segment with the artifact reproduces the live segment encode exactly.
+func TestSegmentAnalysisReuse(t *testing.T) {
+	opt := Defaults()
+	frames := makeClip(t, "cricket", 8, 8)
+	baseClip(frames)
+	seg := Segment{Start: 4, End: 8}
+
+	liveRec := trace.NewRecorder()
+	liveStream, _, err := EncodeSegment(frames, 30, opt, liveRec, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := Analyze(frames[seg.Start:seg.End], 30, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Params.Base != seg.Start {
+		t.Fatalf("artifact base = %d, want %d", a.Params.Base, seg.Start)
+	}
+	reuseRec := trace.NewRecorder()
+	if err := trace.Replay(a.Events(), reuseRec); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewEncoder(frames[0].Width, frames[0].Height, 30, opt, reuseRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.SetAnalysis(a); err != nil {
+		t.Fatal(err)
+	}
+	reuseStream, _, err := enc.EncodeAll(frames[seg.Start:seg.End])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reuseStream, liveStream) {
+		t.Fatal("segment encode with shared analysis != live segment encode")
+	}
+	if !bytes.Equal(reuseRec.Bytes(), liveRec.Bytes()) {
+		t.Fatal("segment analysis-reuse trace != live segment trace")
+	}
+}
+
+// TestStitchStreamsRejects pins the error paths: empty input, incompatible
+// headers, truncated parts.
+func TestStitchStreamsRejects(t *testing.T) {
+	if _, err := StitchStreams(nil); err == nil {
+		t.Fatal("want error for no parts")
+	}
+	frames := makeClip(t, "desktop", 4, 8)
+	baseClip(frames)
+	a, _, err := EncodeSegment(frames, 30, Defaults(), nil, Segment{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeblock := Defaults()
+	nodeblock.Deblock = false
+	b, _, err := EncodeSegment(frames, 30, nodeblock, nil, Segment{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StitchStreams([][]byte{a, b}); err == nil {
+		t.Fatal("want error for incompatible headers")
+	}
+	if _, err := StitchStreams([][]byte{a[:3]}); err == nil {
+		t.Fatal("want error for truncated part")
+	}
+}

@@ -36,11 +36,15 @@ var anaCache = flightCache[analysisKey, *codec.Analysis]{
 }
 
 // sharedAnalysis returns (building and caching on first use) the
-// crf/refs-invariant analysis artifact for a workload's decoded mezzanine.
-// The cached frames are shared read-only state: decoded frames always carry
-// decoder-assigned virtual bases, so Analyze never mutates them, and the
-// recorded addresses match what any job encoding the same frames emits.
-func sharedAnalysis(ctx context.Context, w Workload, dopt codec.DecoderOptions, opt codec.Options) (*codec.Analysis, error) {
+// crf/refs-invariant analysis artifact for a workload's decoded mezzanine,
+// scoped to a segment of it (zero segment: the whole clip). Every rung of
+// an ABR ladder encoding the same segment shares one artifact — params fold
+// in the segment's base and length, so distinct segments get distinct
+// entries. The cached frames are shared read-only state: decoded frames
+// always carry decoder-assigned virtual bases, so Analyze never mutates
+// them, and the recorded addresses match what any job encoding the same
+// frames emits.
+func sharedAnalysis(ctx context.Context, w Workload, dopt codec.DecoderOptions, opt codec.Options, seg codec.Segment) (*codec.Analysis, error) {
 	w, err := w.normalized()
 	if err != nil {
 		return nil, err
@@ -49,11 +53,17 @@ func sharedAnalysis(ctx context.Context, w Workload, dopt codec.DecoderOptions, 
 	if err != nil {
 		return nil, err
 	}
+	if !seg.IsZero() {
+		if err := seg.Validate(len(frames)); err != nil {
+			return nil, err
+		}
+		frames = frames[seg.Start:seg.End]
+	}
 	info, err := vbench.ByName(w.Video)
 	if err != nil {
 		return nil, err
 	}
-	p := codec.AnalysisParamsFor(opt, frames[0].Width, frames[0].Height, len(frames))
+	p := codec.AnalysisParamsFor(opt, frames[0].Width, frames[0].Height, frames[0].PTS, len(frames))
 	return anaCache.get(ctx, analysisKey{w: w, dopt: dopt, p: p}, func() (*codec.Analysis, error) {
 		a, err := codec.Analyze(frames, info.FPS, opt)
 		if err != nil {

@@ -98,7 +98,7 @@ func TestAnalysisTwoPassBypass(t *testing.T) {
 func TestSharedAnalysisCached(t *testing.T) {
 	w := tinyWorkload("cat")
 	dopt := decoderOptions(codec.Defaults())
-	a1, err := sharedAnalysis(context.Background(), w, dopt, codec.Defaults())
+	a1, err := sharedAnalysis(context.Background(), w, dopt, codec.Defaults(), codec.Segment{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestSharedAnalysisCached(t *testing.T) {
 	crf41.RC = codec.RCCRF
 	crf41.CRF = 41
 	crf41.Refs = 4
-	a2, err := sharedAnalysis(context.Background(), w, dopt, crf41)
+	a2, err := sharedAnalysis(context.Background(), w, dopt, crf41, codec.Segment{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestSharedAnalysisCached(t *testing.T) {
 	}
 	sampled := codec.Defaults()
 	sampled.TraceSampleLog2 = 2
-	a3, err := sharedAnalysis(context.Background(), w, decoderOptions(sampled), sampled)
+	a3, err := sharedAnalysis(context.Background(), w, decoderOptions(sampled), sampled, codec.Segment{})
 	if err != nil {
 		t.Fatal(err)
 	}

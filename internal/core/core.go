@@ -65,11 +65,31 @@ func DefaultWorkload(video string) Workload {
 	return Workload{Video: video}
 }
 
+// SegmentsFor computes the segment plan a workload splits into: parts
+// balanced contiguous frame ranges (codec.SplitSegments) over the
+// workload's normalized clip length. The plan is what a multi-part serve
+// job fans out as, one Job.Segment per entry.
+func SegmentsFor(w Workload, parts int) ([]codec.Segment, error) {
+	nw, err := w.normalized()
+	if err != nil {
+		return nil, err
+	}
+	return codec.SplitSegments(nw.Frames, parts), nil
+}
+
 // Job is one transcoding run to simulate.
 type Job struct {
 	Workload Workload
 	Options  codec.Options
 	Config   uarch.Config
+	// Segment restricts the encode to a frame range of the decoded clip
+	// (zero: the whole clip) — the unit of segment-parallel transcoding.
+	// The decode half still covers the whole mezzanine, exactly as a
+	// production segment worker downloads and decodes the source before
+	// encoding its slice; per-segment shared-analysis artifacts are keyed
+	// by the range. Segment bitstreams stitch byte-identically to a serial
+	// segmented encode (codec.EncodeSegments, TestSegmentStitchByteIdentical).
+	Segment codec.Segment
 	// Image overrides the default code layout (used by the AutoFDO study);
 	// nil selects the compiler-default layout.
 	Image *trace.Image
@@ -365,7 +385,7 @@ func Run(ctx context.Context, job Job) (*Result, error) {
 			// memcpy speed. (Two-pass ABR interleaves a full first-pass encode
 			// before its lookahead, so its tracer state cannot resume from the
 			// artifact.)
-			if analysis, err = sharedAnalysis(ctx, job.Workload, dopt, job.Options); err != nil {
+			if analysis, err = sharedAnalysis(ctx, job.Workload, dopt, job.Options, job.Segment); err != nil {
 				return nil, err
 			}
 			snap, err := analysisMachine(ctx, job.Workload, dopt, job.Config, analysis)
@@ -391,6 +411,16 @@ func Run(ctx context.Context, job Job) (*Result, error) {
 			}
 		}
 		input = cloneFrames(frames)
+	}
+
+	if !job.Segment.IsZero() {
+		// Segment jobs encode a slice of the decoded clip; frames keep their
+		// absolute PTS and decoder-assigned bases, so the per-segment encode
+		// is exactly what codec.EncodeSegment produces for this range.
+		if err := job.Segment.Validate(len(input)); err != nil {
+			return nil, err
+		}
+		input = input[job.Segment.Start:job.Segment.End]
 	}
 
 	if err := ctx.Err(); err != nil {

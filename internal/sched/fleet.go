@@ -132,6 +132,18 @@ func AssignPool(tasks []Task, baselineReports []*perf.Report, pool Pool) ([]int,
 // with a nil report (no baseline characterization yet) are never matched —
 // they return -1 so the caller can place them by its cold-start rule.
 func AssignDynamic(reports []*perf.Report, free []uarch.Config) []int {
+	return AssignDynamicBiased(reports, free, nil)
+}
+
+// AssignDynamicBiased is AssignDynamic with a per-slot additive cost bias:
+// bias[j] (nil: all zero) is added to every job's cost of taking slot j.
+// The intended use is load spreading — the dispatcher feeds a small term
+// proportional to each worker's reported utilization, so that among slots
+// of near-equal affinity the matcher prefers the idler machine, while a
+// real affinity gap still dominates. Bias magnitudes should stay well below
+// typical affinity spreads (the Affinity weights sum to ~1) or placement
+// quality degrades into pure load balancing.
+func AssignDynamicBiased(reports []*perf.Report, free []uarch.Config, bias []float64) []int {
 	out := make([]int, len(reports))
 	var warm []int
 	for i, rep := range reports {
@@ -148,6 +160,9 @@ func AssignDynamic(reports []*perf.Report, free []uarch.Config) []int {
 		cost[k] = make([]float64, len(free))
 		for j, cfg := range free {
 			cost[k][j] = -Affinity(reports[i], cfg)
+			if bias != nil {
+				cost[k][j] += bias[j]
+			}
 		}
 	}
 	for k, j := range HungarianPad(cost) {

@@ -198,3 +198,49 @@ func TestAssignDynamic(t *testing.T) {
 		t.Fatalf("empty batch assigned %v", got)
 	}
 }
+
+// TestAssignDynamicBiased pins the load-spreading tiebreak: between two
+// identical free workers a utilization bias steers the job to the idler
+// one, while a real affinity gap overrides any plausible bias.
+func TestAssignDynamicBiased(t *testing.T) {
+	mk := func(fe, bs, mem, core float64) *perf.Report {
+		return &perf.Report{Topdown: perf.Topdown{
+			FrontEnd: fe, BadSpec: bs, MemBound: mem, CoreBound: core, BackEnd: mem + core,
+		}}
+	}
+	byName := func(name string) uarch.Config {
+		c, ok := uarch.ByName(name)
+		if !ok {
+			t.Fatalf("unknown config %s", name)
+		}
+		return c
+	}
+	feBound := mk(40, 2, 5, 3)
+
+	// Two identical workers: affinity ties, bias decides. Slot 0 is busier.
+	free := []uarch.Config{byName("fe_op"), byName("fe_op")}
+	assign := AssignDynamicBiased([]*perf.Report{feBound}, free, []float64{0.04, 0.0})
+	if assign[0] != 1 {
+		t.Fatalf("tied affinity placed on slot %d, want idler slot 1", assign[0])
+	}
+	// Reversed bias reverses the choice.
+	assign = AssignDynamicBiased([]*perf.Report{feBound}, free, []float64{0.0, 0.04})
+	if assign[0] != 0 {
+		t.Fatalf("tied affinity placed on slot %d, want idler slot 0", assign[0])
+	}
+
+	// Affinity gap dominates: the front-end specialist wins even at full
+	// utilization bias against it.
+	free = []uarch.Config{byName("fe_op"), byName("bs_op")}
+	assign = AssignDynamicBiased([]*perf.Report{feBound}, free, []float64{0.05, 0.0})
+	if free[assign[0]].Name != "fe_op" {
+		t.Fatalf("bias overrode affinity: placed on %s", free[assign[0]].Name)
+	}
+
+	// Nil bias is plain AssignDynamic.
+	a := AssignDynamicBiased([]*perf.Report{feBound}, free, nil)
+	b := AssignDynamic([]*perf.Report{feBound}, free)
+	if a[0] != b[0] {
+		t.Fatalf("nil-bias assignment %v differs from AssignDynamic %v", a, b)
+	}
+}

@@ -119,6 +119,10 @@ func (s *Server) addInflight(d int) {
 	s.flowMu.Unlock()
 }
 
+// utilBias scales worker utilization (percent) into the placement cost
+// matrix; see place.
+const utilBias = 0.05
+
 // placement pairs a batch entry with its chosen free-slot index and the
 // mode the decision was made under.
 type placement struct {
@@ -148,10 +152,17 @@ func (s *Server) place(batch []*record, free []slot) []placement {
 	taken := make([]bool, len(free))
 	if s.cfg.Policy == PolicySmart {
 		configs := make([]uarch.Config, len(free))
+		bias := make([]float64, len(free))
 		for j, sl := range free {
 			configs[j] = sl.cfg
+			// Live-load tiebreak: each slot's cost carries a small term from
+			// its worker's reported utilization, so equal-affinity choices
+			// prefer the idler machine. utilBias spans [0, 0.05] across the
+			// 0-100% range — well under typical affinity gaps, so a real
+			// bottleneck match still dominates.
+			bias[j] = utilBias * sl.util / 100
 		}
-		for bi, j := range sched.AssignDynamic(reports, configs) {
+		for bi, j := range sched.AssignDynamicBiased(reports, configs, bias) {
 			if j >= 0 {
 				out[bi].slot = j
 				taken[j] = true
@@ -202,11 +213,15 @@ func (s *Server) launch(ctx context.Context, tk *queue.Ticket[*record], sl slot,
 	rec.server = sl.label
 	rec.mode = mode
 	rec.attempts++
+	first := rec.attempts == 1
 	if rec.started.IsZero() {
 		rec.started = time.Now()
 	}
 	rec.mu.Unlock()
 	s.met.placed(mode).Inc()
+	if rec.parent != nil {
+		s.partLaunched(rec, first)
+	}
 	s.addInflight(1)
 	if err := s.transport.start(ctx, sl, tk, func(out outcome) { s.finish(tk, out) }); err != nil {
 		s.requeue(tk)
@@ -295,7 +310,9 @@ func (s *Server) lateSettle(tk *queue.Ticket[*record], out outcome) bool {
 }
 
 // settle moves a record to a terminal state exactly once and updates the
-// outcome counters.
+// outcome counters. Parts of a multi-part job settle into their parent
+// instead of the client-facing totals — the parent is the job the client
+// submitted, and it flows through here itself once its last part lands.
 func (s *Server) settle(rec *record, state JobState, seconds float64, err error) {
 	rec.mu.Lock()
 	if rec.state == StateDone || rec.state == StateFailed || rec.state == StateCanceled {
@@ -309,7 +326,17 @@ func (s *Server) settle(rec *record, state JobState, seconds float64, err error)
 		rec.errMsg = err.Error()
 	}
 	enq := rec.enq
+	errMsg := rec.errMsg
 	rec.mu.Unlock()
+
+	if rec.parent != nil {
+		if state == StateDone {
+			s.met.partsCompleted.Inc()
+		}
+		close(rec.done)
+		s.partSettled(rec, state, seconds, errMsg)
+		return
+	}
 
 	s.met.sojourn.ObserveSince(enq)
 	s.totMu.Lock()
@@ -328,6 +355,91 @@ func (s *Server) settle(rec *record, state JobState, seconds float64, err error)
 	}
 	s.totMu.Unlock()
 	close(rec.done)
+}
+
+// partLaunched folds one part dispatch into its parent: the first part to
+// start moves the parent to running, and the moment every part has been
+// dispatched at least once the fan-out latency is observed (requeued
+// re-dispatches don't re-count).
+func (s *Server) partLaunched(rec *record, first bool) {
+	p := rec.parent
+	p.mu.Lock()
+	if p.state == StateQueued {
+		p.state = StateRunning
+		p.started = time.Now()
+	}
+	fannedOut := false
+	if first {
+		p.partsLaunched++
+		fannedOut = p.partsLaunched == len(p.parts)
+	}
+	enq := p.enq
+	p.mu.Unlock()
+	if fannedOut {
+		s.met.fanout.ObserveSince(enq)
+	}
+}
+
+// partSettled folds one terminal part into its parent record. The caller
+// holds no locks. Exactly one call observes the parent complete (partsTerm
+// reaches len(parts) once), and that call settles the parent: done only if
+// every part completed, failed on any part failure (the first failure also
+// withdraws still-queued siblings — running parts finish and settle
+// normally), canceled when cancellation emptied the graph without a
+// failure.
+func (s *Server) partSettled(rec *record, state JobState, seconds float64, errMsg string) {
+	p := rec.parent
+	p.mu.Lock()
+	p.partsTerm++
+	switch state {
+	case StateDone:
+		p.partsDone++
+		p.partsSeconds += seconds
+		if p.firstDone.IsZero() {
+			p.firstDone = time.Now()
+		}
+	case StateFailed:
+		p.partsFailed++
+		if p.partErr == "" {
+			p.partErr = rec.id + ": " + errMsg
+		}
+	case StateCanceled:
+		p.partsCanceled++
+	}
+	firstFailure := state == StateFailed && p.partsFailed == 1
+	finished := p.partsTerm == len(p.parts)
+	var siblings []*record
+	if firstFailure && !finished {
+		siblings = append(siblings, p.parts...)
+	}
+	failed, canceled := p.partsFailed, p.partsCanceled
+	sum, partErr, firstDone := p.partsSeconds, p.partErr, p.firstDone
+	p.mu.Unlock()
+
+	// Fail fast: withdraw queued siblings. Each successful cancellation
+	// settles that part, re-entering partSettled; the invocation that
+	// brings partsTerm to len(parts) — possibly one of these nested calls —
+	// finalizes the parent.
+	for _, sib := range siblings {
+		if sib != rec && sib.ticket.Cancel() {
+			s.settleCanceled(sib)
+		}
+	}
+	if !finished {
+		return
+	}
+	if !firstDone.IsZero() {
+		s.met.stitch.ObserveSince(firstDone)
+	}
+	switch {
+	case failed > 0:
+		s.settle(p, StateFailed, sum, fmt.Errorf("serve: %d of %d parts failed; first: %s",
+			failed, len(p.parts), partErr))
+	case canceled > 0:
+		s.settle(p, StateCanceled, sum, context.Canceled)
+	default:
+		s.settle(p, StateDone, sum, nil)
+	}
 }
 
 // settleCanceled marks a withdrawn job (its queue ticket was canceled

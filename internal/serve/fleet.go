@@ -156,7 +156,8 @@ func (f *fleetTransport) freeSlots() []slot {
 	sort.Strings(ids)
 	out := make([]slot, len(ids))
 	for i, id := range ids {
-		out[i] = slot{id: id, label: id, cfg: f.workers[id].cfg}
+		w := f.workers[id]
+		out[i] = slot{id: id, label: id, cfg: w.cfg, util: w.util}
 	}
 	return out
 }
@@ -220,6 +221,7 @@ func (f *fleetTransport) start(_ context.Context, sl slot, tk *queue.Ticket[*rec
 		Video: rec.task.Video, CRF: rec.task.CRF, Refs: rec.task.Refs,
 		Preset: string(rec.task.Preset),
 		Frames: f.s.cfg.Proto.Frames, Scale: f.s.cfg.Proto.Scale, Seed: f.s.cfg.Proto.Seed,
+		SegStart: rec.seg.Start, SegEnd: rec.seg.End, Rung: rec.rung,
 		LeaseTTLMs: f.ttl.Milliseconds(),
 	}
 	return nil

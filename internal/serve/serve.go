@@ -96,6 +96,11 @@ const (
 
 // JobRequest is the POST /jobs body: the task parameters of the paper's
 // studies plus the queueing class/priority/deadline of the serving layer.
+// Segments and Ladder expand the request into a multi-part job graph: the
+// submitted job becomes a parent record whose rung x segment sub-jobs flow
+// through the queue as ordinary leased units, are placed independently,
+// and settle back into the parent (which completes only when every part
+// has).
 type JobRequest struct {
 	Video    string `json:"video"`
 	CRF      int    `json:"crf,omitempty"`      // 0: 23
@@ -106,7 +111,32 @@ type JobRequest struct {
 	// DeadlineMs is a relative deadline in milliseconds used for intra-class
 	// ordering (0: none).
 	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// Segments splits the encode into that many independently placed
+	// segment sub-jobs (0 or 1: whole-clip). The split follows
+	// core.SegmentsFor, so the per-part outputs stitch byte-identically to
+	// a serial segmented encode.
+	Segments int `json:"segments,omitempty"`
+	// Ladder expands the request into one rendition per rung (an ABR
+	// ladder); rungs multiply with Segments. Every rung of the same segment
+	// reuses one shared codec.Analysis artifact through the core caches.
+	Ladder []Rung `json:"ladder,omitempty"`
 }
+
+// Rung is one rendition of an ABR ladder request. Zero fields inherit the
+// request's top-level value (and then the usual defaults).
+type Rung struct {
+	Name   string `json:"name,omitempty"`
+	CRF    int    `json:"crf,omitempty"`
+	Refs   int    `json:"refs,omitempty"`
+	Preset string `json:"preset,omitempty"`
+}
+
+// Fan-out caps: a single POST /jobs may expand into at most
+// maxLadderRungs x maxSegments queued parts.
+const (
+	maxLadderRungs = 8
+	maxSegments    = 64
+)
 
 // JobView is the externally visible state of one job (GET /jobs/{id}).
 type JobView struct {
@@ -126,6 +156,15 @@ type JobView struct {
 	Finished   time.Time `json:"finished"` // zero until terminal
 	SimSeconds float64   `json:"simulated_seconds,omitempty"`
 	Error      string    `json:"error,omitempty"`
+	// Part fields (sub-jobs of a multi-part submission only).
+	Parent  string         `json:"parent,omitempty"`
+	Rung    string         `json:"rung,omitempty"`
+	Segment *codec.Segment `json:"segment,omitempty"`
+	// Parent fields (multi-part submissions only). PartsDone counts parts
+	// that completed successfully; Parts lists every part's job id.
+	PartsTotal int      `json:"parts_total,omitempty"`
+	PartsDone  int      `json:"parts_done,omitempty"`
+	Parts      []string `json:"parts,omitempty"`
 }
 
 // Totals summarizes a server's lifetime outcomes. SimSeconds is the summed
@@ -149,6 +188,15 @@ type record struct {
 	opts     codec.Options
 	class    string
 	priority int
+	seg      codec.Segment // frame range of a segment part (zero: whole clip)
+	rung     string        // ladder rendition name ("" outside ladders)
+
+	// parent links a part to the record its outcome settles into; nil for
+	// plain jobs and for parents themselves. ticket is the part's admission
+	// ticket, kept so a sibling failure (or client cancellation) can
+	// withdraw still-queued parts.
+	parent *record
+	ticket *queue.Ticket[*record]
 
 	done chan struct{} // closed at any terminal state
 
@@ -162,20 +210,50 @@ type record struct {
 	finished time.Time
 	seconds  float64
 	errMsg   string
+
+	// Parent-side aggregates (multi-part submissions only; guarded by mu).
+	// The parent never enters the queue — it settles when its last part
+	// does.
+	parts         []*record
+	partsLaunched int // parts past their first dispatch (fan-out tracking)
+	partsTerm     int // parts in any terminal state
+	partsDone     int // parts that completed successfully
+	partsFailed   int
+	partsCanceled int
+	partsSeconds  float64   // summed simulated seconds of done parts
+	partErr       string    // first part failure, surfaced as the parent error
+	firstDone     time.Time // first part completion (stitch-latency anchor)
 }
 
 // view snapshots a record for the API.
 func (r *record) view() JobView {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return JobView{
+	v := JobView{
 		ID: r.id, State: r.state, Class: r.class,
 		Video: r.task.Video, CRF: r.task.CRF, Refs: r.task.Refs,
 		Preset: string(r.task.Preset), Priority: r.priority,
 		Server: r.server, Mode: r.mode, Attempts: r.attempts,
 		Submitted: r.enq, Started: r.started, Finished: r.finished,
 		SimSeconds: r.seconds, Error: r.errMsg,
+		Rung: r.rung,
 	}
+	if r.parent != nil {
+		v.Parent = r.parent.id
+	}
+	if !r.seg.IsZero() {
+		seg := r.seg
+		v.Segment = &seg
+	}
+	if len(r.parts) > 0 {
+		v.PartsTotal = len(r.parts)
+		v.PartsDone = r.partsDone
+		v.Parts = make([]string, len(r.parts))
+		for i, p := range r.parts {
+			v.Parts[i] = p.id
+		}
+	}
+	return v
 }
 
 // serveMetrics bundles the serving layer's obs instrumentation.
@@ -190,6 +268,14 @@ type serveMetrics struct {
 	simMs     *obs.Counter
 	requeues  *obs.Counter
 	placed    func(mode string) *obs.Counter
+	// Multi-part job graph: part admissions/completions, plus the two
+	// graph-shape latencies — fanout is submission until every part has
+	// been dispatched at least once, stitch is the reassembly tail from the
+	// first part completion to the parent settling.
+	partsSubmitted *obs.Counter
+	partsCompleted *obs.Counter
+	fanout         *obs.Histogram
+	stitch         *obs.Histogram
 }
 
 // Server is one serving instance: queue, dispatcher, transport and the
@@ -253,6 +339,11 @@ func New(cfg Config) (*Server, error) {
 			simMs:     reg.Counter("serve_completed_sim_ms"),
 			requeues:  reg.Counter("serve_requeues"),
 			placed:    func(mode string) *obs.Counter { return reg.Counter("serve_placements", "mode", mode) },
+
+			partsSubmitted: reg.Counter("serve_parts_submitted"),
+			partsCompleted: reg.Counter("serve_parts_completed"),
+			fanout:         reg.Histogram("serve_fanout_ns"),
+			stitch:         reg.Histogram("serve_stitch_ns"),
 		},
 		jobs:    make(map[string]*record),
 		costs:   make(map[string]*perf.Report),
@@ -299,6 +390,9 @@ func (s *Server) Submit(ctx context.Context, req JobRequest) (JobView, error) {
 	task, opts, err := buildTask(req)
 	if err != nil {
 		return JobView{}, err
+	}
+	if len(req.Ladder) > 0 || req.Segments > 1 {
+		return s.submitMulti(ctx, req, task)
 	}
 	rec := &record{
 		task:     task,
@@ -347,6 +441,152 @@ func (s *Server) Submit(ctx context.Context, req JobRequest) (JobView, error) {
 	s.totals.Submitted++
 	s.totMu.Unlock()
 	return rec.view(), nil
+}
+
+// submitMulti expands a segmented and/or ladder request into a parent
+// record plus rung x segment part records. The parent never enters the
+// queue: parts flow through admission as ordinary leased units and settle
+// back into it (dispatch.go's partSettled). Admission is all-or-nothing —
+// if any part is rejected (queue full/closed) every already-queued sibling
+// is withdrawn and the whole submit fails, so a client never observes a
+// half-admitted job graph.
+func (s *Server) submitMulti(ctx context.Context, req JobRequest, task sched.Task) (JobView, error) {
+	reject := func(err error) (JobView, error) {
+		s.met.rejected.Inc()
+		s.totMu.Lock()
+		s.totals.Rejected++
+		s.totMu.Unlock()
+		return JobView{}, err
+	}
+	if req.Segments > maxSegments {
+		return JobView{}, fmt.Errorf("serve: segments %d exceeds limit %d", req.Segments, maxSegments)
+	}
+	if len(req.Ladder) > maxLadderRungs {
+		return JobView{}, fmt.Errorf("serve: ladder has %d rungs, limit %d", len(req.Ladder), maxLadderRungs)
+	}
+
+	// Resolve each rung to its task + options; zero rung fields inherit the
+	// top-level request. A segmented non-ladder request is one unnamed rung.
+	type partSpec struct {
+		task sched.Task
+		opts codec.Options
+		rung string
+	}
+	rungs := req.Ladder
+	if len(rungs) == 0 {
+		rungs = []Rung{{}}
+	}
+	specs := make([]partSpec, len(rungs))
+	for i, rg := range rungs {
+		r := req
+		r.Segments, r.Ladder = 0, nil
+		if rg.CRF != 0 {
+			r.CRF = rg.CRF
+		}
+		if rg.Refs != 0 {
+			r.Refs = rg.Refs
+		}
+		if rg.Preset != "" {
+			r.Preset = rg.Preset
+		}
+		rtask, ropts, err := buildTask(r)
+		if err != nil {
+			return JobView{}, fmt.Errorf("serve: ladder rung %d (%q): %w", i, rg.Name, err)
+		}
+		name := rg.Name
+		if name == "" && len(req.Ladder) > 0 {
+			name = "rung" + itoa(i)
+		}
+		specs[i] = partSpec{task: rtask, opts: ropts, rung: name}
+	}
+
+	// The segment plan follows the workload the parts will actually encode
+	// (core.SegmentsFor normalizes the clip length and clamps the part
+	// count), so every part's range is valid by construction.
+	segs := []codec.Segment{{}}
+	if req.Segments > 1 {
+		w := s.cfg.Proto
+		w.Video = req.Video
+		plan, err := core.SegmentsFor(w, req.Segments)
+		if err != nil {
+			return JobView{}, fmt.Errorf("serve: %w", err)
+		}
+		segs = plan
+	}
+
+	now := time.Now()
+	parent := &record{
+		task:     task,
+		class:    req.Class,
+		priority: req.Priority,
+		done:     make(chan struct{}),
+		state:    StateQueued,
+		enq:      now,
+	}
+	parts := make([]*record, 0, len(specs)*len(segs))
+	s.jobsMu.Lock()
+	s.seq++
+	parent.seq = s.seq
+	parent.id = "job-" + strconv.FormatUint(parent.seq, 10)
+	parent.task.Name = parent.id
+	for _, spec := range specs {
+		for _, sg := range segs {
+			s.seq++
+			part := &record{
+				seq: s.seq, task: spec.task, opts: spec.opts,
+				class: req.Class, priority: req.Priority,
+				seg: sg, rung: spec.rung, parent: parent,
+				done: make(chan struct{}), state: StateQueued, enq: now,
+			}
+			part.id = parent.id + "." + strconv.Itoa(len(parts)+1)
+			part.task.Name = part.id
+			parts = append(parts, part)
+		}
+	}
+	parent.parts = parts
+	s.jobsMu.Unlock()
+
+	var deadline time.Time
+	if req.DeadlineMs > 0 {
+		deadline = now.Add(time.Duration(req.DeadlineMs) * time.Millisecond)
+	}
+	for i, part := range parts {
+		ticket, err := s.q.Submit(context.Background(), part, queue.SubmitOptions{
+			Class: req.Class, Priority: req.Priority, Deadline: deadline,
+		})
+		if err != nil {
+			// All-or-nothing: withdraw the parts already admitted. None is
+			// externally visible yet (records register below), so no
+			// settlement is owed.
+			for _, prev := range parts[:i] {
+				prev.ticket.Cancel()
+			}
+			return reject(err)
+		}
+		part.ticket = ticket
+	}
+
+	s.jobsMu.Lock()
+	s.jobs[parent.id] = parent
+	for _, part := range parts {
+		s.jobs[part.id] = part
+	}
+	s.jobsMu.Unlock()
+	if ctx.Done() != nil {
+		context.AfterFunc(ctx, func() {
+			for _, part := range parts {
+				if part.ticket.Cancel() {
+					s.settleCanceled(part)
+				}
+			}
+		})
+	}
+	s.met.submitted.Inc()
+	s.met.partsSubmitted.Add(int64(len(parts)))
+	s.totMu.Lock()
+	s.totals.Submitted++
+	s.totMu.Unlock()
+	return parent.view(), nil
 }
 
 // Job returns the current view of a job by id.

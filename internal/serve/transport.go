@@ -29,6 +29,10 @@ type slot struct {
 	id    string       // transport-unique slot key
 	label string       // what JobView.Server reports (config name / worker id)
 	cfg   uarch.Config // capability metadata driving placement
+	// util is the slot's reported utilization percent (fleet heartbeats;
+	// loopback slots are dedicated simulated servers and report 0). The
+	// dispatcher folds it into placement as a load-spreading tiebreak.
+	util float64
 }
 
 // outcome is the terminal report of one dispatched attempt.
@@ -153,7 +157,7 @@ func (l *loopback) start(ctx context.Context, sl slot, tk *queue.Ticket[*record]
 		cfg := l.pool[i]
 		w := l.proto
 		w.Video = rec.task.Video
-		res, err := core.Run(jctx, core.Job{Workload: w, Options: rec.opts, Config: cfg})
+		res, err := core.Run(jctx, core.Job{Workload: w, Options: rec.opts, Config: cfg, Segment: rec.seg})
 		// Release before finishing: a closed-loop client that saw the job
 		// settle must find the fleet capacity already restored.
 		l.release(i)

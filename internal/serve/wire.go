@@ -62,6 +62,16 @@ type Assignment struct {
 	Frames  int    `json:"frames,omitempty"`
 	Scale   int    `json:"scale,omitempty"`
 	Seed    uint64 `json:"seed,omitempty"`
+	// SegStart/SegEnd bound the frame range this job encodes ([start, end);
+	// both zero: the whole clip) — one segment of a segment-parallel
+	// fan-out. The decode half still covers the whole mezzanine, so segment
+	// jobs share the worker's decode and analysis caches with their
+	// siblings.
+	SegStart int `json:"seg_start,omitempty"`
+	SegEnd   int `json:"seg_end,omitempty"`
+	// Rung names the ABR-ladder rendition this job belongs to (logs and
+	// worker-side observability; placement does not read it).
+	Rung string `json:"rung,omitempty"`
 	// LeaseTTLMs is how long the lease survives without a heartbeat
 	// renewing it; the worker must heartbeat well inside this window.
 	LeaseTTLMs int64 `json:"lease_ttl_ms"`

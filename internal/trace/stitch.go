@@ -1,0 +1,26 @@
+package trace
+
+import "fmt"
+
+// Stitch concatenates independently recorded event buffers into one
+// canonical recording, as if every event had been recorded through a single
+// Recorder in part order. Plain byte concatenation would be wrong: the
+// Recorder delta-encodes addresses against the previous event's address, so
+// the first address of part k+1 must be re-encoded against the last address
+// of part k. Stitch therefore replays every part into a fresh Recorder,
+// which re-derives each delta in the combined stream.
+//
+// The result is byte-identical to a continuous recording of the same event
+// sequence (pinned by TestStitchEqualsContinuous), which is what lets
+// segment-parallel encodes — each recording its own trace — reassemble the
+// exact trace a serial segmented encode produces.
+func Stitch(parts ...[]byte) ([]byte, error) {
+	r := NewRecorder()
+	for i, p := range parts {
+		if err := Replay(p, r); err != nil {
+			return nil, fmt.Errorf("trace: stitch part %d: %w", i, err)
+		}
+	}
+	// Recorder retains buffer ownership; hand the caller a private copy.
+	return append([]byte(nil), r.Bytes()...), nil
+}

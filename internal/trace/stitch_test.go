@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// drive emits a deterministic pseudo-random event mix to a sink, starting
+// from the given address cursor, and returns the advanced cursor. The
+// addresses deliberately jump across wide ranges so the delta encoding's
+// cross-part state is exercised.
+func drive(s Sink, events int, addr uint64) uint64 {
+	for i := 0; i < events; i++ {
+		fn := FuncID(i % int(NumFuncs))
+		switch i % 7 {
+		case 0:
+			s.Ops(fn, 10+i)
+		case 1:
+			s.Load(fn, addr, 16)
+			addr += 64
+		case 2:
+			s.Store(fn, addr^0xFFFF_0000, 8)
+		case 3:
+			s.Load2D(fn, addr, 16, 16, 256)
+			addr += 4096
+		case 4:
+			s.Branch(fn, BranchID(i%31), i%3 == 0)
+		case 5:
+			s.Loop(fn, BranchID(i%31), i%13)
+		default:
+			s.Call(fn)
+		}
+	}
+	return addr
+}
+
+// TestStitchEqualsContinuous pins the stitching contract: recording parts
+// separately and stitching them must reproduce, byte for byte, the buffer a
+// single continuous Recorder produces for the same event sequence.
+func TestStitchEqualsContinuous(t *testing.T) {
+	for _, parts := range []int{1, 2, 4, 7} {
+		cont := NewRecorder()
+		addr := uint64(0x1_0000_0000)
+		bufs := make([][]byte, parts)
+		for p := 0; p < parts; p++ {
+			sep := NewRecorder()
+			a2 := drive(sep, 50+p*13, addr)
+			drive(cont, 50+p*13, addr)
+			addr = a2
+			bufs[p] = append([]byte(nil), sep.Bytes()...)
+		}
+		got, err := Stitch(bufs...)
+		if err != nil {
+			t.Fatalf("parts=%d: %v", parts, err)
+		}
+		if !bytes.Equal(got, cont.Bytes()) {
+			t.Fatalf("parts=%d: stitched %d bytes != continuous %d bytes", parts, len(got), len(cont.Bytes()))
+		}
+	}
+}
+
+// TestStitchReplayEquivalence checks the stitched buffer replays the exact
+// event sequence of the parts in order.
+func TestStitchReplayEquivalence(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	drive(a, 40, 0x10_0000)
+	drive(b, 30, 0x90_0000)
+	stitched, err := Stitch(a.Bytes(), b.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := NewRecorder()
+	if err := Replay(a.Bytes(), direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(b.Bytes(), direct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stitched, direct.Bytes()) {
+		t.Fatal("stitch differs from sequential replay into one recorder")
+	}
+	if want := a.Events() + b.Events(); countEvents(t, stitched) != want {
+		t.Fatalf("stitched event count %d, want %d", countEvents(t, stitched), want)
+	}
+}
+
+// TestStitchCorrupt rejects a truncated part with a positioned error.
+func TestStitchCorrupt(t *testing.T) {
+	r := NewRecorder()
+	drive(r, 20, 0x1000)
+	buf := r.Bytes()
+	if _, err := Stitch(buf[:len(buf)-1]); err == nil {
+		t.Fatal("want error for truncated part")
+	}
+}
+
+// countEvents replays a buffer into a counting recorder.
+func countEvents(t *testing.T, buf []byte) int {
+	t.Helper()
+	r := NewRecorder()
+	if err := Replay(buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return r.Events()
+}

@@ -176,6 +176,7 @@ func (w *Worker) execute(ctx context.Context, a serve.Assignment) {
 			Workload: core.Workload{Video: a.Video, Frames: a.Frames, Scale: a.Scale, Seed: a.Seed},
 			Options:  opts,
 			Config:   w.opts.Config,
+			Segment:  codec.Segment{Start: a.SegStart, End: a.SegEnd},
 		})
 		if pad := w.opts.MinJobTime - time.Since(started); pad > 0 {
 			sleep(jctx, pad)

@@ -6,10 +6,12 @@
 # The cached/uncached sweep pair is the headline number: the acceptance
 # bar is cached >= 1.5x faster than uncached on the reduced 4x4 grid. The
 # AnalysisReuse shared/live pair is the per-point claim of the shared
-# lookahead artifact, SAD/SATD/FDCT/TrellisQuant/Deblock/IntraPredict pin
-# the SWAR kernels, EncodeParallel pins the wavefront encode at 1 and 4
-# workers, and Dispatch pins the serving layer's per-batch placement
-# overhead.
+# lookahead artifact and LadderSharedAnalysis prices a whole 3-rung ABR
+# ladder reusing one artifact, SAD/SATD/FDCT/TrellisQuant/Deblock/
+# IntraPredict pin the SWAR kernels, EncodeParallel pins the wavefront
+# encode at 1 and 4 workers, SegmentedEncode prices the 1/2/4-way
+# segment-and-stitch split, and Dispatch pins the serving layer's
+# per-batch placement overhead.
 #
 # An interrupted run (Ctrl-C) still writes whatever benchmarks completed,
 # with a trailing {"name": "_note", "partial": true} entry so downstream
@@ -24,13 +26,13 @@ PARTIAL=0
 trap 'rm -f "$RAW"' EXIT
 trap 'PARTIAL=1' INT TERM
 
-go test -run '^$' -bench 'BenchmarkDecodeReplay|BenchmarkSweepCRFRefs|BenchmarkAnalysisReuse|BenchmarkSAD$|BenchmarkSATD$' \
+go test -run '^$' -bench 'BenchmarkDecodeReplay|BenchmarkSweepCRFRefs|BenchmarkAnalysisReuse|BenchmarkLadderSharedAnalysis|BenchmarkSAD$|BenchmarkSATD$' \
 	-benchtime "$BENCHTIME" -benchmem -timeout 1200s . | tee "$RAW" || PARTIAL=1
 # The remaining benchmarks live in their own packages; append to the same
 # raw stream so the awk pass below records them alongside.
 go test -run '^$' -bench 'BenchmarkFDCT|BenchmarkTrellisQuant' \
 	-benchtime "$BENCHTIME" -benchmem -timeout 600s ./internal/codec/transform | tee -a "$RAW" || PARTIAL=1
-go test -run '^$' -bench 'BenchmarkDeblock|BenchmarkIntraPredict|BenchmarkEncodeParallel' \
+go test -run '^$' -bench 'BenchmarkDeblock|BenchmarkIntraPredict|BenchmarkEncodeParallel|BenchmarkSegmentedEncode' \
 	-benchtime "$BENCHTIME" -benchmem -timeout 600s ./internal/codec | tee -a "$RAW" || PARTIAL=1
 go test -run '^$' -bench 'BenchmarkDispatch' \
 	-benchtime "$BENCHTIME" -benchmem -timeout 600s ./internal/serve | tee -a "$RAW" || PARTIAL=1
@@ -52,6 +54,8 @@ awk -v partial="$PARTIAL" '
 	if (name == "BenchmarkSweepCRFRefsUncached") uncached = ns
 	if (name == "BenchmarkAnalysisReuse/shared") ashared = ns
 	if (name == "BenchmarkAnalysisReuse/live") alive = ns
+	if (name == "BenchmarkLadderSharedAnalysis/shared") lshared = ns
+	if (name == "BenchmarkLadderSharedAnalysis/live") llive = ns
 }
 END {
 	if (partial + 0 != 0)
@@ -63,6 +67,8 @@ END {
 		printf "replay cache speedup: %.2fx\n", uncached / cached > "/dev/stderr"
 	if (ashared + 0 > 0 && alive + 0 > 0)
 		printf "shared analysis speedup: %.2fx\n", alive / ashared > "/dev/stderr"
+	if (lshared + 0 > 0 && llive + 0 > 0)
+		printf "ladder shared-analysis speedup: %.2fx\n", llive / lshared > "/dev/stderr"
 }
 ' "$RAW" >"$OUT"
 
