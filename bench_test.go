@@ -243,6 +243,40 @@ func BenchmarkDecodeReplay(b *testing.B) {
 	}
 }
 
+// BenchmarkReplayParsed measures fanning the pre-parsed decode trace into
+// a fresh machine via the devirtualized event loop — BenchmarkDecodeReplay
+// minus the per-point varint decode and Sink dispatch.
+func BenchmarkReplayParsed(b *testing.B) {
+	w, _ := benchSweepWorkload()
+	parsed, err := ParsedDecodeTrace(context.Background(), w, DecoderOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(parsed.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReplayParsedTrace(parsed, BaselineConfig())
+	}
+}
+
+// BenchmarkReplayMulti measures the decode-once fan-out across all five
+// Table IV configurations from one raw buffer.
+func BenchmarkReplayMulti(b *testing.B) {
+	w, _ := benchSweepWorkload()
+	_, events, err := DecodedMezzanine(context.Background(), w, DecoderOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfgs := Configs()
+	b.SetBytes(int64(len(events)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplayTraceMulti(events, cfgs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSweepCRFRefsCached runs the reduced grid with the replay cache
 // (the default production path).
 func BenchmarkSweepCRFRefsCached(b *testing.B) {

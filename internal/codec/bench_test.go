@@ -90,7 +90,7 @@ func BenchmarkSegmentedEncode(b *testing.B) {
 func BenchmarkEncodeParallel(b *testing.B) {
 	frames := makeClip(b, "cricket", 6, 8)
 	pinClipVAs(b, frames)
-	for _, workers := range []int{1, 4} {
+	for _, workers := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			opt := Defaults()
 			opt.Tune.FuseDeblock = true

@@ -2,6 +2,7 @@ package codec
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/codec/bits"
 	"repro/internal/codec/transform"
@@ -51,9 +52,12 @@ type Encoder struct {
 
 	// Intra-encode parallelism (see parallel.go): cached per-worker shadow
 	// encoders plus per-frame scratch reused across frames.
-	shadows   []*Encoder
-	mbScratch []macroblock
-	qpScratch []int
+	shadows    []*Encoder
+	shadowCh   chan *Encoder
+	mbScratch  []macroblock
+	qpScratch  []int
+	progress   []atomic.Int64
+	poolDoneCh chan poolResult
 
 	// Per-stage latency accounting (see stage.go). Both nil unless a
 	// StageObserver is attached.

@@ -73,12 +73,37 @@ func (e *Encoder) shadowPool(workers int) chan *Encoder {
 			stage:    e.stage,
 		})
 	}
-	ch := make(chan *Encoder, workers)
+	// The channel itself is reused across frames: every user drains its
+	// pool before returning, so by the time shadowPool runs again all
+	// shadows are back in the channel — drop them and refill from the
+	// canonical slice with this frame's reconstruction pointer.
+	if cap(e.shadowCh) != workers {
+		e.shadowCh = make(chan *Encoder, workers)
+	} else {
+		for len(e.shadowCh) > 0 {
+			<-e.shadowCh
+		}
+	}
 	for _, sh := range e.shadows[:workers] {
 		sh.recon = e.recon
-		ch <- sh
+		e.shadowCh <- sh
 	}
-	return ch
+	return e.shadowCh
+}
+
+// poolResult carries exec.Pool.Map's return pair across the sequencer's
+// completion channel, which is cached on the Encoder like the other
+// per-frame wavefront scratch.
+type poolResult struct {
+	errs []error
+	err  error
+}
+
+func (e *Encoder) poolDone() chan poolResult {
+	if e.poolDoneCh == nil {
+		e.poolDoneCh = make(chan poolResult, 1)
+	}
+	return e.poolDoneCh
 }
 
 // encodeRowsParallel runs the macroblock loop of one frame on a wavefront of
@@ -141,8 +166,15 @@ func (e *Encoder) encodeRowsParallel(src *frame.Frame, t FrameType, list0 []*fra
 
 	// progress[my] is the count of macroblocks of row my fully decided
 	// (reconstruction written, MV field published). Workers spin on the row
-	// above; the sequencer spins on the row it is writing out.
-	progress := make([]atomic.Int64, mbh)
+	// above; the sequencer spins on the row it is writing out. The slice is
+	// per-frame scratch: no worker is running yet, so plain stores reset it.
+	if cap(e.progress) < mbh {
+		e.progress = make([]atomic.Int64, mbh)
+	}
+	progress := e.progress[:mbh]
+	for i := range progress {
+		progress[i].Store(0)
+	}
 	var abort atomic.Bool
 	shadows := e.shadowPool(workers)
 
@@ -194,16 +226,10 @@ func (e *Encoder) encodeRowsParallel(src *frame.Frame, t FrameType, list0 []*fra
 		return nil
 	}
 
-	poolDone := make(chan struct {
-		errs []error
-		err  error
-	}, 1)
+	poolDone := e.poolDone()
 	go func() {
 		errs, perr := exec.Pool{Workers: workers}.Map(context.Background(), mbh, rowFn)
-		poolDone <- struct {
-			errs []error
-			err  error
-		}{errs, perr}
+		poolDone <- poolResult{errs, perr}
 	}()
 
 	// Sequencer: consume macroblocks in raster order, replay each one's
@@ -323,7 +349,10 @@ func (e *Encoder) runLookaheadParallel(frames []*frame.Frame, workers int) *look
 	}
 	_, nop := e.tr.sink.(trace.Nop)
 	traced := !nop
-	recs := make([][]byte, n)
+	var recs [][]byte
+	if traced {
+		recs = make([][]byte, n)
+	}
 	shadows := e.shadowPool(workers)
 
 	errs, perr := exec.Pool{Workers: workers}.Map(context.Background(), n, func(ctx context.Context, i int) error {

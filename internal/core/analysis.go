@@ -85,25 +85,57 @@ type anaSnapKey struct {
 
 var anaSnapCache = flightCache[anaSnapKey, *uarch.Machine]{name: "ana_snapshot"}
 
+// anaParsedCache holds the pre-parsed form of each shared artifact's
+// recorded lookahead events, keyed like the artifact itself (no uarch
+// config): every configuration's analysis snapshot fans out from one
+// parsed slab, decoding the artifact's varint stream exactly once.
+var anaParsedCache = flightCache[analysisKey, *trace.EventBuf]{
+	name: "ana_parsed",
+	size: func(b *trace.EventBuf) int64 { return int64(b.SizeBytes()) },
+}
+
+// parsedAnalysisTrace returns (building and caching on first use) the
+// parsed event form of an artifact's recorded lookahead trace.
+func parsedAnalysisTrace(ctx context.Context, w Workload, dopt codec.DecoderOptions, a *codec.Analysis) (*trace.EventBuf, error) {
+	key := analysisKey{w: w, dopt: dopt, p: a.Params}
+	return anaParsedCache.get(ctx, key, func() (*trace.EventBuf, error) {
+		b, err := trace.Parse(a.Events())
+		if err != nil {
+			return nil, fmt.Errorf("core: parse of %s analysis trace: %w", w.Video, err)
+		}
+		return b, nil
+	})
+}
+
 // analysisMachine returns the cached post-decode, post-lookahead machine
 // snapshot, building it on first use by cloning the decode snapshot and
-// replaying the artifact's recorded events into it. Callers must Clone the
-// snapshot before feeding it further events.
-func analysisMachine(ctx context.Context, w Workload, dopt codec.DecoderOptions, cfg uarch.Config, a *codec.Analysis) (*uarch.Machine, error) {
+// replaying the artifact's recorded events into it — from the shared
+// parsed slab by default, or streaming the raw buffer when noParse is set
+// (bit-identical builds either way). Callers must Clone the snapshot
+// before feeding it further events.
+func analysisMachine(ctx context.Context, w Workload, dopt codec.DecoderOptions, cfg uarch.Config, a *codec.Analysis, noParse bool) (*uarch.Machine, error) {
 	w, err := w.normalized()
 	if err != nil {
 		return nil, err
 	}
 	key := anaSnapKey{w: w, dopt: dopt, cfg: cfg, p: a.Params}
 	return anaSnapCache.get(ctx, key, func() (*uarch.Machine, error) {
-		snap, err := decodedMachine(context.Background(), w, dopt, cfg)
+		snap, err := decodedMachine(context.Background(), w, dopt, cfg, noParse)
 		if err != nil {
 			return nil, err
 		}
 		m := snap.Clone()
-		if err := trace.Replay(a.Events(), m); err != nil {
-			return nil, fmt.Errorf("core: replay of %s analysis trace: %w", w.Video, err)
+		if noParse {
+			if err := trace.Replay(a.Events(), m); err != nil {
+				return nil, fmt.Errorf("core: replay of %s analysis trace: %w", w.Video, err)
+			}
+			return m, nil
 		}
+		parsed, err := parsedAnalysisTrace(context.Background(), w, dopt, a)
+		if err != nil {
+			return nil, err
+		}
+		m.ReplayEvents(parsed)
 		return m, nil
 	})
 }

@@ -103,6 +103,13 @@ type Job struct {
 	// this escape hatch exists for fidelity A/B checks and for measuring the
 	// replay layer's own speedup.
 	NoReplayCache bool
+	// NoParseCache forces replays to stream the raw varint trace through
+	// trace.Replay instead of fanning out from the cached pre-parsed event
+	// slab via Machine.ReplayEvents. The two paths are bit-for-bit identical
+	// (TestParsedRunEquivalence, TestReplayEventsEquivalence); this escape
+	// hatch exists for fidelity A/B checks and for measuring the parsed
+	// layer's own speedup.
+	NoParseCache bool
 	// NoAnalysisCache disables the shared per-video analysis artifact: the
 	// encoder runs its own lookahead and AQ variance pass instead of reusing
 	// the memoized one. Like NoReplayCache the two paths are bit-for-bit
@@ -273,6 +280,41 @@ func DecodedMezzanine(ctx context.Context, w Workload, opt codec.DecoderOptions)
 	return ent.frames, ent.events, nil
 }
 
+// --- parsed-trace cache ---------------------------------------------------------
+
+// parsedDecCache holds the pre-parsed form of each recorded decode trace.
+// It is keyed exactly like the raw buffer (decodeKey, no uarch config), so
+// all five Table IV machine snapshots of one workload fan out from a
+// single parsed slab: the varint stream is decoded once per (workload,
+// decoder options) instead of once per configuration. Entries share the
+// decoded cache's eviction story — both live for the process and are
+// sized into the same obs byte gauges.
+var parsedDecCache = flightCache[decodeKey, *trace.EventBuf]{
+	name: "parsed",
+	size: func(b *trace.EventBuf) int64 { return int64(b.SizeBytes()) },
+}
+
+// ParsedDecodeTrace returns (building and caching on first use) the parsed
+// event representation of a workload's recorded decode trace. The returned
+// buffer is shared cache state: callers must treat it as read-only.
+func ParsedDecodeTrace(ctx context.Context, w Workload, opt codec.DecoderOptions) (*trace.EventBuf, error) {
+	w, err := w.normalized()
+	if err != nil {
+		return nil, err
+	}
+	return parsedDecCache.get(ctx, decodeKey{w: w, opt: opt}, func() (*trace.EventBuf, error) {
+		_, events, err := DecodedMezzanine(context.Background(), w, opt)
+		if err != nil {
+			return nil, err
+		}
+		b, err := trace.Parse(events)
+		if err != nil {
+			return nil, fmt.Errorf("core: parse of %s decode trace: %w", w.Video, err)
+		}
+		return b, nil
+	})
+}
+
 // snapKey identifies one decoded-machine snapshot: a machine of one
 // configuration (with the default code image) that has already consumed
 // one workload's decode event stream.
@@ -286,22 +328,34 @@ var snapCache = flightCache[snapKey, *uarch.Machine]{name: "snapshot"}
 
 // decodedMachine returns the cached post-decode machine snapshot for a
 // (workload, decoder options, configuration) triple, building it on first
-// use by replaying the recorded decode trace into a fresh machine. Callers
-// must Clone the snapshot before feeding it further events.
-func decodedMachine(ctx context.Context, w Workload, dopt codec.DecoderOptions, cfg uarch.Config) (*uarch.Machine, error) {
+// use by replaying the recorded decode trace into a fresh machine. The
+// default build fans out from the shared parsed slab (one trace decode
+// serves every configuration); noParse streams the raw buffer through
+// trace.Replay instead — the two builds are bit-identical, so the cached
+// snapshot is the same machine either way. Callers must Clone the snapshot
+// before feeding it further events.
+func decodedMachine(ctx context.Context, w Workload, dopt codec.DecoderOptions, cfg uarch.Config, noParse bool) (*uarch.Machine, error) {
 	w, err := w.normalized()
 	if err != nil {
 		return nil, err
 	}
 	return snapCache.get(ctx, snapKey{w: w, opt: dopt, cfg: cfg}, func() (*uarch.Machine, error) {
-		_, events, err := DecodedMezzanine(context.Background(), w, dopt)
+		m := uarch.NewMachine(cfg, trace.NewImage(nil))
+		if noParse {
+			_, events, err := DecodedMezzanine(context.Background(), w, dopt)
+			if err != nil {
+				return nil, err
+			}
+			if err := trace.Replay(events, m); err != nil {
+				return nil, fmt.Errorf("core: replay of %s decode trace: %w", w.Video, err)
+			}
+			return m, nil
+		}
+		parsed, err := ParsedDecodeTrace(context.Background(), w, dopt)
 		if err != nil {
 			return nil, err
 		}
-		m := uarch.NewMachine(cfg, trace.NewImage(nil))
-		if err := trace.Replay(events, m); err != nil {
-			return nil, fmt.Errorf("core: replay of %s decode trace: %w", w.Video, err)
-		}
+		m.ReplayEvents(parsed)
 		return m, nil
 	})
 }
@@ -388,7 +442,7 @@ func Run(ctx context.Context, job Job) (*Result, error) {
 			if analysis, err = sharedAnalysis(ctx, job.Workload, dopt, job.Options, job.Segment); err != nil {
 				return nil, err
 			}
-			snap, err := analysisMachine(ctx, job.Workload, dopt, job.Config, analysis)
+			snap, err := analysisMachine(ctx, job.Workload, dopt, job.Config, analysis, job.NoParseCache)
 			if err != nil {
 				return nil, err
 			}
@@ -396,7 +450,7 @@ func Run(ctx context.Context, job Job) (*Result, error) {
 		} else if job.Image == nil {
 			// Default code image: clone the cached post-decode machine
 			// snapshot — the decode half at memcpy speed.
-			snap, err := decodedMachine(ctx, job.Workload, dopt, job.Config)
+			snap, err := decodedMachine(ctx, job.Workload, dopt, job.Config, job.NoParseCache)
 			if err != nil {
 				return nil, err
 			}
@@ -404,10 +458,19 @@ func Run(ctx context.Context, job Job) (*Result, error) {
 		} else {
 			// Custom image (e.g. the AutoFDO study): snapshots are keyed on
 			// the default layout, so re-drive the recorded events into this
-			// job's machine instead.
+			// job's machine instead — from the shared parsed slab unless the
+			// job opted out.
 			machine = uarch.NewMachine(job.Config, img)
-			if err := trace.Replay(events, machine); err != nil {
-				return nil, fmt.Errorf("core: replay of %s decode trace: %w", job.Workload.Video, err)
+			if job.NoParseCache {
+				if err := trace.Replay(events, machine); err != nil {
+					return nil, fmt.Errorf("core: replay of %s decode trace: %w", job.Workload.Video, err)
+				}
+			} else {
+				parsed, err := ParsedDecodeTrace(ctx, job.Workload, dopt)
+				if err != nil {
+					return nil, err
+				}
+				machine.ReplayEvents(parsed)
 			}
 		}
 		input = cloneFrames(frames)
@@ -493,6 +556,9 @@ type SweepOpts struct {
 	// NoReplayCache runs every point's decode live instead of replaying the
 	// recorded decode trace (see Job.NoReplayCache).
 	NoReplayCache bool
+	// NoParseCache streams every replay through the raw varint buffer
+	// instead of the shared parsed event slab (see Job.NoParseCache).
+	NoParseCache bool
 	// NoAnalysisCache runs every point's lookahead and AQ analysis live
 	// instead of reusing the shared per-video artifact (see
 	// Job.NoAnalysisCache).
@@ -609,7 +675,7 @@ func warmDecode(ctx context.Context, w Workload, dopt codec.DecoderOptions, cfg 
 		_, err := Mezzanine(ctx, w)
 		return err
 	}
-	_, err := decodedMachine(ctx, w, dopt, cfg)
+	_, err := decodedMachine(ctx, w, dopt, cfg, opts.NoParseCache)
 	return err
 }
 
@@ -634,7 +700,7 @@ func SweepCRFRefsWith(ctx context.Context, w Workload, base codec.Options, cfg u
 			opt.CRF = crf
 			opt.Refs = rf
 			return Job{Workload: w, Options: opt, Config: cfg,
-					NoReplayCache: opts.NoReplayCache, NoAnalysisCache: opts.NoAnalysisCache,
+					NoReplayCache: opts.NoReplayCache, NoParseCache: opts.NoParseCache, NoAnalysisCache: opts.NoAnalysisCache,
 					StageMetrics: opts.StageMetrics},
 				Point{Video: w.Video, CRF: crf, Refs: rf}, nil
 		},
@@ -666,7 +732,7 @@ func SweepPresetsWith(ctx context.Context, w Workload, cfg uarch.Config, presets
 			opt.Refs = refs
 			opt.TraceSampleLog2 = 0
 			return Job{Workload: w, Options: opt, Config: cfg,
-				NoReplayCache: opts.NoReplayCache, NoAnalysisCache: opts.NoAnalysisCache,
+				NoReplayCache: opts.NoReplayCache, NoParseCache: opts.NoParseCache, NoAnalysisCache: opts.NoAnalysisCache,
 				StageMetrics: opts.StageMetrics}, pt, nil
 		},
 		Opts: opts,
@@ -697,7 +763,7 @@ func SweepVideosWith(ctx context.Context, videos []string, frames, scale int, ba
 		Build: func(i int) (Job, Point, error) {
 			w := Workload{Video: videos[i], Frames: frames, Scale: scale}
 			return Job{Workload: w, Options: base, Config: cfg,
-					NoReplayCache: opts.NoReplayCache, NoAnalysisCache: opts.NoAnalysisCache,
+					NoReplayCache: opts.NoReplayCache, NoParseCache: opts.NoParseCache, NoAnalysisCache: opts.NoAnalysisCache,
 					StageMetrics: opts.StageMetrics},
 				Point{Video: videos[i], CRF: base.CRF, Refs: base.Refs}, nil
 		},

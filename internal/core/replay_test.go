@@ -84,6 +84,86 @@ func TestReplayRunEquivalence(t *testing.T) {
 	}
 }
 
+// TestParsedReplayMachineEquivalence pins the parsed fan-out at the
+// machine level on a real decode trace: for every Table IV configuration,
+// ReplayEvents on the cached parsed slab reaches bit-for-bit the state of
+// the streaming trace.Replay reference.
+func TestParsedReplayMachineEquivalence(t *testing.T) {
+	w := tinyWorkload("cricket")
+	_, events, err := DecodedMezzanine(context.Background(), w, codec.DecoderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParsedDecodeTrace(context.Background(), w, codec.DecoderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed2, err := ParsedDecodeTrace(context.Background(), w, codec.DecoderOptions{}); err != nil || parsed2 != parsed {
+		t.Fatalf("parsed trace not cached: %p vs %p (err %v)", parsed, parsed2, err)
+	}
+	for _, cfg := range uarch.TableIV() {
+		ref := uarch.NewMachine(cfg, trace.NewImage(nil))
+		if err := trace.Replay(events, ref); err != nil {
+			t.Fatal(err)
+		}
+		fast := uarch.NewMachine(cfg, trace.NewImage(nil))
+		fast.ReplayEvents(parsed)
+		if !ref.Result().Equal(fast.Result()) {
+			t.Fatalf("%s: parsed replay diverged from streaming replay:\nref:  %+v\nfast: %+v",
+				cfg.Name, ref.Result(), fast.Result())
+		}
+	}
+}
+
+// TestParsedRunEquivalence is the fidelity guarantee at the experiment
+// level: a run whose replays stream the raw varint buffer (NoParseCache)
+// produces exactly the profile of the default parsed fan-out. The custom
+// code image forces Run's per-job replay branch, so both replay paths
+// actually execute rather than sharing a cached snapshot.
+func TestParsedRunEquivalence(t *testing.T) {
+	w := tinyWorkload("cricket")
+	opt := codec.Defaults()
+	opt.CRF = 29
+	opt.Refs = 2
+	job := Job{Workload: w, Options: opt, Config: uarch.Baseline(), Image: trace.NewImage(nil)}
+
+	parsedPath, err := Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.NoParseCache = true
+	streamPath, err := Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsedPath.Report, streamPath.Report) {
+		t.Fatalf("parsed-path report differs from streaming-path report:\nparsed: %+v\nstream: %+v",
+			parsedPath.Report, streamPath.Report)
+	}
+	if !reflect.DeepEqual(parsedPath.Stats, streamPath.Stats) {
+		t.Fatal("parsed-path codec stats differ from streaming-path stats")
+	}
+
+	// And through the default (snapshot) path: a full job pair without the
+	// custom image, cold snapshots forced by a unique seed so both runs
+	// build through their respective replay branch.
+	cold := w
+	cold.Seed = 424242
+	job = Job{Workload: cold, Options: opt, Config: uarch.Baseline(), NoParseCache: true}
+	streamSnap, err := Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.NoParseCache = false
+	parsedSnap, err := Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsedSnap.Report, streamSnap.Report) {
+		t.Fatal("snapshot-path reports differ between parsed and streaming builds")
+	}
+}
+
 // TestDecodedMezzanineCached verifies hits share one entry and that the
 // cached frames are not handed to encoders directly (Run clones them).
 func TestDecodedMezzanineCached(t *testing.T) {

@@ -1,0 +1,178 @@
+package trace
+
+// Pre-parsed trace representation.
+//
+// Replay decodes the varint stream once per sink: a sweep that replays one
+// decode trace into N machine configurations pays N full varint decodes and
+// N×events virtual Sink dispatches. Parse performs the decode exactly once
+// into a flat []Event slab; ReplayParsed then fans the fixed-width events
+// out to any number of consumers with a plain slice walk, and
+// uarch.Machine.ReplayEvents consumes the slab with no interface call at
+// all. Replay remains the pinned reference semantics — every consumer of
+// the parsed form must be observationally identical to it, which the
+// equivalence and fuzz tests in parse_test.go enforce.
+
+// Event is one decoded Sink call in fixed-width form. Operand fields are
+// wide enough to hold anything the varint encoding can carry, so parsing
+// never loses information relative to Replay:
+//
+//	Ops              A=n
+//	Load/Store       Addr, A=bytes
+//	Load2D/Store2D   Addr, A=w, B=h, C=stride
+//	Branch           Site, Taken
+//	Loop             Site, A=iters
+//	Call             (no operands)
+type Event struct {
+	Addr  uint64
+	A     int64
+	B, C  int64
+	Site  BranchID
+	Kind  EventKind
+	Fn    FuncID
+	Taken bool
+}
+
+// eventSize is the in-memory footprint of one Event (40 bytes: four 8-byte
+// operands plus the packed tag fields and padding).
+const eventSize = 40
+
+// EventBuf is a parsed trace: a reusable slab of fixed-width events.
+// The zero value is empty and ready for ParseFrom.
+type EventBuf struct {
+	events []Event
+}
+
+// Len returns the number of parsed events.
+func (b *EventBuf) Len() int { return len(b.events) }
+
+// Events returns the parsed event slice. The EventBuf retains ownership;
+// the slice is valid until the next ParseFrom into this buffer.
+func (b *EventBuf) Events() []Event { return b.events }
+
+// SizeBytes reports the slab's capacity footprint, for cache accounting.
+func (b *EventBuf) SizeBytes() int { return cap(b.events) * eventSize }
+
+// Reset empties the buffer, keeping the slab for reuse.
+func (b *EventBuf) Reset() { b.events = b.events[:0] }
+
+// Parse decodes a buffer produced by Recorder into a fresh EventBuf.
+func Parse(buf []byte) (*EventBuf, error) {
+	var b EventBuf
+	if err := ParseFrom(buf, &b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// ParseFrom decodes buf into dst, reusing dst's slab. On error dst holds
+// the events decoded before the corruption, and the error carries the byte
+// offset and event index exactly as Replay would report them.
+func ParseFrom(buf []byte, dst *EventBuf) error {
+	dst.events = dst.events[:0]
+	p := replayReader{buf: buf}
+	for p.pos < len(buf) {
+		tag := buf[p.pos]
+		p.pos++
+		e := Event{Kind: EventKind(tag >> 5), Fn: FuncID(tag & 0x1f)}
+		switch e.Kind {
+		case EvOps:
+			n, err := p.int("operand")
+			if err != nil {
+				return err
+			}
+			e.A = int64(n)
+		case EvLoad, EvStore:
+			addr, err := p.addr()
+			if err != nil {
+				return err
+			}
+			bytes, err := p.int("operand")
+			if err != nil {
+				return err
+			}
+			e.Addr, e.A = addr, int64(bytes)
+		case EvLoad2D, EvStore2D:
+			addr, err := p.addr()
+			if err != nil {
+				return err
+			}
+			w, err := p.int("operand")
+			if err != nil {
+				return err
+			}
+			h, err := p.int("operand")
+			if err != nil {
+				return err
+			}
+			stride, err := p.int("operand")
+			if err != nil {
+				return err
+			}
+			e.Addr, e.A, e.B, e.C = addr, int64(w), int64(h), int64(stride)
+		case EvBranch:
+			v, err := p.uint("branch operand")
+			if err != nil {
+				return err
+			}
+			e.Site, e.Taken = BranchID(v>>1), v&1 == 1
+		case EvLoop:
+			site, err := p.uint("loop site")
+			if err != nil {
+				return err
+			}
+			iters, err := p.int("operand")
+			if err != nil {
+				return err
+			}
+			e.Site, e.A = BranchID(site), int64(iters)
+		case EvCall:
+			// no operands
+		}
+		dst.events = append(dst.events, e)
+		p.event++
+	}
+	return nil
+}
+
+// ReplayParsed re-drives a parsed trace into sink, in recording order. It
+// is observationally identical to Replay on the buffer the EventBuf was
+// parsed from; parsing already validated the encoding, so there is no
+// error to return.
+func ReplayParsed(b *EventBuf, sink Sink) {
+	for i := range b.events {
+		e := &b.events[i]
+		switch e.Kind {
+		case EvOps:
+			sink.Ops(e.Fn, int(e.A))
+		case EvLoad:
+			sink.Load(e.Fn, e.Addr, int(e.A))
+		case EvStore:
+			sink.Store(e.Fn, e.Addr, int(e.A))
+		case EvLoad2D:
+			sink.Load2D(e.Fn, e.Addr, int(e.A), int(e.B), int(e.C))
+		case EvStore2D:
+			sink.Store2D(e.Fn, e.Addr, int(e.A), int(e.B), int(e.C))
+		case EvBranch:
+			sink.Branch(e.Fn, e.Site, e.Taken)
+		case EvLoop:
+			sink.Loop(e.Fn, e.Site, int(e.A))
+		case EvCall:
+			sink.Call(e.Fn)
+		}
+	}
+}
+
+// ReplayMulti replays a recorded buffer into every sink, decoding each
+// event exactly once. Each sink observes the same call sequence Replay
+// would deliver; sinks are driven one after another in argument order,
+// each over the complete stream.
+func ReplayMulti(buf []byte, sinks ...Sink) error {
+	var b EventBuf
+	if err := ParseFrom(buf, &b); err != nil {
+		return err
+	}
+	for _, s := range sinks {
+		ReplayParsed(&b, s)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseReplayEquivalence is the property test: for any event sequence,
+// Parse+ReplayParsed and ReplayMulti observe exactly the calls Replay
+// observes.
+func TestParseReplayEquivalence(t *testing.T) {
+	prop := func(seq eventSeq) bool {
+		rec := NewRecorder()
+		for _, e := range seq {
+			e.drive(rec)
+		}
+		var ref collector
+		if err := Replay(rec.Bytes(), &ref); err != nil {
+			t.Logf("replay error: %v", err)
+			return false
+		}
+		b, err := Parse(rec.Bytes())
+		if err != nil {
+			t.Logf("parse error: %v", err)
+			return false
+		}
+		if b.Len() != len(seq) {
+			t.Logf("Len() = %d, want %d", b.Len(), len(seq))
+			return false
+		}
+		var parsed collector
+		ReplayParsed(b, &parsed)
+		if !reflect.DeepEqual(ref.events, parsed.events) {
+			t.Logf("ReplayParsed diverged")
+			return false
+		}
+		var m1, m2 collector
+		if err := ReplayMulti(rec.Bytes(), &m1, &m2); err != nil {
+			t.Logf("multi error: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(ref.events, m1.events) && reflect.DeepEqual(ref.events, m2.events)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseFromReuse verifies the slab is reused across parses and that
+// Reset keeps capacity.
+func TestParseFromReuse(t *testing.T) {
+	rec := NewRecorder()
+	for i := 0; i < 64; i++ {
+		rec.Load(FnDecMC, uint64(i)*64, 8)
+	}
+	var b EventBuf
+	if err := ParseFrom(rec.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 64 {
+		t.Fatalf("Len() = %d, want 64", b.Len())
+	}
+	slab := &b.events[0]
+	rec.Reset()
+	rec.Ops(FnSAD, 9)
+	if err := ParseFrom(rec.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 1 || &b.events[0] != slab {
+		t.Fatal("ParseFrom did not reuse the slab")
+	}
+	if b.SizeBytes() < 64*eventSize {
+		t.Fatalf("SizeBytes() = %d, want >= %d", b.SizeBytes(), 64*eventSize)
+	}
+	b.Reset()
+	if b.Len() != 0 || cap(b.events) < 64 {
+		t.Fatal("Reset dropped the slab")
+	}
+}
+
+// TestParseCorruptBuffer verifies truncations error with positioned
+// context, identically to Replay.
+func TestParseCorruptBuffer(t *testing.T) {
+	rec := NewRecorder()
+	rec.Load(FnDecMC, 0x1000, 64)
+	rec.Load2D(FnDecMC, 0x8_0000_0000, 16, 16, 1920)
+	buf := rec.Bytes()
+	for cut := 1; cut < len(buf); cut++ {
+		refErr := Replay(buf[:cut], &collector{})
+		_, parseErr := Parse(buf[:cut])
+		if (refErr == nil) != (parseErr == nil) {
+			t.Fatalf("cut %d: Replay err %v, Parse err %v", cut, refErr, parseErr)
+		}
+		if refErr != nil && refErr.Error() != parseErr.Error() {
+			t.Fatalf("cut %d: error mismatch:\n replay: %v\n parse:  %v", cut, refErr, parseErr)
+		}
+	}
+}
+
+// TestReplayErrorPosition pins the positioned error format: byte offset
+// and event index must both appear.
+func TestReplayErrorPosition(t *testing.T) {
+	rec := NewRecorder()
+	rec.Ops(FnSAD, 1)             // event 0, 2 bytes
+	rec.Load(FnDecMC, 0x1000, 64) // event 1
+	buf := rec.Bytes()[:3]        // cut inside event 1's address delta
+	err := Replay(buf, &collector{})
+	if err == nil {
+		t.Fatal("truncated buffer accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"truncated", "byte offset 3", "event 1"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+	// Overflowing varint: 11 continuation bytes after an Ops tag (ten
+	// bytes would read as truncation; the 11th trips 64-bit overflow).
+	over := append([]byte{uint8(EvOps) << 5}, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80)
+	err = Replay(over, &collector{})
+	if err == nil || !strings.Contains(err.Error(), "overflows") {
+		t.Fatalf("overflow not reported: %v", err)
+	}
+}
+
+// FuzzParseReplay feeds arbitrary byte buffers through both decoders:
+// they must agree on error/success, on error text, and on the observed
+// event streams.
+func FuzzParseReplay(f *testing.F) {
+	rec := NewRecorder()
+	rec.Ops(FnSAD, 42)
+	rec.Load(FnDecMC, 0x8_0000_0000, 64)
+	rec.Load2D(FnDecMC, 0x8_0000_1000, 16, 16, 1920)
+	rec.Branch(FnDecParse, 7, true)
+	rec.Loop(FnDeblock, 3, 12)
+	rec.Call(FnDecParse)
+	f.Add(append([]byte(nil), rec.Bytes()...))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		var ref collector
+		refErr := Replay(buf, &ref)
+		b, parseErr := Parse(buf)
+		if (refErr == nil) != (parseErr == nil) {
+			t.Fatalf("Replay err %v, Parse err %v", refErr, parseErr)
+		}
+		if refErr != nil {
+			if refErr.Error() != parseErr.Error() {
+				t.Fatalf("error mismatch:\n replay: %v\n parse:  %v", refErr, parseErr)
+			}
+			return
+		}
+		var parsed collector
+		ReplayParsed(b, &parsed)
+		if !reflect.DeepEqual(ref.events, parsed.events) {
+			t.Fatalf("ReplayParsed diverged:\n ref    %+v\n parsed %+v", ref.events, parsed.events)
+		}
+		var m1, m2 collector
+		if err := ReplayMulti(buf, &m1, &m2); err != nil {
+			t.Fatalf("ReplayMulti err: %v", err)
+		}
+		if !reflect.DeepEqual(ref.events, m1.events) || !reflect.DeepEqual(ref.events, m2.events) {
+			t.Fatal("ReplayMulti diverged")
+		}
+	})
+}

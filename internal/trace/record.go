@@ -22,16 +22,21 @@ type Recorder struct {
 	events   int
 }
 
-// Event kinds, packed into the tag byte's top three bits.
+// EventKind identifies one Sink method in the recorded encoding. Kinds are
+// packed into the tag byte's top three bits; they are exported so consumers
+// of the parsed representation (uarch.Machine.ReplayEvents) can dispatch on
+// Event.Kind without an interface call per event.
+type EventKind uint8
+
 const (
-	evOps uint8 = iota
-	evLoad
-	evStore
-	evLoad2D
-	evStore2D
-	evBranch
-	evLoop
-	evCall
+	EvOps EventKind = iota
+	EvLoad
+	EvStore
+	EvLoad2D
+	EvStore2D
+	EvBranch
+	EvLoop
+	EvCall
 )
 
 // The tag byte gives FuncID five bits; widening NumFuncs past 32 must widen
@@ -57,8 +62,8 @@ func (r *Recorder) Reset() {
 	r.events = 0
 }
 
-func (r *Recorder) tag(kind uint8, fn FuncID) {
-	r.buf = append(r.buf, kind<<5|uint8(fn)&0x1f)
+func (r *Recorder) tag(kind EventKind, fn FuncID) {
+	r.buf = append(r.buf, uint8(kind)<<5|uint8(fn)&0x1f)
 	r.events++
 }
 
@@ -74,24 +79,24 @@ func (r *Recorder) putAddr(addr uint64) {
 }
 
 func (r *Recorder) Ops(fn FuncID, n int) {
-	r.tag(evOps, fn)
+	r.tag(EvOps, fn)
 	r.putInt(n)
 }
 
 func (r *Recorder) Load(fn FuncID, addr uint64, bytes int) {
-	r.tag(evLoad, fn)
+	r.tag(EvLoad, fn)
 	r.putAddr(addr)
 	r.putInt(bytes)
 }
 
 func (r *Recorder) Store(fn FuncID, addr uint64, bytes int) {
-	r.tag(evStore, fn)
+	r.tag(EvStore, fn)
 	r.putAddr(addr)
 	r.putInt(bytes)
 }
 
 func (r *Recorder) Load2D(fn FuncID, addr uint64, w, h, stride int) {
-	r.tag(evLoad2D, fn)
+	r.tag(EvLoad2D, fn)
 	r.putAddr(addr)
 	r.putInt(w)
 	r.putInt(h)
@@ -99,7 +104,7 @@ func (r *Recorder) Load2D(fn FuncID, addr uint64, w, h, stride int) {
 }
 
 func (r *Recorder) Store2D(fn FuncID, addr uint64, w, h, stride int) {
-	r.tag(evStore2D, fn)
+	r.tag(EvStore2D, fn)
 	r.putAddr(addr)
 	r.putInt(w)
 	r.putInt(h)
@@ -107,7 +112,7 @@ func (r *Recorder) Store2D(fn FuncID, addr uint64, w, h, stride int) {
 }
 
 func (r *Recorder) Branch(fn FuncID, site BranchID, taken bool) {
-	r.tag(evBranch, fn)
+	r.tag(EvBranch, fn)
 	v := uint64(site) << 1
 	if taken {
 		v |= 1
@@ -116,37 +121,52 @@ func (r *Recorder) Branch(fn FuncID, site BranchID, taken bool) {
 }
 
 func (r *Recorder) Loop(fn FuncID, site BranchID, iters int) {
-	r.tag(evLoop, fn)
+	r.tag(EvLoop, fn)
 	r.buf = binary.AppendUvarint(r.buf, uint64(site))
 	r.putInt(iters)
 }
 
 func (r *Recorder) Call(fn FuncID) {
-	r.tag(evCall, fn)
+	r.tag(EvCall, fn)
 }
 
 var _ Sink = (*Recorder)(nil)
 
-// replayReader walks a recorded buffer.
+// replayReader walks a recorded buffer. It tracks the byte offset and the
+// index of the event being decoded so corrupt-trace errors say where in the
+// buffer — and how far into the event stream — the damage is.
 type replayReader struct {
 	buf      []byte
 	pos      int
+	event    int // index of the event currently being decoded
 	lastAddr uint64
 }
 
-func (p *replayReader) int() (int, error) {
+// corrupt builds the error for a varint that failed to decode: n == 0 means
+// the buffer ended mid-operand (truncation), n < 0 means the encoded value
+// overflowed 64 bits (corruption).
+func (p *replayReader) corrupt(what string, n int) error {
+	if n == 0 {
+		return fmt.Errorf("trace: truncated %s at byte offset %d (event %d, buffer %d bytes)",
+			what, p.pos, p.event, len(p.buf))
+	}
+	return fmt.Errorf("trace: %s overflows 64 bits at byte offset %d (event %d)",
+		what, p.pos, p.event)
+}
+
+func (p *replayReader) int(what string) (int, error) {
 	v, n := binary.Varint(p.buf[p.pos:])
 	if n <= 0 {
-		return 0, fmt.Errorf("trace: corrupt varint at offset %d", p.pos)
+		return 0, p.corrupt(what, n)
 	}
 	p.pos += n
 	return int(v), nil
 }
 
-func (p *replayReader) uint() (uint64, error) {
+func (p *replayReader) uint(what string) (uint64, error) {
 	v, n := binary.Uvarint(p.buf[p.pos:])
 	if n <= 0 {
-		return 0, fmt.Errorf("trace: corrupt uvarint at offset %d", p.pos)
+		return 0, p.corrupt(what, n)
 	}
 	p.pos += n
 	return v, nil
@@ -155,7 +175,7 @@ func (p *replayReader) uint() (uint64, error) {
 func (p *replayReader) addr() (uint64, error) {
 	v, n := binary.Varint(p.buf[p.pos:])
 	if n <= 0 {
-		return 0, fmt.Errorf("trace: corrupt address delta at offset %d", p.pos)
+		return 0, p.corrupt("address delta", n)
 	}
 	p.pos += n
 	p.lastAddr += uint64(v)
@@ -171,71 +191,72 @@ func Replay(buf []byte, sink Sink) error {
 	for p.pos < len(buf) {
 		tag := buf[p.pos]
 		p.pos++
-		kind, fn := tag>>5, FuncID(tag&0x1f)
+		kind, fn := EventKind(tag>>5), FuncID(tag&0x1f)
 		switch kind {
-		case evOps:
-			n, err := p.int()
+		case EvOps:
+			n, err := p.int("operand")
 			if err != nil {
 				return err
 			}
 			sink.Ops(fn, n)
-		case evLoad, evStore:
+		case EvLoad, EvStore:
 			addr, err := p.addr()
 			if err != nil {
 				return err
 			}
-			bytes, err := p.int()
+			bytes, err := p.int("operand")
 			if err != nil {
 				return err
 			}
-			if kind == evLoad {
+			if kind == EvLoad {
 				sink.Load(fn, addr, bytes)
 			} else {
 				sink.Store(fn, addr, bytes)
 			}
-		case evLoad2D, evStore2D:
+		case EvLoad2D, EvStore2D:
 			addr, err := p.addr()
 			if err != nil {
 				return err
 			}
-			w, err := p.int()
+			w, err := p.int("operand")
 			if err != nil {
 				return err
 			}
-			h, err := p.int()
+			h, err := p.int("operand")
 			if err != nil {
 				return err
 			}
-			stride, err := p.int()
+			stride, err := p.int("operand")
 			if err != nil {
 				return err
 			}
-			if kind == evLoad2D {
+			if kind == EvLoad2D {
 				sink.Load2D(fn, addr, w, h, stride)
 			} else {
 				sink.Store2D(fn, addr, w, h, stride)
 			}
-		case evBranch:
-			v, err := p.uint()
+		case EvBranch:
+			v, err := p.uint("branch operand")
 			if err != nil {
 				return err
 			}
 			sink.Branch(fn, BranchID(v>>1), v&1 == 1)
-		case evLoop:
-			site, err := p.uint()
+		case EvLoop:
+			site, err := p.uint("loop site")
 			if err != nil {
 				return err
 			}
-			iters, err := p.int()
+			iters, err := p.int("operand")
 			if err != nil {
 				return err
 			}
 			sink.Loop(fn, BranchID(site), iters)
-		case evCall:
+		case EvCall:
 			sink.Call(fn)
 		default:
-			return fmt.Errorf("trace: unknown event kind %d at offset %d", kind, p.pos-1)
+			return fmt.Errorf("trace: unknown event kind %d at byte offset %d (event %d)", kind, p.pos-1, p.event)
 		}
+		p.event++
 	}
 	return nil
 }

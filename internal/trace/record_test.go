@@ -10,7 +10,7 @@ import (
 // event is one captured Sink call, used by the collecting sink to compare a
 // live stream against its replay.
 type event struct {
-	Kind    uint8
+	Kind    EventKind
 	Fn      FuncID
 	Addr    uint64
 	Site    BranchID
@@ -22,46 +22,46 @@ type event struct {
 type collector struct{ events []event }
 
 func (c *collector) Ops(fn FuncID, n int) {
-	c.events = append(c.events, event{Kind: evOps, Fn: fn, A: n})
+	c.events = append(c.events, event{Kind: EvOps, Fn: fn, A: n})
 }
 func (c *collector) Load(fn FuncID, addr uint64, bytes int) {
-	c.events = append(c.events, event{Kind: evLoad, Fn: fn, Addr: addr, A: bytes})
+	c.events = append(c.events, event{Kind: EvLoad, Fn: fn, Addr: addr, A: bytes})
 }
 func (c *collector) Store(fn FuncID, addr uint64, bytes int) {
-	c.events = append(c.events, event{Kind: evStore, Fn: fn, Addr: addr, A: bytes})
+	c.events = append(c.events, event{Kind: EvStore, Fn: fn, Addr: addr, A: bytes})
 }
 func (c *collector) Load2D(fn FuncID, addr uint64, w, h, stride int) {
-	c.events = append(c.events, event{Kind: evLoad2D, Fn: fn, Addr: addr, A: w, B: h, C: stride})
+	c.events = append(c.events, event{Kind: EvLoad2D, Fn: fn, Addr: addr, A: w, B: h, C: stride})
 }
 func (c *collector) Store2D(fn FuncID, addr uint64, w, h, stride int) {
-	c.events = append(c.events, event{Kind: evStore2D, Fn: fn, Addr: addr, A: w, B: h, C: stride})
+	c.events = append(c.events, event{Kind: EvStore2D, Fn: fn, Addr: addr, A: w, B: h, C: stride})
 }
 func (c *collector) Branch(fn FuncID, site BranchID, taken bool) {
-	c.events = append(c.events, event{Kind: evBranch, Fn: fn, Site: site, Taken: taken})
+	c.events = append(c.events, event{Kind: EvBranch, Fn: fn, Site: site, Taken: taken})
 }
 func (c *collector) Loop(fn FuncID, site BranchID, iters int) {
-	c.events = append(c.events, event{Kind: evLoop, Fn: fn, Site: site, A: iters})
+	c.events = append(c.events, event{Kind: EvLoop, Fn: fn, Site: site, A: iters})
 }
-func (c *collector) Call(fn FuncID) { c.events = append(c.events, event{Kind: evCall, Fn: fn}) }
+func (c *collector) Call(fn FuncID) { c.events = append(c.events, event{Kind: EvCall, Fn: fn}) }
 
 // drive issues one event into a Sink.
 func (e event) drive(s Sink) {
 	switch e.Kind {
-	case evOps:
+	case EvOps:
 		s.Ops(e.Fn, e.A)
-	case evLoad:
+	case EvLoad:
 		s.Load(e.Fn, e.Addr, e.A)
-	case evStore:
+	case EvStore:
 		s.Store(e.Fn, e.Addr, e.A)
-	case evLoad2D:
+	case EvLoad2D:
 		s.Load2D(e.Fn, e.Addr, e.A, e.B, e.C)
-	case evStore2D:
+	case EvStore2D:
 		s.Store2D(e.Fn, e.Addr, e.A, e.B, e.C)
-	case evBranch:
+	case EvBranch:
 		s.Branch(e.Fn, e.Site, e.Taken)
-	case evLoop:
+	case EvLoop:
 		s.Loop(e.Fn, e.Site, e.A)
-	case evCall:
+	case EvCall:
 		s.Call(e.Fn)
 	}
 }
@@ -74,7 +74,7 @@ func (eventSeq) Generate(r *rand.Rand, size int) reflect.Value {
 	seq := make(eventSeq, n)
 	for i := range seq {
 		seq[i] = event{
-			Kind:  uint8(r.Intn(int(evCall) + 1)),
+			Kind:  EventKind(r.Intn(int(EvCall) + 1)),
 			Fn:    FuncID(1 + r.Intn(int(NumFuncs)-1)),
 			Addr:  r.Uint64(),
 			Site:  BranchID(r.Intn(1 << 16)),
@@ -131,15 +131,15 @@ func TestRecordReplayHandBuilt(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []event{
-		{Kind: evOps, Fn: FnSAD, A: 42},
-		{Kind: evLoad, Fn: FnDecMC, Addr: 0x8_0000_0000, A: 64},
-		{Kind: evStore, Fn: FnDecIDCT, Addr: 0x1000, A: 16},
-		{Kind: evLoad2D, Fn: FnDecMC, Addr: 0x8_0000_1000, A: 16, B: 16, C: 1920},
-		{Kind: evStore2D, Fn: FnDecIDCT, Addr: 0x8_0000_2000, A: 4, B: 4, C: 64},
-		{Kind: evBranch, Fn: FnDecParse, Site: 7, Taken: true},
-		{Kind: evBranch, Fn: FnDecParse, Site: 7, Taken: false},
-		{Kind: evLoop, Fn: FnDeblock, Site: 3, A: 12},
-		{Kind: evCall, Fn: FnDecParse},
+		{Kind: EvOps, Fn: FnSAD, A: 42},
+		{Kind: EvLoad, Fn: FnDecMC, Addr: 0x8_0000_0000, A: 64},
+		{Kind: EvStore, Fn: FnDecIDCT, Addr: 0x1000, A: 16},
+		{Kind: EvLoad2D, Fn: FnDecMC, Addr: 0x8_0000_1000, A: 16, B: 16, C: 1920},
+		{Kind: EvStore2D, Fn: FnDecIDCT, Addr: 0x8_0000_2000, A: 4, B: 4, C: 64},
+		{Kind: EvBranch, Fn: FnDecParse, Site: 7, Taken: true},
+		{Kind: EvBranch, Fn: FnDecParse, Site: 7, Taken: false},
+		{Kind: EvLoop, Fn: FnDeblock, Site: 3, A: 12},
+		{Kind: EvCall, Fn: FnDecParse},
 	}
 	if !reflect.DeepEqual(got.events, want) {
 		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", got.events, want)

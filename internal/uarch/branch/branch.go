@@ -224,10 +224,24 @@ func (p *PentiumM) Clone() Predictor {
 }
 
 func (p *PentiumM) PredictUpdate(pc uint64, taken bool) bool {
-	i := hashPC(pc, p.bits)
+	// Flattened: the chooser and the bimodal table share p.bits, so one
+	// multiply-hash serves both, and both component updates are inlined on
+	// their tables directly — the arithmetic is exactly Bimodal.PredictUpdate
+	// and GShare.PredictUpdate, minus the per-branch call overhead and the
+	// repeated hashing. This runs once per dynamic branch of the workload.
+	h := pc * 0x9E3779B97F4A7C15
+	i := h >> (64 - p.bits)
 	useG := ctrTaken(p.choose[i])
-	okB := p.bim.PredictUpdate(pc, taken)
-	okG := p.gsh.PredictUpdate(pc, taken)
+	bi := h >> (64 - p.bim.bits)
+	okB := ctrTaken(p.bim.table[bi]) == taken
+	p.bim.table[bi] = ctrUpdate(p.bim.table[bi], taken)
+	gi := (h >> (64 - p.gsh.bits)) ^ (p.gsh.hist & ((1 << p.gsh.bits) - 1))
+	okG := ctrTaken(p.gsh.table[gi]) == taken
+	p.gsh.table[gi] = ctrUpdate(p.gsh.table[gi], taken)
+	p.gsh.hist <<= 1
+	if taken {
+		p.gsh.hist |= 1
+	}
 	// Train the chooser toward whichever component was right.
 	if okG != okB {
 		p.choose[i] = ctrUpdate(p.choose[i], okG)
@@ -328,13 +342,29 @@ func (t *TAGE) tag(pc uint64, comp int) uint16 {
 
 // PredictUpdate follows the TAGE algorithm: longest matching component
 // provides the prediction; allocation on mispredict.
+//
+// Flattened table access: t.hist only advances at the very end, so the
+// per-component folded histories — and therefore every index and tag — are
+// invariant across the predict, update and allocate steps. They are
+// computed once up front instead of re-derived at each t.index/t.tag call
+// (the streaming form re-folds the history up to eleven times per branch).
 func (t *TAGE) PredictUpdate(pc uint64, taken bool) bool {
+	hp := hashPC(pc, t.bits)
+	mask := uint64(1)<<t.bits - 1
+	var ix [4]uint64
+	var tgs [4]uint16
+	for c := 0; c < 4; c++ {
+		f := t.foldedHist(t.hlens[c])
+		ix[c] = (hp ^ f) & mask
+		tgs[c] = uint16((pc>>2 ^ uint64(c)<<9 ^ f*3) & 0x3FF)
+	}
+
 	provider := -1
 	var pi uint64
 	pred := false
 	for c := 3; c >= 0; c-- {
-		i := t.index(pc, c)
-		if t.tables[c][i].tag == t.tag(pc, c) {
+		i := ix[c]
+		if t.tables[c][i].tag == tgs[c] {
 			provider = c
 			pi = i
 			pred = t.tables[c][i].ctr >= 0
@@ -368,10 +398,9 @@ func (t *TAGE) PredictUpdate(pc uint64, taken bool) bool {
 	// Allocate a longer-history entry on mispredict.
 	if !correct && provider < 3 {
 		for c := provider + 1; c < 4; c++ {
-			i := t.index(pc, c)
-			e := &t.tables[c][i]
+			e := &t.tables[c][ix[c]]
 			if e.useful == 0 {
-				e.tag = t.tag(pc, c)
+				e.tag = tgs[c]
 				if taken {
 					e.ctr = 0
 				} else {

@@ -45,6 +45,14 @@ type Cache struct {
 	ents     []entry // sets*assoc, set-major
 	clock    uint64
 	stats    Stats
+
+	// MRU short-circuit: index and line number of the most recently touched
+	// entry. mru < 0 means no valid MRU. The MRU entry carries the globally
+	// newest stamp, so it can never be another line's LRU victim — if the
+	// incoming address maps to the same line, the full set walk would find
+	// exactly this entry, making the short-circuit bit-identical.
+	mru     int
+	mruLine uint64
 }
 
 type entry struct {
@@ -75,6 +83,7 @@ func New(cfg Config) *Cache {
 		tagShift: uint(setBits(sets)),
 		assoc:    cfg.Assoc,
 		ents:     make([]entry, sets*cfg.Assoc),
+		mru:      -1,
 	}
 	return c
 }
@@ -92,25 +101,39 @@ func (c *Cache) Access(addr uint64) bool {
 	c.clock++
 	c.stats.Accesses++
 	line := addr >> c.setShift
+	if c.mru >= 0 && line == c.mruLine {
+		// Same line as the previous access. Nothing has touched the cache
+		// since, so the entry is still resident; the set walk would hit it
+		// and perform exactly this stamp update.
+		c.ents[c.mru].stamp = c.clock
+		return true
+	}
 	set := int(line & c.setMask)
 	tag := line >> c.tagShift
 	base := set * c.assoc
 	ents := c.ents[base : base+c.assoc]
-	victim := 0
-	oldest := ^uint64(0)
+	// Hit scan first, victim scan only on a miss: the LRU victim is dead
+	// work on the (common) hit path, and which entry it would have been is
+	// unobservable when the walk returns early.
 	for i := range ents {
 		e := &ents[i]
 		if e.stamp != 0 && e.tag == tag {
 			e.stamp = c.clock
+			c.mru, c.mruLine = base+i, line
 			return true
 		}
-		if e.stamp < oldest {
+	}
+	victim := 0
+	oldest := ^uint64(0)
+	for i := range ents {
+		if s := ents[i].stamp; s < oldest {
 			victim = i
-			oldest = e.stamp
+			oldest = s
 		}
 	}
 	c.stats.Misses++
 	ents[victim] = entry{tag: tag, stamp: c.clock}
+	c.mru, c.mruLine = base+victim, line
 	return false
 }
 
@@ -131,6 +154,8 @@ func (c *Cache) Reset() {
 	}
 	c.stats = Stats{}
 	c.clock = 0
+	c.mru = -1
+	c.mruLine = 0
 }
 
 func setBits(sets int) int {

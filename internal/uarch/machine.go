@@ -17,8 +17,9 @@ import (
 // MLP-adjusted memory stalls, with structural back-pressure terms for the
 // ROB, the reservation stations and the store buffer.
 type Machine struct {
-	cfg Config
-	img *trace.Image
+	cfg   Config
+	img   *trace.Image
+	fmeta *[trace.NumFuncs]fetchMeta // derived from img; immutable, shared by clones
 
 	l1i  *cache.Cache
 	l1d  *cache.Cache
@@ -66,9 +67,59 @@ type Machine struct {
 	pfHits     float64
 }
 
+// fetchMeta caches the per-function fetch geometry derived from the
+// immutable code image, so the fetch hot loop reads flat precomputed
+// fields instead of re-deriving span and dilution per call.
+type fetchMeta struct {
+	addr    uint64
+	span    int // FetchSpan()
+	rounded int // span rounded up to a 64-byte line multiple
+	hot     int // HotBytes
+	// dilute[i] is the diluted fetch footprint of i instructions:
+	// min(span, i*4*span/hot) — exactly the reference arithmetic in
+	// fetchSlow. For i >= len(dilute), i*4 >= hot, so the footprint is
+	// provably span (floor(a*span/hot) >= span ⇔ a >= hot). nil when the
+	// region has no hot bytes.
+	dilute []int32
+}
+
+// maxDiluteEntries bounds a single dilution table; instruction counts past
+// the table fall back to the reference division.
+const maxDiluteEntries = 1 << 14
+
+func buildFetchMeta(img *trace.Image) *[trace.NumFuncs]fetchMeta {
+	var fms [trace.NumFuncs]fetchMeta
+	for fn := trace.FuncID(0); fn < trace.NumFuncs; fn++ {
+		r := img.Region(fn)
+		span := r.FetchSpan()
+		fm := &fms[fn]
+		fm.addr = r.Addr
+		fm.span = span
+		fm.rounded = (span + 63) &^ 63
+		fm.hot = r.HotBytes
+		if span <= 0 || r.HotBytes <= 0 {
+			continue
+		}
+		n := (r.HotBytes + 3) / 4
+		if n > maxDiluteEntries {
+			n = maxDiluteEntries
+		}
+		tab := make([]int32, n)
+		for i := range tab {
+			b := i * 4 * span / r.HotBytes
+			if b > span {
+				b = span
+			}
+			tab[i] = int32(b)
+		}
+		fm.dilute = tab
+	}
+	return &fms
+}
+
 // NewMachine builds a machine for the given configuration and code image.
 func NewMachine(cfg Config, img *trace.Image) *Machine {
-	m := &Machine{cfg: cfg, img: img}
+	m := &Machine{cfg: cfg, img: img, fmeta: buildFetchMeta(img)}
 	m.l1i = cache.New(cfg.L1I.cacheConfig("l1i"))
 	m.l1d = cache.New(cfg.L1D.cacheConfig("l1d"))
 	m.l2 = cache.New(cfg.L2.cacheConfig("l2"))
@@ -120,35 +171,81 @@ func (m *Machine) Call(fn trace.FuncID) {
 	m.curFn = fn
 	m.insts += 2
 	m.uops += 2
-	r := m.img.Region(fn)
-	m.icacheAccess(r.Addr + uint64(m.fetchAt[fn]))
+	m.icacheAccess(m.fmeta[fn].addr + uint64(m.fetchAt[fn]))
 }
 
 // fetch walks the fetch cursor of fn across its span, touching each new
 // 64-byte line in the L1i/iTLB. In an unpacked (pre-FDO) layout the hot
 // instructions are diluted across the whole function body, inflating the
 // touched footprint by Total/Hot.
+//
+// This is the hot-loop form: the dilution division is a table lookup, and
+// the two modulo reductions become conditional subtractions, valid because
+// off ∈ [0, span) and bytes ∈ [0, span] bound every operand below twice
+// its modulus. Degenerate operands (negative instruction counts from a
+// hostile trace, or counts past the dilution table) fall back to
+// fetchSlow, the pinned reference arithmetic.
 func (m *Machine) fetch(fn trace.FuncID, instrs int) {
-	r := m.img.Region(fn)
-	span := r.FetchSpan()
+	fm := &m.fmeta[fn]
+	span := fm.span
 	if span <= 0 {
 		return
 	}
+	var bytes int
+	if fm.hot > 0 {
+		if uint(instrs) >= uint(len(fm.dilute)) {
+			m.fetchSlow(fm, fn, instrs)
+			return
+		}
+		bytes = int(fm.dilute[instrs])
+	} else {
+		bytes = instrs * 4
+		if bytes > span {
+			bytes = span // further fetch revisits lines touched this call
+		}
+	}
+	off := m.fetchAt[fn]
+	if off < 0 || bytes < 0 {
+		m.fetchSlow(fm, fn, instrs)
+		return
+	}
+	first := off / 64
+	last := (off + bytes) / 64
+	rounded := fm.rounded
+	for l := first; l <= last; l++ {
+		lineOff := l * 64
+		if lineOff >= rounded {
+			lineOff -= rounded
+		}
+		m.icacheAccess(fm.addr + uint64(lineOff))
+	}
+	at := off + bytes
+	if at >= span {
+		at -= span
+	}
+	m.fetchAt[fn] = at
+}
+
+// fetchSlow is the reference fetch arithmetic (modulo reductions and the
+// dilution division), kept verbatim for operands outside the fast path's
+// proven bounds.
+func (m *Machine) fetchSlow(fm *fetchMeta, fn trace.FuncID, instrs int) {
+	span := fm.span
 	bytes := instrs * 4
-	if r.HotBytes > 0 {
+	if fm.hot > 0 {
 		// Dilution: n hot instructions cover n*4*(span/hot) bytes of the
 		// layout (2x when hot/cold code interleaves, 1x after FDO packing).
-		bytes = bytes * span / r.HotBytes
+		bytes = bytes * span / fm.hot
 	}
 	if bytes > span {
-		bytes = span // further fetch revisits lines touched this call
+		bytes = span
 	}
 	off := m.fetchAt[fn]
 	first := off / 64
 	last := (off + bytes) / 64
 	for l := first; l <= last; l++ {
 		lineOff := (l * 64) % ((span + 63) &^ 63)
-		m.icacheAccess(r.Addr + uint64(lineOff))
+		m.icacheAccess(fm.addr + uint64(lineOff))
 	}
 	m.fetchAt[fn] = (off + bytes) % span
 }
@@ -191,16 +288,46 @@ func (m *Machine) Store(fn trace.FuncID, addr uint64, bytes int) {
 }
 
 // Load2D models a 2-D block read (w x h pixels, rows `stride` apart).
+//
+// The row walk batches dataRange inline with the write branch hoisted out:
+// each row still performs its line accesses, then its own insts/uops/fetch
+// update, in exactly dataRange's order — loadAccess reads m.insts for MLP
+// clustering, so per-row interleaving is load-bearing and must not be
+// merged across rows.
 func (m *Machine) Load2D(fn trace.FuncID, addr uint64, w, h, stride int) {
+	if w <= 0 {
+		return // every row would be dataRange's bytes<=0 no-op
+	}
 	for j := 0; j < h; j++ {
-		m.dataRange(fn, addr+uint64(j*stride), w, false)
+		rowAddr := addr + uint64(j*stride)
+		first := rowAddr &^ 63
+		last := (rowAddr + uint64(w) - 1) &^ 63
+		for line := first; line <= last; line += 64 {
+			m.loadAccess(line)
+		}
+		n := int(last-first)/64 + 1
+		m.insts += float64(n)
+		m.uops += float64(n)
+		m.fetch(fn, n)
 	}
 }
 
-// Store2D models a 2-D block write.
+// Store2D models a 2-D block write (same row-batched walk as Load2D).
 func (m *Machine) Store2D(fn trace.FuncID, addr uint64, w, h, stride int) {
+	if w <= 0 {
+		return
+	}
 	for j := 0; j < h; j++ {
-		m.dataRange(fn, addr+uint64(j*stride), w, true)
+		rowAddr := addr + uint64(j*stride)
+		first := rowAddr &^ 63
+		last := (rowAddr + uint64(w) - 1) &^ 63
+		for line := first; line <= last; line += 64 {
+			m.storeAccess(line)
+		}
+		n := int(last-first)/64 + 1
+		m.insts += float64(n)
+		m.uops += float64(n)
+		m.fetch(fn, n)
 	}
 }
 

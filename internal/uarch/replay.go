@@ -1,0 +1,37 @@
+package uarch
+
+import "repro/internal/trace"
+
+// ReplayEvents consumes a parsed trace with a devirtualized event loop.
+// trace.Replay and trace.ReplayParsed dispatch through the trace.Sink
+// interface — one dynamic call per event; here the switch jumps straight
+// into the Machine's concrete methods, so a sweep fanning one parsed slab
+// out to N configurations pays neither varint decoding nor interface
+// dispatch per event. Observationally identical to driving the machine as
+// a Sink through trace.Replay on the buffer the EventBuf was parsed from;
+// the machine-equivalence suite pins this for every Table IV
+// configuration.
+func (m *Machine) ReplayEvents(b *trace.EventBuf) {
+	evs := b.Events()
+	for i := range evs {
+		e := &evs[i]
+		switch e.Kind {
+		case trace.EvOps:
+			m.Ops(e.Fn, int(e.A))
+		case trace.EvLoad:
+			m.Load(e.Fn, e.Addr, int(e.A))
+		case trace.EvStore:
+			m.Store(e.Fn, e.Addr, int(e.A))
+		case trace.EvLoad2D:
+			m.Load2D(e.Fn, e.Addr, int(e.A), int(e.B), int(e.C))
+		case trace.EvStore2D:
+			m.Store2D(e.Fn, e.Addr, int(e.A), int(e.B), int(e.C))
+		case trace.EvBranch:
+			m.Branch(e.Fn, e.Site, e.Taken)
+		case trace.EvLoop:
+			m.Loop(e.Fn, e.Site, int(e.A))
+		case trace.EvCall:
+			m.Call(e.Fn)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package uarch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// replayWorkload records a synthetic but realistic event mix: every kind,
+// several functions, addresses with reuse and streaming, biased branches
+// and short loops.
+func replayWorkload() []byte {
+	rec := trace.NewRecorder()
+	rng := rand.New(rand.NewSource(7))
+	fns := []trace.FuncID{trace.FnSAD, trace.FnSATD, trace.FnDecMC, trace.FnDecIDCT, trace.FnDeblock, trace.FnDecParse}
+	base := uint64(0x1_0000_0000)
+	for i := 0; i < 20000; i++ {
+		fn := fns[rng.Intn(len(fns))]
+		switch rng.Intn(8) {
+		case 0:
+			rec.Ops(fn, 1+rng.Intn(64))
+		case 1:
+			rec.Load(fn, base+uint64(rng.Intn(1<<22)), 1+rng.Intn(256))
+		case 2:
+			rec.Store(fn, base+uint64(rng.Intn(1<<22)), 1+rng.Intn(128))
+		case 3:
+			rec.Load2D(fn, base+uint64(rng.Intn(1<<22)), 16, 16, 1920)
+		case 4:
+			rec.Store2D(fn, base+uint64(rng.Intn(1<<22)), 8, 8, 1920)
+		case 5:
+			rec.Branch(fn, trace.BranchID(rng.Intn(64)), rng.Intn(3) > 0)
+		case 6:
+			rec.Loop(fn, trace.BranchID(rng.Intn(64)), 1+rng.Intn(32))
+		case 7:
+			rec.Call(fn)
+		}
+	}
+	return append([]byte(nil), rec.Bytes()...)
+}
+
+// TestReplayEventsEquivalence is the fast-path fidelity gate: for all five
+// Table IV configurations, a machine driven by the devirtualized
+// ReplayEvents loop — and one driven by trace.ReplayParsed through the
+// Sink interface — must land on exactly the counters of the pinned
+// event-by-event trace.Replay reference. The buffer is replayed twice so
+// hidden state (fetch cursors, predictor history, cache LRU and MRU)
+// that diverged in round one would surface as a counter difference in
+// round two.
+func TestReplayEventsEquivalence(t *testing.T) {
+	buf := replayWorkload()
+	parsed, err := trace.Parse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := trace.NewImage(nil)
+	for _, cfg := range TableIV() {
+		ref := NewMachine(cfg, img)
+		fast := NewMachine(cfg, img)
+		sink := NewMachine(cfg, img)
+		for round := 0; round < 2; round++ {
+			if err := trace.Replay(buf, ref); err != nil {
+				t.Fatal(err)
+			}
+			fast.ReplayEvents(parsed)
+			trace.ReplayParsed(parsed, sink)
+			if r, f := ref.Result(), fast.Result(); !r.Equal(f) {
+				t.Fatalf("%s round %d: ReplayEvents diverged:\n ref  %+v\n fast %+v", cfg.Name, round, r, f)
+			}
+			if r, s := ref.Result(), sink.Result(); !r.Equal(s) {
+				t.Fatalf("%s round %d: ReplayParsed diverged:\n ref  %+v\n sink %+v", cfg.Name, round, r, s)
+			}
+		}
+	}
+}
+
+// BenchmarkReplayEvents compares the devirtualized parsed loop against the
+// streaming reference on the same machine configuration.
+func BenchmarkReplayEvents(b *testing.B) {
+	buf := replayWorkload()
+	parsed, err := trace.Parse(buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := trace.NewImage(nil)
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := NewMachine(Baseline(), img)
+			if err := trace.Replay(buf, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parsed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := NewMachine(Baseline(), img)
+			m.ReplayEvents(parsed)
+		}
+	})
+}

@@ -4,7 +4,10 @@
 # [{"name":..., "ns_per_op":..., "allocs_per_op":...}].
 #
 # The cached/uncached sweep pair is the headline number: the acceptance
-# bar is cached >= 1.5x faster than uncached on the reduced 4x4 grid. The
+# bar is cached >= 1.5x faster than uncached on the reduced 4x4 grid.
+# ReplayParsed/ReplayMulti price the decode-once fan-out: one pre-parsed
+# event slab replayed into one machine and into all five Table IV
+# configurations. The
 # AnalysisReuse shared/live pair is the per-point claim of the shared
 # lookahead artifact and LadderSharedAnalysis prices a whole 3-rung ABR
 # ladder reusing one artifact, SAD/SATD/FDCT/TrellisQuant/Deblock/
@@ -19,23 +22,39 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-BENCHTIME="${BENCHTIME:-2x}"
+# Time-based by default so every benchmark self-scales its iteration
+# count: nanosecond kernels get ~10^5 iterations instead of the 2-3 a
+# fixed "2x" would give them (which is timer-granularity noise and made
+# the nightly gate flap), while the 100ms+ sweeps still run a few times.
+# The whole suite runs BENCHCOUNT times and the recorded figure is the
+# per-benchmark minimum — the classic noise-free estimate. Repeating at
+# the suite level (not -count, which reruns back-to-back) spreads one
+# benchmark's repetitions minutes apart, so the minute-scale slowdown
+# windows shared and virtualized runners exhibit can't poison all of
+# them at once.
+BENCHTIME="${BENCHTIME:-1s}"
+BENCHCOUNT="${BENCHCOUNT:-3}"
 OUT="${OUT:-BENCH_core.json}"
 RAW="$(mktemp)"
 PARTIAL=0
 trap 'rm -f "$RAW"' EXIT
 trap 'PARTIAL=1' INT TERM
 
-go test -run '^$' -bench 'BenchmarkDecodeReplay|BenchmarkSweepCRFRefs|BenchmarkAnalysisReuse|BenchmarkLadderSharedAnalysis|BenchmarkSAD$|BenchmarkSATD$' \
-	-benchtime "$BENCHTIME" -benchmem -timeout 1200s . | tee "$RAW" || PARTIAL=1
-# The remaining benchmarks live in their own packages; append to the same
-# raw stream so the awk pass below records them alongside.
-go test -run '^$' -bench 'BenchmarkFDCT|BenchmarkTrellisQuant' \
-	-benchtime "$BENCHTIME" -benchmem -timeout 600s ./internal/codec/transform | tee -a "$RAW" || PARTIAL=1
-go test -run '^$' -bench 'BenchmarkDeblock|BenchmarkIntraPredict|BenchmarkEncodeParallel|BenchmarkSegmentedEncode' \
-	-benchtime "$BENCHTIME" -benchmem -timeout 600s ./internal/codec | tee -a "$RAW" || PARTIAL=1
-go test -run '^$' -bench 'BenchmarkDispatch' \
-	-benchtime "$BENCHTIME" -benchmem -timeout 600s ./internal/serve | tee -a "$RAW" || PARTIAL=1
+: >"$RAW"
+rep=1
+while [ "$rep" -le "$BENCHCOUNT" ]; do
+	go test -run '^$' -bench 'BenchmarkDecodeReplay|BenchmarkReplayParsed|BenchmarkReplayMulti|BenchmarkSweepCRFRefs|BenchmarkAnalysisReuse|BenchmarkLadderSharedAnalysis|BenchmarkSAD$|BenchmarkSATD$' \
+		-benchtime "$BENCHTIME" -benchmem -timeout 1200s . | tee -a "$RAW" || PARTIAL=1
+	# The remaining benchmarks live in their own packages; append to the
+	# same raw stream so the awk pass below records them alongside.
+	go test -run '^$' -bench 'BenchmarkFDCT|BenchmarkTrellisQuant' \
+		-benchtime "$BENCHTIME" -benchmem -timeout 600s ./internal/codec/transform | tee -a "$RAW" || PARTIAL=1
+	go test -run '^$' -bench 'BenchmarkDeblock|BenchmarkIntraPredict|BenchmarkEncodeParallel|BenchmarkSegmentedEncode' \
+		-benchtime "$BENCHTIME" -benchmem -timeout 600s ./internal/codec | tee -a "$RAW" || PARTIAL=1
+	go test -run '^$' -bench 'BenchmarkDispatch' \
+		-benchtime "$BENCHTIME" -benchmem -timeout 600s ./internal/serve | tee -a "$RAW" || PARTIAL=1
+	rep=$((rep + 1))
+done
 trap - INT TERM
 
 awk -v partial="$PARTIAL" '
@@ -49,20 +68,30 @@ awk -v partial="$PARTIAL" '
 	}
 	if (ns == "") next
 	if (allocs == "") allocs = 0
-	rows[++n] = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs)
-	if (name == "BenchmarkSweepCRFRefsCached") cached = ns
-	if (name == "BenchmarkSweepCRFRefsUncached") uncached = ns
-	if (name == "BenchmarkAnalysisReuse/shared") ashared = ns
-	if (name == "BenchmarkAnalysisReuse/live") alive = ns
-	if (name == "BenchmarkLadderSharedAnalysis/shared") lshared = ns
-	if (name == "BenchmarkLadderSharedAnalysis/live") llive = ns
+	# Best of -count repetitions: keep the minimum ns/op per benchmark
+	# (and the allocs figure from that same repetition).
+	if (!(name in best) || ns + 0 < best[name] + 0) {
+		if (!(name in best)) order[++n] = name
+		best[name] = ns
+		balloc[name] = allocs
+	}
 }
 END {
-	if (partial + 0 != 0)
-		rows[++n] = "  {\"name\": \"_note\", \"partial\": true}"
 	printf "[\n"
-	for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s},\n", name, best[name], balloc[name]
+	}
+	if (partial + 0 != 0)
+		printf "  {\"name\": \"_note\", \"partial\": true},\n"
+	printf "  {\"name\": \"_meta\", \"estimator\": \"min\"}\n"
 	printf "]\n"
+	cached = best["BenchmarkSweepCRFRefsCached"]
+	uncached = best["BenchmarkSweepCRFRefsUncached"]
+	ashared = best["BenchmarkAnalysisReuse/shared"]
+	alive = best["BenchmarkAnalysisReuse/live"]
+	lshared = best["BenchmarkLadderSharedAnalysis/shared"]
+	llive = best["BenchmarkLadderSharedAnalysis/live"]
 	if (cached + 0 > 0 && uncached + 0 > 0)
 		printf "replay cache speedup: %.2fx\n", uncached / cached > "/dev/stderr"
 	if (ashared + 0 > 0 && alive + 0 > 0)

@@ -23,7 +23,7 @@ else
 	trap 'rm -f "$NEW"' EXIT
 	# bench.sh prints its own progress; keep it on stderr so this script's
 	# stdout is only the gate verdict.
-	BENCHTIME="${BENCHTIME:-2x}" OUT="$NEW" ./scripts/bench.sh >&2
+	OUT="$NEW" ./scripts/bench.sh >&2
 fi
 
 go run ./cmd/benchgate -base "$BASE" -new "$NEW" -tol "$TOL" -alloc-tol "$ALLOC_TOL"

@@ -230,6 +230,47 @@ func ReplayTrace(events []byte, cfg Config) (*MachineResult, error) {
 	return m.Result(), nil
 }
 
+// EventBuf is a parsed trace: the fixed-width event form of a recorded
+// buffer, decoded once and replayable into any number of machines.
+type EventBuf = trace.EventBuf
+
+// ParseTrace decodes a recorded event buffer into its parsed form.
+func ParseTrace(events []byte) (*EventBuf, error) {
+	return trace.Parse(events)
+}
+
+// ReplayParsedTrace fans a parsed trace into a fresh machine of the given
+// configuration via the devirtualized event loop and returns its raw
+// counters — bit-identical to ReplayTrace on the buffer the EventBuf was
+// parsed from, minus the per-machine decode cost.
+func ReplayParsedTrace(b *EventBuf, cfg Config) *MachineResult {
+	m := uarch.NewMachine(cfg, trace.NewImage(nil))
+	m.ReplayEvents(b)
+	return m.Result()
+}
+
+// ReplayTraceMulti replays one recorded buffer into a fresh machine of
+// every given configuration, decoding each event exactly once, and
+// returns the counters in configuration order.
+func ReplayTraceMulti(events []byte, cfgs ...Config) ([]*MachineResult, error) {
+	b, err := trace.Parse(events)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*MachineResult, len(cfgs))
+	for i, cfg := range cfgs {
+		out[i] = ReplayParsedTrace(b, cfg)
+	}
+	return out, nil
+}
+
+// ParsedDecodeTrace returns the cached parsed form of a workload's
+// recorded decode trace (built on first use). The returned buffer is
+// shared cache state and must be treated as read-only.
+func ParsedDecodeTrace(ctx context.Context, w Workload, opt DecoderOptions) (*EventBuf, error) {
+	return core.ParsedDecodeTrace(ctx, w, opt)
+}
+
 // SweepPresets profiles the presets at fixed crf/refs (Figure 6).
 func SweepPresets(ctx context.Context, w Workload, cfg Config, presets []Preset, crf, refs int) Points {
 	return core.SweepPresets(ctx, w, cfg, presets, crf, refs)
