@@ -30,6 +30,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -38,20 +39,23 @@ import (
 )
 
 var (
-	flagAddr    = flag.String("addr", "localhost:8080", "serve instance to drive")
-	flagTarget  = flag.String("target", "", "base URL of a remote orchestrator (overrides -addr; e.g. http://host:8080)")
-	flagN       = flag.Int("n", 50, "jobs to submit")
-	flagRate    = flag.Float64("rate", 25, "mean arrival rate, jobs/second")
-	flagSeed    = flag.Uint64("seed", 1, "seed for tasks and interarrival gaps")
-	flagClasses = flag.String("classes", "live,batch", "fairness classes cycled across jobs")
-	flagTimeout = flag.Duration("timeout", 120*time.Second, "deadline for all jobs to reach a terminal state")
-	flagCompare = flag.Bool("compare", false, "run the in-process smart-vs-random comparison instead of driving a server")
-	flagSegs    = flag.Int("segments", 1, "segments per job: every submission fans out into this many independently placed segment parts")
-	flagLadder  = flag.String("ladder", "", "comma-separated rung CRFs (e.g. 23,33,43): every submission becomes an ABR ladder job")
-	flagPool    = flag.String("pool", "baseline,fe_op,be_op1,be_op2,bs_op", "fleet configurations (-compare only)")
-	flagEach    = flag.Int("each", 1, "replicas of each -pool configuration (-compare only)")
-	flagFrames  = flag.Int("frames", 8, "frames per job (-compare only)")
-	flagScale   = flag.Int("scale", 0, "proxy downscale factor (-compare only)")
+	flagAddr     = flag.String("addr", "localhost:8080", "serve instance to drive")
+	flagTarget   = flag.String("target", "", "base URL of a remote orchestrator (overrides -addr; e.g. http://host:8080)")
+	flagN        = flag.Int("n", 50, "jobs to submit")
+	flagRate     = flag.Float64("rate", 25, "mean arrival rate, jobs/second")
+	flagSeed     = flag.Uint64("seed", 1, "seed for tasks and interarrival gaps")
+	flagClasses  = flag.String("classes", "live,batch", "fairness classes cycled across jobs")
+	flagTimeout  = flag.Duration("timeout", 120*time.Second, "deadline for all jobs to reach a terminal state")
+	flagCompare  = flag.Bool("compare", false, "run the in-process smart-vs-random comparison instead of driving a server")
+	flagSegs     = flag.Int("segments", 1, "segments per job: every submission fans out into this many independently placed segment parts")
+	flagLadder   = flag.String("ladder", "", "comma-separated rung CRFs (e.g. 23,33,43): every submission becomes an ABR ladder job")
+	flagPool     = flag.String("pool", "baseline,fe_op,be_op1,be_op2,bs_op", "fleet server specs, name[:price][:spot] (-compare/-compare-cost only)")
+	flagEach     = flag.Int("each", 1, "replicas of each -pool entry (-compare/-compare-cost only)")
+	flagFrames   = flag.Int("frames", 8, "frames per job (-compare/-compare-cost only)")
+	flagScale    = flag.Int("scale", 0, "proxy downscale factor (-compare/-compare-cost only)")
+	flagCmpCost  = flag.Bool("compare-cost", false, "run the in-process cost-vs-seconds objective comparison over the -pool fleet")
+	flagDeadline = flag.Float64("deadline", 0, "per-job deadline in simulated seconds, carried on every submission (0: none)")
+	flagBudget   = flag.Float64("budget", 0, "per-job cost budget in cents; the run fails if the mean cost of completed jobs exceeds it (0: no check)")
 )
 
 func main() {
@@ -61,6 +65,9 @@ func main() {
 func run(ctx context.Context) error {
 	if *flagCompare {
 		return runCompare(ctx)
+	}
+	if *flagCmpCost {
+		return runCompareCost(ctx)
 	}
 	return runLoad(ctx)
 }
@@ -123,7 +130,7 @@ func runLoad(ctx context.Context) error {
 	sojourn := reg.Histogram("loadgen_sojourn_ns")
 
 	var accepted []submitted
-	var rejected int
+	var rejected, infeasible int
 	for i, task := range tasks {
 		select {
 		case <-time.After(gap(*flagSeed, i, *flagRate)):
@@ -133,7 +140,7 @@ func runLoad(ctx context.Context) error {
 		req := serve.JobRequest{
 			Video: task.Video, CRF: task.CRF, Refs: task.Refs,
 			Preset: string(task.Preset), Class: classes[i%len(classes)],
-			Ladder: rungs,
+			Ladder: rungs, DeadlineSeconds: *flagDeadline,
 		}
 		if *flagSegs > 1 {
 			req.Segments = *flagSegs
@@ -151,25 +158,32 @@ func runLoad(ctx context.Context) error {
 			accepted = append(accepted, submitted{id: view.ID, class: view.Class})
 		case resp.StatusCode == http.StatusTooManyRequests:
 			rejected++ // admission control doing its job, not a lost job
+		case resp.StatusCode == http.StatusUnprocessableEntity:
+			infeasible++ // deadline-infeasible at admission: rejected, not lost
 		default:
 			return fmt.Errorf("submit %d: status %d (%v)", i, resp.StatusCode, err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "loadgen: %d submitted, %d accepted, %d rejected\n",
-		len(tasks), len(accepted), rejected)
+	fmt.Fprintf(os.Stderr, "loadgen: %d submitted, %d accepted, %d rejected, %d deadline-infeasible\n",
+		len(tasks), len(accepted), rejected, infeasible)
 
 	// Poll every accepted job to a terminal state within the deadline.
 	deadline := time.Now().Add(*flagTimeout)
-	var done, failed, canceled, lost int
+	var done, failed, canceled, lost, missed int
+	var costCents float64
 	var parents []serve.JobView
 	for _, sub := range accepted {
 		final, err := pollJob(ctx, client, base, sub.id, deadline)
 		if err != nil {
 			return err
 		}
+		costCents += final.CostCents
 		switch final.State {
 		case serve.StateDone:
 			done++
+			if final.DeadlineMiss {
+				missed++
+			}
 			sojourn.Observe(int64(final.Finished.Sub(final.Submitted)))
 			if multi {
 				parents = append(parents, final)
@@ -189,10 +203,18 @@ func runLoad(ctx context.Context) error {
 			done, obs.FmtDuration(h.P50), obs.FmtDuration(h.P95), obs.FmtDuration(h.P99),
 			obs.FmtDuration(h.Max))
 	}
-	fmt.Printf("loadgen: outcomes: %d done, %d failed, %d canceled, %d rejected, %d lost\n",
-		done, failed, canceled, rejected, lost)
+	fmt.Printf("loadgen: outcomes: %d done, %d failed, %d canceled, %d rejected, %d infeasible, %d lost\n",
+		done, failed, canceled, rejected, infeasible, lost)
+	if done > 0 {
+		missRate := float64(missed) / float64(done)
+		fmt.Printf("loadgen: economics: %.6f¢ total, %.6f¢/job, %d deadline misses (%.1f%% of completed)\n",
+			costCents, costCents/float64(done), missed, 100*missRate)
+	}
 
 	if err := checkServerMetrics(client, base, multi); err != nil {
+		return err
+	}
+	if err := checkCostLedger(client, base, costCents); err != nil {
 		return err
 	}
 	if multi {
@@ -206,6 +228,35 @@ func runLoad(ctx context.Context) error {
 	if failed > 0 {
 		return fmt.Errorf("%d jobs failed", failed)
 	}
+	if *flagBudget > 0 && done > 0 && costCents/float64(done) > *flagBudget {
+		return fmt.Errorf("mean cost %.6f¢/job exceeds the %.6f¢ budget", costCents/float64(done), *flagBudget)
+	}
+	return nil
+}
+
+// checkCostLedger cross-checks the client-side cost tally against the
+// server's own Totals: every cent the jobs report must appear exactly once
+// in the server ledger. The server may have served other clients, so its
+// total is only required to be >= ours (and consistent within float noise
+// when we are the sole client and they match closely).
+func checkCostLedger(client *http.Client, base string, clientCents float64) error {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Totals serve.Totals `json:"totals"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if body.Totals.CostCents+1e-9 < clientCents {
+		return fmt.Errorf("cost ledger: server records %.9f¢ but jobs reported %.9f¢",
+			body.Totals.CostCents, clientCents)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: cost ledger ok (server %.6f¢ >= client %.6f¢)\n",
+		body.Totals.CostCents, clientCents)
 	return nil
 }
 
@@ -326,6 +377,30 @@ func gaugeExists(snap obs.Snapshot, name string) bool {
 		}
 	}
 	return false
+}
+
+// runCompareCost serves the same tasks under the seconds and cost
+// objectives over a (typically mixed) fleet and prints the bill delta.
+func runCompareCost(ctx context.Context) error {
+	specs, err := backend.ParseFleet(*flagPool, *flagEach)
+	if err != nil {
+		return err
+	}
+	fleet := sched.Fleet(specs)
+	tasks := sched.GenerateTasks(*flagN, *flagSeed)
+	proto := core.Workload{Frames: *flagFrames, Scale: *flagScale}
+	fmt.Fprintf(os.Stderr, "loadgen: comparing cost vs seconds objectives over %d jobs on %d servers...\n",
+		len(tasks), len(fleet))
+	c, err := serve.RunCostComparison(ctx, fleet, tasks, proto, *flagSeed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("seconds-objective: %d completed, %.3f fleet-seconds, %.6f¢, %d deadline misses\n",
+		c.Seconds.Completed, c.Seconds.SimSeconds, c.Seconds.CostCents, c.Seconds.DeadlineMisses)
+	fmt.Printf("cost-objective:    %d completed, %.3f fleet-seconds, %.6f¢, %d deadline misses\n",
+		c.Cost.Completed, c.Cost.SimSeconds, c.Cost.CostCents, c.Cost.DeadlineMisses)
+	fmt.Printf("savings: cost-aware placement avoids %.1f%% of the seconds-objective bill\n", 100*c.Savings())
+	return nil
 }
 
 func runCompare(ctx context.Context) error {

@@ -4,6 +4,11 @@
 //
 //	serve -addr localhost:8080 -pool baseline,fe_op,be_op1,be_op2,bs_op
 //	serve -addr localhost:8080 -policy random -each 2 -warm all
+//	serve -addr localhost:8080 -pool baseline,accel:250 -objective cost
+//
+// Pool entries use the server-spec grammar name[:price][:spot] (see
+// internal/backend): a Table IV uarch config or "accel", an optional hourly
+// price in cents, and an optional spot marker.
 //
 // The listener carries the job API (POST /jobs, GET /jobs/{id}, GET
 // /healthz) and the standard observability endpoints (/metrics,
@@ -21,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/sched"
@@ -29,19 +35,20 @@ import (
 )
 
 var (
-	flagAddr   = flag.String("addr", "localhost:8080", "listen address for the job API (use :0 for an ephemeral port)")
-	flagPool   = flag.String("pool", "baseline,fe_op,be_op1,be_op2,bs_op", "comma-separated configuration names forming the fleet")
-	flagEach   = flag.Int("each", 1, "replicas of each -pool configuration")
-	flagPolicy = flag.String("policy", "smart", "placement policy: smart or random")
-	flagDepth  = flag.Int("depth", 0, "admission queue depth (0: default 256)")
-	flagWork   = flag.Int("workers", 0, "concurrent executions (0: one per server)")
-	flagFrames = flag.Int("frames", 8, "frames per job")
-	flagScale  = flag.Int("scale", 0, "proxy downscale factor (0: auto)")
-	flagSeed   = flag.Uint64("seed", 1, "seed for deterministic random placement")
-	flagWarm   = flag.String("warm", "", "videos to pre-profile into the cost model (comma list, or 'all' for the catalog)")
-	flagFleet  = flag.Bool("fleet", false, "run as a fleet orchestrator: execution comes from cmd/worker processes instead of the in-process pool")
-	flagLease  = flag.Duration("lease-ttl", 10*time.Second, "fleet job lease TTL; a lease not renewed by heartbeats within this window is requeued")
-	flagPoll   = flag.Duration("poll-wait", 10*time.Second, "fleet long-poll window for idle workers")
+	flagAddr      = flag.String("addr", "localhost:8080", "listen address for the job API (use :0 for an ephemeral port)")
+	flagPool      = flag.String("pool", "baseline,fe_op,be_op1,be_op2,bs_op", "comma-separated server specs (name[:price][:spot]) forming the fleet")
+	flagEach      = flag.Int("each", 1, "replicas of each -pool entry")
+	flagPolicy    = flag.String("policy", "smart", "placement policy: smart or random")
+	flagObjective = flag.String("objective", "seconds", "placement objective: seconds (fleet service time) or cost (dollars under deadlines)")
+	flagDepth     = flag.Int("depth", 0, "admission queue depth (0: default 256)")
+	flagWork      = flag.Int("workers", 0, "concurrent executions (0: one per server)")
+	flagFrames    = flag.Int("frames", 8, "frames per job")
+	flagScale     = flag.Int("scale", 0, "proxy downscale factor (0: auto)")
+	flagSeed      = flag.Uint64("seed", 1, "seed for deterministic random placement")
+	flagWarm      = flag.String("warm", "", "videos to pre-profile into the cost model (comma list, or 'all' for the catalog)")
+	flagFleet     = flag.Bool("fleet", false, "run as a fleet orchestrator: execution comes from cmd/worker processes instead of the in-process pool")
+	flagLease     = flag.Duration("lease-ttl", 0, "fleet job lease TTL; a lease not renewed by heartbeats within this window is requeued (0: adaptive from observed job durations)")
+	flagPoll      = flag.Duration("poll-wait", 10*time.Second, "fleet long-poll window for idle workers")
 )
 
 func main() {
@@ -53,8 +60,13 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	objective, err := sched.ParseObjective(*flagObjective)
+	if err != nil {
+		return err
+	}
 	cfg := serve.Config{
 		Policy:     policy,
+		Objective:  objective,
 		QueueDepth: *flagDepth,
 		Workers:    *flagWork,
 		Proto:      core.Workload{Frames: *flagFrames, Scale: *flagScale},
@@ -64,10 +76,11 @@ func run(ctx context.Context) error {
 		// Capability comes from worker registrations, not a local pool.
 		cfg.Fleet = &serve.FleetOptions{LeaseTTL: *flagLease, PollWait: *flagPoll}
 	} else {
-		cfg.Pool, err = sched.PoolByNames(cli.Strings(*flagPool), *flagEach)
+		specs, err := backend.ParseFleet(*flagPool, *flagEach)
 		if err != nil {
 			return err
 		}
+		cfg.Servers = sched.Fleet(specs)
 	}
 	s, err := serve.New(cfg)
 	if err != nil {
@@ -98,11 +111,15 @@ func run(ctx context.Context) error {
 	httpDone := make(chan error, 1)
 	go func() { httpDone <- hs.Serve(ln) }()
 	if *flagFleet {
-		fmt.Fprintf(os.Stderr, "serve: fleet orchestrator (%s policy, lease ttl %s) on http://%s\n",
-			policy, *flagLease, ln.Addr())
+		ttl := "adaptive"
+		if *flagLease > 0 {
+			ttl = flagLease.String()
+		}
+		fmt.Fprintf(os.Stderr, "serve: fleet orchestrator (%s policy, %s objective, lease ttl %s) on http://%s\n",
+			policy, objective, ttl, ln.Addr())
 	} else {
-		fmt.Fprintf(os.Stderr, "serve: %d servers (%s policy) on http://%s\n",
-			len(cfg.Pool), policy, ln.Addr())
+		fmt.Fprintf(os.Stderr, "serve: %d servers (%s policy, %s objective) on http://%s\n",
+			len(cfg.Servers), policy, objective, ln.Addr())
 	}
 
 	select {
@@ -114,8 +131,8 @@ func run(ctx context.Context) error {
 	hs.Shutdown(context.Background())
 	s.Stop()
 	tot := s.Totals()
-	fmt.Fprintf(os.Stderr, "serve: done — %d submitted, %d completed, %d failed, %d canceled, %d rejected, %.3f fleet-seconds\n",
-		tot.Submitted, tot.Completed, tot.Failed, tot.Canceled, tot.Rejected, tot.SimSeconds)
+	fmt.Fprintf(os.Stderr, "serve: done — %d submitted, %d completed, %d failed, %d canceled, %d rejected, %.3f fleet-seconds, %.6f¢, %d deadline misses\n",
+		tot.Submitted, tot.Completed, tot.Failed, tot.Canceled, tot.Rejected, tot.SimSeconds, tot.CostCents, tot.DeadlineMisses)
 	cli.Summary("serve", false)
 	return nil
 }

@@ -6,6 +6,8 @@
 //
 //	worker -orchestrator localhost:8080 -id w1 -config baseline
 //	worker -orchestrator http://host:8080 -id w2 -config fe_op -heartbeat 500ms
+//	worker -orchestrator localhost:8080 -id w3 -backend accel -price 250
+//	worker -orchestrator localhost:8080 -id w4 -backend accel -spot
 //
 // Crash-and-rejoin is free: restart the process with the same -id and the
 // orchestrator reclaims any job the dead incarnation was holding.
@@ -19,6 +21,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/cli"
 	"repro/internal/uarch"
 	"repro/internal/worker"
@@ -27,7 +30,10 @@ import (
 var (
 	flagOrch      = flag.String("orchestrator", "localhost:8080", "orchestrator base URL (cmd/serve -fleet instance)")
 	flagID        = flag.String("id", "", "worker id (required; reuse after a crash to rejoin as the same worker)")
-	flagConfig    = flag.String("config", "baseline", "uarch configuration this worker simulates (its placement capability)")
+	flagConfig    = flag.String("config", "baseline", "uarch configuration this worker simulates (software backend only)")
+	flagBackend   = flag.String("backend", "software", "encoder class: software (uarch-simulated codec) or accel (fixed-function)")
+	flagPrice     = flag.Float64("price", 0, "advertised rental price in cents per hour (0: class default, spot-discounted)")
+	flagSpot      = flag.Bool("spot", false, "advertise as preemptible spot capacity")
 	flagHeartbeat = flag.Duration("heartbeat", time.Second, "heartbeat period (must be well inside the orchestrator's lease TTL)")
 	flagMinJob    = flag.Duration("min-job", 0, "pad every job to at least this duration (fault-injection knob for smoke tests)")
 )
@@ -37,21 +43,32 @@ func main() {
 }
 
 func run(ctx context.Context) error {
+	kind, err := backend.ParseKind(*flagBackend)
+	if err != nil {
+		return err
+	}
 	cfg, ok := uarch.ByName(*flagConfig)
 	if !ok {
 		return fmt.Errorf("worker: unknown configuration %q", *flagConfig)
 	}
 	w, err := worker.New(worker.Options{
-		Orchestrator: cli.BaseURL(*flagOrch),
-		ID:           *flagID,
-		Config:       cfg,
-		Heartbeat:    *flagHeartbeat,
-		MinJobTime:   *flagMinJob,
+		Orchestrator:   cli.BaseURL(*flagOrch),
+		ID:             *flagID,
+		Config:         cfg,
+		Backend:        kind,
+		PriceCentsHour: *flagPrice,
+		Spot:           *flagSpot,
+		Heartbeat:      *flagHeartbeat,
+		MinJobTime:     *flagMinJob,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "worker: %s (%s) joining %s\n", *flagID, cfg.Name, cli.BaseURL(*flagOrch))
+	class := cfg.Name
+	if kind == backend.Accel {
+		class = string(backend.Accel)
+	}
+	fmt.Fprintf(os.Stderr, "worker: %s (%s) joining %s\n", *flagID, class, cli.BaseURL(*flagOrch))
 	err = w.Run(ctx)
 	if errors.Is(err, context.Canceled) {
 		// SIGINT/SIGTERM is the normal way to retire a worker.

@@ -1,0 +1,260 @@
+// Package backend abstracts the encoder hardware a fleet server brings to
+// the job market: the paper's software path (codec + uarch simulation, one
+// of the Table IV configurations) or a fixed-function "NVENC-like"
+// accelerator that trades option-surface flexibility and a quantified
+// quality penalty for an order-of-magnitude wall-clock advantage. Each
+// server additionally carries an hourly price and a spot flag so placement
+// can optimize dollars under deadlines instead of raw fleet-seconds.
+//
+// The package sits below sched and serve: it knows codec options and uarch
+// configs, but nothing about queues, leases, or assignment matrices.
+package backend
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/codec"
+	"repro/internal/uarch"
+)
+
+// Kind names an encoder implementation class.
+type Kind string
+
+const (
+	// Software is the paper's path: the codec running on a simulated x86
+	// core described by a uarch.Config. Speed varies per config via the
+	// characterization model (topdown affinity).
+	Software Kind = "software"
+	// Accel is a fixed-function hardware encoder modeled after NVENC-class
+	// ASICs: near-constant throughput in macroblocks/second, a restricted
+	// option surface, and a quality penalty relative to software at the
+	// same CRF.
+	Accel Kind = "accel"
+)
+
+// ParseKind validates a backend kind string.
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case Software, Accel:
+		return Kind(s), nil
+	case "":
+		return Software, nil
+	}
+	return "", fmt.Errorf("backend: unknown kind %q (want software or accel)", s)
+}
+
+// ServerSpec describes one fleet server: what silicon it encodes with and
+// what it costs to keep running.
+type ServerSpec struct {
+	Backend Kind
+	// Config is the simulated microarchitecture for Software servers.
+	// Ignored by Accel servers (the ASIC's host core is not modeled).
+	Config uarch.Config
+	// PriceCentsHour is the rental price in cents per hour of wall clock.
+	PriceCentsHour float64
+	// Spot marks the server as preemptible: it may vanish mid-job without
+	// notice, relying on leases + segment restart for recovery.
+	Spot bool
+}
+
+// Label is the capability-class name used in metrics and placement keys:
+// the uarch config name for software servers, "accel" for accelerators.
+func (s ServerSpec) Label() string {
+	if s.Backend == Accel {
+		return string(Accel)
+	}
+	return s.Config.Name
+}
+
+// CostCents prices seconds of busy wall clock on this server.
+func (s ServerSpec) CostCents(seconds float64) float64 {
+	return seconds * s.PriceCentsHour / 3600
+}
+
+// Default on-demand prices in cents per hour, loosely shaped like cloud
+// instance pricing: deeper/wider software configs rent for more, and the
+// accelerator box (host + ASIC) is the most expensive instance but wins on
+// cost-per-encode when its throughput applies. Unknown configs fall back
+// to the baseline price.
+const (
+	defaultSoftwarePrice = 34.0
+	defaultAccelPrice    = 250.0
+	// SpotDiscount is the default price multiplier for spot servers when
+	// no explicit price is given.
+	SpotDiscount = 0.3
+)
+
+var defaultPrices = map[string]float64{
+	"baseline": 34,
+	"fe_op":    42,
+	"be_op1":   44,
+	"be_op2":   46,
+	"bs_op":    40,
+	"pf_op":    48,
+	"accel":    defaultAccelPrice,
+}
+
+// DefaultPriceCents returns the default on-demand hourly price for a
+// capability-class label (uarch config name or "accel").
+func DefaultPriceCents(label string) float64 {
+	if p, ok := defaultPrices[label]; ok {
+		return p
+	}
+	return defaultSoftwarePrice
+}
+
+// FillDefaults resolves zero-valued pricing on a spec: unset prices take
+// the class default, discounted for spot capacity.
+func (s ServerSpec) FillDefaults() ServerSpec {
+	if s.Backend == "" {
+		s.Backend = Software
+	}
+	if s.PriceCentsHour <= 0 {
+		s.PriceCentsHour = DefaultPriceCents(s.Label())
+		if s.Spot {
+			s.PriceCentsHour *= SpotDiscount
+		}
+	}
+	return s
+}
+
+// ParseSpec parses one server spec of the form
+//
+//	name[:price][:spot]
+//
+// where name is a Table IV uarch config name or "accel", price is cents
+// per hour (omitted or 0 → class default, spot-discounted), and the
+// literal suffix "spot" marks preemptible capacity. Examples:
+//
+//	baseline
+//	fe_op:42
+//	accel:250
+//	accel::spot        (default accel price × spot discount)
+//	be_op1:12.5:spot
+func ParseSpec(s string) (ServerSpec, error) {
+	parts := strings.Split(strings.TrimSpace(s), ":")
+	if len(parts) == 0 || parts[0] == "" {
+		return ServerSpec{}, fmt.Errorf("backend: empty server spec")
+	}
+	var spec ServerSpec
+	name := parts[0]
+	if name == string(Accel) {
+		spec.Backend = Accel
+	} else {
+		cfg, ok := uarch.ByName(name)
+		if !ok {
+			return ServerSpec{}, fmt.Errorf("backend: unknown server class %q (want a Table IV config or accel)", name)
+		}
+		spec.Backend = Software
+		spec.Config = cfg
+	}
+	if len(parts) > 1 && parts[1] != "" {
+		p, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || p < 0 {
+			return ServerSpec{}, fmt.Errorf("backend: bad price %q in spec %q", parts[1], s)
+		}
+		spec.PriceCentsHour = p
+	}
+	if len(parts) > 2 {
+		switch parts[2] {
+		case "spot":
+			spec.Spot = true
+		case "":
+		default:
+			return ServerSpec{}, fmt.Errorf("backend: bad suffix %q in spec %q (want spot)", parts[2], s)
+		}
+	}
+	if len(parts) > 3 {
+		return ServerSpec{}, fmt.Errorf("backend: too many fields in spec %q", s)
+	}
+	return spec.FillDefaults(), nil
+}
+
+// ParseFleet parses a comma-separated list of server specs, replicating
+// each `each` times (each < 1 is treated as 1).
+func ParseFleet(list string, each int) ([]ServerSpec, error) {
+	if each < 1 {
+		each = 1
+	}
+	var fleet []ServerSpec
+	for _, tok := range strings.Split(list, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		spec, err := ParseSpec(tok)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < each; i++ {
+			fleet = append(fleet, spec)
+		}
+	}
+	if len(fleet) == 0 {
+		return nil, fmt.Errorf("backend: empty fleet spec %q", list)
+	}
+	return fleet, nil
+}
+
+// AccelModel is the wall-clock and quality model for the fixed-function
+// encoder. NVENC-class ASICs stream macroblocks through a fixed pipeline:
+// throughput is near-constant per macroblock regardless of preset-style
+// tuning, there is a small per-job setup cost, and rate-distortion quality
+// at a given CRF trails good software encodes by a few CRF points.
+type AccelModel struct {
+	// MBPerSecond is sustained 16×16-macroblock throughput.
+	MBPerSecond float64
+	// StartupSeconds is the fixed per-job pipeline setup cost.
+	StartupSeconds float64
+	// CRFOffset is the quality penalty: an accelerator encode at CRF c
+	// looks like a software encode at roughly c + CRFOffset. Placement
+	// uses it to honor per-job quality floors.
+	CRFOffset int
+}
+
+// DefaultAccel is calibrated against the simulated software path, which
+// sustains ~0.4M macroblocks per simulated second on the baseline config:
+// the ASIC runs ~15× faster with a negligible setup cost, and costs ~4
+// CRF points of quality (the commonly cited NVENC-vs-x264 gap at speed
+// parity).
+func DefaultAccel() AccelModel {
+	return AccelModel{MBPerSecond: 6e6, StartupSeconds: 1e-5, CRFOffset: 4}
+}
+
+// Seconds predicts the accelerator's wall clock for an encode of frames
+// frames at width×height pixels. It is a closed-form model — unlike the
+// software path it needs no warm profile, so accel cells in a placement
+// matrix are always predictable.
+func (m AccelModel) Seconds(frames, width, height int) float64 {
+	if frames <= 0 || width <= 0 || height <= 0 {
+		return m.StartupSeconds
+	}
+	mbw := (width + 15) / 16
+	mbh := (height + 15) / 16
+	return m.StartupSeconds + float64(frames)*float64(mbw)*float64(mbh)/m.MBPerSecond
+}
+
+// Accepts reports whether the fixed-function pipeline can execute the
+// given options unchanged. The surface mirrors real ASIC limits: CRF-style
+// rate control only, a small DPB (≤ 4 reference frames), dia/hex-class
+// motion search, and no trellis-2 exhaustive RD quantization. Jobs outside
+// the surface are rejected rather than silently transformed, so a part
+// encoded on either backend produces the identical bitstream and segment
+// stitching stays byte-exact across a mixed fleet.
+func (m AccelModel) Accepts(opt codec.Options) bool {
+	if opt.RC != codec.RCCRF {
+		return false
+	}
+	if opt.Refs > 4 {
+		return false
+	}
+	if opt.ME != codec.MEDia && opt.ME != codec.MEHex {
+		return false
+	}
+	if opt.Trellis > 1 {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,125 @@
+package backend
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/codec"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		label   string
+		price   float64
+		spot    bool
+		wantErr string
+	}{
+		{in: "baseline", label: "baseline", price: 34},
+		{in: "fe_op:42", label: "fe_op", price: 42},
+		{in: "accel", label: "accel", price: 250},
+		{in: "accel:120.5", label: "accel", price: 120.5},
+		{in: "accel::spot", label: "accel", price: 250 * SpotDiscount, spot: true},
+		{in: "be_op1:12.5:spot", label: "be_op1", price: 12.5, spot: true},
+		{in: "bogus", wantErr: "unknown server class"},
+		{in: "baseline:-3", wantErr: "bad price"},
+		{in: "baseline:34:onsale", wantErr: "bad suffix"},
+		{in: "baseline:34:spot:x", wantErr: "too many fields"},
+		{in: "", wantErr: "empty"},
+	}
+	for _, c := range cases {
+		spec, err := ParseSpec(c.in)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("ParseSpec(%q) err = %v, want containing %q", c.in, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.in, err)
+			continue
+		}
+		if spec.Label() != c.label || spec.PriceCentsHour != c.price || spec.Spot != c.spot {
+			t.Errorf("ParseSpec(%q) = {%s %.2f spot=%v}, want {%s %.2f spot=%v}",
+				c.in, spec.Label(), spec.PriceCentsHour, spec.Spot, c.label, c.price, c.spot)
+		}
+	}
+}
+
+func TestParseFleet(t *testing.T) {
+	fleet, err := ParseFleet("baseline, accel:100", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != 4 {
+		t.Fatalf("len = %d, want 4", len(fleet))
+	}
+	if fleet[0].Label() != "baseline" || fleet[1].Label() != "baseline" ||
+		fleet[2].Label() != "accel" || fleet[3].Label() != "accel" {
+		t.Fatalf("unexpected fleet order: %v %v %v %v",
+			fleet[0].Label(), fleet[1].Label(), fleet[2].Label(), fleet[3].Label())
+	}
+	if _, err := ParseFleet(" , ", 1); err == nil {
+		t.Fatal("empty fleet spec accepted")
+	}
+}
+
+func TestCostCents(t *testing.T) {
+	s := ServerSpec{PriceCentsHour: 3600}
+	if got := s.CostCents(2); got != 2 {
+		t.Fatalf("CostCents(2) at 3600 c/h = %v, want 2", got)
+	}
+}
+
+func TestAccelSecondsMonotonic(t *testing.T) {
+	m := DefaultAccel()
+	small := m.Seconds(4, 64, 64)
+	big := m.Seconds(8, 128, 128)
+	if small <= m.StartupSeconds || big <= small {
+		t.Fatalf("Seconds not monotonic: small=%v big=%v", small, big)
+	}
+	// 4 frames of 64×64 is 4×4×4 = 64 macroblocks.
+	want := m.StartupSeconds + 64/m.MBPerSecond
+	if diff := small - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("Seconds(4,64,64) = %v, want %v", small, want)
+	}
+}
+
+func TestAccelAccepts(t *testing.T) {
+	// ultrafast..medium with a small DPB fit the fixed-function surface;
+	// slow presets (deep refs, trellis 2, umh/tesa search) do not.
+	ok := []string{"ultrafast", "superfast", "veryfast", "faster", "fast", "medium"}
+	bad := []string{"slow", "slower", "veryslow", "placebo"}
+	m := DefaultAccel()
+	for _, p := range ok {
+		opt := codec.Defaults()
+		if err := codec.ApplyPreset(&opt, codec.Preset(p)); err != nil {
+			t.Fatalf("preset %s: %v", p, err)
+		}
+		if opt.Refs > 4 {
+			opt.Refs = 4
+		}
+		if !m.Accepts(opt) {
+			t.Errorf("preset %s (refs %d) rejected, want accepted", p, opt.Refs)
+		}
+	}
+	for _, p := range bad {
+		opt := codec.Defaults()
+		if err := codec.ApplyPreset(&opt, codec.Preset(p)); err != nil {
+			t.Fatalf("preset %s: %v", p, err)
+		}
+		if m.Accepts(opt) {
+			t.Errorf("preset %s accepted, want rejected", p)
+		}
+	}
+	opt := codec.Defaults()
+	opt.Refs = 5
+	if m.Accepts(opt) {
+		t.Error("refs=5 accepted, want rejected (DPB limit)")
+	}
+	opt = codec.Defaults()
+	opt.RC = codec.RCABR
+	if m.Accepts(opt) {
+		t.Error("ABR rate control accepted, want rejected")
+	}
+}

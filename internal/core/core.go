@@ -121,6 +121,11 @@ type Job struct {
 	// timing calls cost real wall time per macroblock, so throughput-critical
 	// paths (the benchmarked sweeps) leave it off.
 	StageMetrics bool
+	// KeepStream retains the encoded bitstream on the Result. Off by
+	// default: characterization sweeps only need the profile, and holding
+	// every part's bitstream would bloat long runs. The serving layer turns
+	// it on for segmented jobs so parts can be stitched into a rendition.
+	KeepStream bool
 }
 
 // stageRecorder bridges codec.StageObserver onto the shared metrics
@@ -145,6 +150,9 @@ func (r *stageRecorder) ObserveStage(s codec.EncodeStage, d time.Duration) {
 type Result struct {
 	Report *perf.Report
 	Stats  *codec.Stats
+	// Stream is the encoded bitstream, populated only when Job.KeepStream
+	// was set (or by EncodeOnly, which always returns it).
+	Stream []byte
 }
 
 // --- mezzanine cache ----------------------------------------------------------
@@ -501,12 +509,78 @@ func Run(ctx context.Context, job Job) (*Result, error) {
 	if job.StageMetrics {
 		enc.SetStageObserver(newStageRecorder(obs.Default()))
 	}
-	_, stats, err := enc.EncodeAll(input)
+	stream, stats, err := enc.EncodeAll(input)
 	if err != nil {
 		return nil, fmt.Errorf("core: encode of %s: %w", job.Workload.Video, err)
 	}
 	rep := perf.FromResult(machine.Result(), enc.SampleFactor())
-	return &Result{Report: rep, Stats: stats}, nil
+	res := &Result{Report: rep, Stats: stats}
+	if job.KeepStream {
+		res.Stream = stream
+	}
+	return res, nil
+}
+
+// EncodeOnly runs the codec half of a job with no microarchitectural
+// simulation attached — the execution path of a fixed-function accelerator
+// backend, which produces bits but no topdown profile. It reuses the same
+// cached decoded mezzanine and the same encoder as Run, so for any options
+// both backends accept, the bitstream is byte-identical to the software
+// path's (TestEncodeOnlyMatchesRun) and segment parts from a mixed fleet
+// stitch cleanly. The accelerator's wall clock comes from
+// backend.AccelModel, not from measuring this call.
+func EncodeOnly(ctx context.Context, job Job) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	nw, err := job.Workload.normalized()
+	if err != nil {
+		return nil, err
+	}
+	job.Workload = nw
+	info, err := vbench.ByName(job.Workload.Video)
+	if err != nil {
+		return nil, err
+	}
+	frames, _, err := DecodedMezzanine(ctx, job.Workload, decoderOptions(job.Options))
+	if err != nil {
+		return nil, err
+	}
+	input := cloneFrames(frames)
+	if !job.Segment.IsZero() {
+		if err := job.Segment.Validate(len(input)); err != nil {
+			return nil, err
+		}
+		input = input[job.Segment.Start:job.Segment.End]
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	enc, err := codec.NewEncoder(input[0].Width, input[0].Height, info.FPS, job.Options, nil)
+	if err != nil {
+		return nil, err
+	}
+	stream, stats, err := enc.EncodeAll(input)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode of %s: %w", job.Workload.Video, err)
+	}
+	return &Result{Stats: stats, Stream: stream}, nil
+}
+
+// ProxyDims reports the proxy geometry (frame dimensions and clip length)
+// a workload resolves to — the inputs of the accelerator's closed-form
+// wall-clock model and of deadline admission checks.
+func ProxyDims(w Workload) (width, height, frames int, err error) {
+	nw, err := w.normalized()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	info, err := vbench.ByName(nw.Video)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	width, height = vbench.ProxyDims(info, nw.Scale)
+	return width, height, nw.Frames, nil
 }
 
 // --- sweeps ---------------------------------------------------------------------

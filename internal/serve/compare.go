@@ -47,6 +47,75 @@ func RunComparison(ctx context.Context, pool sched.Pool, tasks []sched.Task, pro
 	return out, nil
 }
 
+// CostComparison is the dollars-vs-fleet-seconds outcome of serving one
+// task sequence over one heterogeneous fleet under each objective.
+type CostComparison struct {
+	Seconds Totals `json:"seconds"` // placement minimized fleet service time
+	Cost    Totals `json:"cost"`    // placement minimized dollars
+}
+
+// Savings is the fraction of the seconds-objective bill the cost objective
+// avoids at equal work completed.
+func (c CostComparison) Savings() float64 {
+	if c.Seconds.CostCents == 0 {
+		return 0
+	}
+	return (c.Seconds.CostCents - c.Cost.CostCents) / c.Seconds.CostCents
+}
+
+// RunCostComparison serves the same task sequence twice over the same
+// heterogeneous fleet — once minimizing fleet-seconds, once minimizing
+// dollars — with the cost model pre-warmed both times. The loop is closed
+// like RunComparison, so the outcome depends only on (fleet, tasks, seed).
+func RunCostComparison(ctx context.Context, fleet sched.Fleet, tasks []sched.Task, proto core.Workload, seed uint64) (CostComparison, error) {
+	var out CostComparison
+	secs, err := runClosedLoopFleet(ctx, fleet, tasks, proto, seed, sched.ObjectiveSeconds)
+	if err != nil {
+		return out, err
+	}
+	cost, err := runClosedLoopFleet(ctx, fleet, tasks, proto, seed, sched.ObjectiveCost)
+	if err != nil {
+		return out, err
+	}
+	out.Seconds, out.Cost = secs, cost
+	return out, nil
+}
+
+func runClosedLoopFleet(ctx context.Context, fleet sched.Fleet, tasks []sched.Task, proto core.Workload, seed uint64, obj sched.Objective) (Totals, error) {
+	s, err := New(Config{
+		Servers: fleet, Objective: obj, Policy: PolicySmart, Workers: 1,
+		Proto: proto, Seed: seed, Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		return Totals{}, err
+	}
+	videos := make([]string, len(tasks))
+	for i, t := range tasks {
+		videos[i] = t.Video
+	}
+	if err := s.Warm(ctx, videos); err != nil {
+		return Totals{}, err
+	}
+	s.Start(ctx)
+	defer s.Stop()
+	for _, t := range tasks {
+		view, err := s.Submit(ctx, JobRequest{
+			Video: t.Video, CRF: t.CRF, Refs: t.Refs, Preset: string(t.Preset),
+		})
+		if err != nil {
+			return Totals{}, fmt.Errorf("serve: cost compare submit %s: %w", t.Video, err)
+		}
+		final, err := s.WaitJob(ctx, view.ID)
+		if err != nil {
+			return Totals{}, err
+		}
+		if final.State != StateDone {
+			return Totals{}, fmt.Errorf("serve: cost compare job %s ended %s: %s", final.ID, final.State, final.Error)
+		}
+	}
+	return s.Totals(), nil
+}
+
 func runClosedLoop(ctx context.Context, pool sched.Pool, tasks []sched.Task, proto core.Workload, seed uint64, pol Policy) (Totals, error) {
 	s, err := New(Config{
 		Pool: pool, Policy: pol, Workers: 1, Proto: proto, Seed: seed,

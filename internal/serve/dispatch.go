@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -72,6 +73,7 @@ func (s *Server) run(ctx context.Context) {
 		}
 		placements := s.place(recs, free)
 		sp.End()
+		launched := false
 		for bi, tk := range batch {
 			p := placements[bi]
 			if p.slot < 0 {
@@ -80,7 +82,15 @@ func (s *Server) run(ctx context.Context) {
 				s.requeue(tk)
 				continue
 			}
+			launched = true
 			s.launch(ctx, tk, free[p.slot], p.mode)
+		}
+		if !launched {
+			// Every row was unplaceable on the current free set (e.g. only
+			// accelerator slots are free and the batch needs software).
+			// Requeue preserved the jobs; pause briefly so the retry loop
+			// doesn't spin hot until a compatible slot frees up.
+			time.Sleep(2 * time.Millisecond)
 		}
 	}
 }
@@ -151,24 +161,47 @@ func (s *Server) place(batch []*record, free []slot) []placement {
 	}
 	taken := make([]bool, len(free))
 	if s.cfg.Policy == PolicySmart {
-		configs := make([]uarch.Config, len(free))
-		bias := make([]float64, len(free))
-		for j, sl := range free {
-			configs[j] = sl.cfg
-			// Live-load tiebreak: each slot's cost carries a small term from
-			// its worker's reported utilization, so equal-affinity choices
-			// prefer the idler machine. utilBias spans [0, 0.05] across the
-			// 0-100% range — well under typical affinity gaps, so a real
-			// bottleneck match still dominates.
-			bias[j] = utilBias * sl.util / 100
+		var assigned []int
+		if s.heteroPlacement(free) {
+			// Economic path: mixed backends and/or the cost objective. The
+			// matrix is built from predicted seconds (affinity-scaled for
+			// software, closed-form for the accelerator), priced when the
+			// objective is dollars, with infeasible cells (option surface,
+			// quality floor, deadline) masked before the solve.
+			specs := make([]backend.ServerSpec, len(free))
+			bias := make([]float64, len(free))
+			jobs := make([]sched.HeteroJob, len(batch))
+			for j, sl := range free {
+				specs[j] = sl.spec
+				bias[j] = utilBias * sl.util / 100
+			}
+			for bi, rec := range batch {
+				jobs[bi] = s.heteroJob(rec, reports[bi])
+			}
+			assigned = sched.AssignHetero(jobs, specs, s.accel, s.cfg.Objective, bias)
+		} else {
+			// Legacy affinity path (software-only fleet, seconds objective):
+			// bit-identical to the pre-economic dispatcher.
+			configs := make([]uarch.Config, len(free))
+			bias := make([]float64, len(free))
+			for j, sl := range free {
+				configs[j] = sl.cfg
+				// Live-load tiebreak: each slot's cost carries a small term from
+				// its worker's reported utilization, so equal-affinity choices
+				// prefer the idler machine. utilBias spans [0, 0.05] across the
+				// 0-100% range — well under typical affinity gaps, so a real
+				// bottleneck match still dominates.
+				bias[j] = utilBias * sl.util / 100
+			}
+			assigned = sched.AssignDynamicBiased(reports, configs, bias)
 		}
-		for bi, j := range sched.AssignDynamicBiased(reports, configs, bias) {
+		for bi, j := range assigned {
 			if j >= 0 {
 				out[bi].slot = j
 				taken[j] = true
 			} else if out[bi].mode == "smart" {
-				// Overload spillover: more warm jobs than free slots; this
-				// row falls back to the cold (seeded-random) path.
+				// Overload spillover (or every cell masked): this row falls
+				// back to the cold (seeded-random) path.
 				out[bi].mode = "cold"
 			}
 		}
@@ -179,12 +212,12 @@ func (s *Server) place(batch []*record, free []slot) []placement {
 		}
 		var remaining []int
 		for j := range free {
-			if !taken[j] {
+			if !taken[j] && s.executable(rec, free[j].spec) {
 				remaining = append(remaining, j)
 			}
 		}
 		if len(remaining) == 0 {
-			break // overloaded batch; the rest requeue
+			continue // no compatible slot for this row; it requeues
 		}
 		// Per-job hash, not a shared RNG stream: the draw depends only on
 		// (seed, job sequence), so placement is reproducible regardless of
@@ -194,6 +227,48 @@ func (s *Server) place(batch []*record, free []slot) []placement {
 		taken[j] = true
 	}
 	return out
+}
+
+// heteroPlacement reports whether this free snapshot needs the economic
+// matrix: always under the cost objective, and whenever an accelerator
+// slot is free (the affinity model cannot price or time it).
+func (s *Server) heteroPlacement(free []slot) bool {
+	if s.cfg.Objective == sched.ObjectiveCost {
+		return true
+	}
+	for _, sl := range free {
+		if sl.spec.Backend == backend.Accel {
+			return true
+		}
+	}
+	return false
+}
+
+// heteroJob projects a record into the economic placement row.
+func (s *Server) heteroJob(rec *record, rep *perf.Report) sched.HeteroJob {
+	return sched.HeteroJob{
+		Report: rep, Opts: rec.opts,
+		DeadlineSeconds: rec.deadlineSeconds, QualityFloor: rec.qualityFloor,
+		Frames: rec.frames(), Width: rec.pw, Height: rec.ph,
+	}
+}
+
+// executable reports whether the cold/random fallback may hand rec to a
+// slot: the accelerator must accept the job's option surface, quality
+// floor and (being exactly predictable) its deadline; software slots take
+// anything — a cold software placement is the optimistic bet admission
+// already made.
+func (s *Server) executable(rec *record, spec backend.ServerSpec) bool {
+	job := s.heteroJob(rec, nil)
+	if !sched.Feasible(job, spec, s.accel) {
+		return false
+	}
+	if rec.deadlineSeconds > 0 && spec.Backend == backend.Accel {
+		if sec, ok := sched.PredictSeconds(nil, spec, s.accel, job.Frames, job.Width, job.Height); ok && sec > rec.deadlineSeconds {
+			return false
+		}
+	}
+	return true
 }
 
 // launch records the dispatch and hands the job to the transport. A start
@@ -247,12 +322,25 @@ func (s *Server) finish(tk *queue.Ticket[*record], out outcome) {
 		// of its video, warming the cost model for free.
 		s.learn(rec.task.Video, out.report)
 	}
-	if out.err != nil {
-		s.settle(rec, StateFailed, 0, out.err)
-	} else {
-		s.settle(rec, StateDone, out.seconds, nil)
-	}
+	s.settle(rec, settlementOf(out))
 	s.addInflight(-1)
+}
+
+// settlementOf prices one attempt's outcome: the settling attempt's spec
+// and simulated seconds yield the job's dollar cost, exactly once because
+// requeued attempts carry no outcome.
+func settlementOf(out outcome) settlement {
+	if out.err != nil {
+		return settlement{state: StateFailed, backend: string(out.spec.Backend), err: out.err}
+	}
+	return settlement{
+		state:   StateDone,
+		seconds: out.seconds,
+		cost:    out.spec.CostCents(out.seconds),
+		backend: string(out.spec.Backend),
+		class:   out.spec.Label(),
+		stream:  out.stream,
+	}
 }
 
 // requeue re-admits a dispatched-but-unfinished job at its original queue
@@ -301,51 +389,92 @@ func (s *Server) lateSettle(tk *queue.Ticket[*record], out outcome) bool {
 	if out.err == nil && out.report != nil && out.config == "baseline" {
 		s.learn(rec.task.Video, out.report)
 	}
-	if out.err != nil {
-		s.settle(rec, StateFailed, 0, out.err)
-	} else {
-		s.settle(rec, StateDone, out.seconds, nil)
-	}
+	s.settle(rec, settlementOf(out))
 	return true
+}
+
+// settlement is the full terminal description of a record: state and
+// simulated seconds as before, plus the economics (dollar cost of the
+// settling attempt, backend kind that ran it, deadline verdict) and the
+// bitstream when one was requested. Parents aggregate cost and misses
+// from their parts before flowing through themselves.
+type settlement struct {
+	state   JobState
+	seconds float64
+	cost    float64 // cents, priced from the settling attempt's spec
+	miss    bool    // parent-only override: any part missed its deadline
+	backend string  // backend kind that executed ("software" / "accel")
+	class   string  // capability class label (per-backend job counter key)
+	stream  []byte  // encoded bitstream when the record wanted one
+	err     error
 }
 
 // settle moves a record to a terminal state exactly once and updates the
 // outcome counters. Parts of a multi-part job settle into their parent
 // instead of the client-facing totals — the parent is the job the client
 // submitted, and it flows through here itself once its last part lands.
-func (s *Server) settle(rec *record, state JobState, seconds float64, err error) {
+// Cost is folded into the totals for every client-facing terminal record
+// (a failed job still paid for its settling attempt); deadline misses
+// count only on completion, since an unfinished job has no service time.
+func (s *Server) settle(rec *record, st settlement) {
 	rec.mu.Lock()
 	if rec.state == StateDone || rec.state == StateFailed || rec.state == StateCanceled {
 		rec.mu.Unlock()
 		return
 	}
-	rec.state = state
+	rec.state = st.state
 	rec.finished = time.Now()
-	rec.seconds = seconds
-	if err != nil {
-		rec.errMsg = err.Error()
+	rec.seconds = st.seconds
+	rec.costCents = st.cost
+	rec.backendName = st.backend
+	if st.stream != nil && rec.wantStream {
+		rec.stream = st.stream
+	}
+	miss := st.miss
+	if st.state == StateDone && len(rec.parts) == 0 &&
+		rec.deadlineSeconds > 0 && st.seconds > rec.deadlineSeconds {
+		// Deadlines bound per-placed-unit service time; a parent's seconds
+		// is the sum over parallel parts, so its verdict comes from st.miss
+		// (any part missed), set by the finalizing partSettled call.
+		miss = true
+	}
+	rec.deadlineMiss = miss
+	if st.err != nil {
+		rec.errMsg = st.err.Error()
 	}
 	enq := rec.enq
 	errMsg := rec.errMsg
 	rec.mu.Unlock()
 
+	if st.state == StateDone && st.class != "" {
+		// Execution units only (parts and plain jobs): parents never carry a
+		// class, so the per-backend job counter counts actual encodes.
+		s.met.backendJobs(st.class).Inc()
+	}
+
 	if rec.parent != nil {
-		if state == StateDone {
+		if st.state == StateDone {
 			s.met.partsCompleted.Inc()
 		}
 		close(rec.done)
-		s.partSettled(rec, state, seconds, errMsg)
+		s.partSettled(rec, st.state, st.seconds, st.cost, miss, errMsg)
 		return
 	}
 
 	s.met.sojourn.ObserveSince(enq)
 	s.totMu.Lock()
-	switch state {
+	s.totals.CostCents += st.cost
+	s.met.costMicro.Add(int64(st.cost*1e6 + 0.5))
+	switch st.state {
 	case StateDone:
 		s.met.completed.Inc()
-		s.met.simMs.Add(int64(seconds * 1e3))
+		s.met.simMs.Add(int64(st.seconds * 1e3))
 		s.totals.Completed++
-		s.totals.SimSeconds += seconds
+		s.totals.SimSeconds += st.seconds
+		if miss {
+			s.met.deadlineMiss.Inc()
+			s.totals.DeadlineMisses++
+		}
 	case StateFailed:
 		s.met.failed.Inc()
 		s.totals.Failed++
@@ -387,10 +516,14 @@ func (s *Server) partLaunched(rec *record, first bool) {
 // withdraws still-queued siblings — running parts finish and settle
 // normally), canceled when cancellation emptied the graph without a
 // failure.
-func (s *Server) partSettled(rec *record, state JobState, seconds float64, errMsg string) {
+func (s *Server) partSettled(rec *record, state JobState, seconds, cost float64, miss bool, errMsg string) {
 	p := rec.parent
 	p.mu.Lock()
 	p.partsTerm++
+	p.partsCost += cost
+	if miss {
+		p.partsMissed++
+	}
 	switch state {
 	case StateDone:
 		p.partsDone++
@@ -412,8 +545,9 @@ func (s *Server) partSettled(rec *record, state JobState, seconds float64, errMs
 	if firstFailure && !finished {
 		siblings = append(siblings, p.parts...)
 	}
-	failed, canceled := p.partsFailed, p.partsCanceled
-	sum, partErr, firstDone := p.partsSeconds, p.partErr, p.firstDone
+	failed, canceled, missed := p.partsFailed, p.partsCanceled, p.partsMissed
+	sum, costSum := p.partsSeconds, p.partsCost
+	partErr, firstDone := p.partErr, p.firstDone
 	p.mu.Unlock()
 
 	// Fail fast: withdraw queued siblings. Each successful cancellation
@@ -433,19 +567,19 @@ func (s *Server) partSettled(rec *record, state JobState, seconds float64, errMs
 	}
 	switch {
 	case failed > 0:
-		s.settle(p, StateFailed, sum, fmt.Errorf("serve: %d of %d parts failed; first: %s",
-			failed, len(p.parts), partErr))
+		s.settle(p, settlement{state: StateFailed, seconds: sum, cost: costSum,
+			err: fmt.Errorf("serve: %d of %d parts failed; first: %s", failed, len(p.parts), partErr)})
 	case canceled > 0:
-		s.settle(p, StateCanceled, sum, context.Canceled)
+		s.settle(p, settlement{state: StateCanceled, seconds: sum, cost: costSum, err: context.Canceled})
 	default:
-		s.settle(p, StateDone, sum, nil)
+		s.settle(p, settlement{state: StateDone, seconds: sum, cost: costSum, miss: missed > 0})
 	}
 }
 
 // settleCanceled marks a withdrawn job (its queue ticket was canceled
 // before dispatch).
 func (s *Server) settleCanceled(rec *record) {
-	s.settle(rec, StateCanceled, 0, context.Canceled)
+	s.settle(rec, settlement{state: StateCanceled, err: context.Canceled})
 }
 
 // --- characterization cost model ------------------------------------------------

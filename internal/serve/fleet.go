@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/uarch"
@@ -28,20 +29,37 @@ import (
 // FleetOptions tunes the worker-fleet transport.
 type FleetOptions struct {
 	// LeaseTTL is how long a leased job survives without a heartbeat
-	// renewing it before it is requeued (0: 10s).
+	// renewing it before it is requeued. Zero (or negative) selects the
+	// adaptive policy: the TTL starts at 10s and tracks 3× the p99 of
+	// observed job wall durations, clamped to [1s, 60s] — long jobs get
+	// room to finish, short-job fleets reclaim crashed capacity fast. A
+	// positive value pins the TTL (operator override).
 	LeaseTTL time.Duration
 	// PollWait bounds how long an idle worker's poll parks server-side
 	// before returning 204 (0: 10s).
 	PollWait time.Duration
 }
 
+// Adaptive lease-TTL policy constants (see FleetOptions.LeaseTTL).
+const (
+	adaptiveTTLStart  = 10 * time.Second
+	adaptiveTTLMin    = time.Second
+	adaptiveTTLMax    = 60 * time.Second
+	adaptiveTTLFactor = 3
+	leaseDurWindow    = 128 // completed-lease durations the p99 is taken over
+)
+
 // lease tracks one delivered job from assignment to settlement.
 type lease struct {
 	id      string
 	worker  string
 	cfgName string
+	// spec is the leasing worker's capability at assignment time; it prices
+	// the job when this lease's result settles it.
+	spec    backend.ServerSpec
 	tk      *queue.Ticket[*record]
 	finish  func(outcome)
+	created time.Time // assignment time, feeding the adaptive-TTL histogram
 	expires time.Time
 
 	done bool // finish consumed (by result or expiry); never reset
@@ -54,7 +72,8 @@ type lease struct {
 type fleetWorker struct {
 	id   string
 	cfg  uarch.Config
-	last time.Time // last message of any kind
+	spec backend.ServerSpec // full economic capability from the last message
+	last time.Time          // last message of any kind
 	util float64
 	jobs int64
 	gone bool // missed its heartbeat window; revived by any message
@@ -71,13 +90,13 @@ type fleetMetrics struct {
 	reassigned *obs.Counter
 	hbMiss     *obs.Counter
 	late       *obs.Counter
+	ttlMs      *obs.Gauge
 	busyW      func(id string) *obs.Gauge
 	utilW      func(id string) *obs.Gauge
 }
 
 type fleetTransport struct {
 	s    *Server
-	ttl  time.Duration
 	wait time.Duration
 	met  fleetMetrics
 
@@ -87,14 +106,20 @@ type fleetTransport struct {
 	leases  map[string]*lease
 	seq     uint64
 	closed  bool
+	// ttl is the current lease TTL; mutated under mu when adaptive.
+	ttl      time.Duration
+	adaptive bool
+	durs     [leaseDurWindow]time.Duration // ring of completed-lease durations
+	durN     int                           // total durations observed
 
 	stopc       chan struct{}
 	monitorDone chan struct{}
 }
 
 func newFleetTransport(s *Server, opts FleetOptions, reg *obs.Registry) *fleetTransport {
-	if opts.LeaseTTL <= 0 {
-		opts.LeaseTTL = 10 * time.Second
+	adaptive := opts.LeaseTTL <= 0
+	if adaptive {
+		opts.LeaseTTL = adaptiveTTLStart
 	}
 	if opts.PollWait <= 0 {
 		opts.PollWait = 10 * time.Second
@@ -102,6 +127,7 @@ func newFleetTransport(s *Server, opts FleetOptions, reg *obs.Registry) *fleetTr
 	f := &fleetTransport{
 		s:           s,
 		ttl:         opts.LeaseTTL,
+		adaptive:    adaptive,
 		wait:        opts.PollWait,
 		workers:     make(map[string]*fleetWorker),
 		leases:      make(map[string]*lease),
@@ -112,12 +138,40 @@ func newFleetTransport(s *Server, opts FleetOptions, reg *obs.Registry) *fleetTr
 			reassigned: reg.Counter("fleet_lease_reassigned"),
 			hbMiss:     reg.Counter("fleet_heartbeat_miss"),
 			late:       reg.Counter("fleet_results_late"),
+			ttlMs:      reg.Gauge("fleet_lease_ttl_ms"),
 			busyW:      func(id string) *obs.Gauge { return reg.Gauge("fleet_worker_busy", "worker", id) },
 			utilW:      func(id string) *obs.Gauge { return reg.Gauge("fleet_worker_util_pct", "worker", id) },
 		},
 	}
+	f.met.ttlMs.Set(f.ttl.Milliseconds())
 	f.cond = sync.NewCond(&f.mu)
 	return f
+}
+
+// observeLeaseLocked folds one completed lease's wall duration into the
+// adaptive TTL: TTL = clamp(3 × p99 of the last leaseDurWindow durations).
+// Caller holds f.mu.
+func (f *fleetTransport) observeLeaseLocked(d time.Duration) {
+	if !f.adaptive || d < 0 {
+		return
+	}
+	f.durs[f.durN%leaseDurWindow] = d
+	f.durN++
+	n := f.durN
+	if n > leaseDurWindow {
+		n = leaseDurWindow
+	}
+	sorted := append([]time.Duration(nil), f.durs[:n]...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	ttl := adaptiveTTLFactor * sorted[n*99/100]
+	if ttl < adaptiveTTLMin {
+		ttl = adaptiveTTLMin
+	}
+	if ttl > adaptiveTTLMax {
+		ttl = adaptiveTTLMax
+	}
+	f.ttl = ttl
+	f.met.ttlMs.Set(ttl.Milliseconds())
 }
 
 // --- transport interface --------------------------------------------------------
@@ -157,7 +211,30 @@ func (f *fleetTransport) freeSlots() []slot {
 	out := make([]slot, len(ids))
 	for i, id := range ids {
 		w := f.workers[id]
-		out[i] = slot{id: id, label: id, cfg: w.cfg, util: w.util}
+		out[i] = slot{id: id, label: id, cfg: w.cfg, spec: w.spec, util: w.util}
+	}
+	return out
+}
+
+// classes snapshots the distinct capability classes of the live fleet
+// (label-deduped, label order) for deadline-admission checks.
+func (f *fleetTransport) classes() []backend.ServerSpec {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	byLabel := make(map[string]backend.ServerSpec)
+	for _, w := range f.workers {
+		if !w.gone {
+			byLabel[w.spec.Label()] = w.spec
+		}
+	}
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	out := make([]backend.ServerSpec, len(labels))
+	for i, l := range labels {
+		out[i] = byLabel[l]
 	}
 	return out
 }
@@ -201,13 +278,16 @@ func (f *fleetTransport) start(_ context.Context, sl slot, tk *queue.Ticket[*rec
 		return fmt.Errorf("serve: worker %q is not free", sl.id)
 	}
 	f.seq++
+	now := time.Now()
 	l := &lease{
 		id:      "lease-" + strconv.FormatUint(f.seq, 10),
 		worker:  w.id,
-		cfgName: w.cfg.Name,
+		cfgName: w.spec.Label(),
+		spec:    w.spec,
 		tk:      tk,
 		finish:  finish,
-		expires: time.Now().Add(f.ttl),
+		created: now,
+		expires: now.Add(f.ttl),
 	}
 	f.leases[l.id] = l
 	w.lease = l
@@ -222,6 +302,7 @@ func (f *fleetTransport) start(_ context.Context, sl slot, tk *queue.Ticket[*rec
 		Preset: string(rec.task.Preset),
 		Frames: f.s.cfg.Proto.Frames, Scale: f.s.cfg.Proto.Scale, Seed: f.s.cfg.Proto.Seed,
 		SegStart: rec.seg.Start, SegEnd: rec.seg.End, Rung: rec.rung,
+		WantStream: rec.wantStream,
 		LeaseTTLMs: f.ttl.Milliseconds(),
 	}
 	return nil
@@ -250,7 +331,11 @@ func (f *fleetTransport) close() {
 // gone. It exits on close() or ctx cancellation.
 func (f *fleetTransport) monitor(ctx context.Context) {
 	defer close(f.monitorDone)
+	// The cadence is set once from the initial TTL; adaptive TTL growth only
+	// makes the sweep relatively more frequent, never too slow to expire.
+	f.mu.Lock()
 	tick := f.ttl / 4
+	f.mu.Unlock()
 	if tick > time.Second {
 		tick = time.Second
 	}
@@ -321,13 +406,14 @@ func recTerminal(rec *record) bool {
 // upsertLocked registers-or-refreshes a worker; every protocol message
 // funnels through here, which is what makes re-registration idempotent and
 // crash-rejoin under the same id seamless.
-func (f *fleetTransport) upsertLocked(id string, cfg uarch.Config, now time.Time) *fleetWorker {
+func (f *fleetTransport) upsertLocked(id string, spec backend.ServerSpec, now time.Time) *fleetWorker {
 	w := f.workers[id]
 	if w == nil {
 		w = &fleetWorker{id: id}
 		f.workers[id] = w
 	}
-	w.cfg = cfg
+	w.cfg = spec.Config
+	w.spec = spec
 	w.last = now
 	w.gone = false
 	f.met.workersG.Set(int64(f.liveLocked()))
@@ -336,19 +422,30 @@ func (f *fleetTransport) upsertLocked(id string, cfg uarch.Config, now time.Time
 
 // --- HTTP handlers --------------------------------------------------------------
 
-// parseWorker validates the (worker id, config name) pair every protocol
-// message carries; a nil config return means the response was written.
-func parseWorker(w http.ResponseWriter, workerID, config string) (uarch.Config, bool) {
+// parseWorker validates the capability every protocol message carries and
+// resolves it to a full server spec; false means the error response was
+// written. Software workers must name a known uarch config; accelerator
+// workers carry no config (the ASIC's host core is not modeled).
+func parseWorker(w http.ResponseWriter, workerID, config, backendName string, price float64, spot bool) (backend.ServerSpec, bool) {
 	if workerID == "" {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing worker_id"})
-		return uarch.Config{}, false
+		return backend.ServerSpec{}, false
 	}
-	cfg, ok := uarch.ByName(config)
-	if !ok {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown configuration %q", config)})
-		return uarch.Config{}, false
+	kind, err := backend.ParseKind(backendName)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return backend.ServerSpec{}, false
 	}
-	return cfg, true
+	spec := backend.ServerSpec{Backend: kind, PriceCentsHour: price, Spot: spot}
+	if kind == backend.Software {
+		cfg, ok := uarch.ByName(config)
+		if !ok {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown configuration %q", config)})
+			return backend.ServerSpec{}, false
+		}
+		spec.Config = cfg
+	}
+	return spec.FillDefaults(), true
 }
 
 func (f *fleetTransport) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
@@ -356,7 +453,7 @@ func (f *fleetTransport) handleHeartbeat(w http.ResponseWriter, r *http.Request)
 	if !decodeJSON(w, r, &hb) {
 		return
 	}
-	cfg, ok := parseWorker(w, hb.WorkerID, hb.Config)
+	spec, ok := parseWorker(w, hb.WorkerID, hb.Config, hb.Backend, hb.PriceCentsHour, hb.Spot)
 	if !ok {
 		return
 	}
@@ -367,7 +464,7 @@ func (f *fleetTransport) handleHeartbeat(w http.ResponseWriter, r *http.Request)
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "shutting down", Reason: "closed"})
 		return
 	}
-	fw := f.upsertLocked(hb.WorkerID, cfg, now)
+	fw := f.upsertLocked(hb.WorkerID, spec, now)
 	fw.util = hb.UtilizationPct
 	fw.jobs = hb.JobsDone
 	f.met.utilW(fw.id).Set(int64(hb.UtilizationPct))
@@ -389,7 +486,7 @@ func (f *fleetTransport) handlePoll(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	cfg, ok := parseWorker(w, req.WorkerID, req.Config)
+	spec, ok := parseWorker(w, req.WorkerID, req.Config, req.Backend, req.PriceCentsHour, req.Spot)
 	if !ok {
 		return
 	}
@@ -400,7 +497,7 @@ func (f *fleetTransport) handlePoll(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "shutting down", Reason: "closed"})
 		return
 	}
-	fw := f.upsertLocked(req.WorkerID, cfg, now)
+	fw := f.upsertLocked(req.WorkerID, spec, now)
 	var disclaimed *lease
 	if l := fw.lease; l != nil && !l.done {
 		// The lease holder itself says it is idle (it crashed and restarted,
@@ -465,7 +562,9 @@ func (f *fleetTransport) resolvePoll(fw *fleetWorker, ch chan Assignment, w http
 
 func (f *fleetTransport) handleResult(w http.ResponseWriter, r *http.Request) {
 	var res ResultReport
-	if !decodeJSON(w, r, &res) {
+	// Results get a larger body budget than control messages: they may carry
+	// an encoded bitstream (base64) for stitchable segment parts.
+	if !decodeJSONLimit(w, r, &res, maxResultBody) {
 		return
 	}
 	if res.WorkerID == "" || res.LeaseID == "" {
@@ -511,6 +610,7 @@ func (f *fleetTransport) handleResult(w http.ResponseWriter, r *http.Request) {
 		fw.jobs++
 		f.met.busyW(fw.id).Set(0)
 	}
+	f.observeLeaseLocked(time.Since(l.created))
 	f.mu.Unlock()
 	l.finish(f.outcomeOf(l, res))
 	writeJSON(w, http.StatusOK, ResultReply{Accepted: true})
@@ -521,7 +621,9 @@ func (f *fleetTransport) outcomeOf(l *lease, res ResultReport) outcome {
 	out := outcome{
 		seconds: res.Seconds,
 		config:  l.cfgName,
+		spec:    l.spec,
 		report:  topdownReport(l.cfgName, res.Seconds, res.Topdown),
+		stream:  res.Stream,
 	}
 	if res.Error != "" {
 		out.err = errors.New(res.Error)
@@ -544,6 +646,8 @@ func (f *fleetTransport) workerViews() []WorkerView {
 		w := f.workers[id]
 		v := WorkerView{
 			ID: id, Config: w.cfg.Name, Busy: w.lease != nil,
+			Backend: string(w.spec.Backend), PriceCentsHour: w.spec.PriceCentsHour,
+			Spot:   w.spec.Spot,
 			Parked: w.park != nil, Gone: w.gone, JobsDone: w.jobs,
 			UtilizationPct: w.util, LastBeatMs: now.Sub(w.last).Milliseconds(),
 		}

@@ -55,12 +55,17 @@ func (h *fleetHarness) counter(name string) int64 {
 	return h.reg.Snapshot().CounterTotal(name)
 }
 
-// protoWorker is a scripted wire-level worker.
+// protoWorker is a scripted wire-level worker. The zero values of the
+// capability fields (backend/price/spot) advertise a default-priced
+// on-demand software worker, matching the pre-economic protocol.
 type protoWorker struct {
-	t    *testing.T
-	base string
-	id   string
-	cfg  string
+	t       *testing.T
+	base    string
+	id      string
+	cfg     string
+	backend string
+	price   float64
+	spot    bool
 }
 
 func (w *protoWorker) post(path string, body, out any) int {
@@ -86,7 +91,11 @@ func (w *protoWorker) post(path string, body, out any) int {
 func (w *protoWorker) poll() (Assignment, bool) {
 	w.t.Helper()
 	var a Assignment
-	switch code := w.post("/fleet/poll", PollRequest{WorkerID: w.id, Config: w.cfg}, &a); code {
+	req := PollRequest{
+		WorkerID: w.id, Config: w.cfg,
+		Backend: w.backend, PriceCentsHour: w.price, Spot: w.spot,
+	}
+	switch code := w.post("/fleet/poll", req, &a); code {
 	case http.StatusOK:
 		return a, true
 	case http.StatusNoContent:
@@ -100,7 +109,11 @@ func (w *protoWorker) poll() (Assignment, bool) {
 func (w *protoWorker) beat(lease string) HeartbeatReply {
 	w.t.Helper()
 	var reply HeartbeatReply
-	if code := w.post("/fleet/heartbeat", Heartbeat{WorkerID: w.id, Config: w.cfg, LeaseID: lease, Busy: lease != ""}, &reply); code != http.StatusOK {
+	hb := Heartbeat{
+		WorkerID: w.id, Config: w.cfg, LeaseID: lease, Busy: lease != "",
+		Backend: w.backend, PriceCentsHour: w.price, Spot: w.spot,
+	}
+	if code := w.post("/fleet/heartbeat", hb, &reply); code != http.StatusOK {
 		w.t.Fatalf("heartbeat: unexpected status %d", code)
 	}
 	return reply

@@ -20,10 +20,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -57,10 +59,20 @@ func ParsePolicy(s string) (Policy, error) {
 
 // Config assembles a serving instance.
 type Config struct {
-	// Pool is the heterogeneous fleet; one entry per server. Required for
-	// the in-process loopback transport; ignored in fleet mode, where
-	// capability comes from worker registrations.
+	// Pool is the software fleet; one entry per server. Required for the
+	// in-process loopback transport unless Servers is given; ignored in
+	// fleet mode, where capability comes from worker registrations.
 	Pool sched.Pool
+	// Servers is the full heterogeneous fleet — backend kind, uarch
+	// config, hourly price and spot flag per server. When empty it is
+	// derived from Pool at default on-demand prices; when set it overrides
+	// Pool (which becomes its software projection). Like Pool it drives
+	// only the loopback transport.
+	Servers sched.Fleet
+	// Objective selects what placement minimizes: fleet-seconds (default,
+	// the legacy behavior) or dollars under per-job deadlines and quality
+	// floors (sched.ObjectiveCost).
+	Objective sched.Objective
 	// Policy selects smart (default) or random placement.
 	Policy Policy
 	// QueueDepth bounds the admission queue (0: 256, the queue default).
@@ -82,6 +94,13 @@ type Config struct {
 	// the same HTTP listener. Nil keeps the loopback.
 	Fleet *FleetOptions
 }
+
+// ErrDeadlineInfeasible is the typed admission rejection for a job whose
+// DeadlineSeconds no live server class can predictably meet — the client
+// learns at submit time (HTTP 422) instead of discovering a silently late
+// job. Cold software classes are optimistic (no prediction yet), so the
+// rejection only fires when every feasible class is predictably too slow.
+var ErrDeadlineInfeasible = errors.New("serve: no server class can meet the requested deadline")
 
 // JobState is the lifecycle of a submitted job.
 type JobState string
@@ -111,6 +130,18 @@ type JobRequest struct {
 	// DeadlineMs is a relative deadline in milliseconds used for intra-class
 	// ordering (0: none).
 	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// DeadlineSeconds caps the simulated service seconds of each placed
+	// unit (the whole encode, or each part of a segmented/ladder job).
+	// Admission rejects the job with ErrDeadlineInfeasible when no live
+	// server class can predictably meet it; placement masks
+	// deadline-busting cells; a completed job that still ran over is
+	// counted as a deadline miss. 0 means no deadline.
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
+	// QualityFloor is the worst acceptable effective CRF (0: none). The
+	// accelerator backend carries a CRF-equivalent quality penalty; a
+	// server whose penalty would push the job past the floor is infeasible
+	// for it.
+	QualityFloor int `json:"quality_floor,omitempty"`
 	// Segments splits the encode into that many independently placed
 	// segment sub-jobs (0 or 1: whole-clip). The split follows
 	// core.SegmentsFor, so the per-part outputs stitch byte-identically to
@@ -155,7 +186,17 @@ type JobView struct {
 	Started    time.Time `json:"started"`  // zero until dispatched
 	Finished   time.Time `json:"finished"` // zero until terminal
 	SimSeconds float64   `json:"simulated_seconds,omitempty"`
-	Error      string    `json:"error,omitempty"`
+	// Backend is the encoder class that settled the job ("software" /
+	// "accel"; empty for multi-part parents, whose parts may mix).
+	Backend string `json:"backend,omitempty"`
+	// CostCents is what the settling attempt cost (seconds × the executing
+	// server's hourly price); parents sum their parts.
+	CostCents       float64 `json:"cost_cents,omitempty"`
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
+	// DeadlineMiss marks a completed job whose service seconds exceeded
+	// its deadline (for parents: any part missed).
+	DeadlineMiss bool   `json:"deadline_miss,omitempty"`
+	Error        string `json:"error,omitempty"`
 	// Part fields (sub-jobs of a multi-part submission only).
 	Parent  string         `json:"parent,omitempty"`
 	Rung    string         `json:"rung,omitempty"`
@@ -178,6 +219,13 @@ type Totals struct {
 	Canceled   int64   `json:"canceled"`
 	Rejected   int64   `json:"rejected"`
 	SimSeconds float64 `json:"simulated_seconds"`
+	// CostCents is the summed dollar cost of completed jobs — the ground
+	// truth the serve_cost_microcents counter approximates at integer
+	// resolution. Every settled attempt is priced exactly once.
+	CostCents float64 `json:"cost_cents"`
+	// DeadlineMisses counts completed jobs that ran past their
+	// DeadlineSeconds (parents count once if any part missed).
+	DeadlineMisses int64 `json:"deadline_misses"`
 }
 
 // record is the server-side job state; mu guards the mutable fields.
@@ -190,6 +238,16 @@ type record struct {
 	priority int
 	seg      codec.Segment // frame range of a segment part (zero: whole clip)
 	rung     string        // ladder rendition name ("" outside ladders)
+
+	// Economic metadata, immutable after submit. deadlineSeconds caps the
+	// simulated service seconds of this unit; qualityFloor is the worst
+	// acceptable effective CRF; pw/ph/pframes is the proxy geometry the
+	// accelerator clock model sizes the unit with (pframes is the whole
+	// clip — frames() applies the segment slice).
+	deadlineSeconds float64
+	qualityFloor    int
+	pw, ph, pframes int
+	wantStream      bool // keep the encoded bitstream for stitching
 
 	// parent links a part to the record its outcome settles into; nil for
 	// plain jobs and for parents themselves. ticket is the part's admission
@@ -210,6 +268,11 @@ type record struct {
 	finished time.Time
 	seconds  float64
 	errMsg   string
+	// Settlement economics (set once, by the settling attempt).
+	costCents    float64
+	backendName  string
+	deadlineMiss bool
+	stream       []byte // part bitstream retained for the rendition stitch
 
 	// Parent-side aggregates (multi-part submissions only; guarded by mu).
 	// The parent never enters the queue — it settles when its last part
@@ -221,8 +284,19 @@ type record struct {
 	partsFailed   int
 	partsCanceled int
 	partsSeconds  float64   // summed simulated seconds of done parts
+	partsCost     float64   // summed cost of settled parts
+	partsMissed   int       // parts that completed past their deadline
 	partErr       string    // first part failure, surfaced as the parent error
 	firstDone     time.Time // first part completion (stitch-latency anchor)
+}
+
+// frames is the clip length this record encodes: the segment width for
+// parts, the whole proxy clip otherwise.
+func (r *record) frames() int {
+	if !r.seg.IsZero() {
+		return r.seg.End - r.seg.Start
+	}
+	return r.pframes
 }
 
 // view snapshots a record for the API.
@@ -236,6 +310,8 @@ func (r *record) view() JobView {
 		Server: r.server, Mode: r.mode, Attempts: r.attempts,
 		Submitted: r.enq, Started: r.started, Finished: r.finished,
 		SimSeconds: r.seconds, Error: r.errMsg,
+		Backend: r.backendName, CostCents: r.costCents,
+		DeadlineSeconds: r.deadlineSeconds, DeadlineMiss: r.deadlineMiss,
 		Rung: r.rung,
 	}
 	if r.parent != nil {
@@ -276,14 +352,22 @@ type serveMetrics struct {
 	partsCompleted *obs.Counter
 	fanout         *obs.Histogram
 	stitch         *obs.Histogram
+	// Economic layer: cost in microcents (obs counters are integers and
+	// per-job costs on the tiny CI proxies are ~1e-5 cents; Totals.CostCents
+	// keeps the float ground truth), per-backend execution counts, and
+	// completed-but-late jobs.
+	costMicro    *obs.Counter
+	deadlineMiss *obs.Counter
+	backendJobs  func(label string) *obs.Counter
 }
 
 // Server is one serving instance: queue, dispatcher, transport and the
 // job records behind the HTTP API.
 type Server struct {
-	cfg Config
-	q   *queue.Queue[*record]
-	met serveMetrics
+	cfg   Config
+	accel backend.AccelModel // the fixed-function backend's clock/quality model
+	q     *queue.Queue[*record]
+	met   serveMetrics
 
 	transport transport
 
@@ -307,8 +391,23 @@ type Server struct {
 
 // New builds a stopped server; call Start to begin dispatching.
 func New(cfg Config) (*Server, error) {
-	if len(cfg.Pool) == 0 && cfg.Fleet == nil {
+	if len(cfg.Pool) == 0 && len(cfg.Servers) == 0 && cfg.Fleet == nil {
 		return nil, errors.New("serve: empty pool")
+	}
+	if cfg.Fleet == nil {
+		// Loopback: resolve the economic fleet view. Servers overrides Pool;
+		// a plain Pool is lifted to default on-demand prices, so existing
+		// callers see the legacy behavior with costs attached.
+		if len(cfg.Servers) == 0 {
+			cfg.Servers = sched.FleetFromPool(cfg.Pool)
+		} else {
+			servers := make(sched.Fleet, len(cfg.Servers))
+			for i, spec := range cfg.Servers {
+				servers[i] = spec.FillDefaults()
+			}
+			cfg.Servers = servers
+		}
+		cfg.Pool = cfg.Servers.Configs()
 	}
 	if cfg.Policy == "" {
 		cfg.Policy = PolicySmart
@@ -316,6 +415,11 @@ func New(cfg Config) (*Server, error) {
 	if _, err := ParsePolicy(string(cfg.Policy)); err != nil {
 		return nil, err
 	}
+	obj, err := sched.ParseObjective(string(cfg.Objective))
+	if err != nil {
+		return nil, err
+	}
+	cfg.Objective = obj
 	if cfg.Fleet == nil && (cfg.Workers <= 0 || cfg.Workers > len(cfg.Pool)) {
 		cfg.Workers = len(cfg.Pool)
 	}
@@ -324,7 +428,8 @@ func New(cfg Config) (*Server, error) {
 		reg = obs.Default()
 	}
 	s := &Server{
-		cfg: cfg,
+		cfg:   cfg,
+		accel: backend.DefaultAccel(),
 		q: queue.New[*record](queue.Options{
 			MaxDepth: cfg.QueueDepth, Name: "serve", Metrics: reg,
 		}),
@@ -344,6 +449,10 @@ func New(cfg Config) (*Server, error) {
 			partsCompleted: reg.Counter("serve_parts_completed"),
 			fanout:         reg.Histogram("serve_fanout_ns"),
 			stitch:         reg.Histogram("serve_stitch_ns"),
+
+			costMicro:    reg.Counter("serve_cost_microcents"),
+			deadlineMiss: reg.Counter("serve_deadline_miss"),
+			backendJobs:  func(label string) *obs.Counter { return reg.Counter("serve_backend_jobs", "backend", label) },
 		},
 		jobs:    make(map[string]*record),
 		costs:   make(map[string]*perf.Report),
@@ -391,8 +500,19 @@ func (s *Server) Submit(ctx context.Context, req JobRequest) (JobView, error) {
 	if err != nil {
 		return JobView{}, err
 	}
+	pw, ph, pframes, err := s.proxyDims(req.Video)
+	if err != nil {
+		return JobView{}, err
+	}
 	if len(req.Ladder) > 0 || req.Segments > 1 {
-		return s.submitMulti(ctx, req, task)
+		return s.submitMulti(ctx, req, task, pw, ph, pframes)
+	}
+	if err := s.admitDeadline(opts, req, pframes, pw, ph); err != nil {
+		s.met.rejected.Inc()
+		s.totMu.Lock()
+		s.totals.Rejected++
+		s.totMu.Unlock()
+		return JobView{}, err
 	}
 	rec := &record{
 		task:     task,
@@ -402,6 +522,12 @@ func (s *Server) Submit(ctx context.Context, req JobRequest) (JobView, error) {
 		done:     make(chan struct{}),
 		state:    StateQueued,
 		enq:      time.Now(),
+
+		deadlineSeconds: req.DeadlineSeconds,
+		qualityFloor:    req.QualityFloor,
+		pw:              pw,
+		ph:              ph,
+		pframes:         pframes,
 	}
 	s.jobsMu.Lock()
 	s.seq++
@@ -450,7 +576,7 @@ func (s *Server) Submit(ctx context.Context, req JobRequest) (JobView, error) {
 // if any part is rejected (queue full/closed) every already-queued sibling
 // is withdrawn and the whole submit fails, so a client never observes a
 // half-admitted job graph.
-func (s *Server) submitMulti(ctx context.Context, req JobRequest, task sched.Task) (JobView, error) {
+func (s *Server) submitMulti(ctx context.Context, req JobRequest, task sched.Task, pw, ph, pframes int) (JobView, error) {
 	reject := func(err error) (JobView, error) {
 		s.met.rejected.Inc()
 		s.totMu.Lock()
@@ -514,6 +640,28 @@ func (s *Server) submitMulti(ctx context.Context, req JobRequest, task sched.Tas
 		segs = plan
 	}
 
+	// Deadline admission per rung: every part must be placeable within the
+	// deadline on some live class, so check each rung against its widest
+	// segment (the strictest part). A typed rejection here beats admitting
+	// a graph that placement can never finish on time.
+	if req.DeadlineSeconds > 0 {
+		widest := pframes
+		if len(segs) > 1 {
+			widest = 0
+			for _, sg := range segs {
+				if n := sg.End - sg.Start; n > widest {
+					widest = n
+				}
+			}
+		}
+		for i, spec := range specs {
+			r := req
+			if err := s.admitDeadline(spec.opts, r, widest, pw, ph); err != nil {
+				return reject(fmt.Errorf("ladder rung %d (%q): %w", i, spec.rung, err))
+			}
+		}
+	}
+
 	now := time.Now()
 	parent := &record{
 		task:     task,
@@ -522,6 +670,12 @@ func (s *Server) submitMulti(ctx context.Context, req JobRequest, task sched.Tas
 		done:     make(chan struct{}),
 		state:    StateQueued,
 		enq:      now,
+
+		deadlineSeconds: req.DeadlineSeconds,
+		qualityFloor:    req.QualityFloor,
+		pw:              pw,
+		ph:              ph,
+		pframes:         pframes,
 	}
 	parts := make([]*record, 0, len(specs)*len(segs))
 	s.jobsMu.Lock()
@@ -537,6 +691,15 @@ func (s *Server) submitMulti(ctx context.Context, req JobRequest, task sched.Tas
 				class: req.Class, priority: req.Priority,
 				seg: sg, rung: spec.rung, parent: parent,
 				done: make(chan struct{}), state: StateQueued, enq: now,
+
+				deadlineSeconds: req.DeadlineSeconds,
+				qualityFloor:    req.QualityFloor,
+				pw:              pw,
+				ph:              ph,
+				pframes:         pframes,
+				// Parts keep their bitstreams so the parent can be stitched
+				// into a downloadable rendition (GET /jobs/{id}/rendition).
+				wantStream: true,
 			}
 			part.id = parent.id + "." + strconv.Itoa(len(parts)+1)
 			part.task.Name = part.id
@@ -630,6 +793,41 @@ func (s *Server) QueueDepth() int { return s.q.Depth() }
 // Pressure exposes the admission queue backpressure fraction.
 func (s *Server) Pressure() float64 { return s.q.Pressure() }
 
+// proxyDims resolves the proxy geometry a video's jobs will encode under
+// the server's workload prototype — the sizing input of the accelerator
+// clock model and deadline admission.
+func (s *Server) proxyDims(video string) (w, h, frames int, err error) {
+	wl := s.cfg.Proto
+	wl.Video = video
+	w, h, frames, err = core.ProxyDims(wl)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("serve: %w", err)
+	}
+	return w, h, frames, nil
+}
+
+// admitDeadline applies the deadline-feasibility admission check: reject
+// (typed) when every live server class is predictably unable to finish a
+// unit of frames×(pw×ph) within req.DeadlineSeconds. An empty class list
+// (fleet mode before any worker registered) and cold software classes
+// admit optimistically.
+func (s *Server) admitDeadline(opts codec.Options, req JobRequest, frames, pw, ph int) error {
+	if req.DeadlineSeconds <= 0 {
+		return nil
+	}
+	classes := s.transport.classes()
+	job := sched.HeteroJob{
+		Report: s.costOf(req.Video), Opts: opts,
+		DeadlineSeconds: req.DeadlineSeconds, QualityFloor: req.QualityFloor,
+		Frames: frames, Width: pw, Height: ph,
+	}
+	if !sched.FeasibleAnywhere(job, classes, s.accel) {
+		return fmt.Errorf("%w (deadline %gs over %d live classes)",
+			ErrDeadlineInfeasible, req.DeadlineSeconds, len(classes))
+	}
+	return nil
+}
+
 // buildTask validates a request and resolves defaults into a sched.Task
 // plus its encode options (validated eagerly so a bad preset is a 400 at
 // submission, not a failed job later).
@@ -674,6 +872,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/jobs", methodNotAllowed(http.MethodPost))
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("/jobs/{id}", methodNotAllowed(http.MethodGet))
+	mux.HandleFunc("GET /jobs/{id}/rendition", s.handleRendition)
+	mux.HandleFunc("/jobs/{id}/rendition", methodNotAllowed(http.MethodGet))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	if ft, ok := s.transport.(*fleetTransport); ok {
 		mux.HandleFunc("POST /fleet/heartbeat", ft.handleHeartbeat)
@@ -703,11 +903,19 @@ type errorBody struct {
 // protocol messages are all far below this.
 const maxRequestBody = 1 << 16
 
+// maxResultBody is the larger cap for /fleet/result, whose reports may
+// carry a part bitstream for the rendition stitch.
+const maxResultBody = 1 << 20
+
 // decodeJSON decodes one size-capped JSON body, writing the JSON error
 // response itself on failure; the return reports whether decoding
 // succeeded and the handler should proceed.
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	return decodeJSONLimit(w, r, v, maxRequestBody)
+}
+
+func decodeJSONLimit(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -746,6 +954,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), Reason: "full"})
 	case errors.Is(err, queue.ErrClosed):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), Reason: "closed"})
+	case errors.Is(err, ErrDeadlineInfeasible):
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error(), Reason: "deadline_infeasible"})
 	default:
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 	}
@@ -758,6 +968,77 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
+}
+
+// handleRendition serves the stitched bitstream of a completed multi-part
+// job: GET /jobs/{id}/rendition[?rung=name]. Parts keep their encoded
+// streams at settlement; once the parent is done the requested rung's
+// parts are stitched in segment order (codec.StitchStreams) — the
+// server-side counterpart of the byte-identical segment fan-out.
+func (s *Server) handleRendition(w http.ResponseWriter, r *http.Request) {
+	stream, status, eb := s.rendition(r.PathValue("id"), r.URL.Query().Get("rung"))
+	if status != http.StatusOK {
+		writeJSON(w, status, eb)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(stream)
+}
+
+func (s *Server) rendition(id, rung string) ([]byte, int, errorBody) {
+	s.jobsMu.Lock()
+	rec := s.jobs[id]
+	s.jobsMu.Unlock()
+	if rec == nil {
+		return nil, http.StatusNotFound, errorBody{Error: "unknown job"}
+	}
+	rec.mu.Lock()
+	state := rec.state
+	rec.mu.Unlock()
+	if len(rec.parts) == 0 {
+		return nil, http.StatusNotFound, errorBody{
+			Error: "job has no stitchable parts (plain jobs carry no rendition)", Reason: "no_rendition"}
+	}
+	if state != StateDone {
+		return nil, http.StatusConflict, errorBody{
+			Error: fmt.Sprintf("job is %s, rendition needs done", state), Reason: "not_ready"}
+	}
+	var sel []*record
+	rungs := make(map[string]bool)
+	for _, p := range rec.parts {
+		rungs[p.rung] = true
+		if p.rung == rung {
+			sel = append(sel, p)
+		}
+	}
+	if len(sel) == 0 {
+		names := make([]string, 0, len(rungs))
+		for n := range rungs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, http.StatusNotFound, errorBody{
+			Error: fmt.Sprintf("unknown rung %q (have %q)", rung, names), Reason: "unknown_rung"}
+	}
+	sort.Slice(sel, func(i, j int) bool { return sel[i].seg.Start < sel[j].seg.Start })
+	streams := make([][]byte, len(sel))
+	for i, p := range sel {
+		p.mu.Lock()
+		st := p.stream
+		p.mu.Unlock()
+		if len(st) == 0 {
+			return nil, http.StatusInternalServerError, errorBody{
+				Error: fmt.Sprintf("part %s settled without its bitstream", p.id), Reason: "stream_unavailable"}
+		}
+		streams[i] = st
+	}
+	out, err := codec.StitchStreams(streams)
+	if err != nil {
+		return nil, http.StatusInternalServerError, errorBody{
+			Error: "stitch: " + err.Error(), Reason: "stitch_failed"}
+	}
+	return out, http.StatusOK, errorBody{}
 }
 
 // healthBody is the GET /healthz response. PoolSize is the live transport

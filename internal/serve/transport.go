@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/obs"
@@ -29,6 +30,10 @@ type slot struct {
 	id    string       // transport-unique slot key
 	label string       // what JobView.Server reports (config name / worker id)
 	cfg   uarch.Config // capability metadata driving placement
+	// spec is the slot's full economic capability: backend kind, uarch
+	// config, hourly price, spot flag. cfg duplicates spec.Config for the
+	// legacy affinity path.
+	spec backend.ServerSpec
 	// util is the slot's reported utilization percent (fleet heartbeats;
 	// loopback slots are dedicated simulated servers and report 0). The
 	// dispatcher folds it into placement as a load-spreading tiebreak.
@@ -40,6 +45,11 @@ type outcome struct {
 	seconds float64
 	report  *perf.Report // full profile when the executor measured one
 	config  string       // configuration name the attempt ran on
+	// spec is the executing server's capability; the settling attempt's
+	// spec prices the job (cost = seconds × price), which is what makes
+	// cost accounting exactly-once — requeued attempts carry no outcome.
+	spec    backend.ServerSpec
+	stream  []byte // encoded bitstream when the record wanted one
 	err     error
 	requeue bool // the attempt died without a result: re-admit, don't fail
 }
@@ -52,6 +62,10 @@ type transport interface {
 	size() int
 	// freeSlots snapshots the currently idle slots in deterministic order.
 	freeSlots() []slot
+	// classes snapshots the distinct live capability classes (one spec per
+	// label) for deadline-admission checks; empty means no capability is
+	// known yet and admission stays optimistic.
+	classes() []backend.ServerSpec
 	// waitFree blocks until at least one slot is free; false means ctx won.
 	waitFree(ctx context.Context) bool
 	// start hands one placed job to the identified slot. finish is called
@@ -71,6 +85,8 @@ type transport interface {
 // any serve instance without Fleet options.
 type loopback struct {
 	pool    sched.Pool
+	fleet   sched.Fleet // per-server specs, aligned with pool indices
+	accel   backend.AccelModel
 	workers int
 	proto   core.Workload
 	metrics *obs.Registry
@@ -86,13 +102,15 @@ type loopback struct {
 
 func newLoopback(cfg Config, reg *obs.Registry) *loopback {
 	l := &loopback{
-		pool:    cfg.Pool,
+		pool:    cfg.Servers.Configs(),
+		fleet:   cfg.Servers,
+		accel:   backend.DefaultAccel(),
 		workers: cfg.Workers,
 		proto:   cfg.Proto,
 		metrics: reg,
 		busySrv: reg.Gauge("serve_busy_servers"),
-		busy:    make([]bool, len(cfg.Pool)),
-		free:    len(cfg.Pool),
+		busy:    make([]bool, len(cfg.Servers)),
+		free:    len(cfg.Servers),
 	}
 	l.cond = sync.NewCond(&l.mu)
 	return l
@@ -110,7 +128,22 @@ func (l *loopback) freeSlots() []slot {
 	var out []slot
 	for i, b := range l.busy {
 		if !b {
-			out = append(out, slot{id: "local-" + itoa(i), label: l.pool[i].Name, cfg: l.pool[i]})
+			out = append(out, slot{
+				id: "local-" + itoa(i), label: l.fleet[i].Label(),
+				cfg: l.pool[i], spec: l.fleet[i],
+			})
+		}
+	}
+	return out
+}
+
+func (l *loopback) classes() []backend.ServerSpec {
+	seen := make(map[string]bool)
+	var out []backend.ServerSpec
+	for _, spec := range l.fleet {
+		if !seen[spec.Label()] {
+			seen[spec.Label()] = true
+			out = append(out, spec)
 		}
 	}
 	return out
@@ -154,18 +187,36 @@ func (l *loopback) start(ctx context.Context, sl slot, tk *queue.Ticket[*record]
 
 	rec := tk.Payload()
 	if err := l.stream.Submit(ctx, func(jctx context.Context) error {
+		spec := l.fleet[i]
 		cfg := l.pool[i]
 		w := l.proto
 		w.Video = rec.task.Video
-		res, err := core.Run(jctx, core.Job{Workload: w, Options: rec.opts, Config: cfg, Segment: rec.seg})
+		job := core.Job{Workload: w, Options: rec.opts, Config: cfg, Segment: rec.seg, KeepStream: rec.wantStream}
+		if spec.Backend == backend.Accel {
+			// Fixed-function path: the encode runs with no uarch simulation
+			// attached (same bits, no profile) and the wall clock comes from
+			// the accelerator's closed-form throughput model.
+			res, err := core.EncodeOnly(jctx, job)
+			l.release(i)
+			if err != nil {
+				finish(outcome{config: spec.Label(), spec: spec, err: err})
+				return err
+			}
+			finish(outcome{
+				seconds: l.accel.Seconds(rec.frames(), rec.pw, rec.ph),
+				config:  spec.Label(), spec: spec, stream: res.Stream,
+			})
+			return nil
+		}
+		res, err := core.Run(jctx, job)
 		// Release before finishing: a closed-loop client that saw the job
 		// settle must find the fleet capacity already restored.
 		l.release(i)
 		if err != nil {
-			finish(outcome{config: cfg.Name, err: err})
+			finish(outcome{config: cfg.Name, spec: spec, err: err})
 			return err
 		}
-		finish(outcome{seconds: res.Report.Seconds, report: res.Report, config: cfg.Name})
+		finish(outcome{seconds: res.Report.Seconds, report: res.Report, config: cfg.Name, spec: spec, stream: res.Stream})
 		return nil
 	}); err != nil {
 		l.release(i)

@@ -19,9 +19,17 @@ import "repro/internal/perf"
 type Heartbeat struct {
 	WorkerID string `json:"worker_id"`
 	// Config is the worker's uarch configuration name — its capability
-	// metadata, driving characterization-based placement.
+	// metadata, driving characterization-based placement. Ignored (and may
+	// be empty) when Backend is "accel".
 	Config string `json:"config"`
-	Busy   bool   `json:"busy"`
+	// Backend is the worker's encoder class ("software" default, or
+	// "accel" for a fixed-function accelerator); with PriceCentsHour and
+	// Spot it forms the worker's economic capability, feeding cost-aware
+	// placement. Zero price resolves to the class default server-side.
+	Backend        string  `json:"backend,omitempty"`
+	PriceCentsHour float64 `json:"price_cents_hour,omitempty"`
+	Spot           bool    `json:"spot,omitempty"`
+	Busy           bool    `json:"busy"`
 	// LeaseID names the lease the worker believes it holds; carrying it
 	// renews the lease's expiry.
 	LeaseID        string  `json:"lease_id,omitempty"`
@@ -47,6 +55,11 @@ type HeartbeatReply struct {
 type PollRequest struct {
 	WorkerID string `json:"worker_id"`
 	Config   string `json:"config"`
+	// Backend/PriceCentsHour/Spot mirror the Heartbeat capability fields,
+	// so a poll-first worker is registered with its full spec.
+	Backend        string  `json:"backend,omitempty"`
+	PriceCentsHour float64 `json:"price_cents_hour,omitempty"`
+	Spot           bool    `json:"spot,omitempty"`
 }
 
 // Assignment is one leased job: the task parameters plus the workload
@@ -72,8 +85,12 @@ type Assignment struct {
 	// Rung names the ABR-ladder rendition this job belongs to (logs and
 	// worker-side observability; placement does not read it).
 	Rung string `json:"rung,omitempty"`
+	// WantStream asks the worker to return the encoded bitstream in its
+	// ResultReport (segment parts of a stitchable rendition).
+	WantStream bool `json:"want_stream,omitempty"`
 	// LeaseTTLMs is how long the lease survives without a heartbeat
-	// renewing it; the worker must heartbeat well inside this window.
+	// renewing it; the worker must heartbeat well inside this window. With
+	// adaptive leases the value reflects the TTL at assignment time.
 	LeaseTTLMs int64 `json:"lease_ttl_ms"`
 }
 
@@ -86,8 +103,12 @@ type ResultReport struct {
 	Error    string  `json:"error,omitempty"`
 	// Topdown carries the measured profile so jobs run on
 	// baseline-configured workers feed the orchestrator's cost model
-	// exactly like loopback executions do.
+	// exactly like loopback executions do. Accelerator workers produce no
+	// profile (their encode bypasses the uarch simulation).
 	Topdown *perf.Topdown `json:"topdown,omitempty"`
+	// Stream is the encoded bitstream, present only when the assignment
+	// set WantStream (base64 on the wire via encoding/json).
+	Stream []byte `json:"stream,omitempty"`
 }
 
 // ResultReply tells the worker whether its result settled the job.
@@ -103,6 +124,9 @@ type ResultReply struct {
 type WorkerView struct {
 	ID             string  `json:"id"`
 	Config         string  `json:"config"`
+	Backend        string  `json:"backend,omitempty"`
+	PriceCentsHour float64 `json:"price_cents_hour,omitempty"`
+	Spot           bool    `json:"spot,omitempty"`
 	Busy           bool    `json:"busy"`
 	Parked         bool    `json:"parked"` // an idle long-poll is waiting for work
 	Gone           bool    `json:"gone,omitempty"`

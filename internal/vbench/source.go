@@ -49,6 +49,17 @@ func roundUp16(n int) int {
 	return (n + 15) &^ 15
 }
 
+// ProxyDims reports the proxy frame geometry a Source would synthesize for
+// info at the given downscale factor — the same rounding NewSource applies.
+// Exposed so capacity models (e.g. the accelerator wall-clock model) can
+// size a job without building a Source.
+func ProxyDims(info VideoInfo, scale int) (w, h int) {
+	if scale < 1 {
+		scale = 1
+	}
+	return roundUp16(info.Width / scale), roundUp16(info.Height / scale)
+}
+
 // NewSource builds a Source for the given catalog entry.
 func NewSource(info VideoInfo, opts SourceOptions) *Source {
 	scale := opts.Scale

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -36,8 +37,19 @@ type Options struct {
 	// reclaims its identity. Required.
 	ID string
 	// Config is the uarch configuration this worker simulates — its
-	// capability metadata for placement. Zero means baseline.
+	// capability metadata for placement. Zero means baseline. Ignored when
+	// Backend is accel (the ASIC's host core is not modeled).
 	Config uarch.Config
+	// Backend is the encoder class this worker executes with: software
+	// (default) runs the codec through the uarch simulation; accel models a
+	// fixed-function encoder — restricted option surface, closed-form wall
+	// clock, no profile.
+	Backend backend.Kind
+	// PriceCentsHour is the advertised rental price (0: class default,
+	// spot-discounted when Spot is set).
+	PriceCentsHour float64
+	// Spot marks this worker as preemptible capacity.
+	Spot bool
 	// Heartbeat is the liveness/telemetry period (0: 1s). Must be well
 	// inside the orchestrator's lease TTL or running jobs lose their lease.
 	Heartbeat time.Duration
@@ -63,6 +75,8 @@ type workerMetrics struct {
 // Worker is one fleet member; create with New, drive with Run.
 type Worker struct {
 	opts   Options
+	spec   backend.ServerSpec // resolved economic capability
+	accel  backend.AccelModel
 	base   string
 	client *http.Client
 	met    workerMetrics
@@ -86,6 +100,12 @@ func New(opts Options) (*Worker, error) {
 	if opts.Config.Name == "" {
 		opts.Config = uarch.Baseline()
 	}
+	if _, err := backend.ParseKind(string(opts.Backend)); err != nil {
+		return nil, fmt.Errorf("worker: %w", err)
+	}
+	if opts.Backend == "" {
+		opts.Backend = backend.Software
+	}
 	if opts.Heartbeat <= 0 {
 		opts.Heartbeat = time.Second
 	}
@@ -98,7 +118,12 @@ func New(opts Options) (*Worker, error) {
 		client = &http.Client{}
 	}
 	return &Worker{
-		opts:   opts,
+		opts: opts,
+		spec: backend.ServerSpec{
+			Backend: opts.Backend, Config: opts.Config,
+			PriceCentsHour: opts.PriceCentsHour, Spot: opts.Spot,
+		}.FillDefaults(),
+		accel:  backend.DefaultAccel(),
 		base:   opts.Orchestrator,
 		client: client,
 		met: workerMetrics{
@@ -172,20 +197,29 @@ func (w *Worker) execute(ctx context.Context, a serve.Assignment) {
 	if opts, err := task.Options(); err != nil {
 		rep.Error = err.Error()
 	} else {
-		res, err := core.Run(jctx, core.Job{
-			Workload: core.Workload{Video: a.Video, Frames: a.Frames, Scale: a.Scale, Seed: a.Seed},
-			Options:  opts,
-			Config:   w.opts.Config,
-			Segment:  codec.Segment{Start: a.SegStart, End: a.SegEnd},
-		})
+		job := core.Job{
+			Workload:   core.Workload{Video: a.Video, Frames: a.Frames, Scale: a.Scale, Seed: a.Seed},
+			Options:    opts,
+			Config:     w.opts.Config,
+			Segment:    codec.Segment{Start: a.SegStart, End: a.SegEnd},
+			KeepStream: a.WantStream,
+		}
+		if w.opts.Backend == backend.Accel {
+			w.executeAccel(jctx, job, &rep)
+		} else {
+			res, err := core.Run(jctx, job)
+			if err != nil {
+				rep.Error = err.Error()
+			} else {
+				rep.Seconds = res.Report.Seconds
+				rep.Topdown = &res.Report.Topdown
+				if a.WantStream {
+					rep.Stream = res.Stream
+				}
+			}
+		}
 		if pad := w.opts.MinJobTime - time.Since(started); pad > 0 {
 			sleep(jctx, pad)
-		}
-		if err != nil {
-			rep.Error = err.Error()
-		} else {
-			rep.Seconds = res.Report.Seconds
-			rep.Topdown = &res.Report.Topdown
 		}
 	}
 
@@ -208,6 +242,35 @@ func (w *Worker) execute(ctx context.Context, a serve.Assignment) {
 	}
 }
 
+// executeAccel is the fixed-function execution path: the encode runs with
+// no uarch simulation attached (identical bitstream, no profile) and the
+// reported wall clock comes from the accelerator's closed-form throughput
+// model. Jobs outside the ASIC's option surface are rejected — placement
+// never sends them here, so an arrival is a real error worth surfacing.
+func (w *Worker) executeAccel(ctx context.Context, job core.Job, rep *serve.ResultReport) {
+	if !w.accel.Accepts(job.Options) {
+		rep.Error = "worker: options outside the accelerator's surface"
+		return
+	}
+	pw, ph, frames, err := core.ProxyDims(job.Workload)
+	if err != nil {
+		rep.Error = err.Error()
+		return
+	}
+	if job.Segment.End > job.Segment.Start {
+		frames = job.Segment.End - job.Segment.Start
+	}
+	res, err := core.EncodeOnly(ctx, job)
+	if err != nil {
+		rep.Error = err.Error()
+		return
+	}
+	rep.Seconds = w.accel.Seconds(frames, pw, ph)
+	if job.KeepStream {
+		rep.Stream = res.Stream
+	}
+}
+
 // report posts a result with bounded retries; true means some reply was
 // received (any 2xx reply is final — the orchestrator deduplicates).
 func (w *Worker) report(ctx context.Context, rep serve.ResultReport) bool {
@@ -225,7 +288,11 @@ func (w *Worker) report(ctx context.Context, rep serve.ResultReport) bool {
 
 // poll asks for one job; ok is false on an empty window (HTTP 204).
 func (w *Worker) poll(ctx context.Context) (serve.Assignment, bool, error) {
-	body, err := json.Marshal(serve.PollRequest{WorkerID: w.opts.ID, Config: w.opts.Config.Name})
+	body, err := json.Marshal(serve.PollRequest{
+		WorkerID: w.opts.ID, Config: w.opts.Config.Name,
+		Backend:        string(w.spec.Backend),
+		PriceCentsHour: w.spec.PriceCentsHour, Spot: w.spec.Spot,
+	})
 	if err != nil {
 		return serve.Assignment{}, false, err
 	}
@@ -276,6 +343,8 @@ func (w *Worker) beat(ctx context.Context) {
 	lease := w.leaseID
 	hb := serve.Heartbeat{
 		WorkerID: w.opts.ID, Config: w.opts.Config.Name,
+		Backend:        string(w.spec.Backend),
+		PriceCentsHour: w.spec.PriceCentsHour, Spot: w.spec.Spot,
 		Busy: lease != "", LeaseID: lease,
 		UtilizationPct: w.utilLocked(time.Now()), JobsDone: w.jobsDone,
 	}

@@ -13,8 +13,9 @@
 # ladder reusing one artifact, SAD/SATD/FDCT/TrellisQuant/Deblock/
 # IntraPredict pin the SWAR kernels, EncodeParallel pins the wavefront
 # encode at 1 and 4 workers, SegmentedEncode prices the 1/2/4-way
-# segment-and-stitch split, and Dispatch pins the serving layer's
-# per-batch placement overhead.
+# segment-and-stitch split, and the Dispatch pair pins the serving
+# layer's per-batch placement overhead — the homogeneous fleet-seconds
+# path and the heterogeneous cost-matrix path (DispatchHeterogeneous).
 #
 # An interrupted run (Ctrl-C) still writes whatever benchmarks completed,
 # with a trailing {"name": "_note", "partial": true} entry so downstream

@@ -98,12 +98,17 @@ echo "fleet smoke: killed w2 mid-job, waiting for lease reassignment" >&2
 # /metrics contract (queue-depth gauge + sojourn histograms) present.
 wait "$LOAD_PID"
 
-# The recovery path must actually have fired.
-if ! curl -sf "http://$ADDR/metrics" | grep -q '"fleet_lease_reassigned": *[1-9]'; then
+# The recovery path must actually have fired. (Snapshot /metrics to a
+# file: grep -q on a live curl pipe races SIGPIPE under pipefail.)
+METRICS="$(mktemp)"
+curl -sf "http://$ADDR/metrics" >"$METRICS"
+if ! grep -q '"fleet_lease_reassigned": *[1-9]' "$METRICS"; then
 	echo "no lease was reassigned — crash recovery path never ran:" >&2
-	curl -sf "http://$ADDR/metrics" >&2 || true
+	cat "$METRICS" >&2
+	rm -f "$METRICS"
 	exit 1
 fi
+rm -f "$METRICS"
 
 # Graceful drain: SIGTERM must settle every admitted job and print totals.
 kill -TERM "$SERVE_PID"
